@@ -1,0 +1,65 @@
+"""Micro-benchmarks of the simulation engine itself.
+
+These are not paper artefacts but guard the performance characteristics the
+reproduction relies on: the vectorised window primitive must stay orders of
+magnitude faster than the ball-by-ball reference (otherwise the Figure 3
+sweep at paper scale becomes impractical), and the probe stream must add
+negligible overhead per block.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.reference import reference_adaptive
+from repro.core.window import fill_window, occurrence_ranks
+from repro.core.adaptive import run_adaptive
+from repro.runtime.probes import RandomProbeStream
+
+from conftest import BENCH_SEED
+
+
+def test_occurrence_ranks_throughput(benchmark):
+    values = np.random.default_rng(BENCH_SEED).integers(0, 10_000, size=1_000_000)
+    ranks = benchmark(occurrence_ranks, values)
+    assert ranks.shape == values.shape
+
+
+def test_fill_window_throughput(benchmark):
+    n = 10_000
+
+    def run() -> int:
+        loads = np.zeros(n, dtype=np.int64)
+        stream = RandomProbeStream(n, seed=BENCH_SEED)
+        outcome = fill_window(loads, 0, n, stream)
+        return outcome.probes
+
+    probes = benchmark(run)
+    assert probes >= n
+
+
+def test_probe_stream_throughput(benchmark):
+    stream = RandomProbeStream(10_000, seed=BENCH_SEED)
+
+    def run() -> int:
+        return int(stream.take(100_000).sum())
+
+    assert benchmark(run) > 0
+
+
+def test_vectorised_engine_speedup(benchmark):
+    """The vectorised ADAPTIVE must beat the reference loop by a wide margin."""
+    import time
+
+    m, n = 20_000, 1_000
+
+    start = time.perf_counter()
+    reference_adaptive(m, n, seed=BENCH_SEED)
+    reference_seconds = time.perf_counter() - start
+
+    result = benchmark(run_adaptive, m, n, BENCH_SEED)
+    assert int(result.loads.sum()) == m
+
+    vectorised_seconds = benchmark.stats.stats.mean
+    assert vectorised_seconds < reference_seconds

@@ -1,0 +1,71 @@
+"""Figure 3(a) benchmark: average allocation time of ADAPTIVE vs THRESHOLD.
+
+Paper artefact
+--------------
+Figure 3(a) plots the average runtime (allocation time) of both protocols
+against ``m`` with every point averaged over 100 simulations; THRESHOLD's
+curve converges to ``m`` while ADAPTIVE's converges to a small constant times
+``m``.  The parametrised benchmarks time one allocation per (protocol, m)
+point of a scaled-down grid; ``test_figure3a_shape`` averages a few trials per
+point and asserts the published shape (both curves linear in m, adaptive
+above threshold, threshold → m).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import AdaptiveProtocol
+from repro.core.threshold import ThresholdProtocol
+from repro.experiments.config import SweepConfig
+from repro.experiments.figure3 import runtime_curve
+from repro.reporting.ascii_plot import ascii_plot
+
+from conftest import BENCH_SEED, FIGURE3_BINS, FIGURE3_GRID
+
+PROTOCOLS = {"adaptive": AdaptiveProtocol, "threshold": ThresholdProtocol}
+
+
+@pytest.mark.parametrize("m", FIGURE3_GRID)
+@pytest.mark.parametrize("name", sorted(PROTOCOLS))
+def test_runtime_point(benchmark, name, m):
+    """Time one allocation per point of the Figure 3(a) grid."""
+    protocol = PROTOCOLS[name]()
+    result = benchmark(protocol.allocate, m, FIGURE3_BINS, BENCH_SEED)
+    assert result.allocation_time >= m
+
+
+def test_figure3a_shape(benchmark):
+    """Regenerate the Figure 3(a) series and assert the paper's shape."""
+    sweep = SweepConfig(
+        protocols=("adaptive", "threshold"),
+        n_bins=FIGURE3_BINS,
+        ball_grid=FIGURE3_GRID,
+        trials=5,
+        seed=BENCH_SEED,
+    )
+
+    grid, series = benchmark.pedantic(
+        lambda: runtime_curve(sweep=sweep), rounds=1, iterations=1
+    )
+    adaptive = np.array(series["adaptive"])
+    threshold = np.array(series["threshold"])
+    ms = np.array(grid, dtype=float)
+
+    # THRESHOLD's runtime converges to m (within 20% on this grid).
+    assert np.all(threshold >= ms)
+    assert np.all(threshold <= 1.2 * ms)
+    # ADAPTIVE's runtime is linear in m with a constant factor above 1.
+    assert np.all(adaptive > threshold)
+    assert np.all(adaptive <= 2.0 * ms)
+    per_ball = adaptive / ms
+    assert per_ball.max() - per_ball.min() < 0.3  # linear growth, stable slope
+
+    print("\n" + ascii_plot(
+        [m / 1e4 for m in grid],
+        {"adaptive": (adaptive / 1e4).tolist(), "threshold": (threshold / 1e4).tolist()},
+        title="Figure 3(a): average runtime * 1e-4 vs m * 1e-4",
+        x_label="m * 1e-4",
+        y_label="runtime * 1e-4",
+    ))

@@ -1,0 +1,90 @@
+"""Figure 3(b) benchmark: average final quadratic potential vs ``m``.
+
+Paper artefact
+--------------
+Figure 3(b) plots the average value of the quadratic potential ``Ψ`` of the
+final load distribution (scaled by 1/5000 on the paper's axis).  ADAPTIVE's
+potential quickly converges to a value independent of ``m`` (guaranteed by
+Lemma 3.4 / Corollary 3.5) while THRESHOLD's keeps growing.  The benchmark
+regenerates the series on the scaled-down grid and asserts exactly that
+contrast; the per-point benchmarks time the potential evaluation itself so
+regressions in the potential implementation are caught too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import run_adaptive
+from repro.core.potentials import exponential_potential, quadratic_potential
+from repro.core.threshold import run_threshold
+from repro.experiments.config import SweepConfig
+from repro.experiments.figure3 import potential_curve
+from repro.reporting.ascii_plot import ascii_plot
+from repro.stats.summary import relative_spread
+
+from conftest import BENCH_SEED, FIGURE3_BINS, FIGURE3_GRID
+
+
+@pytest.mark.parametrize("protocol", ["adaptive", "threshold"])
+def test_final_potential_point(benchmark, protocol):
+    """Time allocation + potential evaluation at the largest grid point."""
+    m = FIGURE3_GRID[-1]
+    runner = run_adaptive if protocol == "adaptive" else run_threshold
+
+    def run() -> float:
+        result = runner(m, FIGURE3_BINS, seed=BENCH_SEED)
+        return result.quadratic_potential()
+
+    value = benchmark(run)
+    assert value > 0
+
+
+def test_potential_function_throughput(benchmark):
+    """Micro-benchmark of Ψ and Φ on a large load vector."""
+    loads = run_adaptive(FIGURE3_GRID[-1], FIGURE3_BINS, seed=BENCH_SEED).loads
+
+    def evaluate() -> tuple[float, float]:
+        return quadratic_potential(loads), exponential_potential(loads)
+
+    psi, phi = benchmark(evaluate)
+    assert psi >= 0 and phi >= FIGURE3_BINS
+
+
+def test_figure3b_shape(benchmark):
+    """Regenerate the Figure 3(b) series and assert the paper's contrast."""
+    sweep = SweepConfig(
+        protocols=("adaptive", "threshold"),
+        n_bins=FIGURE3_BINS,
+        ball_grid=FIGURE3_GRID,
+        trials=5,
+        seed=BENCH_SEED,
+    )
+
+    grid, series = benchmark.pedantic(
+        lambda: potential_curve(sweep=sweep), rounds=1, iterations=1
+    )
+    adaptive = np.array(series["adaptive"])
+    threshold = np.array(series["threshold"])
+
+    # THRESHOLD's potential grows with m; ADAPTIVE's converges to a value
+    # independent of m (small relative spread) and stays well below it.
+    # (On this grid the growth is roughly sqrt(m/n)-like, close to a factor 2
+    # from the first to the last point.)
+    assert np.all(threshold > adaptive)
+    assert threshold[-1] > 1.8 * threshold[0]
+    assert np.all(np.diff(threshold) > 0)
+    assert relative_spread(adaptive[1:]) < 0.3
+    assert adaptive.max() < 6 * FIGURE3_BINS  # Psi = O(n)
+
+    print("\n" + ascii_plot(
+        [m / 1e4 for m in grid],
+        {
+            "adaptive": (adaptive / 5000.0).tolist(),
+            "threshold": (threshold / 5000.0).tolist(),
+        },
+        title="Figure 3(b): average quadratic potential / 5000 vs m * 1e-4",
+        x_label="m * 1e-4",
+        y_label="potential / 5000",
+    ))

@@ -1,0 +1,81 @@
+"""Lemma 3.2 / 3.4 benchmark: stage-level drift of ADAPTIVE.
+
+Paper artefact
+--------------
+The proof of Theorem 3.1 hinges on two stage-level facts: underloaded bins
+receive stochastically at least ``Poi(199/198)`` balls per stage (Lemma 3.2),
+and consequently the exponential potential contracts whenever it is large
+(Lemma 3.4), staying ``O(n)`` forever (Corollary 3.5).  This benchmark runs
+the instrumented stage-by-stage replay and asserts both facts empirically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.stage_analysis import (
+    LEMMA32_RATE,
+    lemma32_catchup,
+    lemma34_potential_drift,
+)
+from repro.reporting.tables import format_markdown_table
+
+from conftest import BENCH_SEED
+
+
+def test_lemma32_catchup_shape(benchmark):
+    """Underloaded bins catch up at (at least) the Poisson(199/198) rate."""
+
+    def run():
+        return lemma32_catchup(
+            n_bins=1_000, n_stages=30, hole_threshold=3, trials=2, seed=BENCH_SEED
+        )
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    assert stats.observations > 100
+    # Lemma 3.2's conclusion: expected catch-up slightly above one ball/stage.
+    assert stats.mean_balls_received > 1.0
+    # The empirical tail dominates the Poisson benchmark for small k
+    # (allowing a small finite-n slack).
+    for k in (1, 2, 3):
+        assert stats.empirical_tail[k] >= stats.poisson_tail[k] - 0.1
+
+    rows = [
+        {
+            "k": int(k),
+            "empirical Pr[Y>=k]": float(stats.empirical_tail[k]),
+            "Poi(199/198) Pr[>=k]": float(stats.poisson_tail[k]),
+        }
+        for k in range(len(stats.empirical_tail))
+    ]
+    print(f"\nunderloaded-bin observations: {stats.observations}, "
+          f"mean balls received: {stats.mean_balls_received:.3f} "
+          f"(Poisson rate {LEMMA32_RATE:.4f})")
+    print(format_markdown_table(rows))
+
+
+def test_lemma34_drift_shape(benchmark):
+    """Φ can grow by at most (1+ε) per stage and stays O(n) on average."""
+
+    def run():
+        return lemma34_potential_drift(n_bins=1_000, n_stages=50, seed=BENCH_SEED)
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert data["max_potential_per_bin"] < 10.0
+    assert data["max_growth_ratio"] <= 1.0 + 1.0 / 200.0 + 1e-9
+    assert data["mean_growth_ratio"] <= 1.001
+
+    print(
+        f"\nmax Φ/n over 50 stages: {data['max_potential_per_bin']:.3f}; "
+        f"mean per-stage growth ratio: {data['mean_growth_ratio']:.5f}"
+    )
+
+
+@pytest.mark.parametrize("n_bins", [500, 2_000])
+def test_stage_replay_throughput(benchmark, n_bins):
+    """Time the instrumented stage-by-stage replay itself."""
+    result = benchmark(
+        lemma32_catchup, n_bins, 10, hole_threshold=3, trials=1, seed=BENCH_SEED
+    )
+    assert result.observations >= 0

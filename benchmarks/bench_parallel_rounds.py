@@ -1,0 +1,91 @@
+"""Parallel substrate benchmark: collision protocol rounds and messages.
+
+Paper artefact
+--------------
+The related-work section cites Lenzen & Wattenhofer's parallel protocol,
+which achieves a maximum load of 2 for ``m = n`` within ``log* n + O(1)``
+rounds and ``O(n)`` messages.  This benchmark exercises the package's
+round-based substrate (the synchronous message engine plus the collision
+protocol) and asserts those qualitative guarantees, plus the round/quality
+trade-off of the Adler-style parallel greedy protocol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.parallel.collision import CollisionProtocol
+from repro.parallel.rounds import ParallelGreedyProtocol
+from repro.reporting.tables import format_markdown_table
+
+from conftest import BENCH_SEED
+
+SIZES = (1_000, 4_000)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_collision_allocation(benchmark, n):
+    """Time the collision protocol at m = n."""
+    protocol = CollisionProtocol()
+    result = benchmark(protocol.allocate, n, n, BENCH_SEED)
+    assert result.max_load <= 2
+
+
+def test_collision_shape(benchmark):
+    """Max load 2, few rounds, O(n) messages — for growing n."""
+
+    def run() -> list[dict]:
+        rows = []
+        for n in (500, 1_000, 2_000, 4_000):
+            result = CollisionProtocol().allocate(n, n, BENCH_SEED)
+            rows.append(
+                {
+                    "n": n,
+                    "max_load": result.max_load,
+                    "rounds": result.costs.rounds,
+                    "messages_per_ball": result.costs.messages / n,
+                    "probes_per_ball": result.allocation_time / n,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for row in rows:
+        assert row["max_load"] <= 2
+        assert row["rounds"] <= 20
+        assert row["messages_per_ball"] < 40
+    # Rounds grow extremely slowly (log*-ish): quadrupling n adds at most a
+    # couple of rounds.
+    assert rows[-1]["rounds"] <= rows[0]["rounds"] + 4
+
+    print("\n" + format_markdown_table(rows))
+
+
+@pytest.mark.parametrize("rounds", [1, 2, 4])
+def test_parallel_greedy_round_tradeoff(benchmark, rounds):
+    """More rounds improve the balance of the Adler-style protocol."""
+    n = 2_000
+    m = 4 * n
+    protocol = ParallelGreedyProtocol(d=2, rounds=rounds)
+    result = benchmark(protocol.allocate, m, n, BENCH_SEED)
+    assert int(result.loads.sum()) == m
+    assert result.costs.rounds <= rounds + 1
+
+
+def test_parallel_greedy_shape(benchmark):
+    def run() -> list[dict]:
+        n, m = 2_000, 8_000
+        rows = []
+        for rounds in (1, 2, 4, 8):
+            averages = []
+            for seed in range(3):
+                result = ParallelGreedyProtocol(d=2, rounds=rounds).allocate(m, n, seed)
+                averages.append(result.max_load)
+            rows.append({"rounds": rounds, "max_load_mean": float(np.mean(averages))})
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    loads = [row["max_load_mean"] for row in rows]
+    assert loads[-1] <= loads[0]
+    print("\n" + format_markdown_table(rows))

@@ -1,0 +1,80 @@
+"""Corollary 3.5 / Lemma 4.2 benchmark: smoothness contrast at m = n².
+
+Paper artefact
+--------------
+Corollary 3.5 shows that ADAPTIVE keeps the exponential potential at O(n) in
+every stage, hence the max−min gap is O(log n) and the quadratic potential is
+O(n).  Lemma 4.2 shows the opposite for THRESHOLD at ``m = n²``: the gap is
+``Ω(n^{1/8})`` and the quadratic potential ``Ω(n^{9/8})``.  The benchmark runs
+both protocols at ``m = n²`` for growing ``n`` and asserts the contrast: the
+ADAPTIVE gap grows (at most) logarithmically and its per-bin potential stays
+bounded, while THRESHOLD's potential per bin grows with ``n``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import run_adaptive
+from repro.core.threshold import run_threshold
+from repro.experiments.smoothness import smoothness_contrast, stage_potential_trajectory
+from repro.reporting.tables import format_markdown_table
+
+from conftest import BENCH_SEED
+
+N_VALUES = (128, 256)
+
+
+@pytest.mark.parametrize("n", N_VALUES)
+@pytest.mark.parametrize("protocol", ["adaptive", "threshold"])
+def test_heavy_load_allocation(benchmark, protocol, n):
+    """Time one m = n^2 allocation per protocol and n."""
+    runner = run_adaptive if protocol == "adaptive" else run_threshold
+    result = benchmark(runner, n * n, n, BENCH_SEED)
+    assert result.max_load <= n + 1
+
+
+def test_smoothness_contrast_shape(benchmark):
+    """ADAPTIVE stays smooth at m = n², THRESHOLD does not."""
+
+    def run() -> list[dict]:
+        return smoothness_contrast(n_bins_values=(64, 128, 256), trials=3, seed=BENCH_SEED)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    for row in rows:
+        n = row["n_bins"]
+        # Corollary 3.5: adaptive gap = O(log n), potential = O(n).
+        assert row["adaptive_gap_mean"] <= 4 * np.log(n)
+        assert row["adaptive_potential_per_bin"] < 10
+        # Lemma 4.2: threshold is much rougher at m = n^2.
+        assert row["threshold_gap_mean"] > 1.5 * row["adaptive_gap_mean"]
+        assert row["threshold_potential_mean"] > 3 * row["adaptive_potential_mean"]
+    # The contrast widens with n: at the largest n the gap ratio exceeds 2.
+    assert rows[-1]["threshold_gap_mean"] > 2 * rows[-1]["adaptive_gap_mean"]
+
+    # The threshold potential per bin grows with n (superlinear potential),
+    # the adaptive one does not.
+    threshold_per_bin = [row["threshold_potential_mean"] / row["n_bins"] for row in rows]
+    adaptive_per_bin = [row["adaptive_potential_per_bin"] for row in rows]
+    assert threshold_per_bin[-1] > threshold_per_bin[0]
+    assert adaptive_per_bin[-1] < 2 * adaptive_per_bin[0] + 1
+
+    print("\n" + format_markdown_table(rows))
+
+
+def test_stage_trajectory(benchmark):
+    """Corollary 3.5: the per-stage exponential potential of ADAPTIVE is O(n)."""
+
+    def run() -> dict:
+        return stage_potential_trajectory(n_balls=50_000, n_bins=1_000, seed=BENCH_SEED)
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    phi = np.array(data["adaptive_exponential"])
+    n = data["n_bins"]
+    # Every stage, not just the last one, keeps Phi = O(n).
+    assert phi.max() < 20 * n
+    # The per-stage probe cost is O(n) as well (Lemma 3.6).
+    probes = np.array(data["adaptive_probes_per_stage"])
+    assert probes.max() < 4 * n

@@ -1,0 +1,89 @@
+"""Table 1 benchmark: allocation time and maximum load of every protocol.
+
+Paper artefact
+--------------
+Table 1 compares greedy[d], left[d], the (d,k)-memory protocol, the
+Czumaj–Riley–Scheideler rebalancing scheme, THRESHOLD and ADAPTIVE along two
+axes: allocation time and maximum load.  Each ``test_alloc_*`` benchmark below
+times one protocol on the shared problem size (so the "allocation time"
+column can also be read as wall-clock speed of the simulation), and
+``test_table1_shape`` regenerates the full measured table and asserts the
+qualitative ordering the paper reports.
+
+Run with ``pytest benchmarks/bench_table1.py --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import make_protocol
+from repro.experiments.table1 import table1_measured, table1_rows
+from repro.reporting.tables import format_markdown_table
+
+from conftest import BENCH_SEED, TABLE1_BALLS, TABLE1_BINS
+
+PROTOCOL_PARAMS = {
+    "single-choice": {},
+    "greedy": {"d": 2},
+    "left": {"d": 2},
+    "memory": {"d": 1, "k": 1},
+    "rebalancing": {"d": 2},
+    "threshold": {},
+    "adaptive": {},
+}
+
+
+@pytest.mark.parametrize("name", sorted(PROTOCOL_PARAMS))
+def test_alloc(benchmark, name):
+    """Time one full allocation of the Table 1 problem size per protocol."""
+    protocol = make_protocol(name, **PROTOCOL_PARAMS[name])
+
+    result = benchmark(protocol.allocate, TABLE1_BALLS, TABLE1_BINS, BENCH_SEED)
+
+    # Sanity: every ball placed and the protocol-specific guarantees hold.
+    assert int(result.loads.sum()) == TABLE1_BALLS
+    if name in ("adaptive", "threshold"):
+        assert result.max_load <= TABLE1_BALLS // TABLE1_BINS + 1
+
+
+def test_table1_shape(benchmark):
+    """Regenerate the measured Table 1 and check the paper's ordering."""
+
+    def build() -> list[dict]:
+        return table1_measured(
+            n_balls=TABLE1_BALLS, n_bins=TABLE1_BINS, trials=3, seed=BENCH_SEED
+        )
+
+    measured = benchmark.pedantic(build, rounds=1, iterations=1)
+    by_name = {row["protocol"]: row for row in measured}
+
+    # Maximum load: single-choice is worst; the near-optimal protocols meet
+    # their deterministic guarantee; greedy/left/memory sit in between.
+    guarantee = TABLE1_BALLS // TABLE1_BINS + 1
+    assert by_name["adaptive"]["max_load_max"] <= guarantee
+    assert by_name["threshold"]["max_load_max"] <= guarantee
+    assert by_name["single-choice"]["max_load_mean"] > by_name["greedy"]["max_load_mean"]
+    assert by_name["greedy"]["max_load_mean"] >= by_name["adaptive"]["max_load_mean"] - 0.5
+
+    # Allocation time: d-choice protocols pay d·m; threshold ≈ m; adaptive a
+    # small constant factor more than threshold.
+    assert by_name["greedy"]["allocation_time_mean"] == pytest.approx(2 * TABLE1_BALLS)
+    assert by_name["threshold"]["allocation_time_mean"] < 1.3 * TABLE1_BALLS
+    assert (
+        by_name["threshold"]["allocation_time_mean"]
+        < by_name["adaptive"]["allocation_time_mean"]
+        < 2.0 * TABLE1_BALLS
+    )
+
+    print("\n" + format_markdown_table(
+        table1_rows(measured=measured),
+        [
+            "protocol",
+            "paper_time",
+            "paper_load",
+            "measured_probes_per_ball",
+            "measured_max_load",
+            "bound_max_load",
+        ],
+    ))

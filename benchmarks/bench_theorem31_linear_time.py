@@ -1,0 +1,51 @@
+"""Theorem 3.1 benchmark: ADAPTIVE's allocation time is O(m).
+
+Paper artefact
+--------------
+Theorem 3.1 states that the expected allocation time of ADAPTIVE is ``O(m)``.
+The benchmark sweeps ``ϕ = m/n`` over more than an order of magnitude (at two
+values of ``n``) and asserts that the measured probes *per ball* stay bounded
+by a small constant and do not drift upwards with ``m`` — i.e. the allocation
+time really is linear in ``m``, not ``m log n`` or worse.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import run_adaptive
+from repro.experiments.smoothness import adaptive_time_scaling
+from repro.reporting.tables import format_markdown_table
+
+from conftest import BENCH_SEED
+
+PHIS = (1, 4, 16, 64)
+
+
+@pytest.mark.parametrize("phi", PHIS)
+def test_adaptive_allocation(benchmark, phi):
+    """Time one ADAPTIVE allocation at m = phi * n."""
+    n = 1_000
+    result = benchmark(run_adaptive, phi * n, n, BENCH_SEED)
+    assert result.probes_per_ball < 2.5
+
+
+@pytest.mark.parametrize("n_bins", [500, 2_000])
+def test_linear_time_shape(benchmark, n_bins):
+    """Probes per ball stay bounded and non-increasing in m (Theorem 3.1)."""
+
+    def run() -> list[dict]:
+        return adaptive_time_scaling(
+            n_bins=n_bins, phis=(1, 2, 4, 8, 16, 32), trials=3, seed=BENCH_SEED
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    per_ball = np.array([row["probes_per_ball_mean"] for row in rows])
+
+    assert per_ball.max() < 2.0
+    # The constant stabilises for large phi: the last value must not exceed
+    # the first by more than a small margin (no logarithmic drift).
+    assert per_ball[-1] <= per_ball[0] + 0.25
+
+    print("\n" + format_markdown_table(rows))

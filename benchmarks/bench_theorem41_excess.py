@@ -1,0 +1,58 @@
+"""Theorem 4.1 benchmark: THRESHOLD uses m + O(m^{3/4} n^{1/4}) probes.
+
+Paper artefact
+--------------
+Theorem 4.1 bounds THRESHOLD's allocation time by ``m + O(m^{3/4} n^{1/4})``.
+The benchmark measures the mean excess (allocation time − m) over a grid of
+``m = ϕ·n`` and asserts that the ratio excess / (m^{3/4} n^{1/4}) stays
+bounded — and does not grow with m — which is exactly the content of the
+theorem (the earlier analysis of Czumaj & Stemann only gave O(m) for
+m = O(n)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.threshold import run_threshold
+from repro.experiments.smoothness import threshold_excess_probes_curve
+from repro.reporting.tables import format_markdown_table
+from repro.theory.bounds import threshold_excess_probes
+
+from conftest import BENCH_SEED
+
+PHIS = (4, 16, 64)
+
+
+@pytest.mark.parametrize("phi", PHIS)
+def test_threshold_allocation(benchmark, phi):
+    """Time one THRESHOLD allocation at m = phi * n."""
+    n = 1_000
+    m = phi * n
+    result = benchmark(run_threshold, m, n, BENCH_SEED)
+    assert 0 <= result.allocation_time - m <= 5 * threshold_excess_probes(m, n)
+
+
+def test_excess_probes_shape(benchmark):
+    """The measured excess tracks the m^{3/4} n^{1/4} scale of Theorem 4.1."""
+
+    def run() -> list[dict]:
+        return threshold_excess_probes_curve(
+            n_bins=1_000, phis=(2, 4, 8, 16, 32, 64), trials=3, seed=BENCH_SEED
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratios = np.array([row["excess_over_bound"] for row in rows])
+
+    # The constant in front of the bound is modest and does not blow up with m.
+    assert np.all(ratios < 3.0)
+    assert ratios[-1] < ratios[0] + 1.0
+
+    # The excess is truly sublinear in m: excess/m shrinks as m grows.
+    excess_per_ball = np.array(
+        [row["excess_probes_mean"] / row["n_balls"] for row in rows]
+    )
+    assert excess_per_ball[-1] < excess_per_ball[0]
+
+    print("\n" + format_markdown_table(rows))

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Hashing scenario: bounded buckets and cuckoo tables.
+
+The second application the paper's introduction mentions is hashing: data
+items (balls) are stored in buckets (bins) and the bucket occupancy decides
+lookup cost and memory provisioning.  This example exercises the
+:mod:`repro.hashing` substrate:
+
+* a :class:`BoundedBucketTable` whose insertion rule is the ADAPTIVE probing
+  rule, so bucket occupancy inherits the ``ceil(m/n) + 1`` guarantee;
+* a :class:`CuckooHashTable` (the related-work reallocation approach), showing
+  the eviction cost it pays for perfectly bounded buckets.
+
+Run it with ``python examples/hash_table_buckets.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashing import BoundedBucketTable, CuckooHashTable
+from repro.reporting import format_markdown_table
+
+
+def bounded_table_demo(n_keys: int, n_buckets: int) -> dict:
+    table = BoundedBucketTable(n_buckets, max_probe_sequence=12, seed=11)
+    for i in range(n_keys):
+        table.insert(f"user:{i}", {"id": i, "score": i % 97})
+
+    # Point lookups hit exactly the candidate buckets of the key.
+    assert table.get("user:1234")["id"] == 1234  # type: ignore[index]
+    assert "user:999999" not in table
+
+    loads = np.array(table.bucket_loads())
+    stats = table.stats()
+    return {
+        "table": "bounded-bucket (ADAPTIVE rule)",
+        "keys": stats.n_keys,
+        "buckets": stats.n_buckets,
+        "max bucket": stats.max_bucket,
+        "avg bucket": float(loads.mean()),
+        "probes/insert": stats.probes_per_insert,
+        "moves": 0,
+    }
+
+
+def cuckoo_demo(n_keys: int, n_buckets: int) -> dict:
+    # 2 choices, buckets of size 2 -> comfortably below the cuckoo threshold.
+    table = CuckooHashTable(n_buckets, d=2, bucket_size=2, seed=13)
+    for i in range(n_keys):
+        table.insert(f"user:{i}", i)
+    stats = table.stats()
+    loads = np.array(table.bucket_loads())
+    return {
+        "table": "cuckoo (d=2, k=2)",
+        "keys": stats.n_keys,
+        "buckets": stats.n_buckets,
+        "max bucket": int(loads.max()),
+        "avg bucket": float(loads.mean()),
+        "probes/insert": table.costs.probes / stats.n_keys,
+        "moves": stats.evictions,
+    }
+
+
+def main() -> None:
+    n_keys = 30_000
+    print(f"Inserting {n_keys} keys into hash tables built on the allocation protocols\n")
+
+    rows = [
+        bounded_table_demo(n_keys, n_buckets=4_000),
+        # 20_000 buckets of size 2 -> load factor 0.75, safely below the
+        # (d=2, k=2) cuckoo threshold.
+        cuckoo_demo(n_keys, n_buckets=20_000),
+    ]
+    print(format_markdown_table(rows))
+
+    print(
+        "\nThe bounded-bucket table keeps every bucket within the paper's "
+        "ceil(m/n)+1 guarantee using ~1.3 probes per insertion and no "
+        "reallocation, while the cuckoo table achieves hard bucket caps at the "
+        "price of item moves (the trade-off the paper's related-work section "
+        "discusses for reallocation-based schemes)."
+    )
+
+
+if __name__ == "__main__":
+    main()

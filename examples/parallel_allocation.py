@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Parallel allocation: rounds and messages instead of sequential probes.
+
+The related work of the paper studies the parallel model, where all balls are
+allocated simultaneously over a few synchronous communication rounds.  This
+example runs the package's two parallel protocols on the classic ``m = n``
+instance and compares them with the sequential protocols along the dimensions
+that matter in that model: rounds, total messages, and maximum load.
+
+Run it with ``python examples/parallel_allocation.py``.
+"""
+
+from __future__ import annotations
+
+from repro import run_adaptive, run_threshold
+from repro.parallel import CollisionProtocol, ParallelGreedyProtocol
+from repro.reporting import format_markdown_table
+
+
+def main() -> None:
+    n = 5_000
+    seed = 17
+    print(f"Allocating m = n = {n} balls (the parallel model's standard case)\n")
+
+    rows = []
+
+    collision = CollisionProtocol().allocate(n, n, seed)
+    rows.append(
+        {
+            "protocol": "parallel-collision (LW-style)",
+            "max_load": collision.max_load,
+            "rounds": collision.costs.rounds,
+            "messages": collision.costs.messages,
+            "probes": collision.allocation_time,
+        }
+    )
+
+    parallel_greedy = ParallelGreedyProtocol(d=2, rounds=3).allocate(n, n, seed)
+    rows.append(
+        {
+            "protocol": "parallel-greedy (Adler-style, 3 rounds)",
+            "max_load": parallel_greedy.max_load,
+            "rounds": parallel_greedy.costs.rounds,
+            "messages": parallel_greedy.costs.messages,
+            "probes": parallel_greedy.allocation_time,
+        }
+    )
+
+    adaptive = run_adaptive(n, n, seed=seed)
+    threshold = run_threshold(n, n, seed=seed)
+    for result in (adaptive, threshold):
+        rows.append(
+            {
+                "protocol": f"{result.protocol} (sequential)",
+                "max_load": result.max_load,
+                "rounds": result.n_balls,  # one ball at a time
+                "messages": result.allocation_time,
+                "probes": result.allocation_time,
+            }
+        )
+
+    print(format_markdown_table(rows))
+    print(
+        "\nThe collision protocol reaches a maximum load of "
+        f"{collision.max_load} within {collision.costs.rounds} rounds and "
+        f"{collision.costs.messages} messages (O(n), as Lenzen & Wattenhofer "
+        "prove), whereas the sequential protocols trade rounds for probe "
+        "efficiency and the stronger ceil(m/n)+1 guarantee for every m."
+    )
+
+
+if __name__ == "__main__":
+    main()

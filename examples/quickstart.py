@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: allocate balls into bins with the paper's two protocols.
+
+This example shows the smallest useful slice of the public API:
+
+* run the ADAPTIVE and THRESHOLD protocols on the same problem size,
+* read off the two quantities the paper cares about (allocation time and
+  maximum load),
+* compare the smoothness of the resulting load vectors, and
+* cross-check against the deterministic ``ceil(m/n) + 1`` guarantee.
+
+Run it with ``python examples/quickstart.py``.
+"""
+
+from __future__ import annotations
+
+from repro import max_final_load, run_adaptive, run_threshold
+from repro.reporting import format_markdown_table
+
+
+def main() -> None:
+    n_balls = 200_000
+    n_bins = 10_000
+    seed = 42
+
+    adaptive = run_adaptive(n_balls, n_bins, seed=seed)
+    threshold = run_threshold(n_balls, n_bins, seed=seed)
+    guarantee = max_final_load(n_balls, n_bins)
+
+    rows = []
+    for result in (adaptive, threshold):
+        rows.append(
+            {
+                "protocol": result.protocol,
+                "allocation_time": result.allocation_time,
+                "probes_per_ball": result.probes_per_ball,
+                "max_load": result.max_load,
+                "guarantee": guarantee,
+                "gap (max-min)": result.gap,
+                "quadratic_potential": result.quadratic_potential(),
+            }
+        )
+
+    print(f"Allocating m={n_balls} balls into n={n_bins} bins (seed={seed})\n")
+    print(format_markdown_table(rows))
+    print(
+        "\nBoth protocols respect the deterministic max-load guarantee of "
+        f"ceil(m/n) + 1 = {guarantee}."
+    )
+    print(
+        "THRESHOLD uses fewer probes (close to m), while ADAPTIVE pays a small "
+        "constant factor more but produces a visibly smoother load vector "
+        "(smaller gap and quadratic potential) - exactly the trade-off the "
+        "paper establishes."
+    )
+
+    assert adaptive.max_load <= guarantee
+    assert threshold.max_load <= guarantee
+
+
+if __name__ == "__main__":
+    main()

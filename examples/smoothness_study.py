@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Smoothness study: Corollary 3.5 vs Lemma 4.2, stage by stage.
+
+Both protocols guarantee the same maximum load, but the paper's deeper point
+is about *smoothness*: ADAPTIVE keeps the whole load vector within O(log n)
+of the average at all times, while THRESHOLD lets bins fall far behind (for
+``m = n²`` the max−min gap is polynomial in ``n``).  This example
+
+1. traces a single run of both protocols and prints the per-stage exponential
+   and quadratic potentials (Corollary 3.5 says the ADAPTIVE ones stay O(n)),
+2. repeats the heavily loaded experiment ``m = n²`` for growing ``n`` and
+   prints the gap/potential contrast of Lemma 4.2, and
+3. renders the per-stage quadratic potentials as an ASCII plot.
+
+Run it with ``python examples/smoothness_study.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.smoothness import smoothness_contrast, stage_potential_trajectory
+from repro.reporting import ascii_plot, format_markdown_table
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ #
+    # 1. Per-stage trajectory of one run (Corollary 3.5 in action).
+    # ------------------------------------------------------------------ #
+    n_balls, n_bins = 100_000, 2_000
+    data = stage_potential_trajectory(n_balls=n_balls, n_bins=n_bins, seed=3)
+    stages = np.arange(1, data["stages"] + 1)
+
+    print(f"Per-stage trajectory for m={n_balls}, n={n_bins}:\n")
+    print(
+        ascii_plot(
+            stages.tolist(),
+            {
+                "adaptive Psi/n": (np.array(data["adaptive_quadratic"]) / n_bins).tolist(),
+                "threshold Psi/n": (np.array(data["threshold_quadratic"]) / n_bins).tolist(),
+            },
+            title="Quadratic potential per bin after each stage of n balls",
+            x_label="stage",
+            y_label="Psi / n",
+        )
+    )
+
+    adaptive_phi = np.array(data["adaptive_exponential"])
+    print(
+        f"\nADAPTIVE's exponential potential stays between {adaptive_phi.min():.0f} "
+        f"and {adaptive_phi.max():.0f} across all {data['stages']} stages "
+        f"(n = {n_bins}), i.e. O(n) as Corollary 3.5 guarantees; its max-min "
+        f"gap never exceeds {max(data['adaptive_gap'])}."
+    )
+
+    # ------------------------------------------------------------------ #
+    # 2. The heavily loaded contrast of Lemma 4.2 (m = n^2).
+    # ------------------------------------------------------------------ #
+    print("\nHeavily loaded case m = n^2 (averaged over 3 trials):\n")
+    rows = smoothness_contrast(n_bins_values=(64, 128, 256), trials=3, seed=5)
+    print(
+        format_markdown_table(
+            rows,
+            [
+                "n_bins",
+                "n_balls",
+                "adaptive_gap_mean",
+                "threshold_gap_mean",
+                "adaptive_potential_per_bin",
+                "threshold_potential_mean",
+            ],
+        )
+    )
+    print(
+        "\nThe ADAPTIVE gap grows like log n and its potential like n, while "
+        "THRESHOLD's gap and potential grow polynomially faster — the "
+        "Corollary 3.5 vs Lemma 4.2 contrast."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Load-balancing scenario: dispatching requests to a web-server fleet.
+
+The introduction of the paper motivates balls-into-bins processes with load
+balancing: every ball is a request/task, every bin a server.  This example
+uses the :mod:`repro.scheduler` substrate to dispatch a heavy-tailed workload
+(Pareto service times, the classic web-request model) onto a server fleet
+using four policies:
+
+* ``single``    — one random server per request (no load information),
+* ``greedy``    — power of two choices,
+* ``threshold`` — the THRESHOLD probing rule (needs the request count upfront),
+* ``adaptive``  — the paper's ADAPTIVE rule (fully online).
+
+It reports how many requests land on the busiest server (the balls-into-bins
+max load), the makespan, and the probing cost per request — showing what the
+paper's "nearly optimal load distribution with O(m) probes" buys in an
+application setting.
+
+Run it with ``python examples/web_server_load_balancing.py``.
+"""
+
+from __future__ import annotations
+
+from repro.reporting import format_markdown_table
+from repro.scheduler import Dispatcher, bursty_workload, heavy_tailed_workload
+
+
+def run_scenario(name: str, workload, n_servers: int, seed: int) -> list[dict]:
+    rows = []
+    for policy in ("single", "greedy", "threshold", "adaptive"):
+        outcome = Dispatcher(n_servers, policy=policy, d=2, seed=seed).dispatch(workload)
+        metrics = outcome.metrics
+        rows.append(
+            {
+                "workload": name,
+                "policy": policy,
+                "max requests/server": metrics.max_jobs,
+                "request imbalance": metrics.job_imbalance,
+                "makespan": metrics.makespan,
+                "work imbalance": metrics.work_imbalance_ratio,
+                "probes/request": metrics.probes_per_job,
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    n_servers = 500
+    n_requests = 20_000
+    seed = 7
+
+    print(
+        f"Dispatching {n_requests} requests to {n_servers} servers "
+        "(heavy-tailed and bursty workloads)\n"
+    )
+
+    heavy = heavy_tailed_workload(n_requests, seed=seed, alpha=1.8)
+    bursty = bursty_workload(n_requests, seed=seed, burst_size=1_000, burst_gap=5.0)
+
+    rows = run_scenario("heavy-tailed", heavy, n_servers, seed)
+    rows += run_scenario("bursty", bursty, n_servers, seed)
+    print(format_markdown_table(rows))
+
+    adaptive = next(r for r in rows if r["policy"] == "adaptive")
+    single = next(r for r in rows if r["policy"] == "single")
+    print(
+        "\nThe adaptive policy keeps the busiest server at "
+        f"{adaptive['max requests/server']} requests "
+        f"(vs {single['max requests/server']} for random assignment) while probing "
+        f"only {adaptive['probes/request']:.2f} servers per request on average — "
+        "and unlike the threshold policy it never needs to know the total "
+        "number of requests in advance."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file only exists so
+that editable installs keep working on environments whose packaging toolchain
+predates PEP 660 editable wheels (e.g. ``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

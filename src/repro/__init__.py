@@ -1,0 +1,85 @@
+"""repro — reproduction of *Balls-into-Bins with Nearly Optimal Load Distribution*.
+
+Berenbrink, Khodamoradi, Sauerwald, Stauffer — SPAA 2013.
+
+The package is organised as follows:
+
+* :mod:`repro.core` — the paper's ADAPTIVE and THRESHOLD protocols, the
+  smoothness potentials and the protocol registry.
+* :mod:`repro.baselines` — every comparison protocol of Table 1
+  (single-choice, greedy[d], left[d], (d,k)-memory, rebalancing).
+* :mod:`repro.runtime` — probe streams, seeding, cost accounting and the
+  round-based message engine.
+* :mod:`repro.parallel` — parallel balls-into-bins protocols (related work
+  substrate).
+* :mod:`repro.theory` — closed-form bounds and concentration inequalities.
+* :mod:`repro.stats` — trial summaries and empirical distribution tools.
+* :mod:`repro.hashing` / :mod:`repro.scheduler` — the hashing and
+  load-balancing applications that motivate the paper.
+* :mod:`repro.experiments` — the Table 1 / Figure 3 / smoothness experiment
+  harness.
+* :mod:`repro.reporting` — markdown/CSV tables and ASCII plots.
+
+Quickstart
+----------
+>>> from repro import run_adaptive, run_threshold
+>>> adaptive = run_adaptive(n_balls=100_000, n_bins=10_000, seed=1)
+>>> threshold = run_threshold(n_balls=100_000, n_bins=10_000, seed=1)
+>>> adaptive.max_load <= 11 and threshold.max_load <= 11
+True
+>>> adaptive.quadratic_potential() < threshold.quadratic_potential()
+True
+"""
+
+from repro._version import __version__
+from repro.core import (
+    AdaptiveProtocol,
+    AllocationProtocol,
+    AllocationResult,
+    ThresholdProtocol,
+    available_protocols,
+    exponential_potential,
+    get_protocol,
+    load_gap,
+    make_protocol,
+    max_final_load,
+    quadratic_potential,
+    run_adaptive,
+    run_threshold,
+)
+from repro.errors import (
+    CapacityExceededError,
+    ConfigurationError,
+    ExperimentError,
+    ProtocolError,
+    ReproError,
+)
+
+# Importing the baselines and parallel protocols registers them with the
+# protocol registry so that `make_protocol("greedy", d=2)`,
+# `make_protocol("parallel-collision")` and the experiment harness work out of
+# the box.
+from repro import baselines as _baselines  # noqa: F401  (import for side effect)
+from repro import parallel as _parallel  # noqa: F401  (import for side effect)
+
+__all__ = [
+    "__version__",
+    "AdaptiveProtocol",
+    "ThresholdProtocol",
+    "AllocationProtocol",
+    "AllocationResult",
+    "available_protocols",
+    "get_protocol",
+    "make_protocol",
+    "run_adaptive",
+    "run_threshold",
+    "max_final_load",
+    "quadratic_potential",
+    "exponential_potential",
+    "load_gap",
+    "ReproError",
+    "ConfigurationError",
+    "ProtocolError",
+    "CapacityExceededError",
+    "ExperimentError",
+]

@@ -1,0 +1,33 @@
+"""Baseline allocation protocols: every comparison row of Table 1.
+
+* :class:`~repro.baselines.single_choice.SingleChoiceProtocol` — one uniform
+  choice per ball (the classical process, allocation-time lower bound).
+* :class:`~repro.baselines.greedy.GreedyProtocol` — greedy[d] of Azar et al.
+* :class:`~repro.baselines.left.LeftProtocol` — Vöcking's left[d].
+* :class:`~repro.baselines.memory.MemoryProtocol` — the (d,k)-memory protocol
+  of Mitzenmacher, Prabhakar and Shah.
+* :class:`~repro.baselines.rebalancing.RebalancingProtocol` — greedy[d] plus
+  self-balancing moves in the spirit of Czumaj, Riley and Scheideler.
+
+Importing this subpackage registers all of them with the protocol registry.
+"""
+
+from repro.baselines.greedy import GreedyProtocol, run_greedy
+from repro.baselines.left import LeftProtocol, group_boundaries, run_left
+from repro.baselines.memory import MemoryProtocol, run_memory
+from repro.baselines.rebalancing import RebalancingProtocol, run_rebalancing
+from repro.baselines.single_choice import SingleChoiceProtocol, run_single_choice
+
+__all__ = [
+    "GreedyProtocol",
+    "run_greedy",
+    "LeftProtocol",
+    "run_left",
+    "group_boundaries",
+    "MemoryProtocol",
+    "run_memory",
+    "RebalancingProtocol",
+    "run_rebalancing",
+    "SingleChoiceProtocol",
+    "run_single_choice",
+]

@@ -1,0 +1,74 @@
+"""Classical single-choice allocation.
+
+Every ball is placed into a bin chosen independently and uniformly at random.
+For ``m = n`` the maximum load is ``log n / log log n · (1 + o(1))`` w.h.p.
+(Raab & Steger, cited as [15] in the paper); for ``m ≫ n log n`` it is
+``m/n + Θ(sqrt(m log n / n))``.  The protocol uses exactly ``m`` probes and is
+the natural lower bound on allocation time — every other protocol in Table 1
+pays more probes to achieve a smaller maximum load.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.protocol import AllocationProtocol, register_protocol
+from repro.core.result import AllocationResult
+from repro.errors import ConfigurationError
+from repro.runtime.costs import CostModel
+from repro.runtime.probes import ProbeStream, RandomProbeStream
+from repro.runtime.rng import SeedLike
+
+__all__ = ["SingleChoiceProtocol", "run_single_choice"]
+
+
+@register_protocol
+class SingleChoiceProtocol(AllocationProtocol):
+    """One uniformly random choice per ball (no load information used)."""
+
+    name = "single-choice"
+
+    def __init__(self) -> None:
+        # No parameters; keep an explicit __init__ so the registry-based
+        # factory never passes stray keyword arguments silently.
+        super().__init__()
+
+    def params(self) -> dict[str, Any]:
+        return {}
+
+    def allocate(
+        self,
+        n_balls: int,
+        n_bins: int,
+        seed: SeedLike = None,
+        *,
+        probe_stream: ProbeStream | None = None,
+        record_trace: bool = False,
+    ) -> AllocationResult:
+        self.validate_size(n_balls, n_bins)
+        stream = probe_stream or RandomProbeStream(n_bins, seed)
+        if stream.n_bins != n_bins:
+            raise ConfigurationError(
+                "probe_stream.n_bins does not match the requested n_bins"
+            )
+        choices = stream.take(n_balls)
+        loads = np.bincount(choices, minlength=n_bins).astype(np.int64)
+        costs = CostModel(probes=n_balls)
+        return AllocationResult(
+            protocol=self.name,
+            n_balls=n_balls,
+            n_bins=n_bins,
+            loads=loads,
+            allocation_time=n_balls,
+            costs=costs,
+            params=self.params(),
+        )
+
+
+def run_single_choice(
+    n_balls: int, n_bins: int, seed: SeedLike = None
+) -> AllocationResult:
+    """Functional one-liner for :class:`SingleChoiceProtocol`."""
+    return SingleChoiceProtocol().allocate(n_balls, n_bins, seed)

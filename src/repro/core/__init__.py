@@ -1,0 +1,87 @@
+"""Core of the reproduction: the paper's ADAPTIVE and THRESHOLD protocols.
+
+This subpackage contains the primary contribution of the paper and the
+machinery shared by every allocation scheme:
+
+* :mod:`repro.core.adaptive` / :mod:`repro.core.threshold` — the two
+  protocols analysed in the paper,
+* :mod:`repro.core.window` — the exact vectorised constant-threshold window
+  simulation both protocols are built on,
+* :mod:`repro.core.reference` — literal ball-by-ball implementations used to
+  validate the vectorised engines,
+* :mod:`repro.core.potentials` — the smoothness potentials ``Ψ`` and ``Φ``,
+* :mod:`repro.core.thresholds` — exact integer acceptance-limit arithmetic,
+* :mod:`repro.core.protocol` / :mod:`repro.core.result` — the protocol
+  interface, registry and result records.
+"""
+
+from repro.core.adaptive import AdaptiveProtocol, run_adaptive
+from repro.core.potentials import (
+    DEFAULT_EPSILON,
+    exponential_potential,
+    holes,
+    load_gap,
+    log_exponential_potential,
+    quadratic_potential,
+    smoothness_summary,
+    underloaded_bins,
+)
+from repro.core.protocol import (
+    AllocationProtocol,
+    available_protocols,
+    get_protocol,
+    make_protocol,
+    register_protocol,
+)
+from repro.core.reference import reference_adaptive, reference_threshold
+from repro.core.result import AllocationResult
+from repro.core.threshold import ThresholdProtocol, run_threshold
+from repro.core.weighted import (
+    WeightedAllocationResult,
+    run_weighted_adaptive,
+    weighted_gap_bound,
+)
+from repro.core.thresholds import (
+    StageWindow,
+    acceptance_limit,
+    ceil_div,
+    max_final_load,
+    stage_of_ball,
+    stage_windows,
+)
+from repro.core.window import WindowOutcome, fill_window, occurrence_ranks
+
+__all__ = [
+    "AdaptiveProtocol",
+    "run_adaptive",
+    "ThresholdProtocol",
+    "run_threshold",
+    "AllocationProtocol",
+    "AllocationResult",
+    "available_protocols",
+    "get_protocol",
+    "make_protocol",
+    "register_protocol",
+    "reference_adaptive",
+    "reference_threshold",
+    "DEFAULT_EPSILON",
+    "exponential_potential",
+    "holes",
+    "load_gap",
+    "log_exponential_potential",
+    "quadratic_potential",
+    "smoothness_summary",
+    "underloaded_bins",
+    "StageWindow",
+    "acceptance_limit",
+    "ceil_div",
+    "max_final_load",
+    "stage_of_ball",
+    "stage_windows",
+    "WindowOutcome",
+    "fill_window",
+    "occurrence_ranks",
+    "WeightedAllocationResult",
+    "run_weighted_adaptive",
+    "weighted_gap_bound",
+]

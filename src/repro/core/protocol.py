@@ -1,0 +1,133 @@
+"""Protocol interface and registry.
+
+Every allocation scheme in the package — the paper's ADAPTIVE and THRESHOLD,
+and every baseline of Table 1 — implements :class:`AllocationProtocol`.  The
+registry lets experiments and the CLI refer to protocols by name
+(``"adaptive"``, ``"threshold"``, ``"greedy"``, …) and instantiate them from
+plain keyword dictionaries, which keeps the experiment configuration
+serialisable.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Iterable
+
+from repro.core.result import AllocationResult
+from repro.errors import ConfigurationError
+from repro.runtime.probes import ProbeStream
+from repro.runtime.rng import SeedLike
+
+__all__ = [
+    "AllocationProtocol",
+    "register_protocol",
+    "get_protocol",
+    "available_protocols",
+    "make_protocol",
+]
+
+
+class AllocationProtocol(ABC):
+    """Abstract sequential balls-into-bins allocation protocol.
+
+    Subclasses implement :meth:`allocate`; they must
+
+    * place exactly ``m`` balls into ``n`` bins,
+    * report the number of random bin choices consumed as
+      ``AllocationResult.allocation_time``, and
+    * be deterministic given a seed (or a supplied probe stream).
+    """
+
+    #: Registry name; subclasses override this class attribute.
+    name: str = "abstract"
+
+    def __init__(self, **params: Any) -> None:
+        if params:
+            raise ConfigurationError(
+                f"protocol {self.name!r} does not accept parameters {sorted(params)}"
+            )
+
+    @abstractmethod
+    def allocate(
+        self,
+        n_balls: int,
+        n_bins: int,
+        seed: SeedLike = None,
+        *,
+        probe_stream: ProbeStream | None = None,
+        record_trace: bool = False,
+    ) -> AllocationResult:
+        """Allocate ``n_balls`` balls into ``n_bins`` bins.
+
+        Parameters
+        ----------
+        n_balls, n_bins:
+            Problem size; ``n_bins`` must be positive, ``n_balls``
+            non-negative.
+        seed:
+            Seed / generator for the run's randomness (ignored when
+            ``probe_stream`` is given and the protocol needs no other
+            randomness).
+        probe_stream:
+            Optional explicit probe stream; used by tests to replay a fixed
+            choice vector.  Protocols that do not consume uniform probes
+            (e.g. the parallel baselines) may reject it.
+        record_trace:
+            When true, record a per-stage :class:`~repro.runtime.trace.Trace`.
+        """
+
+    def describe(self) -> dict[str, Any]:
+        """Return the protocol's name and parameters (for provenance)."""
+        return {"name": self.name, **self.params()}
+
+    def params(self) -> dict[str, Any]:
+        """Parameters of this instance; subclasses with options override."""
+        return {}
+
+    @staticmethod
+    def validate_size(n_balls: int, n_bins: int) -> None:
+        """Shared validation of the problem size."""
+        if n_bins <= 0:
+            raise ConfigurationError(f"n_bins must be positive, got {n_bins}")
+        if n_balls < 0:
+            raise ConfigurationError(f"n_balls must be non-negative, got {n_balls}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        args = ", ".join(f"{k}={v!r}" for k, v in self.params().items())
+        return f"{type(self).__name__}({args})"
+
+
+_REGISTRY: dict[str, type[AllocationProtocol]] = {}
+
+
+def register_protocol(
+    cls: type[AllocationProtocol],
+) -> type[AllocationProtocol]:
+    """Class decorator adding ``cls`` to the protocol registry."""
+    name = cls.name
+    if not name or name == "abstract":
+        raise ConfigurationError("registered protocols must define a unique name")
+    if name in _REGISTRY and _REGISTRY[name] is not cls:
+        raise ConfigurationError(f"protocol name {name!r} is already registered")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def get_protocol(name: str) -> type[AllocationProtocol]:
+    """Return the protocol class registered under ``name``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown protocol {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def make_protocol(name: str, **params: Any) -> AllocationProtocol:
+    """Instantiate the protocol registered under ``name`` with ``params``."""
+    return get_protocol(name)(**params)
+
+
+def available_protocols() -> Iterable[str]:
+    """Names of all registered protocols, sorted."""
+    return sorted(_REGISTRY)

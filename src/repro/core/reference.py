@@ -1,0 +1,103 @@
+"""Straightforward ball-by-ball reference implementations.
+
+These functions follow the pseudocode of Figures 1 and 2 of the paper
+literally: one Python loop iteration per probe.  They are deliberately slow
+and simple; the test-suite uses them (fed with a shared
+:class:`~repro.runtime.probes.FixedProbeStream`) to certify that the
+vectorised engines in :mod:`repro.core.adaptive` and
+:mod:`repro.core.threshold` are exact, probe-for-probe reproductions of the
+sequential processes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.thresholds import acceptance_limit
+from repro.errors import ConfigurationError
+from repro.runtime.probes import ProbeStream, RandomProbeStream
+from repro.runtime.rng import SeedLike
+
+__all__ = ["reference_adaptive", "reference_threshold"]
+
+
+def _resolve_stream(
+    n_bins: int, seed: SeedLike, probe_stream: ProbeStream | None
+) -> ProbeStream:
+    if probe_stream is not None:
+        if probe_stream.n_bins != n_bins:
+            raise ConfigurationError(
+                "probe_stream.n_bins does not match the requested n_bins"
+            )
+        return probe_stream
+    return RandomProbeStream(n_bins, seed)
+
+
+def reference_adaptive(
+    n_balls: int,
+    n_bins: int,
+    seed: SeedLike = None,
+    *,
+    probe_stream: ProbeStream | None = None,
+    offset: int = 1,
+) -> tuple[np.ndarray, int]:
+    """Figure 1 of the paper, executed literally.
+
+    Ball ``i`` (1-indexed) repeatedly samples bins until it finds one with
+    load ``< i/n + offset`` and is placed there.
+
+    Returns
+    -------
+    (loads, allocation_time)
+    """
+    if n_bins <= 0:
+        raise ConfigurationError(f"n_bins must be positive, got {n_bins}")
+    if n_balls < 0:
+        raise ConfigurationError(f"n_balls must be non-negative, got {n_balls}")
+    stream = _resolve_stream(n_bins, seed, probe_stream)
+    loads = np.zeros(n_bins, dtype=np.int64)
+    probes = 0
+    for i in range(1, n_balls + 1):
+        limit = acceptance_limit(i, n_bins, offset)
+        while True:
+            j = stream.take_one()
+            probes += 1
+            if loads[j] <= limit:
+                loads[j] += 1
+                break
+    return loads, probes
+
+
+def reference_threshold(
+    n_balls: int,
+    n_bins: int,
+    seed: SeedLike = None,
+    *,
+    probe_stream: ProbeStream | None = None,
+    offset: int = 1,
+) -> tuple[np.ndarray, int]:
+    """Figure 2 of the paper (the THRESHOLD protocol of Czumaj & Stemann).
+
+    Every ball repeatedly samples bins until it finds one with load
+    ``< m/n + offset``.
+
+    Returns
+    -------
+    (loads, allocation_time)
+    """
+    if n_bins <= 0:
+        raise ConfigurationError(f"n_bins must be positive, got {n_bins}")
+    if n_balls < 0:
+        raise ConfigurationError(f"n_balls must be non-negative, got {n_balls}")
+    stream = _resolve_stream(n_bins, seed, probe_stream)
+    loads = np.zeros(n_bins, dtype=np.int64)
+    probes = 0
+    limit = acceptance_limit(n_balls, n_bins, offset) if n_balls else 0
+    for _ in range(n_balls):
+        while True:
+            j = stream.take_one()
+            probes += 1
+            if loads[j] <= limit:
+                loads[j] += 1
+                break
+    return loads, probes

@@ -1,0 +1,133 @@
+"""Result records returned by every allocation protocol."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.potentials import (
+    DEFAULT_EPSILON,
+    load_gap,
+    log_exponential_potential,
+    quadratic_potential,
+    smoothness_summary,
+)
+from repro.errors import ProtocolError
+from repro.runtime.costs import CostModel
+from repro.runtime.trace import Trace
+
+__all__ = ["AllocationResult"]
+
+
+@dataclass
+class AllocationResult:
+    """Outcome of allocating ``n_balls`` balls into ``n_bins`` bins.
+
+    Attributes
+    ----------
+    protocol:
+        Registry name of the protocol that produced the result (e.g.
+        ``"adaptive"``, ``"threshold"``, ``"greedy"``).
+    n_balls, n_bins:
+        Problem size.
+    loads:
+        Final load vector (length ``n_bins``, sums to ``n_balls``).
+    allocation_time:
+        The paper's cost measure: number of random bin choices consumed.
+    costs:
+        Full cost breakdown (probes, reallocations, messages, rounds).
+    trace:
+        Optional per-stage trajectory (only recorded when requested).
+    params:
+        Protocol parameters used for the run (``d`` for greedy, the threshold
+        offset for adaptive, …), for provenance in experiment outputs.
+    """
+
+    protocol: str
+    n_balls: int
+    n_bins: int
+    loads: np.ndarray
+    allocation_time: int
+    costs: CostModel = field(default_factory=CostModel)
+    trace: Trace | None = None
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.loads = np.asarray(self.loads, dtype=np.int64)
+        if self.loads.ndim != 1 or self.loads.size != self.n_bins:
+            raise ProtocolError(
+                f"loads must be a vector of length {self.n_bins}, "
+                f"got shape {self.loads.shape}"
+            )
+        if int(self.loads.sum()) != self.n_balls:
+            raise ProtocolError(
+                f"loads sum to {int(self.loads.sum())} but {self.n_balls} balls "
+                "were supposed to be placed"
+            )
+        if self.allocation_time < 0:
+            raise ProtocolError("allocation_time must be non-negative")
+
+    # ------------------------------------------------------------------ #
+    # Derived statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def max_load(self) -> int:
+        """Maximum load of any bin (Table 1's second column)."""
+        return int(self.loads.max()) if self.n_bins else 0
+
+    @property
+    def min_load(self) -> int:
+        """Minimum load of any bin."""
+        return int(self.loads.min()) if self.n_bins else 0
+
+    @property
+    def gap(self) -> int:
+        """Max−min load gap (the smoothness measure of Corollary 3.5)."""
+        return load_gap(self.loads)
+
+    @property
+    def average_load(self) -> float:
+        """Average load ``m/n``."""
+        return self.n_balls / self.n_bins
+
+    @property
+    def probes_per_ball(self) -> float:
+        """Allocation time normalised by the number of balls.
+
+        Theorem 3.1 predicts an ``O(1)`` value for ADAPTIVE; Theorem 4.1
+        predicts a value converging to 1 for THRESHOLD.
+        """
+        if self.n_balls == 0:
+            return 0.0
+        return self.allocation_time / self.n_balls
+
+    def quadratic_potential(self) -> float:
+        """``Ψ`` of the final load vector."""
+        return quadratic_potential(self.loads, self.n_balls)
+
+    def log_exponential_potential(self, epsilon: float = DEFAULT_EPSILON) -> float:
+        """``ln Φ`` of the final load vector (log-space for stability)."""
+        return log_exponential_potential(self.loads, self.n_balls, epsilon)
+
+    def smoothness(self) -> dict[str, float]:
+        """All smoothness statistics of the final load vector."""
+        return smoothness_summary(self.loads, self.n_balls)
+
+    def as_record(self) -> dict[str, Any]:
+        """Flatten the result into a plain dict for tables/CSV export."""
+        record: dict[str, Any] = {
+            "protocol": self.protocol,
+            "n_balls": self.n_balls,
+            "n_bins": self.n_bins,
+            "allocation_time": self.allocation_time,
+            "probes_per_ball": self.probes_per_ball,
+            "max_load": self.max_load,
+            "min_load": self.min_load,
+            "gap": self.gap,
+            "quadratic_potential": self.quadratic_potential(),
+        }
+        record.update({f"cost_{k}": v for k, v in self.costs.as_dict().items()})
+        record.update({f"param_{k}": v for k, v in self.params.items()})
+        return record

@@ -1,0 +1,158 @@
+"""The THRESHOLD protocol (Figure 2; Czumaj & Stemann, re-analysed in §4).
+
+Every ball samples bins uniformly at random until it finds one with load
+strictly below ``m/n + 1``.  The maximum load is therefore at most
+``ceil(m/n) + 1`` deterministically; Theorem 4.1 of the paper shows the
+allocation time is ``m + O(m^{3/4} n^{1/4})`` w.h.p. and in expectation.
+Unlike ADAPTIVE the protocol must know ``m`` in advance, and Lemma 4.2 shows
+its final load vector is far less smooth (for ``m = n²`` the quadratic
+potential is ``Ω(n^{9/8})`` and the max−min gap ``Ω(n^{1/8})``).
+
+Because the acceptance limit is a single constant for the entire run, the
+whole allocation is one window of :func:`repro.core.window.fill_window`.  An
+optional ``checkpoint`` grid still records the trajectory for the smoothness
+experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.potentials import (
+    DEFAULT_EPSILON,
+    exponential_potential,
+    quadratic_potential,
+)
+from repro.core.protocol import AllocationProtocol, register_protocol
+from repro.core.result import AllocationResult
+from repro.core.thresholds import acceptance_limit
+from repro.core.window import fill_window
+from repro.errors import ConfigurationError
+from repro.runtime.costs import CostModel
+from repro.runtime.probes import ProbeStream, RandomProbeStream
+from repro.runtime.rng import SeedLike
+from repro.runtime.trace import StageRecord, Trace
+
+__all__ = ["ThresholdProtocol", "run_threshold"]
+
+
+@register_protocol
+class ThresholdProtocol(AllocationProtocol):
+    """THRESHOLD allocation (Figure 2 of the paper).
+
+    Parameters
+    ----------
+    offset:
+        Additive constant of the acceptance threshold ``m/n + offset``
+        (``1`` in the paper).
+    block_size:
+        Optional fixed probe block size for the vectorised engine.
+    """
+
+    name = "threshold"
+
+    def __init__(self, offset: int = 1, block_size: int | None = None) -> None:
+        if offset < 1:
+            raise ConfigurationError(
+                "offset must be at least 1: with offset 0 the THRESHOLD protocol "
+                "cannot place the final ball of a perfectly filled stage"
+            )
+        if block_size is not None and block_size <= 0:
+            raise ConfigurationError("block_size must be positive when given")
+        self.offset = int(offset)
+        self.block_size = block_size
+
+    def params(self) -> dict[str, Any]:
+        return {"offset": self.offset}
+
+    def allocate(
+        self,
+        n_balls: int,
+        n_bins: int,
+        seed: SeedLike = None,
+        *,
+        probe_stream: ProbeStream | None = None,
+        record_trace: bool = False,
+    ) -> AllocationResult:
+        self.validate_size(n_balls, n_bins)
+        stream = probe_stream or RandomProbeStream(n_bins, seed)
+        if stream.n_bins != n_bins:
+            raise ConfigurationError(
+                "probe_stream.n_bins does not match the requested n_bins"
+            )
+
+        loads = np.zeros(n_bins, dtype=np.int64)
+        costs = CostModel()
+        trace = Trace() if record_trace else None
+        total_probes = 0
+
+        if n_balls:
+            limit = acceptance_limit(n_balls, n_bins, self.offset)
+            if record_trace:
+                # Fill stage-sized chunks so the trace is comparable to
+                # ADAPTIVE's (the acceptance limit stays the global one).
+                placed = 0
+                stage = 0
+                while placed < n_balls:
+                    chunk = min(n_bins, n_balls - placed)
+                    outcome = fill_window(
+                        loads, limit, chunk, stream, block_size=self.block_size
+                    )
+                    placed += chunk
+                    total_probes += outcome.probes
+                    costs.add_probes(outcome.probes)
+                    costs.log_probe_checkpoint()
+                    trace.append(
+                        StageRecord(
+                            stage=stage,
+                            balls_placed=chunk,
+                            probes=outcome.probes,
+                            max_load=int(loads.max()),
+                            min_load=int(loads.min()),
+                            quadratic_potential=quadratic_potential(loads, placed),
+                            exponential_potential=exponential_potential(
+                                loads, placed, DEFAULT_EPSILON
+                            ),
+                        )
+                    )
+                    stage += 1
+            else:
+                outcome = fill_window(
+                    loads, limit, n_balls, stream, block_size=self.block_size
+                )
+                total_probes = outcome.probes
+                costs.add_probes(outcome.probes)
+
+        return AllocationResult(
+            protocol=self.name,
+            n_balls=n_balls,
+            n_bins=n_bins,
+            loads=loads,
+            allocation_time=total_probes,
+            costs=costs,
+            trace=trace,
+            params=self.params(),
+        )
+
+
+def run_threshold(
+    n_balls: int,
+    n_bins: int,
+    seed: SeedLike = None,
+    *,
+    offset: int = 1,
+    record_trace: bool = False,
+) -> AllocationResult:
+    """Functional one-liner for :class:`ThresholdProtocol`.
+
+    Examples
+    --------
+    >>> result = run_threshold(10_000, 1_000, seed=0)
+    >>> result.max_load <= 10 + 1
+    True
+    """
+    return ThresholdProtocol(offset=offset).allocate(
+        n_balls, n_bins, seed, record_trace=record_trace
+    )

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of the reproduction code with a single handler
+while still being able to distinguish configuration problems from runtime
+failures of the simulated protocols.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ProtocolError",
+    "CapacityExceededError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Raised when user-supplied parameters are invalid.
+
+    Examples include a non-positive number of bins, a negative number of
+    balls, or a protocol option outside its documented range.
+    """
+
+
+class ProtocolError(ReproError, RuntimeError):
+    """Raised when an allocation protocol reaches an inconsistent state.
+
+    This indicates a bug in the simulation rather than bad user input; the
+    test-suite asserts that it is never raised for valid configurations.
+    """
+
+
+class CapacityExceededError(ProtocolError):
+    """Raised when a placement would exceed a bin's hard capacity.
+
+    Used by the hashing substrate (bounded buckets, cuckoo tables) and by the
+    protocol engines to signal that an insertion cannot be honoured.
+    """
+
+
+class ExperimentError(ReproError, RuntimeError):
+    """Raised when an experiment harness cannot produce the requested output."""

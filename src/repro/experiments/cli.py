@@ -1,0 +1,117 @@
+"""Command-line entry point: ``repro-experiment``.
+
+Examples
+--------
+List the available experiments::
+
+    repro-experiment --list
+
+Run a scaled-down Table 1 and print it as markdown::
+
+    repro-experiment table1 --scale 0.1
+
+Run the Figure 3(a) sweep at 5% scale and write the rows to CSV::
+
+    repro-experiment figure3a --scale 0.05 --output out/figure3a.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.reporting.tables import format_markdown_table, write_csv
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description=(
+            "Reproduce the tables and figures of 'Balls-into-Bins with Nearly "
+            "Optimal Load Distribution' (SPAA 2013)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        choices=sorted(EXPERIMENTS),
+        help="experiment identifier (see --list)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments and exit"
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.1,
+        help="problem-size scale factor in (0, 1]; 1.0 is paper scale (default 0.1)",
+    )
+    parser.add_argument(
+        "--trials", type=int, default=None, help="override the number of trials"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="write tabular results to this CSV file instead of printing markdown",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="print raw JSON instead of a table"
+    )
+    return parser
+
+
+def _flatten_result(result: Any) -> list[dict[str, Any]]:
+    """Best-effort conversion of an experiment result into table rows."""
+    if isinstance(result, list) and result and isinstance(result[0], dict):
+        return result
+    if isinstance(result, dict) and isinstance(result.get("rows"), list):
+        return result["rows"]
+    return [{"result": json.dumps(result, default=str)}]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list or args.experiment is None:
+        rows = [
+            {
+                "id": spec.experiment_id,
+                "paper": spec.paper_reference,
+                "description": spec.description,
+                "bench": spec.bench_target,
+            }
+            for spec in EXPERIMENTS.values()
+        ]
+        print(format_markdown_table(rows, ["id", "paper", "description", "bench"]))
+        return 0
+
+    kwargs: dict[str, Any] = {}
+    if args.trials is not None:
+        kwargs["trials"] = args.trials
+    result = run_experiment(args.experiment, scale=args.scale, **kwargs)
+
+    if args.json:
+        print(json.dumps(result, default=str, indent=2))
+        return 0
+
+    rows = _flatten_result(result)
+    if args.output is not None:
+        write_csv(args.output, rows)
+        print(f"wrote {len(rows)} rows to {args.output}")
+    else:
+        print(format_markdown_table(rows))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

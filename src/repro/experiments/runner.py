@@ -1,0 +1,119 @@
+"""Seeded multi-trial experiment runner.
+
+The runner is the single place that turns a :class:`TrialConfig` into
+repeated, independently seeded protocol runs.  Trials may run sequentially
+(default — the protocols are already numpy-fast) or in a process pool for the
+paper-scale Figure 3 sweep.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.protocol import make_protocol
+from repro.core.result import AllocationResult
+from repro.errors import ConfigurationError
+from repro.experiments.config import SweepConfig, TrialConfig
+from repro.runtime.rng import spawn_seeds
+from repro.stats.summary import TrialSummary, summarize_records
+
+__all__ = ["run_trial", "run_trials", "summarize_trials", "run_sweep"]
+
+#: Metrics aggregated by default when summarising trials.
+DEFAULT_METRICS: tuple[str, ...] = (
+    "allocation_time",
+    "probes_per_ball",
+    "max_load",
+    "gap",
+    "quadratic_potential",
+)
+
+
+def run_trial(config: TrialConfig, trial_index: int = 0) -> AllocationResult:
+    """Run a single trial of ``config`` (trial ``trial_index`` of the batch)."""
+    if trial_index < 0 or trial_index >= config.trials:
+        raise ConfigurationError(
+            f"trial_index must be in [0, {config.trials}), got {trial_index}"
+        )
+    seed = spawn_seeds(config.seed, config.trials)[trial_index]
+    protocol = make_protocol(config.protocol, **config.params)
+    return protocol.allocate(config.n_balls, config.n_bins, seed)
+
+
+def _run_trial_for_pool(args: tuple[TrialConfig, int]) -> dict[str, Any]:
+    config, index = args
+    return run_trial(config, index).as_record()
+
+
+def run_trials(
+    config: TrialConfig, *, workers: int = 1, as_records: bool = False
+) -> list[AllocationResult] | list[dict[str, Any]]:
+    """Run every trial of ``config``.
+
+    Parameters
+    ----------
+    config:
+        The trial batch to execute.
+    workers:
+        Number of worker processes; 1 (default) runs sequentially in-process.
+    as_records:
+        When true, return flattened record dictionaries instead of
+        :class:`AllocationResult` objects (always the case when
+        ``workers > 1`` since results cross a process boundary).
+    """
+    if workers < 1:
+        raise ConfigurationError(f"workers must be at least 1, got {workers}")
+    if workers == 1:
+        results = [run_trial(config, i) for i in range(config.trials)]
+        if as_records:
+            return [r.as_record() for r in results]
+        return results
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        records = list(
+            pool.map(_run_trial_for_pool, [(config, i) for i in range(config.trials)])
+        )
+    return records
+
+
+def summarize_trials(
+    config: TrialConfig,
+    *,
+    metrics: Sequence[str] = DEFAULT_METRICS,
+    workers: int = 1,
+) -> dict[str, TrialSummary]:
+    """Run ``config`` and summarise the requested metrics across trials."""
+    records = run_trials(config, workers=workers, as_records=True)
+    return summarize_records(records, metrics)
+
+
+def run_sweep(
+    sweep: SweepConfig,
+    *,
+    metrics: Sequence[str] = DEFAULT_METRICS,
+    workers: int = 1,
+) -> list[dict[str, Any]]:
+    """Run a full sweep and return one summary row per (protocol, m) point.
+
+    Each row contains the protocol name, the problem size, and for every
+    metric ``k`` the keys ``k_mean``, ``k_std``, ``k_ci_low`` and
+    ``k_ci_high``.
+    """
+    rows: list[dict[str, Any]] = []
+    for config in sweep.trial_configs():
+        summaries = summarize_trials(config, metrics=metrics, workers=workers)
+        row: dict[str, Any] = {
+            "protocol": config.protocol,
+            "n_balls": config.n_balls,
+            "n_bins": config.n_bins,
+            "trials": config.trials,
+        }
+        for key, summary in summaries.items():
+            row[f"{key}_mean"] = summary.mean
+            row[f"{key}_std"] = summary.std
+            row[f"{key}_ci_low"] = summary.ci_low
+            row[f"{key}_ci_high"] = summary.ci_high
+        rows.append(row)
+    return rows

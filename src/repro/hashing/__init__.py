@@ -1,0 +1,19 @@
+"""Hashing application substrate: hash functions, bounded buckets, cuckoo tables."""
+
+from repro.hashing.bounded_table import BoundedBucketTable, TableStats
+from repro.hashing.cuckoo import CuckooHashTable, CuckooStats
+from repro.hashing.hash_functions import (
+    HashFunction,
+    MultiplyShiftHash,
+    TabulationHash,
+)
+
+__all__ = [
+    "BoundedBucketTable",
+    "TableStats",
+    "CuckooHashTable",
+    "CuckooStats",
+    "HashFunction",
+    "MultiplyShiftHash",
+    "TabulationHash",
+]

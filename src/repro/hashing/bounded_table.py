@@ -1,0 +1,189 @@
+"""Bounded-bucket hash table driven by a balls-into-bins allocation protocol.
+
+This is the "hashing with balanced buckets" application from the paper's
+introduction: keys are balls, buckets are bins, and the bucket of a key is
+chosen by probing random buckets until one below the protocol's threshold is
+found (ADAPTIVE or THRESHOLD semantics).  Because the protocols guarantee a
+maximum load of ``ceil(m/n) + 1``, every bucket can be allocated with a fixed
+small capacity and lookups touch a bounded number of slots.
+
+Keys are mapped to probe sequences with a seeded
+:class:`~repro.hashing.hash_functions.HashFunction` family so that lookups can
+re-generate the same candidate buckets that the insertion examined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterator
+
+from repro.core.thresholds import acceptance_limit
+from repro.errors import CapacityExceededError, ConfigurationError
+from repro.hashing.hash_functions import MultiplyShiftHash
+from repro.runtime.rng import SeedLike, as_generator
+
+__all__ = ["BoundedBucketTable", "TableStats"]
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Occupancy statistics of a :class:`BoundedBucketTable`."""
+
+    n_keys: int
+    n_buckets: int
+    max_bucket: int
+    probes: int
+
+    @property
+    def load_factor(self) -> float:
+        return self.n_keys / self.n_buckets if self.n_buckets else 0.0
+
+    @property
+    def probes_per_insert(self) -> float:
+        return self.probes / self.n_keys if self.n_keys else 0.0
+
+
+@dataclass
+class _Bucket:
+    items: dict[Hashable, object] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class BoundedBucketTable:
+    """Hash table whose buckets stay within the ADAPTIVE load guarantee.
+
+    Parameters
+    ----------
+    n_buckets:
+        Number of buckets.
+    max_probe_sequence:
+        Length of every key's candidate-bucket sequence.  Insertion walks the
+        sequence until it finds a bucket whose occupancy is at most the
+        current ADAPTIVE acceptance limit; if none qualifies, the least loaded
+        candidate is used (and, if even that exceeds the hard cap, a
+        :class:`~repro.errors.CapacityExceededError` is raised).
+    hard_cap:
+        Absolute per-bucket capacity; ``None`` derives it lazily from the
+        guarantee ``ceil(m/n) + 1`` evaluated at lookup time.
+    seed:
+        Seed for the hash-function family.
+    """
+
+    def __init__(
+        self,
+        n_buckets: int,
+        *,
+        max_probe_sequence: int = 8,
+        hard_cap: int | None = None,
+        seed: SeedLike = None,
+    ) -> None:
+        if n_buckets <= 0:
+            raise ConfigurationError(f"n_buckets must be positive, got {n_buckets}")
+        if max_probe_sequence < 1:
+            raise ConfigurationError(
+                f"max_probe_sequence must be at least 1, got {max_probe_sequence}"
+            )
+        if hard_cap is not None and hard_cap < 1:
+            raise ConfigurationError(f"hard_cap must be positive, got {hard_cap}")
+        self.n_buckets = int(n_buckets)
+        self.max_probe_sequence = int(max_probe_sequence)
+        self.hard_cap = hard_cap
+        rng = as_generator(seed)
+        self._hashes = [
+            MultiplyShiftHash(n_buckets, rng) for _ in range(max_probe_sequence)
+        ]
+        self._buckets = [_Bucket() for _ in range(n_buckets)]
+        self._n_keys = 0
+        self._probes = 0
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self._n_keys
+
+    def __contains__(self, key: Hashable) -> bool:
+        return any(
+            key in self._buckets[bucket].items for bucket in self._candidates(key)
+        )
+
+    def _candidates(self, key: Hashable) -> Iterator[int]:
+        for h in self._hashes:
+            yield h(key if isinstance(key, (int, str, bytes)) else hash(key))
+
+    def _current_limit(self) -> int:
+        # ADAPTIVE semantics: the acceptance limit tracks the number of keys
+        # inserted so far (ball index = current size + 1).
+        limit = acceptance_limit(self._n_keys + 1, self.n_buckets, offset=1)
+        if self.hard_cap is not None:
+            limit = min(limit, self.hard_cap - 1)
+        return limit
+
+    # ------------------------------------------------------------------ #
+    def insert(self, key: Hashable, value: object) -> int:
+        """Insert ``key → value``; return the bucket used.
+
+        Re-inserting an existing key overwrites its value in place (without
+        consuming probes).
+        """
+        for bucket in self._candidates(key):
+            if key in self._buckets[bucket].items:
+                self._buckets[bucket].items[key] = value
+                return bucket
+
+        limit = self._current_limit()
+        best_bucket = -1
+        best_len = None
+        for bucket in self._candidates(key):
+            self._probes += 1
+            occupancy = len(self._buckets[bucket])
+            if occupancy <= limit:
+                self._buckets[bucket].items[key] = value
+                self._n_keys += 1
+                return bucket
+            if best_len is None or occupancy < best_len:
+                best_len, best_bucket = occupancy, bucket
+
+        # No candidate is below the adaptive limit: spill into the least
+        # loaded candidate unless that violates the hard cap.
+        if self.hard_cap is not None and best_len is not None and best_len >= self.hard_cap:
+            raise CapacityExceededError(
+                f"all {self.max_probe_sequence} candidate buckets of {key!r} are "
+                f"at the hard cap of {self.hard_cap}"
+            )
+        self._buckets[best_bucket].items[key] = value
+        self._n_keys += 1
+        return best_bucket
+
+    def get(self, key: Hashable, default: object | None = None) -> object | None:
+        """Return the value stored under ``key`` or ``default``."""
+        for bucket in self._candidates(key):
+            items = self._buckets[bucket].items
+            if key in items:
+                return items[key]
+        return default
+
+    def remove(self, key: Hashable) -> bool:
+        """Remove ``key``; return ``True`` iff it was present."""
+        for bucket in self._candidates(key):
+            items = self._buckets[bucket].items
+            if key in items:
+                del items[key]
+                self._n_keys -= 1
+                return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    def bucket_loads(self) -> list[int]:
+        """Occupancy of every bucket (the table's load vector)."""
+        return [len(b) for b in self._buckets]
+
+    def stats(self) -> TableStats:
+        """Return occupancy/probe statistics for the table."""
+        loads = self.bucket_loads()
+        return TableStats(
+            n_keys=self._n_keys,
+            n_buckets=self.n_buckets,
+            max_bucket=max(loads) if loads else 0,
+            probes=self._probes,
+        )

@@ -1,0 +1,176 @@
+"""Cuckoo hashing with ``d`` choices and buckets of size ``k``.
+
+The paper's related-work section connects balls-into-bins reallocation
+schemes to cuckoo hashing: every item has ``d`` candidate buckets of capacity
+``k``; if all candidates of a new item are full, an existing item is evicted
+and re-inserted into one of *its* other candidates, possibly cascading.  The
+figure of merit is the space overhead (``k·n/m``) at which insertions still
+succeed with bounded eviction chains.
+
+This implementation uses random-walk cuckoo hashing (the standard practical
+variant): when every candidate bucket is full, evict a uniformly random
+resident of a uniformly random candidate.  Evictions are counted as
+reallocations in the shared cost model, mirroring how Table 1 accounts for
+the reallocation-based scheme of Czumaj–Riley–Scheideler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.errors import CapacityExceededError, ConfigurationError
+from repro.hashing.hash_functions import MultiplyShiftHash
+from repro.runtime.costs import CostModel
+from repro.runtime.rng import SeedLike, as_generator
+
+__all__ = ["CuckooHashTable", "CuckooStats"]
+
+
+@dataclass(frozen=True)
+class CuckooStats:
+    """Occupancy and eviction statistics of a :class:`CuckooHashTable`."""
+
+    n_keys: int
+    n_buckets: int
+    bucket_size: int
+    evictions: int
+    max_chain: int
+
+    @property
+    def load_factor(self) -> float:
+        capacity = self.n_buckets * self.bucket_size
+        return self.n_keys / capacity if capacity else 0.0
+
+
+class CuckooHashTable:
+    """Random-walk cuckoo hash table.
+
+    Parameters
+    ----------
+    n_buckets:
+        Number of buckets.
+    d:
+        Number of candidate buckets per key (``d >= 2``).
+    bucket_size:
+        Capacity ``k`` of every bucket.
+    max_chain:
+        Maximum eviction-chain length before an insertion fails with
+        :class:`~repro.errors.CapacityExceededError` (a rehash would be
+        required in a production table; the simulation surfaces the failure).
+    seed:
+        Seed for the hash family and the random-walk choices.
+    """
+
+    def __init__(
+        self,
+        n_buckets: int,
+        *,
+        d: int = 2,
+        bucket_size: int = 1,
+        max_chain: int = 500,
+        seed: SeedLike = None,
+    ) -> None:
+        if n_buckets <= 0:
+            raise ConfigurationError(f"n_buckets must be positive, got {n_buckets}")
+        if d < 2:
+            raise ConfigurationError(f"cuckoo hashing needs d >= 2, got {d}")
+        if bucket_size < 1:
+            raise ConfigurationError(f"bucket_size must be positive, got {bucket_size}")
+        if max_chain < 1:
+            raise ConfigurationError(f"max_chain must be positive, got {max_chain}")
+        self.n_buckets = int(n_buckets)
+        self.d = int(d)
+        self.bucket_size = int(bucket_size)
+        self.max_chain = int(max_chain)
+        self._rng = as_generator(seed)
+        self._hashes = [MultiplyShiftHash(n_buckets, self._rng) for _ in range(d)]
+        self._buckets: list[dict[Hashable, object]] = [dict() for _ in range(n_buckets)]
+        self._n_keys = 0
+        self.costs = CostModel()
+        self._longest_chain = 0
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self._n_keys
+
+    def _candidates(self, key: Hashable) -> list[int]:
+        raw = key if isinstance(key, (int, str, bytes)) else hash(key)
+        return [h(raw) for h in self._hashes]
+
+    def __contains__(self, key: Hashable) -> bool:
+        return any(key in self._buckets[b] for b in self._candidates(key))
+
+    def get(self, key: Hashable, default: object | None = None) -> object | None:
+        """Return the value stored under ``key`` (or ``default``)."""
+        for b in self._candidates(key):
+            bucket = self._buckets[b]
+            if key in bucket:
+                return bucket[key]
+        return default
+
+    def remove(self, key: Hashable) -> bool:
+        """Remove ``key``; return ``True`` iff it was present."""
+        for b in self._candidates(key):
+            bucket = self._buckets[b]
+            if key in bucket:
+                del bucket[key]
+                self._n_keys -= 1
+                return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    def insert(self, key: Hashable, value: object) -> int:
+        """Insert ``key → value``; return the eviction-chain length used.
+
+        Raises
+        ------
+        CapacityExceededError
+            If the random walk exceeds ``max_chain`` evictions.
+        """
+        # Overwrite in place if present.
+        for b in self._candidates(key):
+            if key in self._buckets[b]:
+                self._buckets[b][key] = value
+                return 0
+
+        current_key, current_value = key, value
+        chain = 0
+        while True:
+            candidates = self._candidates(current_key)
+            self.costs.add_probes(len(candidates))
+            for b in candidates:
+                if len(self._buckets[b]) < self.bucket_size:
+                    self._buckets[b][current_key] = current_value
+                    self._n_keys += 1
+                    self._longest_chain = max(self._longest_chain, chain)
+                    return chain
+            if chain >= self.max_chain:
+                raise CapacityExceededError(
+                    f"cuckoo insertion of {key!r} exceeded {self.max_chain} evictions"
+                )
+            # Random-walk eviction: random candidate bucket, random resident.
+            b = candidates[int(self._rng.integers(0, len(candidates)))]
+            victim_key = list(self._buckets[b].keys())[
+                int(self._rng.integers(0, len(self._buckets[b])))
+            ]
+            victim_value = self._buckets[b].pop(victim_key)
+            self._buckets[b][current_key] = current_value
+            current_key, current_value = victim_key, victim_value
+            chain += 1
+            self.costs.add_reallocations(1)
+
+    # ------------------------------------------------------------------ #
+    def bucket_loads(self) -> list[int]:
+        """Occupancy of every bucket."""
+        return [len(b) for b in self._buckets]
+
+    def stats(self) -> CuckooStats:
+        """Occupancy / eviction statistics of the table."""
+        return CuckooStats(
+            n_keys=self._n_keys,
+            n_buckets=self.n_buckets,
+            bucket_size=self.bucket_size,
+            evictions=self.costs.reallocations,
+            max_chain=self._longest_chain,
+        )

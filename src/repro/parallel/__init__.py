@@ -1,0 +1,23 @@
+"""Parallel balls-into-bins protocols (the related-work substrate).
+
+The paper's related work discusses the parallel allocation model of Adler et
+al. and the near-optimal protocol of Lenzen & Wattenhofer.  These are not part
+of the paper's own contribution but provide the natural parallel/HPC substrate
+for the package and an additional point of comparison in the benchmarks:
+
+* :class:`~repro.parallel.collision.CollisionProtocol` — symmetric
+  collision-based allocation with growing fan-out (Lenzen–Wattenhofer style),
+  built on the synchronous message-passing engine.
+* :class:`~repro.parallel.rounds.ParallelGreedyProtocol` — round-restricted
+  parallel greedy (Adler et al. style).
+"""
+
+from repro.parallel.collision import CollisionProtocol, run_collision
+from repro.parallel.rounds import ParallelGreedyProtocol, run_parallel_greedy
+
+__all__ = [
+    "CollisionProtocol",
+    "run_collision",
+    "ParallelGreedyProtocol",
+    "run_parallel_greedy",
+]

@@ -1,0 +1,20 @@
+"""Reporting helpers: markdown/CSV tables, ASCII plots, experiment reports."""
+
+from repro.reporting.ascii_plot import ascii_plot
+from repro.reporting.report import ExperimentReport, ReportSection
+from repro.reporting.tables import (
+    format_csv,
+    format_markdown_table,
+    format_value,
+    write_csv,
+)
+
+__all__ = [
+    "ascii_plot",
+    "ExperimentReport",
+    "ReportSection",
+    "format_csv",
+    "format_markdown_table",
+    "format_value",
+    "write_csv",
+]

@@ -1,0 +1,86 @@
+"""Minimal ASCII line plots.
+
+The offline environment has no plotting library, so the Figure 3 experiments
+emit the series as CSV plus a terminal-friendly ASCII rendering.  This is
+deliberately simple: it only needs to make the *shape* of the curves (linear
+growth of the runtimes, flat vs growing potentials) visible at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_plot(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 72,
+    height: int = 20,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one or more series sharing an x-axis as an ASCII chart.
+
+    Parameters
+    ----------
+    x:
+        Shared x-coordinates.
+    series:
+        Mapping from series name to y-values (same length as ``x``).
+    width, height:
+        Plot area size in characters.
+    title, x_label, y_label:
+        Labels included in the rendering.
+    """
+    xs = np.asarray(x, dtype=np.float64)
+    if xs.ndim != 1 or xs.size == 0:
+        raise ConfigurationError("x must be a non-empty 1-D sequence")
+    if not series:
+        raise ConfigurationError("at least one series is required")
+    if width < 10 or height < 4:
+        raise ConfigurationError("width must be >= 10 and height >= 4")
+    for name, ys in series.items():
+        if len(ys) != xs.size:
+            raise ConfigurationError(
+                f"series {name!r} has {len(ys)} points, expected {xs.size}"
+            )
+
+    all_y = np.concatenate([np.asarray(ys, dtype=np.float64) for ys in series.values()])
+    y_min, y_max = float(all_y.min()), float(all_y.max())
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = float(xs.min()), float(xs.max())
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, ys) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        ys_arr = np.asarray(ys, dtype=np.float64)
+        cols = np.round((xs - x_min) / (x_max - x_min) * (width - 1)).astype(int)
+        rows = np.round((ys_arr - y_min) / (y_max - y_min) * (height - 1)).astype(int)
+        for col, row in zip(cols, rows):
+            grid[height - 1 - row][col] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label}  [{y_min:.3g} .. {y_max:.3g}]")
+    lines.extend("    |" + "".join(row) for row in grid)
+    lines.append("    +" + "-" * width)
+    lines.append(f"     {x_label}: [{x_min:.3g} .. {x_max:.3g}]")
+    legend = "     legend: " + ", ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} = {name}" for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Assemble experiment outputs into a single text report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+from repro.reporting.tables import format_markdown_table
+
+__all__ = ["ReportSection", "ExperimentReport"]
+
+
+@dataclass
+class ReportSection:
+    """One section of an experiment report: a heading plus text/table blocks."""
+
+    title: str
+    blocks: list[str] = field(default_factory=list)
+
+    def add_text(self, text: str) -> "ReportSection":
+        self.blocks.append(text.rstrip())
+        return self
+
+    def add_table(
+        self, rows: Sequence[Mapping[str, Any]], columns: Sequence[str] | None = None
+    ) -> "ReportSection":
+        self.blocks.append(format_markdown_table(rows, columns))
+        return self
+
+    def render(self, level: int = 2) -> str:
+        heading = "#" * level + " " + self.title
+        return "\n\n".join([heading, *self.blocks])
+
+
+@dataclass
+class ExperimentReport:
+    """A titled collection of sections, renderable to markdown."""
+
+    title: str
+    sections: list[ReportSection] = field(default_factory=list)
+
+    def add_section(self, title: str) -> ReportSection:
+        section = ReportSection(title)
+        self.sections.append(section)
+        return section
+
+    def render(self) -> str:
+        if not self.sections:
+            raise ConfigurationError("report has no sections")
+        parts = ["# " + self.title]
+        parts.extend(section.render() for section in self.sections)
+        return "\n\n".join(parts) + "\n"
+
+    def write(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.render(), encoding="utf-8")
+        return path

@@ -1,0 +1,79 @@
+"""Table formatting: markdown and CSV writers used by experiments and examples."""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["format_markdown_table", "format_csv", "write_csv", "format_value"]
+
+
+def format_value(value: Any, float_digits: int = 3) -> str:
+    """Render one cell: floats rounded, everything else ``str()``-ed."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e6 or abs(value) < 1e-3:
+            return f"{value:.{float_digits}e}"
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def _normalise(
+    rows: Iterable[Mapping[str, Any]], columns: Sequence[str] | None
+) -> tuple[list[dict[str, Any]], list[str]]:
+    materialised = [dict(row) for row in rows]
+    if not materialised:
+        raise ConfigurationError("rows must be non-empty")
+    if columns is None:
+        columns = list(materialised[0].keys())
+    return materialised, list(columns)
+
+
+def format_markdown_table(
+    rows: Iterable[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    float_digits: int = 3,
+) -> str:
+    """Render rows of dictionaries as a GitHub-flavoured markdown table."""
+    materialised, cols = _normalise(rows, columns)
+    header = "| " + " | ".join(cols) + " |"
+    separator = "|" + "|".join("---" for _ in cols) + "|"
+    body = [
+        "| "
+        + " | ".join(format_value(row.get(col, ""), float_digits) for col in cols)
+        + " |"
+        for row in materialised
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def format_csv(
+    rows: Iterable[Mapping[str, Any]], columns: Sequence[str] | None = None
+) -> str:
+    """Render rows of dictionaries as CSV text."""
+    materialised, cols = _normalise(rows, columns)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=cols, extrasaction="ignore")
+    writer.writeheader()
+    for row in materialised:
+        writer.writerow({col: row.get(col, "") for col in cols})
+    return buffer.getvalue()
+
+
+def write_csv(
+    path: str | Path,
+    rows: Iterable[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+) -> Path:
+    """Write rows to ``path`` as CSV and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(format_csv(rows, columns), encoding="utf-8")
+    return path

@@ -1,0 +1,41 @@
+"""Runtime substrate: randomness, probe streams, cost accounting, tracing.
+
+This subpackage contains everything the allocation protocols need that is not
+protocol logic itself:
+
+* :mod:`repro.runtime.rng` — seeding and independent-stream derivation,
+* :mod:`repro.runtime.probes` — the i.i.d. uniform probe streams that define
+  the paper's notion of allocation time,
+* :mod:`repro.runtime.costs` — unified cost accounting (probes, moves,
+  messages, rounds),
+* :mod:`repro.runtime.trace` — per-stage trajectory records,
+* :mod:`repro.runtime.engine` — a synchronous round-based message-passing
+  engine for the parallel balls-into-bins model.
+"""
+
+from repro.runtime.costs import CostModel
+from repro.runtime.engine import Message, RoundResult, SynchronousEngine
+from repro.runtime.probes import FixedProbeStream, ProbeStream, RandomProbeStream
+from repro.runtime.rng import (
+    as_generator,
+    derive_generator,
+    spawn_generators,
+    spawn_seeds,
+)
+from repro.runtime.trace import StageRecord, Trace
+
+__all__ = [
+    "CostModel",
+    "Message",
+    "RoundResult",
+    "SynchronousEngine",
+    "FixedProbeStream",
+    "ProbeStream",
+    "RandomProbeStream",
+    "as_generator",
+    "derive_generator",
+    "spawn_generators",
+    "spawn_seeds",
+    "StageRecord",
+    "Trace",
+]

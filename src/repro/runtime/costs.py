@@ -1,0 +1,94 @@
+"""Cost accounting for allocation protocols.
+
+The paper compares protocols along two axes: *allocation time* (the total
+number of random bin choices, Table 1's "Allocation Time" column) and
+*maximum load*.  Related protocols additionally pay for reallocations
+(Czumaj–Riley–Scheideler) or per-round messages (the parallel model of
+Adler et al. and Lenzen–Wattenhofer).  :class:`CostModel` records all of these
+so every protocol in the package reports comparable numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CostModel"]
+
+
+@dataclass
+class CostModel:
+    """Mutable accumulator for the resources a protocol run consumes.
+
+    Attributes
+    ----------
+    probes:
+        Number of random bin choices (the paper's allocation time).
+    reallocations:
+        Number of times an already placed ball was moved to another bin
+        (non-zero only for rebalancing protocols and cuckoo hashing).
+    messages:
+        Number of point-to-point messages exchanged (parallel protocols).
+    rounds:
+        Number of synchronous communication rounds (parallel protocols).
+    """
+
+    probes: int = 0
+    reallocations: int = 0
+    messages: int = 0
+    rounds: int = 0
+    _probe_log: list[int] = field(default_factory=list, repr=False)
+
+    def add_probes(self, count: int) -> None:
+        """Record ``count`` additional bin probes."""
+        if count < 0:
+            raise ConfigurationError(f"count must be non-negative, got {count}")
+        self.probes += int(count)
+
+    def add_reallocations(self, count: int) -> None:
+        """Record ``count`` additional ball moves."""
+        if count < 0:
+            raise ConfigurationError(f"count must be non-negative, got {count}")
+        self.reallocations += int(count)
+
+    def add_messages(self, count: int) -> None:
+        """Record ``count`` additional messages."""
+        if count < 0:
+            raise ConfigurationError(f"count must be non-negative, got {count}")
+        self.messages += int(count)
+
+    def add_round(self, messages: int = 0) -> None:
+        """Record one synchronous round, optionally with its message count."""
+        self.rounds += 1
+        if messages:
+            self.add_messages(messages)
+
+    def log_probe_checkpoint(self) -> None:
+        """Snapshot the cumulative probe count (used for per-stage traces)."""
+        self._probe_log.append(self.probes)
+
+    @property
+    def probe_checkpoints(self) -> list[int]:
+        """Cumulative probe counts recorded by :meth:`log_probe_checkpoint`."""
+        return list(self._probe_log)
+
+    def merge(self, other: "CostModel") -> "CostModel":
+        """Return a new :class:`CostModel` summing ``self`` and ``other``."""
+        merged = CostModel(
+            probes=self.probes + other.probes,
+            reallocations=self.reallocations + other.reallocations,
+            messages=self.messages + other.messages,
+            rounds=self.rounds + other.rounds,
+        )
+        merged._probe_log = self._probe_log + other._probe_log
+        return merged
+
+    def as_dict(self) -> dict[str, int]:
+        """Return a plain-dict view (used by the reporting layer)."""
+        return {
+            "probes": self.probes,
+            "reallocations": self.reallocations,
+            "messages": self.messages,
+            "rounds": self.rounds,
+        }

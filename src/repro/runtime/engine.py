@@ -1,0 +1,165 @@
+"""Synchronous round-based message-passing engine.
+
+The related work the paper builds on (Adler et al.; Lenzen–Wattenhofer)
+studies *parallel* balls-into-bins: balls and bins are independent agents
+that communicate in synchronous rounds, and the quantities of interest are
+the number of rounds and the total message complexity.  This module provides
+a minimal but faithful engine for that model, used by :mod:`repro.parallel`.
+
+The engine alternates two half-rounds per round, matching the standard
+parallel balls-into-bins formulation:
+
+1. every *ball agent* inspects the replies it received in the previous round
+   and emits request messages to bins;
+2. every *bin agent* inspects the requests addressed to it and emits reply
+   messages (for example accept/reject decisions).
+
+Message delivery is deterministic given the messages emitted; all randomness
+lives inside the agents, which receive a :class:`numpy.random.Generator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.runtime.costs import CostModel
+from repro.runtime.rng import SeedLike, as_generator
+
+__all__ = ["Message", "RoundResult", "SynchronousEngine"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """A point-to-point message exchanged during one half-round.
+
+    Attributes
+    ----------
+    sender:
+        Index of the sending agent (ball index or bin index depending on the
+        half-round).
+    receiver:
+        Index of the receiving agent.
+    payload:
+        Arbitrary, but should be small and hashable-friendly; the built-in
+        protocols use strings such as ``"request"`` / ``"accept"``.
+    """
+
+    sender: int
+    receiver: int
+    payload: Any = None
+
+
+@dataclass
+class RoundResult:
+    """What happened during one full round of the engine."""
+
+    round_index: int
+    requests: list[Message] = field(default_factory=list)
+    replies: list[Message] = field(default_factory=list)
+    finished: bool = False
+
+    @property
+    def message_count(self) -> int:
+        return len(self.requests) + len(self.replies)
+
+
+#: Ball step: (round_index, replies_to_each_ball, rng) -> list of request messages.
+BallStep = Callable[[int, Mapping[int, Sequence[Message]], np.random.Generator], list[Message]]
+#: Bin step: (round_index, requests_to_each_bin, rng) -> list of reply messages.
+BinStep = Callable[[int, Mapping[int, Sequence[Message]], np.random.Generator], list[Message]]
+#: Termination predicate evaluated after every round.
+StopCondition = Callable[[int], bool]
+
+
+class SynchronousEngine:
+    """Drive ball/bin agents through synchronous communication rounds.
+
+    Parameters
+    ----------
+    n_balls, n_bins:
+        Number of ball and bin agents.  Senders/receivers outside these
+        ranges raise :class:`~repro.errors.ProtocolError`.
+    ball_step, bin_step:
+        Callables implementing the two half-rounds (see module docstring).
+    stop:
+        Predicate called after each round with the round index; the engine
+        stops as soon as it returns ``True``.
+    max_rounds:
+        Hard cap to guard against non-terminating protocols.
+    seed:
+        Seed or generator used for all agent randomness.
+    """
+
+    def __init__(
+        self,
+        n_balls: int,
+        n_bins: int,
+        ball_step: BallStep,
+        bin_step: BinStep,
+        stop: StopCondition,
+        *,
+        max_rounds: int = 10_000,
+        seed: SeedLike = None,
+    ) -> None:
+        if n_balls < 0:
+            raise ConfigurationError(f"n_balls must be non-negative, got {n_balls}")
+        if n_bins <= 0:
+            raise ConfigurationError(f"n_bins must be positive, got {n_bins}")
+        if max_rounds <= 0:
+            raise ConfigurationError(f"max_rounds must be positive, got {max_rounds}")
+        self.n_balls = int(n_balls)
+        self.n_bins = int(n_bins)
+        self._ball_step = ball_step
+        self._bin_step = bin_step
+        self._stop = stop
+        self._max_rounds = int(max_rounds)
+        self._rng = as_generator(seed)
+        self.costs = CostModel()
+        self.history: list[RoundResult] = []
+
+    def _group_by_receiver(
+        self, messages: Sequence[Message], limit: int
+    ) -> dict[int, list[Message]]:
+        grouped: dict[int, list[Message]] = {}
+        for msg in messages:
+            if not (0 <= msg.receiver < limit):
+                raise ProtocolError(
+                    f"message addressed to out-of-range agent {msg.receiver}"
+                )
+            grouped.setdefault(msg.receiver, []).append(msg)
+        return grouped
+
+    def run(self) -> list[RoundResult]:
+        """Execute rounds until the stop condition fires or ``max_rounds``.
+
+        Returns
+        -------
+        list[RoundResult]
+            One entry per executed round; also stored in :attr:`history`.
+
+        Raises
+        ------
+        ProtocolError
+            If ``max_rounds`` is reached without the stop condition firing.
+        """
+        replies_by_ball: dict[int, list[Message]] = {}
+        for round_index in range(self._max_rounds):
+            requests = self._ball_step(round_index, replies_by_ball, self._rng)
+            requests_by_bin = self._group_by_receiver(requests, self.n_bins)
+            replies = self._bin_step(round_index, requests_by_bin, self._rng)
+            replies_by_ball = self._group_by_receiver(replies, self.n_balls)
+
+            result = RoundResult(round_index, list(requests), list(replies))
+            self.costs.add_round(messages=result.message_count)
+            if self._stop(round_index):
+                result.finished = True
+                self.history.append(result)
+                return self.history
+            self.history.append(result)
+        raise ProtocolError(
+            f"protocol did not terminate within {self._max_rounds} rounds"
+        )

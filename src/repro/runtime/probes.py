@@ -1,0 +1,175 @@
+"""Probe streams: the source of uniformly random bin choices.
+
+The allocation time studied by the paper is the number of *probes* (random bin
+choices) a protocol consumes.  The analysis of THRESHOLD in Theorem 4.1 even
+fixes the whole infinite choice vector ``C`` in advance and asks how many
+entries are consumed.  We mirror that formulation: a :class:`ProbeStream`
+produces a conceptually infinite i.i.d. uniform sequence over ``{0, …, n-1}``
+and records how many entries have been consumed.
+
+The vectorised protocol engines draw probes in blocks and typically do not
+use the tail of their final block; :meth:`ProbeStream.give_back` returns those
+*values* to the stream so that the next consumer sees exactly the sequence a
+ball-by-ball implementation would have seen.  This makes a run independent of
+the block-partitioning strategy (traced runs equal untraced runs, any block
+size gives identical results) — a property the test-suite checks explicitly.
+
+Two implementations are provided:
+
+* :class:`RandomProbeStream` — draws blocks from a
+  :class:`numpy.random.Generator`; this is what simulations use.
+* :class:`FixedProbeStream` — replays a user-supplied array; this is what the
+  test-suite uses to check that the vectorised protocol engines are
+  *bit-for-bit* equivalent to the straightforward reference implementations
+  when both consume the same choice vector.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.runtime.rng import SeedLike, as_generator
+
+__all__ = ["ProbeStream", "RandomProbeStream", "FixedProbeStream"]
+
+
+class ProbeStream(ABC):
+    """Abstract i.i.d. uniform stream of bin indices.
+
+    Attributes
+    ----------
+    n_bins:
+        Size of the sample space; every probe is in ``range(n_bins)``.
+    consumed:
+        Number of probes handed out (and not given back) so far.  Protocols
+        report this as their allocation time.
+    """
+
+    def __init__(self, n_bins: int) -> None:
+        if n_bins <= 0:
+            raise ConfigurationError(f"n_bins must be positive, got {n_bins}")
+        self.n_bins = int(n_bins)
+        self.consumed = 0
+        # Values returned via give_back, served again (in order) by take().
+        self._pending: np.ndarray = np.empty(0, dtype=np.int64)
+
+    @abstractmethod
+    def _draw(self, count: int) -> np.ndarray:
+        """Return the next ``count`` fresh probes from the underlying source."""
+
+    def take(self, count: int) -> np.ndarray:
+        """Consume and return the next ``count`` probes as an int64 array."""
+        if count < 0:
+            raise ConfigurationError(f"count must be non-negative, got {count}")
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        count = int(count)
+        if self._pending.size:
+            from_pending = self._pending[:count]
+            self._pending = self._pending[count:]
+            fresh_needed = count - from_pending.size
+            if fresh_needed:
+                block = np.concatenate([from_pending, self._draw(fresh_needed)])
+            else:
+                block = from_pending.copy()
+        else:
+            block = self._draw(count)
+        self.consumed += count
+        return block.astype(np.int64, copy=False)
+
+    def take_one(self) -> int:
+        """Consume and return a single probe."""
+        return int(self.take(1)[0])
+
+    @property
+    def available(self) -> int | None:
+        """Number of probes still obtainable, or ``None`` when unbounded.
+
+        Block-drawing consumers use this to avoid requesting more probes than
+        a finite replay stream can serve.
+        """
+        return None
+
+    def give_back(self, values: np.ndarray) -> None:
+        """Return unconsumed probe *values* to the front of the stream.
+
+        ``values`` must be the exact tail of the most recent :meth:`take`
+        block that the caller did not examine; they will be served again by
+        the next :meth:`take` so the logical probe sequence is unaffected by
+        how callers partition their draws into blocks.
+        """
+        arr = np.asarray(values, dtype=np.int64).ravel()
+        if arr.size == 0:
+            return
+        if arr.size > self.consumed:
+            raise ProtocolError(
+                f"cannot give back {arr.size} probes, only {self.consumed} consumed"
+            )
+        if arr.size and (arr.min() < 0 or arr.max() >= self.n_bins):
+            raise ProtocolError("given-back values contain out-of-range bin indices")
+        self.consumed -= int(arr.size)
+        self._pending = np.concatenate([arr, self._pending])
+
+
+class RandomProbeStream(ProbeStream):
+    """Probe stream backed by a :class:`numpy.random.Generator`."""
+
+    def __init__(self, n_bins: int, seed: SeedLike = None) -> None:
+        super().__init__(n_bins)
+        self._rng = as_generator(seed)
+
+    def _draw(self, count: int) -> np.ndarray:
+        return self._rng.integers(0, self.n_bins, size=count, dtype=np.int64)
+
+    @property
+    def generator(self) -> np.random.Generator:
+        """The underlying generator (used by protocols needing extra draws)."""
+        return self._rng
+
+
+class FixedProbeStream(ProbeStream):
+    """Probe stream that replays a pre-computed choice vector.
+
+    Parameters
+    ----------
+    n_bins:
+        Number of bins; every entry of ``choices`` must lie in
+        ``range(n_bins)``.
+    choices:
+        The finite prefix of the choice vector ``C``.  Requesting more probes
+        than available raises :class:`~repro.errors.ProtocolError`, which the
+        tests use to bound the allocation time of a protocol run.
+    """
+
+    def __init__(self, n_bins: int, choices: np.ndarray) -> None:
+        super().__init__(n_bins)
+        arr = np.asarray(choices, dtype=np.int64)
+        if arr.ndim != 1:
+            raise ConfigurationError("choices must be a 1-D array")
+        if arr.size and (arr.min() < 0 or arr.max() >= n_bins):
+            raise ConfigurationError("choices contain out-of-range bin indices")
+        self._choices = arr
+        self._cursor = 0
+
+    def _draw(self, count: int) -> np.ndarray:
+        end = self._cursor + count
+        if end > self._choices.size:
+            raise ProtocolError(
+                f"fixed probe stream exhausted: requested {count}, "
+                f"only {self._choices.size - self._cursor} remaining"
+            )
+        block = self._choices[self._cursor : end]
+        self._cursor = end
+        return block
+
+    @property
+    def remaining(self) -> int:
+        """Number of probes still available for replay (pending ones included)."""
+        return int(self._choices.size - self._cursor + self._pending.size)
+
+    @property
+    def available(self) -> int | None:
+        return self.remaining

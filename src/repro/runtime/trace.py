@@ -1,0 +1,85 @@
+"""Trajectory recording for allocation runs.
+
+The theoretical analysis of ADAPTIVE is organised around *stages* of ``n``
+balls (Section 3): the potential ``Φ`` is controlled at the end of every
+stage, and Lemma 3.6 bounds the per-stage runtime.  To reproduce those
+statements experimentally the engines can record a :class:`Trace` with one
+:class:`StageRecord` per stage, containing the probes used and the smoothness
+statistics of the intermediate load vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["StageRecord", "Trace"]
+
+
+@dataclass(frozen=True)
+class StageRecord:
+    """Summary of one stage (a window of consecutive ball placements).
+
+    Attributes
+    ----------
+    stage:
+        Zero-based stage index; stage ``s`` covers balls ``s*n+1 … (s+1)*n``.
+    balls_placed:
+        Number of balls placed in this stage (equals ``n`` except possibly in
+        the final, partial stage).
+    probes:
+        Number of bin probes consumed during the stage.
+    max_load, min_load:
+        Extremes of the load vector at the end of the stage.
+    quadratic_potential:
+        ``Ψ`` of the load vector at the end of the stage.
+    exponential_potential:
+        ``Φ`` (with the paper's ``ε = 1/200``) at the end of the stage.
+    """
+
+    stage: int
+    balls_placed: int
+    probes: int
+    max_load: int
+    min_load: int
+    quadratic_potential: float
+    exponential_potential: float
+
+
+@dataclass
+class Trace:
+    """Ordered collection of :class:`StageRecord` objects for one run."""
+
+    records: list[StageRecord] = field(default_factory=list)
+
+    def append(self, record: StageRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[StageRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> StageRecord:
+        return self.records[index]
+
+    def probes_per_stage(self) -> np.ndarray:
+        """Return the per-stage probe counts as an array."""
+        return np.array([r.probes for r in self.records], dtype=np.int64)
+
+    def exponential_potentials(self) -> np.ndarray:
+        """Return the per-stage exponential potentials ``Φ(L^τ)``."""
+        return np.array([r.exponential_potential for r in self.records])
+
+    def quadratic_potentials(self) -> np.ndarray:
+        """Return the per-stage quadratic potentials ``Ψ(L^τ)``."""
+        return np.array([r.quadratic_potential for r in self.records])
+
+    def gaps(self) -> np.ndarray:
+        """Return the per-stage max−min load gaps."""
+        return np.array(
+            [r.max_load - r.min_load for r in self.records], dtype=np.int64
+        )

@@ -1,0 +1,23 @@
+"""Load-balancing application substrate: workloads, dispatcher, metrics."""
+
+from repro.scheduler.dispatcher import Dispatcher, DispatchOutcome
+from repro.scheduler.jobs import (
+    Job,
+    Workload,
+    bursty_workload,
+    heavy_tailed_workload,
+    uniform_workload,
+)
+from repro.scheduler.metrics import ScheduleMetrics, compute_metrics
+
+__all__ = [
+    "Dispatcher",
+    "DispatchOutcome",
+    "Job",
+    "Workload",
+    "bursty_workload",
+    "heavy_tailed_workload",
+    "uniform_workload",
+    "ScheduleMetrics",
+    "compute_metrics",
+]

@@ -1,0 +1,81 @@
+"""Scheduling metrics derived from a dispatch run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ScheduleMetrics", "compute_metrics"]
+
+
+@dataclass(frozen=True)
+class ScheduleMetrics:
+    """Application-level quality measures of an assignment of jobs to servers.
+
+    Attributes
+    ----------
+    makespan:
+        Maximum total work assigned to any server (completion time when all
+        servers start at time 0).
+    avg_work:
+        Average work per server; ``makespan / avg_work`` is the usual
+        imbalance ratio.
+    max_jobs, min_jobs:
+        Extremes of the per-server job counts (the balls-into-bins loads).
+    job_imbalance:
+        ``max_jobs − min_jobs`` — the gap the paper's Corollary 3.5 bounds.
+    probes_per_job:
+        Average number of server probes per dispatched job (allocation time
+        per ball).
+    """
+
+    makespan: float
+    avg_work: float
+    max_jobs: int
+    min_jobs: int
+    job_imbalance: int
+    probes_per_job: float
+
+    @property
+    def work_imbalance_ratio(self) -> float:
+        """``makespan / avg_work``; 1.0 is a perfectly balanced schedule."""
+        if self.avg_work == 0:
+            return 1.0
+        return self.makespan / self.avg_work
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "makespan": self.makespan,
+            "avg_work": self.avg_work,
+            "work_imbalance_ratio": self.work_imbalance_ratio,
+            "max_jobs": float(self.max_jobs),
+            "min_jobs": float(self.min_jobs),
+            "job_imbalance": float(self.job_imbalance),
+            "probes_per_job": self.probes_per_job,
+        }
+
+
+def compute_metrics(
+    work: np.ndarray, job_counts: np.ndarray, probes: int
+) -> ScheduleMetrics:
+    """Compute :class:`ScheduleMetrics` from per-server work and job counts."""
+    work = np.asarray(work, dtype=np.float64)
+    job_counts = np.asarray(job_counts, dtype=np.int64)
+    if work.ndim != 1 or job_counts.ndim != 1 or work.size != job_counts.size:
+        raise ConfigurationError("work and job_counts must be 1-D arrays of equal size")
+    if work.size == 0:
+        raise ConfigurationError("at least one server is required")
+    if probes < 0:
+        raise ConfigurationError(f"probes must be non-negative, got {probes}")
+    total_jobs = int(job_counts.sum())
+    return ScheduleMetrics(
+        makespan=float(work.max()),
+        avg_work=float(work.mean()),
+        max_jobs=int(job_counts.max()),
+        min_jobs=int(job_counts.min()),
+        job_imbalance=int(job_counts.max() - job_counts.min()),
+        probes_per_job=probes / total_jobs if total_jobs else 0.0,
+    )

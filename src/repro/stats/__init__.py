@@ -1,0 +1,29 @@
+"""Statistics utilities: trial summaries and empirical load distributions."""
+
+from repro.stats.distributions import (
+    empirical_cdf,
+    hole_profile,
+    load_histogram,
+    overload_profile,
+    poisson_reference_pmf,
+    total_variation_distance,
+)
+from repro.stats.summary import (
+    TrialSummary,
+    relative_spread,
+    summarize,
+    summarize_records,
+)
+
+__all__ = [
+    "empirical_cdf",
+    "hole_profile",
+    "load_histogram",
+    "overload_profile",
+    "poisson_reference_pmf",
+    "total_variation_distance",
+    "TrialSummary",
+    "relative_spread",
+    "summarize",
+    "summarize_records",
+]

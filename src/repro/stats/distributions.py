@@ -1,0 +1,108 @@
+"""Empirical load-distribution tools.
+
+Beyond the scalar potentials, the experiments occasionally need the full
+shape of a load vector: its histogram, how it compares to the
+single-choice/Poisson benchmark, and the tail of underloaded bins ("holes")
+that drives both proofs.  These helpers are shared by the smoothness
+experiments, the examples and the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "load_histogram",
+    "empirical_cdf",
+    "total_variation_distance",
+    "poisson_reference_pmf",
+    "hole_profile",
+    "overload_profile",
+]
+
+
+def _validate_loads(loads: np.ndarray) -> np.ndarray:
+    arr = np.asarray(loads)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ConfigurationError("loads must be a non-empty 1-D array")
+    if np.any(arr < 0):
+        raise ConfigurationError("loads must be non-negative")
+    return arr.astype(np.int64, copy=False)
+
+
+def load_histogram(loads: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(levels, counts)``: how many bins carry each load value.
+
+    ``levels`` runs from 0 to ``max(loads)`` inclusive so consecutive runs are
+    directly comparable.
+    """
+    arr = _validate_loads(loads)
+    counts = np.bincount(arr)
+    levels = np.arange(counts.size, dtype=np.int64)
+    return levels, counts
+
+
+def empirical_cdf(loads: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(levels, F)`` with ``F[k] = fraction of bins with load ≤ k``."""
+    levels, counts = load_histogram(loads)
+    return levels, np.cumsum(counts) / counts.sum()
+
+
+def total_variation_distance(p: np.ndarray, q: np.ndarray) -> float:
+    """Total variation distance between two pmfs on ``{0, 1, 2, …}``.
+
+    The shorter vector is zero-padded; inputs are normalised, so raw
+    histogram counts may be passed directly.
+    """
+    p = np.asarray(p, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    if p.ndim != 1 or q.ndim != 1 or p.size == 0 or q.size == 0:
+        raise ConfigurationError("p and q must be non-empty 1-D arrays")
+    if np.any(p < 0) or np.any(q < 0):
+        raise ConfigurationError("p and q must be non-negative")
+    if p.sum() == 0 or q.sum() == 0:
+        raise ConfigurationError("p and q must have positive mass")
+    size = max(p.size, q.size)
+    p_full = np.zeros(size)
+    q_full = np.zeros(size)
+    p_full[: p.size] = p / p.sum()
+    q_full[: q.size] = q / q.sum()
+    return 0.5 * float(np.abs(p_full - q_full).sum())
+
+
+def poisson_reference_pmf(mean: float, max_level: int) -> np.ndarray:
+    """Poisson pmf on ``0 … max_level`` (the Lemma A.7 reference model)."""
+    if mean < 0:
+        raise ConfigurationError(f"mean must be non-negative, got {mean}")
+    if max_level < 0:
+        raise ConfigurationError(f"max_level must be non-negative, got {max_level}")
+    return stats.poisson.pmf(np.arange(max_level + 1), mean)
+
+
+def hole_profile(loads: np.ndarray, cap: int) -> np.ndarray:
+    """For ``k = 0 … cap`` return the number of bins with exactly ``k`` holes.
+
+    A bin with load ``ℓ`` has ``cap − ℓ`` holes (clipped at 0); the proof of
+    Lemma 3.6 partitions bins by their hole count ``A_k``.
+    """
+    arr = _validate_loads(loads)
+    if cap < 0:
+        raise ConfigurationError(f"cap must be non-negative, got {cap}")
+    holes = np.clip(cap - arr, 0, None)
+    return np.bincount(holes, minlength=cap + 1)[: cap + 1]
+
+
+def overload_profile(loads: np.ndarray, average: float) -> dict[str, float]:
+    """Fractions of bins above / at / below the average load (rounded down)."""
+    arr = _validate_loads(loads)
+    if average < 0:
+        raise ConfigurationError(f"average must be non-negative, got {average}")
+    floor_avg = np.floor(average)
+    return {
+        "below": float(np.mean(arr < floor_avg)),
+        "at": float(np.mean(arr == floor_avg)),
+        "above": float(np.mean(arr > floor_avg)),
+    }

@@ -1,0 +1,124 @@
+"""Poissonization: the proof device of Lemma A.7 (Adler et al., Corollary 13).
+
+Both appendix proofs (Theorem 4.1 and Lemma 4.2) replace the dependent access
+counts ``X₁, …, X_n`` of the single-choice process by independent Poisson
+random variables ``Y_i ~ Poi(t/n)`` and transfer events back with
+
+* ``Pr_P1[A] ≤ √n · Pr_P2[A]`` for arbitrary events, and
+* ``Pr_P1[A] ≤ 4 · Pr_P2[A]`` for events monotone w.r.t. adding balls.
+
+This module provides the simulation-side counterpart: samplers for the
+Poissonized model, the hole-count statistic ``W_T`` used in the proof of
+Theorem 4.1, and helpers to compare the exact and Poissonized distributions
+empirically (used in the tests and the smoothness experiments).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.thresholds import ceil_div
+from repro.errors import ConfigurationError
+from repro.runtime.rng import SeedLike, as_generator
+
+__all__ = [
+    "poissonized_access_counts",
+    "poissonized_loads",
+    "hole_count",
+    "expected_hole_count",
+    "transfer_probability_general",
+    "transfer_probability_monotone",
+]
+
+
+def poissonized_access_counts(
+    n_bins: int, probes: int, seed: SeedLike = None
+) -> np.ndarray:
+    """Sample the Poissonized access distribution ``Y_i ~ Poi(probes / n)``.
+
+    In the Poisson model of Lemma A.7 every bin's access count is an
+    independent Poisson variable with mean equal to the average number of
+    probes per bin.
+    """
+    if n_bins <= 0:
+        raise ConfigurationError(f"n_bins must be positive, got {n_bins}")
+    if probes < 0:
+        raise ConfigurationError(f"probes must be non-negative, got {probes}")
+    rng = as_generator(seed)
+    return rng.poisson(lam=probes / n_bins, size=n_bins).astype(np.int64)
+
+
+def poissonized_loads(
+    n_bins: int, probes: int, cap: int, seed: SeedLike = None
+) -> np.ndarray:
+    """Loads in the Poissonized THRESHOLD model: ``L_i = min(Y_i, cap)``.
+
+    The proof of Theorem 4.1 works with ``cap = ϕ + 1``.
+    """
+    if cap < 0:
+        raise ConfigurationError(f"cap must be non-negative, got {cap}")
+    return np.minimum(poissonized_access_counts(n_bins, probes, seed), cap)
+
+
+def hole_count(loads: np.ndarray, cap: int) -> int:
+    """The statistic ``W_t = Σ_i max(cap − L_i, 0)`` from the proof of Theorem 4.1."""
+    arr = np.asarray(loads)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ConfigurationError("loads must be a non-empty 1-D array")
+    if cap < 0:
+        raise ConfigurationError(f"cap must be non-negative, got {cap}")
+    return int(np.sum(np.maximum(cap - arr, 0)))
+
+
+def expected_hole_count(n_bins: int, probes: int, cap: int) -> float:
+    """``E[W]`` in the Poisson model: ``n · E[max(cap − Poi(probes/n), 0)]``.
+
+    Computed exactly by summing the Poisson pmf over ``0 … cap``.
+    """
+    if n_bins <= 0:
+        raise ConfigurationError(f"n_bins must be positive, got {n_bins}")
+    if probes < 0:
+        raise ConfigurationError(f"probes must be non-negative, got {probes}")
+    if cap < 0:
+        raise ConfigurationError(f"cap must be non-negative, got {cap}")
+    from scipy import stats
+
+    mu = probes / n_bins
+    ks = np.arange(0, cap + 1)
+    pmf = stats.poisson.pmf(ks, mu)
+    return float(n_bins * np.sum((cap - ks) * pmf))
+
+
+def transfer_probability_general(poisson_probability: float, n_bins: int) -> float:
+    """Lemma A.7(1): ``Pr_P1[A] ≤ √n · Pr_P2[A]`` for arbitrary events."""
+    if not 0.0 <= poisson_probability <= 1.0:
+        raise ConfigurationError("poisson_probability must be in [0, 1]")
+    if n_bins <= 0:
+        raise ConfigurationError(f"n_bins must be positive, got {n_bins}")
+    return min(1.0, poisson_probability * float(np.sqrt(n_bins)))
+
+
+def transfer_probability_monotone(poisson_probability: float) -> float:
+    """Lemma A.7(2): ``Pr_P1[A] ≤ 4 · Pr_P2[A]`` for ball-monotone events."""
+    if not 0.0 <= poisson_probability <= 1.0:
+        raise ConfigurationError("poisson_probability must be in [0, 1]")
+    return min(1.0, 4.0 * poisson_probability)
+
+
+def theorem41_probe_budget(m: int, n: int) -> int:
+    """The probe horizon ``T = α·n`` with ``α = ϕ + ϕ^{3/4} + 1`` from Theorem 4.1.
+
+    The proof shows that after ``T`` probes the number of remaining holes is
+    at most ``n`` w.h.p., i.e. the protocol has finished.  Exposed so the
+    experiments can compare the measured allocation time against this budget.
+    """
+    if n <= 0:
+        raise ConfigurationError(f"n must be positive, got {n}")
+    if m < 0:
+        raise ConfigurationError(f"m must be non-negative, got {m}")
+    phi = ceil_div(m, n) if m else 0
+    alpha = phi + phi**0.75 + 1.0
+    return int(np.ceil(alpha * n))
+
+
+__all__.append("theorem41_probe_budget")

@@ -1,0 +1,24 @@
+"""Shared pytest fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for tests that need ad-hoc randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(params=[(200, 50), (500, 100), (1000, 100)])
+def problem_size(request) -> tuple[int, int]:
+    """A few (n_balls, n_bins) sizes small enough for exhaustive checks."""
+    return request.param
+
+
+@pytest.fixture
+def small_loads(rng: np.random.Generator) -> np.ndarray:
+    """A small random load vector used by the potential/statistics tests."""
+    return rng.integers(0, 10, size=64).astype(np.int64)

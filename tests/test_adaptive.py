@@ -1,0 +1,124 @@
+"""Tests for the ADAPTIVE protocol (repro.core.adaptive)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import AdaptiveProtocol, run_adaptive
+from repro.core.thresholds import max_final_load
+from repro.errors import ConfigurationError
+from repro.runtime.probes import RandomProbeStream
+
+
+class TestConstruction:
+    def test_negative_offset_raises(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveProtocol(offset=-1)
+
+    def test_bad_block_size_raises(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveProtocol(block_size=0)
+
+    def test_params_exposed(self):
+        assert AdaptiveProtocol(offset=2).params() == {"offset": 2}
+
+
+class TestAllocate:
+    def test_zero_balls(self):
+        result = run_adaptive(0, 10, seed=0)
+        assert result.n_balls == 0
+        assert result.allocation_time == 0
+        assert result.loads.sum() == 0
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigurationError):
+            run_adaptive(10, 0, seed=0)
+        with pytest.raises(ConfigurationError):
+            run_adaptive(-5, 10, seed=0)
+
+    def test_mismatched_probe_stream_raises(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveProtocol().allocate(10, 5, probe_stream=RandomProbeStream(7, seed=0))
+
+    def test_all_balls_placed(self, problem_size):
+        m, n = problem_size
+        result = run_adaptive(m, n, seed=1)
+        assert int(result.loads.sum()) == m
+        assert result.n_bins == n
+
+    def test_deterministic_given_seed(self, problem_size):
+        m, n = problem_size
+        a = run_adaptive(m, n, seed=42)
+        b = run_adaptive(m, n, seed=42)
+        assert np.array_equal(a.loads, b.loads)
+        assert a.allocation_time == b.allocation_time
+
+    def test_different_seeds_differ(self):
+        a = run_adaptive(2000, 100, seed=1)
+        b = run_adaptive(2000, 100, seed=2)
+        assert not np.array_equal(a.loads, b.loads)
+
+    def test_max_load_guarantee(self, problem_size):
+        """The paper's deterministic guarantee: max load <= ceil(m/n) + 1."""
+        m, n = problem_size
+        result = run_adaptive(m, n, seed=7)
+        assert result.max_load <= max_final_load(m, n)
+
+    def test_max_load_guarantee_non_divisible(self):
+        result = run_adaptive(1037, 100, seed=3)
+        assert result.max_load <= max_final_load(1037, 100)  # ceil(10.37) + 1 = 12
+
+    def test_allocation_time_at_least_m(self, problem_size):
+        m, n = problem_size
+        result = run_adaptive(m, n, seed=5)
+        assert result.allocation_time >= m
+
+    def test_allocation_time_linear_in_m(self):
+        """Theorem 3.1: O(m) probes; empirically below 2.5 per ball."""
+        result = run_adaptive(50_000, 1_000, seed=9)
+        assert result.probes_per_ball < 2.5
+
+    def test_costs_match_allocation_time(self):
+        result = run_adaptive(1000, 50, seed=0)
+        assert result.costs.probes == result.allocation_time
+
+    def test_offset_zero_gives_perfect_balance(self):
+        """The coupon-collector variant fills every bin to exactly m/n."""
+        result = AdaptiveProtocol(offset=0).allocate(500, 50, seed=2)
+        assert result.max_load == 10
+        assert result.min_load == 10
+        # ... but pays many more probes than the offset-1 protocol.
+        assert result.allocation_time > run_adaptive(500, 50, seed=2).allocation_time
+
+    def test_larger_offset_uses_fewer_probes(self):
+        tight = AdaptiveProtocol(offset=1).allocate(5000, 200, seed=3)
+        loose = AdaptiveProtocol(offset=3).allocate(5000, 200, seed=3)
+        assert loose.allocation_time <= tight.allocation_time
+
+    def test_record_trace(self):
+        result = run_adaptive(1000, 100, seed=4, record_trace=True)
+        assert result.trace is not None
+        assert len(result.trace) == 10
+        assert int(result.trace.probes_per_stage().sum()) == result.allocation_time
+        # Stage records carry monotone max loads.
+        max_loads = [record.max_load for record in result.trace]
+        assert max_loads == sorted(max_loads)
+
+    def test_trace_partial_final_stage(self):
+        result = run_adaptive(1050, 100, seed=4, record_trace=True)
+        assert result.trace is not None
+        assert len(result.trace) == 11
+        assert result.trace[-1].balls_placed == 50
+
+    def test_no_trace_by_default(self):
+        assert run_adaptive(100, 10, seed=0).trace is None
+
+    def test_small_cases(self):
+        # m < n: every ball lands in an empty-enough bin, max load 1 is possible
+        result = run_adaptive(5, 100, seed=0)
+        assert result.max_load <= 2
+        # single bin: all balls go there
+        result = run_adaptive(7, 1, seed=0)
+        assert result.loads[0] == 7
+        assert result.allocation_time == 7

@@ -1,0 +1,99 @@
+"""Tests for the bounded-bucket hash table (repro.hashing.bounded_table)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CapacityExceededError, ConfigurationError
+from repro.hashing.bounded_table import BoundedBucketTable
+
+
+class TestConstruction:
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            BoundedBucketTable(0)
+        with pytest.raises(ConfigurationError):
+            BoundedBucketTable(8, max_probe_sequence=0)
+        with pytest.raises(ConfigurationError):
+            BoundedBucketTable(8, hard_cap=0)
+
+
+class TestBasicMapBehaviour:
+    def test_insert_get_roundtrip(self):
+        table = BoundedBucketTable(64, seed=0)
+        for i in range(200):
+            table.insert(f"key-{i}", i)
+        assert len(table) == 200
+        for i in range(200):
+            assert table.get(f"key-{i}") == i
+
+    def test_get_missing_returns_default(self):
+        table = BoundedBucketTable(16, seed=0)
+        assert table.get("missing") is None
+        assert table.get("missing", default=-1) == -1
+
+    def test_contains(self):
+        table = BoundedBucketTable(16, seed=0)
+        table.insert("a", 1)
+        assert "a" in table
+        assert "b" not in table
+
+    def test_overwrite_existing_key(self):
+        table = BoundedBucketTable(16, seed=0)
+        table.insert("a", 1)
+        table.insert("a", 2)
+        assert table.get("a") == 2
+        assert len(table) == 1
+
+    def test_remove(self):
+        table = BoundedBucketTable(16, seed=0)
+        table.insert("a", 1)
+        assert table.remove("a") is True
+        assert table.remove("a") is False
+        assert "a" not in table
+        assert len(table) == 0
+
+    def test_integer_and_tuple_keys(self):
+        table = BoundedBucketTable(32, seed=1)
+        table.insert(42, "int")
+        table.insert(("tuple", 1), "tuple")
+        assert table.get(42) == "int"
+        assert table.get(("tuple", 1)) == "tuple"
+
+
+class TestLoadGuarantee:
+    def test_bucket_loads_follow_adaptive_guarantee(self):
+        n_buckets, n_keys = 128, 1024
+        table = BoundedBucketTable(n_buckets, max_probe_sequence=12, seed=2)
+        for i in range(n_keys):
+            table.insert(i, i)
+        stats = table.stats()
+        # ceil(m/n) + 1 plus at most a tiny spill allowance from the finite
+        # probe sequence (12 candidates is usually plenty).
+        assert stats.max_bucket <= n_keys // n_buckets + 2
+        assert stats.n_keys == n_keys
+        assert sum(table.bucket_loads()) == n_keys
+
+    def test_stats_probes_per_insert_bounded(self):
+        table = BoundedBucketTable(128, max_probe_sequence=12, seed=3)
+        for i in range(1024):
+            table.insert(i, i)
+        assert 1.0 <= table.stats().probes_per_insert < 4.0
+
+    def test_load_factor(self):
+        table = BoundedBucketTable(10, seed=0)
+        for i in range(20):
+            table.insert(i, i)
+        assert table.stats().load_factor == pytest.approx(2.0)
+
+    def test_hard_cap_enforced(self):
+        table = BoundedBucketTable(2, max_probe_sequence=2, hard_cap=2, seed=0)
+        with pytest.raises(CapacityExceededError):
+            for i in range(10):
+                table.insert(i, i)
+
+    def test_spill_without_hard_cap_does_not_raise(self):
+        table = BoundedBucketTable(2, max_probe_sequence=2, seed=0)
+        for i in range(50):
+            table.insert(i, i)
+        assert len(table) == 50

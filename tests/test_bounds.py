@@ -1,0 +1,124 @@
+"""Tests for the closed-form bounds (repro.theory.bounds)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.theory.bounds import (
+    TABLE1_ROWS,
+    adaptive_allocation_time,
+    coupon_collector_time,
+    greedy_max_load,
+    left_max_load,
+    memory_max_load,
+    near_optimal_max_load,
+    phi_d,
+    single_choice_max_load,
+    table1_bounds,
+    threshold_allocation_time,
+    threshold_excess_probes,
+)
+
+
+class TestPhiD:
+    def test_phi_2_is_golden_ratio(self):
+        assert phi_d(2) == pytest.approx((1 + math.sqrt(5)) / 2, abs=1e-10)
+
+    def test_phi_3_known_value(self):
+        # Tribonacci constant ~ 1.839286755
+        assert phi_d(3) == pytest.approx(1.839286755, abs=1e-6)
+
+    def test_phi_d_in_paper_range(self):
+        for d in range(2, 10):
+            assert 1.61 <= phi_d(d) < 2.0
+
+    def test_phi_d_increasing_in_d(self):
+        values = [phi_d(d) for d in range(2, 8)]
+        assert values == sorted(values)
+
+    def test_phi_d_root_property(self):
+        for d in (2, 3, 5):
+            x = phi_d(d)
+            assert x**d == pytest.approx(sum(x**i for i in range(d)), rel=1e-9)
+
+    def test_invalid_d(self):
+        with pytest.raises(ConfigurationError):
+            phi_d(1)
+
+
+class TestMaxLoadBounds:
+    def test_single_choice_light_regime(self):
+        n = 10_000
+        value = single_choice_max_load(n, n)
+        assert value == pytest.approx(math.log(n) / math.log(math.log(n)))
+
+    def test_single_choice_heavy_regime(self):
+        m, n = 10**8, 100
+        value = single_choice_max_load(m, n)
+        assert value > m / n
+
+    def test_greedy_bound_decreases_with_d(self):
+        m, n = 10_000, 1_000
+        assert greedy_max_load(m, n, 3) < greedy_max_load(m, n, 2)
+
+    def test_left_beats_greedy(self):
+        """Vöcking: ln ln n / (d ln Φ_d) < ln ln n / ln d for all d >= 2."""
+        m, n = 10_000, 1_000
+        for d in (2, 3, 4):
+            assert left_max_load(m, n, d) < greedy_max_load(m, n, d)
+
+    def test_memory_matches_left2(self):
+        m, n = 10_000, 1_000
+        assert memory_max_load(m, n) == pytest.approx(left_max_load(m, n, 2))
+
+    def test_near_optimal_is_ceiling_plus_one(self):
+        assert near_optimal_max_load(100, 10) == 11
+        assert near_optimal_max_load(101, 10) == 12
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            greedy_max_load(10, 1, 2)
+        with pytest.raises(ConfigurationError):
+            greedy_max_load(10, 100, 1)
+        with pytest.raises(ConfigurationError):
+            left_max_load(0, 100, 2)
+
+
+class TestAllocationTimeBounds:
+    def test_adaptive_linear(self):
+        assert adaptive_allocation_time(10_000, 100) == pytest.approx(1.4 * 10_000)
+
+    def test_threshold_dominated_by_m_plus_excess(self):
+        m, n = 10**6, 10**4
+        assert threshold_allocation_time(m, n) == pytest.approx(
+            m + threshold_excess_probes(m, n)
+        )
+
+    def test_excess_is_sublinear_in_m(self):
+        n = 1_000
+        ratio_small = threshold_excess_probes(10 * n, n) / (10 * n)
+        ratio_large = threshold_excess_probes(1000 * n, n) / (1000 * n)
+        assert ratio_large < ratio_small
+
+    def test_coupon_collector(self):
+        assert coupon_collector_time(1000, 100) == pytest.approx(1000 * math.log(100))
+
+
+class TestTable1:
+    def test_rows_cover_all_protocols(self):
+        names = {row["protocol"] for row in TABLE1_ROWS}
+        assert names == {"greedy", "left", "memory", "rebalancing", "threshold", "adaptive"}
+
+    def test_star_marks_paper_contributions(self):
+        starred = {row["protocol"] for row in TABLE1_ROWS if "★" in row["conditions"]}
+        assert starred == {"threshold", "adaptive"}
+
+    def test_numeric_bounds_ordering(self):
+        bounds = table1_bounds(16_000, 2_000, d=2)
+        # near-optimal protocols beat the d-choice bounds, which beat 1-choice
+        assert bounds["adaptive"] < bounds["greedy"] < bounds["single-choice"]
+        assert bounds["threshold"] == bounds["adaptive"]
+        assert bounds["rebalancing"] <= bounds["adaptive"]

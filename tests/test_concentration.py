@@ -1,0 +1,114 @@
+"""Tests for the concentration inequalities (repro.theory.concentration)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.theory.concentration import (
+    azuma_tail,
+    binomial_upper_tail,
+    geometric_sum_tail,
+    hoeffding_tail,
+    poisson_binomial_distance_bound,
+    poisson_cdf,
+    poisson_lower_tail,
+    poisson_sf,
+    poisson_upper_tail,
+)
+
+
+class TestBoundsAreProbabilities:
+    @given(st.integers(1, 10_000), st.floats(0, 1e4, allow_nan=False))
+    def test_hoeffding_in_unit_interval(self, n, deviation):
+        assert 0.0 <= hoeffding_tail(n, deviation) <= 1.0
+
+    @given(st.floats(0, 1e4), st.floats(0, 10))
+    def test_poisson_tails_in_unit_interval(self, mu, eps):
+        assert 0.0 <= poisson_lower_tail(mu, eps) <= 1.0
+        assert 0.0 <= poisson_upper_tail(mu, eps) <= 1.0
+
+    @given(st.integers(1, 10_000), st.floats(0, 10))
+    def test_geometric_in_unit_interval(self, n, eps):
+        assert 0.0 <= geometric_sum_tail(n, eps) <= 1.0
+
+
+class TestMonotonicity:
+    def test_hoeffding_decreasing_in_deviation(self):
+        assert hoeffding_tail(100, 30) < hoeffding_tail(100, 10)
+
+    def test_poisson_lower_tail_decreasing_in_epsilon(self):
+        assert poisson_lower_tail(50, 0.5) < poisson_lower_tail(50, 0.1)
+
+    def test_poisson_upper_tail_decreasing_in_epsilon(self):
+        assert poisson_upper_tail(50, 1.0) < poisson_upper_tail(50, 0.2)
+
+    def test_geometric_decreasing_in_n(self):
+        assert geometric_sum_tail(1000, 0.5) < geometric_sum_tail(10, 0.5)
+
+
+class TestAgainstExactDistributions:
+    def test_hoeffding_dominates_empirical_binomial(self, rng):
+        n, trials = 200, 4000
+        samples = rng.binomial(n, 0.5, size=trials)
+        for deviation in (10, 20, 30):
+            empirical = np.mean(np.abs(samples - n / 2) >= deviation)
+            assert empirical <= hoeffding_tail(n, deviation) + 0.02
+
+    def test_poisson_upper_tail_dominates_exact(self):
+        mu = 40.0
+        for eps in (0.2, 0.5, 1.0):
+            exact = poisson_sf(mu, (1 + eps) * mu - 1)
+            assert exact <= poisson_upper_tail(mu, eps) + 1e-12
+
+    def test_poisson_lower_tail_dominates_exact(self):
+        mu = 40.0
+        for eps in (0.2, 0.5, 0.9):
+            exact = poisson_cdf(mu, (1 - eps) * mu)
+            assert exact <= poisson_lower_tail(mu, eps) + 1e-12
+
+    def test_binomial_upper_tail_exactness(self):
+        # Pr[Bin(4, 0.5) >= 4] = 1/16
+        assert binomial_upper_tail(4, 0.5, 4) == pytest.approx(1 / 16)
+
+    def test_azuma_simple_random_walk(self, rng):
+        n, trials = 100, 4000
+        steps = rng.choice([-1.0, 1.0], size=(trials, n))
+        walks = steps.sum(axis=1)
+        for deviation in (10.0, 20.0):
+            empirical = np.mean(np.abs(walks) >= deviation)
+            assert empirical <= azuma_tail(np.ones(n), deviation) + 0.02
+
+
+class TestValidation:
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            hoeffding_tail(0, 1.0)
+        with pytest.raises(ConfigurationError):
+            hoeffding_tail(10, -1.0)
+        with pytest.raises(ConfigurationError):
+            azuma_tail([], 1.0)
+        with pytest.raises(ConfigurationError):
+            azuma_tail([-1.0], 1.0)
+        with pytest.raises(ConfigurationError):
+            poisson_lower_tail(-1.0, 0.1)
+        with pytest.raises(ConfigurationError):
+            geometric_sum_tail(0, 0.1)
+        with pytest.raises(ConfigurationError):
+            binomial_upper_tail(5, 1.5, 2)
+        with pytest.raises(ConfigurationError):
+            poisson_binomial_distance_bound(-1, 0.5)
+
+    def test_azuma_zero_increments(self):
+        assert azuma_tail([0.0, 0.0], 1.0) == 0.0
+        assert azuma_tail([0.0], 0.0) == 1.0
+
+    def test_epsilon_zero_gives_trivial_bound(self):
+        assert poisson_upper_tail(10, 0.0) == 1.0
+        assert geometric_sum_tail(10, 0.0) == 1.0
+
+    def test_le_cam_bound(self):
+        assert poisson_binomial_distance_bound(100, 0.01) == pytest.approx(0.01)
+        assert poisson_binomial_distance_bound(10, 1.0) == 1.0

@@ -1,0 +1,71 @@
+"""Tests for repro.runtime.costs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.costs import CostModel
+
+
+class TestCostModel:
+    def test_defaults_are_zero(self):
+        costs = CostModel()
+        assert costs.probes == 0
+        assert costs.reallocations == 0
+        assert costs.messages == 0
+        assert costs.rounds == 0
+
+    def test_add_probes_accumulates(self):
+        costs = CostModel()
+        costs.add_probes(3)
+        costs.add_probes(4)
+        assert costs.probes == 7
+
+    def test_add_negative_probes_raises(self):
+        with pytest.raises(ConfigurationError):
+            CostModel().add_probes(-1)
+
+    def test_add_reallocations(self):
+        costs = CostModel()
+        costs.add_reallocations(2)
+        assert costs.reallocations == 2
+        with pytest.raises(ConfigurationError):
+            costs.add_reallocations(-2)
+
+    def test_add_messages(self):
+        costs = CostModel()
+        costs.add_messages(10)
+        assert costs.messages == 10
+        with pytest.raises(ConfigurationError):
+            costs.add_messages(-1)
+
+    def test_add_round_counts_messages(self):
+        costs = CostModel()
+        costs.add_round(messages=5)
+        costs.add_round()
+        assert costs.rounds == 2
+        assert costs.messages == 5
+
+    def test_probe_checkpoints(self):
+        costs = CostModel()
+        costs.add_probes(3)
+        costs.log_probe_checkpoint()
+        costs.add_probes(2)
+        costs.log_probe_checkpoint()
+        assert costs.probe_checkpoints == [3, 5]
+
+    def test_merge_sums_fields(self):
+        a = CostModel(probes=1, reallocations=2, messages=3, rounds=4)
+        b = CostModel(probes=10, reallocations=20, messages=30, rounds=40)
+        merged = a.merge(b)
+        assert merged.probes == 11
+        assert merged.reallocations == 22
+        assert merged.messages == 33
+        assert merged.rounds == 44
+        # merging leaves the originals untouched
+        assert a.probes == 1 and b.probes == 10
+
+    def test_as_dict_keys(self):
+        d = CostModel(probes=5).as_dict()
+        assert d == {"probes": 5, "reallocations": 0, "messages": 0, "rounds": 0}

@@ -1,0 +1,99 @@
+"""Tests for the cuckoo hash table (repro.hashing.cuckoo)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CapacityExceededError, ConfigurationError
+from repro.hashing.cuckoo import CuckooHashTable
+
+
+class TestConstruction:
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            CuckooHashTable(0)
+        with pytest.raises(ConfigurationError):
+            CuckooHashTable(8, d=1)
+        with pytest.raises(ConfigurationError):
+            CuckooHashTable(8, bucket_size=0)
+        with pytest.raises(ConfigurationError):
+            CuckooHashTable(8, max_chain=0)
+
+
+class TestBasicMapBehaviour:
+    def test_insert_get_roundtrip(self):
+        table = CuckooHashTable(256, d=2, bucket_size=2, seed=0)
+        for i in range(300):
+            table.insert(i, i * i)
+        assert len(table) == 300
+        for i in range(300):
+            assert table.get(i) == i * i
+
+    def test_contains_and_remove(self):
+        table = CuckooHashTable(64, seed=1)
+        table.insert("x", 1)
+        assert "x" in table
+        assert table.remove("x") is True
+        assert "x" not in table
+        assert table.remove("x") is False
+
+    def test_overwrite(self):
+        table = CuckooHashTable(64, seed=1)
+        table.insert("x", 1)
+        table.insert("x", 2)
+        assert table.get("x") == 2
+        assert len(table) == 1
+
+    def test_get_missing(self):
+        table = CuckooHashTable(64, seed=1)
+        assert table.get("nope") is None
+        assert table.get("nope", default=0) == 0
+
+
+class TestCuckooProperties:
+    def test_bucket_capacity_never_exceeded(self):
+        table = CuckooHashTable(128, d=2, bucket_size=2, seed=2)
+        for i in range(200):
+            table.insert(i, i)
+        assert max(table.bucket_loads()) <= 2
+
+    def test_evictions_counted(self):
+        # ~45% load factor with k=1, d=2 stays below the cuckoo threshold but
+        # is dense enough that some insertions need evictions.
+        table = CuckooHashTable(64, d=2, bucket_size=1, seed=3)
+        for i in range(28):
+            table.insert(i, i)
+        stats = table.stats()
+        assert stats.evictions == table.costs.reallocations
+        assert stats.max_chain >= 0
+        assert stats.n_keys == 28
+        assert max(table.bucket_loads()) <= 1
+
+    def test_insertion_fails_beyond_capacity(self):
+        table = CuckooHashTable(4, d=2, bucket_size=1, max_chain=50, seed=4)
+        with pytest.raises(CapacityExceededError):
+            for i in range(10):
+                table.insert(i, i)
+
+    def test_values_survive_evictions(self):
+        table = CuckooHashTable(128, d=3, bucket_size=1, seed=5)
+        keys = list(range(110))
+        for key in keys:
+            table.insert(key, key * 7)
+        for key in keys:
+            assert table.get(key) == key * 7
+
+    def test_load_factor_stat(self):
+        table = CuckooHashTable(10, d=2, bucket_size=2, seed=6)
+        for i in range(10):
+            table.insert(i, i)
+        assert table.stats().load_factor == pytest.approx(0.5)
+
+    def test_deterministic_given_seed(self):
+        def build(seed):
+            table = CuckooHashTable(64, d=2, bucket_size=1, seed=seed)
+            for i in range(40):
+                table.insert(i, i)
+            return table.bucket_loads(), table.costs.reallocations
+
+        assert build(7) == build(7)

@@ -1,0 +1,116 @@
+"""Tests for the synchronous message-passing engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.runtime.engine import Message, SynchronousEngine
+
+
+def test_message_fields():
+    msg = Message(sender=1, receiver=2, payload="request")
+    assert (msg.sender, msg.receiver, msg.payload) == (1, 2, "request")
+
+
+class TestEngineValidation:
+    def _steps(self):
+        def ball_step(round_index, replies, rng):
+            return []
+
+        def bin_step(round_index, requests, rng):
+            return []
+
+        return ball_step, bin_step
+
+    def test_negative_balls_raises(self):
+        ball, bin_ = self._steps()
+        with pytest.raises(ConfigurationError):
+            SynchronousEngine(-1, 2, ball, bin_, lambda r: True)
+
+    def test_zero_bins_raises(self):
+        ball, bin_ = self._steps()
+        with pytest.raises(ConfigurationError):
+            SynchronousEngine(1, 0, ball, bin_, lambda r: True)
+
+    def test_bad_max_rounds_raises(self):
+        ball, bin_ = self._steps()
+        with pytest.raises(ConfigurationError):
+            SynchronousEngine(1, 1, ball, bin_, lambda r: True, max_rounds=0)
+
+
+class TestEngineRun:
+    def test_stops_when_condition_true(self):
+        def ball_step(round_index, replies, rng):
+            return [Message(0, 0, "request")]
+
+        def bin_step(round_index, requests, rng):
+            return [Message(0, 0, "accept")]
+
+        engine = SynchronousEngine(1, 1, ball_step, bin_step, lambda r: r >= 2, seed=0)
+        history = engine.run()
+        assert len(history) == 3
+        assert history[-1].finished
+        assert engine.costs.rounds == 3
+        assert engine.costs.messages == 6
+
+    def test_raises_when_never_terminating(self):
+        def ball_step(round_index, replies, rng):
+            return []
+
+        def bin_step(round_index, requests, rng):
+            return []
+
+        engine = SynchronousEngine(1, 1, ball_step, bin_step, lambda r: False, max_rounds=5)
+        with pytest.raises(ProtocolError):
+            engine.run()
+
+    def test_out_of_range_receiver_raises(self):
+        def ball_step(round_index, replies, rng):
+            return [Message(0, 99, "request")]
+
+        def bin_step(round_index, requests, rng):
+            return []
+
+        engine = SynchronousEngine(1, 2, ball_step, bin_step, lambda r: True)
+        with pytest.raises(ProtocolError):
+            engine.run()
+
+    def test_replies_are_routed_to_balls(self):
+        seen: dict[int, list[int]] = {}
+
+        def ball_step(round_index, replies, rng):
+            for ball, msgs in replies.items():
+                seen.setdefault(ball, []).extend(m.sender for m in msgs)
+            if round_index == 0:
+                return [Message(0, 1, "request"), Message(1, 1, "request")]
+            return []
+
+        def bin_step(round_index, requests, rng):
+            out = []
+            for bin_index, msgs in requests.items():
+                for m in msgs:
+                    out.append(Message(bin_index, m.sender, "accept"))
+            return out
+
+        engine = SynchronousEngine(2, 2, ball_step, bin_step, lambda r: r >= 1, seed=1)
+        engine.run()
+        assert seen == {0: [1], 1: [1]}
+
+    def test_agent_randomness_is_seeded(self):
+        def run_once(seed):
+            values = []
+
+            def ball_step(round_index, replies, rng):
+                values.append(int(rng.integers(0, 10**6)))
+                return []
+
+            def bin_step(round_index, requests, rng):
+                return []
+
+            SynchronousEngine(1, 1, ball_step, bin_step, lambda r: r >= 1, seed=seed).run()
+            return values
+
+        assert run_once(5) == run_once(5)
+        assert run_once(5) != run_once(6)

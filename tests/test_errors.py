@@ -1,0 +1,35 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    CapacityExceededError,
+    ConfigurationError,
+    ExperimentError,
+    ProtocolError,
+    ReproError,
+)
+
+
+def test_all_exceptions_derive_from_repro_error():
+    for exc in (ConfigurationError, ProtocolError, CapacityExceededError, ExperimentError):
+        assert issubclass(exc, ReproError)
+
+
+def test_configuration_error_is_value_error():
+    assert issubclass(ConfigurationError, ValueError)
+
+
+def test_protocol_error_is_runtime_error():
+    assert issubclass(ProtocolError, RuntimeError)
+
+
+def test_capacity_error_is_protocol_error():
+    assert issubclass(CapacityExceededError, ProtocolError)
+
+
+def test_catching_base_class_catches_all():
+    with pytest.raises(ReproError):
+        raise CapacityExceededError("bucket full")

@@ -1,0 +1,81 @@
+"""Tests for experiment configuration records (repro.experiments.config)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import FIGURE3_DEFAULT, TABLE1_DEFAULT, SweepConfig, TrialConfig
+
+
+class TestTrialConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TrialConfig("adaptive", n_balls=10, n_bins=0)
+        with pytest.raises(ConfigurationError):
+            TrialConfig("adaptive", n_balls=-1, n_bins=10)
+        with pytest.raises(ConfigurationError):
+            TrialConfig("adaptive", n_balls=10, n_bins=10, trials=0)
+
+    def test_with_size(self):
+        config = TrialConfig("adaptive", n_balls=100, n_bins=10)
+        resized = config.with_size(n_balls=200)
+        assert resized.n_balls == 200 and resized.n_bins == 10
+        assert config.n_balls == 100  # original untouched
+
+    def test_frozen(self):
+        config = TrialConfig("adaptive", n_balls=100, n_bins=10)
+        with pytest.raises(AttributeError):
+            config.n_balls = 5  # type: ignore[misc]
+
+
+class TestSweepConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SweepConfig(protocols=(), n_bins=10, ball_grid=(10,))
+        with pytest.raises(ConfigurationError):
+            SweepConfig(protocols=("adaptive",), n_bins=0, ball_grid=(10,))
+        with pytest.raises(ConfigurationError):
+            SweepConfig(protocols=("adaptive",), n_bins=10, ball_grid=())
+        with pytest.raises(ConfigurationError):
+            SweepConfig(protocols=("adaptive",), n_bins=10, ball_grid=(-1,))
+        with pytest.raises(ConfigurationError):
+            SweepConfig(protocols=("adaptive",), n_bins=10, ball_grid=(10,), trials=0)
+
+    def test_trial_configs_expansion(self):
+        sweep = SweepConfig(
+            protocols=("adaptive", "threshold"),
+            n_bins=100,
+            ball_grid=(100, 200),
+            trials=5,
+            params={"adaptive": {"offset": 2}},
+        )
+        configs = sweep.trial_configs()
+        assert len(configs) == 4
+        adaptive_configs = [c for c in configs if c.protocol == "adaptive"]
+        assert all(c.params == {"offset": 2} for c in adaptive_configs)
+        assert {c.n_balls for c in configs} == {100, 200}
+
+    def test_scaled(self):
+        sweep = SweepConfig(protocols=("adaptive",), n_bins=1000, ball_grid=(10_000,))
+        scaled = sweep.scaled(0.1)
+        assert scaled.n_bins == 100
+        assert scaled.ball_grid == (1000,)
+
+    def test_scaled_invalid(self):
+        sweep = SweepConfig(protocols=("adaptive",), n_bins=1000, ball_grid=(10_000,))
+        with pytest.raises(ConfigurationError):
+            sweep.scaled(0.0)
+
+
+class TestDefaults:
+    def test_figure3_default_matches_paper_axis(self):
+        # m · 10^-4 runs from 20 to 100 in the paper.
+        assert min(FIGURE3_DEFAULT.ball_grid) == 200_000
+        assert max(FIGURE3_DEFAULT.ball_grid) == 1_000_000
+        assert FIGURE3_DEFAULT.trials == 100
+        assert set(FIGURE3_DEFAULT.protocols) == {"adaptive", "threshold"}
+
+    def test_table1_default(self):
+        assert TABLE1_DEFAULT.n_balls == 16_000
+        assert TABLE1_DEFAULT.n_bins == 2_000

@@ -1,0 +1,145 @@
+"""Tests for the Table 1 / Figure 3 / smoothness experiment modules."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.config import SweepConfig
+from repro.experiments.figure3 import (
+    figure3_report,
+    figure3_series,
+    potential_curve,
+    runtime_curve,
+)
+from repro.experiments.smoothness import (
+    adaptive_time_scaling,
+    smoothness_contrast,
+    stage_potential_trajectory,
+    threshold_excess_probes_curve,
+)
+from repro.experiments.table1 import TABLE1_PROTOCOLS, table1_measured, table1_rows
+
+SMALL_SWEEP = SweepConfig(
+    protocols=("adaptive", "threshold"),
+    n_bins=200,
+    ball_grid=(1_000, 2_000, 4_000),
+    trials=3,
+    seed=3,
+)
+
+
+class TestTable1:
+    def test_measured_covers_all_protocols(self):
+        rows = table1_measured(n_balls=1_000, n_bins=200, trials=2)
+        assert {row["protocol"] for row in rows} == {name for name, _ in TABLE1_PROTOCOLS}
+
+    def test_measured_max_load_guarantees(self):
+        rows = table1_measured(n_balls=2_000, n_bins=200, trials=2)
+        by_name = {row["protocol"]: row for row in rows}
+        # The paper's protocols respect ceil(m/n) + 1 = 11 deterministically.
+        assert by_name["adaptive"]["max_load_max"] <= 11
+        assert by_name["threshold"]["max_load_max"] <= 11
+        # single-choice is clearly worse
+        assert by_name["single-choice"]["max_load_mean"] > by_name["adaptive"]["max_load_mean"]
+
+    def test_allocation_times(self):
+        rows = table1_measured(n_balls=2_000, n_bins=200, trials=2)
+        by_name = {row["protocol"]: row for row in rows}
+        assert by_name["greedy"]["allocation_time_mean"] == pytest.approx(4_000)
+        assert by_name["threshold"]["allocation_time_mean"] >= 2_000
+        assert by_name["adaptive"]["allocation_time_mean"] >= by_name["threshold"][
+            "allocation_time_mean"
+        ]
+
+    def test_merged_rows_include_paper_columns(self):
+        measured = table1_measured(n_balls=1_000, n_bins=200, trials=2)
+        merged = table1_rows(measured=measured)
+        assert any("★" in row.get("conditions", "") for row in merged)
+        adaptive_row = next(row for row in merged if row["protocol"] == "adaptive")
+        assert "measured_max_load" in adaptive_row
+        assert "paper_load" in adaptive_row
+
+    def test_trials_validation(self):
+        with pytest.raises(Exception):
+            table1_measured(n_balls=100, n_bins=10, trials=0)
+
+
+class TestFigure3:
+    def test_series_rows_shape(self):
+        rows = figure3_series(SMALL_SWEEP)
+        assert len(rows) == 6  # 2 protocols x 3 grid points
+        assert all("quadratic_potential_mean" in row for row in rows)
+
+    def test_runtime_curve_shapes(self):
+        rows = figure3_series(SMALL_SWEEP)
+        grid, series = runtime_curve(rows)
+        assert grid == [1_000, 2_000, 4_000]
+        assert set(series) == {"adaptive", "threshold"}
+        # Figure 3(a): both runtimes grow with m, adaptive is the larger one.
+        for name, values in series.items():
+            assert values == sorted(values)
+        assert all(
+            a >= t for a, t in zip(series["adaptive"], series["threshold"])
+        )
+
+    def test_potential_curve_shapes(self):
+        rows = figure3_series(SMALL_SWEEP)
+        _, series = potential_curve(rows)
+        # Figure 3(b): threshold's potential exceeds adaptive's at every m.
+        assert all(
+            t > a for a, t in zip(series["adaptive"], series["threshold"])
+        )
+
+    def test_missing_point_raises(self):
+        rows = figure3_series(SMALL_SWEEP)
+        broken = [row for row in rows if not (
+            row["protocol"] == "adaptive" and row["n_balls"] == 2_000
+        )]
+        with pytest.raises(ExperimentError):
+            runtime_curve(broken)
+
+    def test_report_contains_plots(self):
+        small = dataclasses.replace(SMALL_SWEEP, ball_grid=(1_000, 2_000), trials=2)
+        report = figure3_report(small)
+        assert "Figure 3(a)" in report["runtime_plot"]
+        assert "Figure 3(b)" in report["potential_plot"]
+        assert len(report["rows"]) == 4
+
+
+class TestSmoothnessExperiments:
+    def test_adaptive_time_scaling_bounded(self):
+        rows = adaptive_time_scaling(n_bins=200, phis=(1, 2, 4), trials=2, seed=0)
+        assert len(rows) == 3
+        assert all(row["probes_per_ball_mean"] < 2.5 for row in rows)
+
+    def test_threshold_excess_curve(self):
+        rows = threshold_excess_probes_curve(n_bins=200, phis=(2, 4, 8), trials=2, seed=0)
+        assert len(rows) == 3
+        assert all(row["excess_probes_mean"] >= 0 for row in rows)
+        assert all(row["excess_over_bound"] < 5.0 for row in rows)
+
+    def test_smoothness_contrast_orders_protocols(self):
+        rows = smoothness_contrast(n_bins_values=(64, 128), trials=2, seed=0)
+        for row in rows:
+            assert row["threshold_gap_mean"] > row["adaptive_gap_mean"]
+            assert row["threshold_potential_mean"] > row["adaptive_potential_mean"]
+
+    def test_stage_potential_trajectory(self):
+        data = stage_potential_trajectory(n_balls=5_000, n_bins=250, seed=1)
+        assert data["stages"] == 20
+        assert len(data["adaptive_exponential"]) == 20
+        # Corollary 3.5: Phi stays O(n) — use a generous constant.
+        assert max(data["adaptive_exponential"]) < 20 * 250
+        # probes per stage sum to the allocation time, hence >= n per stage
+        assert min(data["adaptive_probes_per_stage"]) >= 250
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            adaptive_time_scaling(phis=())
+        with pytest.raises(Exception):
+            threshold_excess_probes_curve(phis=(0,))
+        with pytest.raises(Exception):
+            smoothness_contrast(n_bins_values=(1,))

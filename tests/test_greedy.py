@@ -1,0 +1,84 @@
+"""Tests for the greedy[d] baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.greedy import GreedyProtocol, run_greedy
+from repro.errors import ConfigurationError
+from repro.runtime.probes import FixedProbeStream
+
+
+class TestConstruction:
+    def test_invalid_d(self):
+        with pytest.raises(ConfigurationError):
+            GreedyProtocol(d=0)
+
+    def test_invalid_tie_break(self):
+        with pytest.raises(ConfigurationError):
+            GreedyProtocol(tie_break="weird")
+
+    def test_params(self):
+        assert GreedyProtocol(d=3).params() == {"d": 3, "tie_break": "random"}
+
+
+class TestAllocate:
+    def test_allocation_time_is_dm(self, problem_size):
+        m, n = problem_size
+        result = run_greedy(m, n, seed=0, d=3)
+        assert result.allocation_time == 3 * m
+
+    def test_all_balls_placed(self, problem_size):
+        m, n = problem_size
+        assert int(run_greedy(m, n, seed=1).loads.sum()) == m
+
+    def test_deterministic(self):
+        a = run_greedy(500, 50, seed=2)
+        b = run_greedy(500, 50, seed=2)
+        assert np.array_equal(a.loads, b.loads)
+
+    def test_d1_equals_single_choice_distributionally(self):
+        """greedy[1] has no choice to make: it is the single-choice process."""
+        result = GreedyProtocol(d=1).allocate(
+            5, 4, probe_stream=FixedProbeStream(4, np.array([0, 1, 1, 3, 0]))
+        )
+        assert np.array_equal(result.loads, [2, 2, 0, 1])
+
+    def test_fixed_stream_first_tie_break(self):
+        # Two balls, d=2.  Ball 1 sees bins (0, 1) both empty -> takes 0
+        # ("first" tie-break).  Ball 2 sees (0, 2): bin 2 is less loaded.
+        choices = np.array([0, 1, 0, 2])
+        result = GreedyProtocol(d=2, tie_break="first").allocate(
+            2, 3, probe_stream=FixedProbeStream(3, choices)
+        )
+        assert np.array_equal(result.loads, [1, 0, 1])
+
+    def test_two_choices_beat_one(self):
+        m = n = 4000
+        one = [run_greedy(m, n, seed=s, d=1).max_load for s in range(3)]
+        two = [run_greedy(m, n, seed=s, d=2).max_load for s in range(3)]
+        assert np.mean(two) < np.mean(one)
+
+    def test_three_choices_no_worse_than_two(self):
+        m = n = 4000
+        two = [run_greedy(m, n, seed=s, d=2).max_load for s in range(3)]
+        three = [run_greedy(m, n, seed=s, d=3).max_load for s in range(3)]
+        assert np.mean(three) <= np.mean(two) + 0.5
+
+    def test_heavily_loaded_max_load_close_to_average(self):
+        """Berenbrink et al.: m/n + ln ln n / ln d + O(1)."""
+        m, n = 20_000, 1_000
+        result = run_greedy(m, n, seed=5, d=2)
+        assert result.max_load <= m / n + 5
+
+    def test_zero_balls(self):
+        assert run_greedy(0, 5, seed=0).allocation_time == 0
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigurationError):
+            run_greedy(5, 0)
+
+    def test_mismatched_stream(self):
+        with pytest.raises(ConfigurationError):
+            GreedyProtocol().allocate(3, 5, probe_stream=FixedProbeStream(4, np.arange(4)))

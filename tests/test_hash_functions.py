@@ -1,0 +1,71 @@
+"""Tests for the hash-function family (repro.hashing.hash_functions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hashing.hash_functions import MultiplyShiftHash, TabulationHash
+
+
+@pytest.fixture(params=[MultiplyShiftHash, TabulationHash])
+def hash_cls(request):
+    return request.param
+
+
+class TestHashFunctions:
+    def test_range(self, hash_cls):
+        h = hash_cls(97, seed=0)
+        for key in range(500):
+            assert 0 <= h(key) < 97
+
+    def test_deterministic_given_seed(self, hash_cls):
+        a = hash_cls(64, seed=1)
+        b = hash_cls(64, seed=1)
+        assert all(a(k) == b(k) for k in range(200))
+
+    def test_different_seeds_give_different_functions(self, hash_cls):
+        a = hash_cls(1024, seed=1)
+        b = hash_cls(1024, seed=2)
+        agreements = sum(a(k) == b(k) for k in range(500))
+        assert agreements < 100  # two independent functions rarely agree
+
+    def test_string_and_bytes_keys(self, hash_cls):
+        h = hash_cls(128, seed=3)
+        assert 0 <= h("hello") < 128
+        assert 0 <= h(b"hello") < 128
+        assert h("hello") == h("hello")
+
+    def test_unsupported_key_type(self, hash_cls):
+        with pytest.raises(ConfigurationError):
+            hash_cls(16, seed=0)(3.14)  # type: ignore[arg-type]
+
+    def test_invalid_bucket_count(self, hash_cls):
+        with pytest.raises(ConfigurationError):
+            hash_cls(0, seed=0)
+
+    def test_roughly_uniform(self, hash_cls):
+        """A chi-square-style sanity check on uniformity over buckets."""
+        n_buckets = 16
+        h = hash_cls(n_buckets, seed=5)
+        counts = np.zeros(n_buckets)
+        n_keys = 8000
+        for key in range(n_keys):
+            counts[h(key)] += 1
+        expected = n_keys / n_buckets
+        assert np.all(counts > expected * 0.6)
+        assert np.all(counts < expected * 1.4)
+
+    def test_hash_many_matches_scalar(self, hash_cls):
+        h = hash_cls(53, seed=7)
+        keys = np.arange(300, dtype=np.int64)
+        vectorised = h.hash_many(keys)
+        scalar = np.array([h(int(k)) for k in keys])
+        assert np.array_equal(vectorised, scalar)
+
+
+class TestMultiplyShiftSpecifics:
+    def test_negative_int_keys_are_folded(self):
+        h = MultiplyShiftHash(32, seed=0)
+        assert 0 <= h(-12345) < 32

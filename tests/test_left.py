@@ -1,0 +1,81 @@
+"""Tests for the left[d] baseline (Vöcking's always-go-left)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.left import LeftProtocol, group_boundaries, run_left
+from repro.errors import ConfigurationError
+from repro.runtime.probes import RandomProbeStream
+
+
+class TestGroupBoundaries:
+    def test_even_split(self):
+        assert np.array_equal(group_boundaries(10, 2), [0, 5, 10])
+
+    def test_uneven_split_extra_to_first_groups(self):
+        assert np.array_equal(group_boundaries(10, 3), [0, 4, 7, 10])
+
+    def test_every_bin_covered_once(self):
+        for n, d in [(7, 2), (11, 3), (100, 7)]:
+            boundaries = group_boundaries(n, d)
+            sizes = np.diff(boundaries)
+            assert sizes.sum() == n
+            assert boundaries[0] == 0 and boundaries[-1] == n
+            assert np.all(sizes >= 1)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            group_boundaries(5, 0)
+        with pytest.raises(ConfigurationError):
+            group_boundaries(1, 2)
+
+
+class TestLeftProtocol:
+    def test_invalid_d(self):
+        with pytest.raises(ConfigurationError):
+            LeftProtocol(d=0)
+
+    def test_allocation_time_is_dm(self, problem_size):
+        m, n = problem_size
+        assert run_left(m, n, seed=0, d=2).allocation_time == 2 * m
+
+    def test_all_balls_placed(self, problem_size):
+        m, n = problem_size
+        assert int(run_left(m, n, seed=1).loads.sum()) == m
+
+    def test_deterministic(self):
+        a = run_left(500, 60, seed=2)
+        b = run_left(500, 60, seed=2)
+        assert np.array_equal(a.loads, b.loads)
+
+    def test_rejects_probe_stream(self):
+        with pytest.raises(ConfigurationError):
+            LeftProtocol().allocate(5, 10, probe_stream=RandomProbeStream(10, seed=0))
+
+    def test_choices_stay_within_groups(self):
+        """Each ball samples one bin per group, so with d=n each bin gets load 1."""
+        n = 6
+        result = LeftProtocol(d=n).allocate(1, n, seed=0)
+        assert result.loads.sum() == 1
+
+    def test_max_load_competitive_with_greedy(self):
+        """Vöcking: left[d] is at least as good as greedy[d] (asymptotically)."""
+        from repro.baselines.greedy import run_greedy
+
+        m = n = 4000
+        left = np.mean([run_left(m, n, seed=s, d=2).max_load for s in range(4)])
+        greedy = np.mean([run_greedy(m, n, seed=s, d=2).max_load for s in range(4)])
+        assert left <= greedy + 0.75
+
+    def test_heavily_loaded_close_to_average(self):
+        m, n = 20_000, 1_000
+        assert run_left(m, n, seed=3, d=2).max_load <= m / n + 5
+
+    def test_zero_balls(self):
+        assert run_left(0, 10, seed=0).allocation_time == 0
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigurationError):
+            run_left(5, 0)

@@ -1,0 +1,84 @@
+"""Tests for the (d,k)-memory baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.memory import MemoryProtocol, run_memory
+from repro.errors import ConfigurationError
+from repro.runtime.probes import FixedProbeStream
+
+
+class TestConstruction:
+    def test_invalid_d(self):
+        with pytest.raises(ConfigurationError):
+            MemoryProtocol(d=0)
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            MemoryProtocol(k=-1)
+
+    def test_params(self):
+        assert MemoryProtocol(d=2, k=1).params() == {"d": 2, "k": 1}
+
+
+class TestAllocate:
+    def test_allocation_time_is_dm(self, problem_size):
+        m, n = problem_size
+        assert run_memory(m, n, seed=0, d=1).allocation_time == m
+
+    def test_all_balls_placed(self, problem_size):
+        m, n = problem_size
+        assert int(run_memory(m, n, seed=1).loads.sum()) == m
+
+    def test_deterministic(self):
+        a = run_memory(600, 60, seed=2)
+        b = run_memory(600, 60, seed=2)
+        assert np.array_equal(a.loads, b.loads)
+
+    def test_k_zero_is_memoryless_single_choice(self):
+        choices = np.array([0, 1, 1, 2])
+        result = MemoryProtocol(d=1, k=0).allocate(
+            4, 3, probe_stream=FixedProbeStream(3, choices)
+        )
+        assert np.array_equal(result.loads, [1, 2, 1])
+
+    def test_memory_uses_previous_candidates(self):
+        # d=1, k=1. Fixed choices: ball1 -> bin 0 (memory {0}); ball2 draws
+        # bin 0 again, candidates {0, 0} -> placed in 0; ball3 draws bin 1,
+        # candidates {1, 0}: bin 1 has load 0 < 2 -> placed in 1.
+        choices = np.array([0, 0, 1])
+        result = MemoryProtocol(d=1, k=1).allocate(
+            3, 3, probe_stream=FixedProbeStream(3, choices)
+        )
+        assert np.array_equal(result.loads, [2, 1, 0])
+
+    def test_memory_protocol_beats_single_choice(self):
+        """[14]: memory gives a doubly-logarithmic max load with Θ(m) choices."""
+        m = n = 4000
+        from repro.baselines.single_choice import run_single_choice
+
+        memory = np.mean([run_memory(m, n, seed=s).max_load for s in range(3)])
+        single = np.mean([run_single_choice(m, n, seed=s).max_load for s in range(3)])
+        assert memory < single
+
+    def test_memory_comparable_to_two_choice(self):
+        """The (1,1)-memory protocol should behave like a 2-choice process."""
+        from repro.baselines.greedy import run_greedy
+
+        m = n = 4000
+        memory = np.mean([run_memory(m, n, seed=s).max_load for s in range(4)])
+        greedy = np.mean([run_greedy(m, n, seed=s, d=2).max_load for s in range(4)])
+        assert memory <= greedy + 1.0
+
+    def test_zero_balls(self):
+        assert run_memory(0, 5, seed=0).allocation_time == 0
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigurationError):
+            run_memory(5, 0)
+
+    def test_mismatched_stream(self):
+        with pytest.raises(ConfigurationError):
+            MemoryProtocol().allocate(3, 5, probe_stream=FixedProbeStream(4, np.arange(4)))

@@ -1,0 +1,121 @@
+"""Tests for the parallel allocation protocols (repro.parallel)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel.collision import CollisionProtocol, run_collision
+from repro.parallel.rounds import ParallelGreedyProtocol, run_parallel_greedy
+from repro.runtime.probes import RandomProbeStream
+
+
+class TestCollisionConstruction:
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            CollisionProtocol(capacity=0)
+
+    def test_invalid_fanout(self):
+        with pytest.raises(ConfigurationError):
+            CollisionProtocol(fanout_base=0)
+        with pytest.raises(ConfigurationError):
+            CollisionProtocol(fanout_base=4, max_fanout=2)
+
+    def test_invalid_growth(self):
+        with pytest.raises(ConfigurationError):
+            CollisionProtocol(growth=0.5)
+
+    def test_params(self):
+        params = CollisionProtocol(capacity=3).params()
+        assert params["capacity"] == 3
+
+
+class TestCollisionAllocate:
+    def test_all_balls_placed(self):
+        result = run_collision(500, 500, seed=0)
+        assert int(result.loads.sum()) == 500
+
+    def test_max_load_capacity_guarantee(self):
+        """Lenzen–Wattenhofer: maximum load of 2 when m = n."""
+        result = run_collision(1000, 1000, seed=1)
+        assert result.max_load <= 2
+
+    def test_rounds_are_small(self):
+        """The protocol should finish in O(log* n)-ish rounds, certainly < 30."""
+        result = run_collision(2000, 2000, seed=2)
+        assert result.costs.rounds < 30
+
+    def test_messages_are_linear(self):
+        n = 2000
+        result = run_collision(n, n, seed=3)
+        assert result.costs.messages < 40 * n
+
+    def test_rejects_overfull_instance(self):
+        with pytest.raises(ConfigurationError):
+            run_collision(300, 100, seed=0, capacity=2)
+
+    def test_rejects_probe_stream(self):
+        with pytest.raises(ConfigurationError):
+            CollisionProtocol().allocate(
+                10, 10, probe_stream=RandomProbeStream(10, seed=0)
+            )
+
+    def test_deterministic(self):
+        a = run_collision(300, 300, seed=5)
+        b = run_collision(300, 300, seed=5)
+        assert np.array_equal(a.loads, b.loads)
+        assert a.costs.rounds == b.costs.rounds
+
+    def test_zero_balls(self):
+        result = run_collision(0, 10, seed=0)
+        assert result.allocation_time == 0
+        assert result.costs.rounds == 0
+
+    def test_higher_capacity_handles_heavier_load(self):
+        result = CollisionProtocol(capacity=4).allocate(3000, 1000, seed=6)
+        assert int(result.loads.sum()) == 3000
+        assert result.max_load <= 4
+
+
+class TestParallelGreedy:
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            ParallelGreedyProtocol(d=0)
+        with pytest.raises(ConfigurationError):
+            ParallelGreedyProtocol(rounds=0)
+
+    def test_all_balls_placed(self, problem_size):
+        m, n = problem_size
+        assert int(run_parallel_greedy(m, n, seed=0).loads.sum()) == m
+
+    def test_deterministic(self):
+        a = run_parallel_greedy(1000, 200, seed=1)
+        b = run_parallel_greedy(1000, 200, seed=1)
+        assert np.array_equal(a.loads, b.loads)
+
+    def test_rounds_bounded_by_configuration(self):
+        result = ParallelGreedyProtocol(rounds=3).allocate(2000, 500, seed=2)
+        # up to 3 protocol rounds plus possibly one clean-up round
+        assert result.costs.rounds <= 4
+
+    def test_more_rounds_improve_balance(self):
+        m, n = 8000, 2000
+        few = np.mean(
+            [ParallelGreedyProtocol(rounds=1).allocate(m, n, seed=s).max_load for s in range(3)]
+        )
+        many = np.mean(
+            [ParallelGreedyProtocol(rounds=4).allocate(m, n, seed=s).max_load for s in range(3)]
+        )
+        assert many <= few
+
+    def test_beats_single_choice(self):
+        from repro.baselines.single_choice import run_single_choice
+
+        m = n = 3000
+        parallel = np.mean([run_parallel_greedy(m, n, seed=s).max_load for s in range(3)])
+        single = np.mean([run_single_choice(m, n, seed=s).max_load for s in range(3)])
+        assert parallel < single
+
+    def test_zero_balls(self):
+        assert run_parallel_greedy(0, 10, seed=0).allocation_time == 0

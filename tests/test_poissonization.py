@@ -1,0 +1,117 @@
+"""Tests for the Poissonization helpers (repro.theory.poissonization)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.theory.poissonization import (
+    expected_hole_count,
+    hole_count,
+    poissonized_access_counts,
+    poissonized_loads,
+    theorem41_probe_budget,
+    transfer_probability_general,
+    transfer_probability_monotone,
+)
+
+
+class TestPoissonizedSampling:
+    def test_access_counts_shape_and_mean(self):
+        counts = poissonized_access_counts(10_000, 50_000, seed=0)
+        assert counts.shape == (10_000,)
+        assert counts.mean() == pytest.approx(5.0, rel=0.05)
+
+    def test_loads_are_capped(self):
+        loads = poissonized_loads(1_000, 20_000, cap=21, seed=1)
+        assert loads.max() <= 21
+
+    def test_deterministic(self):
+        a = poissonized_access_counts(100, 500, seed=3)
+        b = poissonized_access_counts(100, 500, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            poissonized_access_counts(0, 10)
+        with pytest.raises(ConfigurationError):
+            poissonized_access_counts(10, -1)
+        with pytest.raises(ConfigurationError):
+            poissonized_loads(10, 10, cap=-1)
+
+
+class TestHoleCount:
+    def test_simple_value(self):
+        assert hole_count(np.array([0, 1, 3]), cap=2) == 3
+
+    def test_zero_when_all_full(self):
+        assert hole_count(np.full(5, 10), cap=3) == 0
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            hole_count(np.array([]), cap=2)
+        with pytest.raises(ConfigurationError):
+            hole_count(np.array([1, 2]), cap=-1)
+
+    def test_expected_hole_count_matches_empirical(self):
+        n, probes, cap = 2_000, 20_000, 11
+        expected = expected_hole_count(n, probes, cap)
+        empirical = np.mean(
+            [
+                hole_count(poissonized_loads(n, probes, cap, seed=s), cap)
+                for s in range(20)
+            ]
+        )
+        assert empirical == pytest.approx(expected, rel=0.15)
+
+    def test_expected_hole_count_decreasing_in_probes(self):
+        n, cap = 1_000, 11
+        assert expected_hole_count(n, 15_000, cap) > expected_hole_count(n, 20_000, cap)
+
+    def test_expected_hole_count_invalid(self):
+        with pytest.raises(ConfigurationError):
+            expected_hole_count(0, 10, 2)
+
+
+class TestTheorem41Budget:
+    def test_budget_formula(self):
+        # phi = 100, alpha = 100 + 100^(3/4) + 1
+        budget = theorem41_probe_budget(100_000, 1_000)
+        alpha = 100 + 100**0.75 + 1
+        assert budget == int(np.ceil(alpha * 1_000))
+
+    def test_budget_exceeds_m(self):
+        assert theorem41_probe_budget(50_000, 500) > 50_000
+
+    def test_holes_below_n_at_budget(self):
+        """The core of Theorem 4.1: after α·n probes at most n holes remain (whp)."""
+        m, n = 200_000, 2_000
+        cap = m // n + 1
+        budget = theorem41_probe_budget(m, n)
+        holes = [
+            hole_count(poissonized_loads(n, budget, cap, seed=s), cap) for s in range(5)
+        ]
+        assert max(holes) <= n
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            theorem41_probe_budget(10, 0)
+
+
+class TestTransferLemma:
+    def test_general_transfer_scales_by_sqrt_n(self):
+        assert transfer_probability_general(0.001, 100) == pytest.approx(0.01)
+
+    def test_monotone_transfer_scales_by_four(self):
+        assert transfer_probability_monotone(0.1) == pytest.approx(0.4)
+
+    def test_clipping_at_one(self):
+        assert transfer_probability_general(0.9, 10_000) == 1.0
+        assert transfer_probability_monotone(0.5) == 1.0
+
+    def test_invalid_probability(self):
+        with pytest.raises(ConfigurationError):
+            transfer_probability_general(1.5, 10)
+        with pytest.raises(ConfigurationError):
+            transfer_probability_monotone(-0.1)

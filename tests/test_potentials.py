@@ -1,0 +1,146 @@
+"""Tests for the potential functions (repro.core.potentials)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.potentials import (
+    DEFAULT_EPSILON,
+    exponential_potential,
+    holes,
+    load_gap,
+    log_exponential_potential,
+    quadratic_potential,
+    smoothness_summary,
+    underloaded_bins,
+)
+from repro.errors import ConfigurationError
+
+loads_arrays = arrays(
+    dtype=np.int64,
+    shape=st.integers(1, 80),
+    elements=st.integers(0, 40),
+)
+
+
+class TestQuadraticPotential:
+    def test_perfectly_balanced_is_zero(self):
+        assert quadratic_potential(np.full(10, 7)) == 0.0
+
+    def test_simple_value(self):
+        # loads [0, 2], t = 2, mean 1 -> (0-1)^2 + (2-1)^2 = 2
+        assert quadratic_potential(np.array([0, 2])) == pytest.approx(2.0)
+
+    def test_explicit_total(self):
+        # same vector, but pretend 4 balls were placed: mean 2 -> 4 + 0 = 4
+        assert quadratic_potential(np.array([0, 2]), total_balls=4) == pytest.approx(4.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            quadratic_potential(np.array([[1, 2]]))
+        with pytest.raises(ConfigurationError):
+            quadratic_potential(np.array([], dtype=int))
+        with pytest.raises(ConfigurationError):
+            quadratic_potential(np.array([-1, 1]))
+
+    @given(loads_arrays)
+    def test_non_negative(self, loads):
+        assert quadratic_potential(loads) >= 0.0
+
+    @given(loads_arrays)
+    def test_shift_invariance(self, loads):
+        # Adding the same constant to every bin keeps Psi unchanged.
+        shifted = loads + 3
+        assert quadratic_potential(shifted) == pytest.approx(
+            quadratic_potential(loads), rel=1e-9, abs=1e-6
+        )
+
+
+class TestExponentialPotential:
+    def test_balanced_value(self):
+        # All loads equal t/n: every term is (1+eps)^2.
+        loads = np.full(10, 4)
+        expected = 10 * (1 + DEFAULT_EPSILON) ** 2
+        assert exponential_potential(loads) == pytest.approx(expected)
+
+    def test_underloaded_bins_dominate(self):
+        balanced = np.full(10, 5)
+        skewed = balanced.copy()
+        skewed[0] = 0
+        skewed[1] = 10
+        assert exponential_potential(skewed) > exponential_potential(balanced)
+
+    def test_log_version_matches_direct(self, small_loads):
+        direct = math.log(exponential_potential(small_loads))
+        stable = log_exponential_potential(small_loads)
+        assert stable == pytest.approx(direct, rel=1e-9)
+
+    def test_log_version_handles_extreme_gaps(self):
+        loads = np.zeros(100, dtype=np.int64)
+        loads[0] = 100_000  # enormous hole for the other bins
+        value = log_exponential_potential(loads)
+        assert np.isfinite(value)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ConfigurationError):
+            exponential_potential(np.array([1, 2]), epsilon=0.0)
+        with pytest.raises(ConfigurationError):
+            log_exponential_potential(np.array([1, 2]), epsilon=-1.0)
+
+    @given(loads_arrays)
+    def test_lower_bound_n(self, loads):
+        # Because the average hole t/n - l_i sums to 0 and the function is
+        # convex, Phi >= n * (1+eps)^2 by Jensen.
+        n = loads.size
+        assert exponential_potential(loads) >= n * (1 + DEFAULT_EPSILON) ** 2 - 1e-6
+
+
+class TestGapHolesUnderloaded:
+    def test_load_gap(self):
+        assert load_gap(np.array([3, 7, 5])) == 4
+        assert load_gap(np.array([2, 2])) == 0
+
+    def test_load_gap_invalid(self):
+        with pytest.raises(ConfigurationError):
+            load_gap(np.array([], dtype=int))
+
+    def test_holes(self):
+        assert holes(np.array([0, 1, 3]), limit=2) == 3  # 2 + 1 + 0
+
+    def test_holes_invalid(self):
+        with pytest.raises(ConfigurationError):
+            holes(np.array([[1]]), 2)
+
+    def test_underloaded_bins(self):
+        loads = np.array([0, 5, 5, 5, 5, 5, 5, 5, 5, 5])
+        # mean = 4.5; margin 2 -> bins below 2.5
+        assert list(underloaded_bins(loads, margin=2)) == [0]
+
+    def test_underloaded_bins_empty_for_balanced(self):
+        assert underloaded_bins(np.full(5, 3)).size == 0
+
+
+class TestSmoothnessSummary:
+    def test_keys_and_consistency(self, small_loads):
+        summary = smoothness_summary(small_loads)
+        assert set(summary) == {
+            "max_load",
+            "min_load",
+            "gap",
+            "quadratic_potential",
+            "log_exponential_potential",
+            "std",
+        }
+        assert summary["gap"] == summary["max_load"] - summary["min_load"]
+        assert summary["quadratic_potential"] == pytest.approx(
+            quadratic_potential(small_loads)
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            smoothness_summary(np.array([], dtype=int))

@@ -1,0 +1,125 @@
+"""Tests for repro.runtime.probes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.runtime.probes import FixedProbeStream, RandomProbeStream
+
+
+class TestRandomProbeStream:
+    def test_take_shape_and_range(self):
+        stream = RandomProbeStream(10, seed=0)
+        block = stream.take(1000)
+        assert block.shape == (1000,)
+        assert block.min() >= 0 and block.max() < 10
+
+    def test_consumed_counter(self):
+        stream = RandomProbeStream(10, seed=0)
+        stream.take(5)
+        stream.take(7)
+        assert stream.consumed == 12
+
+    def test_take_zero(self):
+        stream = RandomProbeStream(10, seed=0)
+        assert stream.take(0).size == 0
+        assert stream.consumed == 0
+
+    def test_take_negative_raises(self):
+        stream = RandomProbeStream(10, seed=0)
+        with pytest.raises(ConfigurationError):
+            stream.take(-1)
+
+    def test_take_one(self):
+        stream = RandomProbeStream(4, seed=1)
+        value = stream.take_one()
+        assert 0 <= value < 4
+        assert stream.consumed == 1
+
+    def test_deterministic_given_seed(self):
+        a = RandomProbeStream(100, seed=3).take(50)
+        b = RandomProbeStream(100, seed=3).take(50)
+        assert np.array_equal(a, b)
+
+    def test_give_back_replays_values(self):
+        stream = RandomProbeStream(10, seed=0)
+        block = stream.take(10)
+        stream.give_back(block[6:])
+        assert stream.consumed == 6
+        replayed = stream.take(4)
+        assert np.array_equal(replayed, block[6:])
+
+    def test_give_back_makes_block_partitioning_irrelevant(self):
+        whole = RandomProbeStream(10, seed=99).take(30)
+        chunked_stream = RandomProbeStream(10, seed=99)
+        first = chunked_stream.take(20)
+        chunked_stream.give_back(first[12:])
+        rest = chunked_stream.take(18)
+        assert np.array_equal(np.concatenate([first[:12], rest]), whole)
+
+    def test_give_back_too_many_raises(self):
+        stream = RandomProbeStream(10, seed=0)
+        block = stream.take(3)
+        with pytest.raises(ProtocolError):
+            stream.give_back(np.concatenate([block, block]))
+
+    def test_give_back_out_of_range_values_raise(self):
+        stream = RandomProbeStream(10, seed=0)
+        stream.take(3)
+        with pytest.raises(ProtocolError):
+            stream.give_back(np.array([99]))
+
+    def test_give_back_empty_is_noop(self):
+        stream = RandomProbeStream(10, seed=0)
+        stream.take(3)
+        stream.give_back(np.empty(0, dtype=int))
+        assert stream.consumed == 3
+
+    def test_invalid_n_bins(self):
+        with pytest.raises(ConfigurationError):
+            RandomProbeStream(0)
+
+    def test_generator_accessible(self):
+        stream = RandomProbeStream(10, seed=0)
+        assert isinstance(stream.generator, np.random.Generator)
+
+
+class TestFixedProbeStream:
+    def test_replays_choices_in_order(self):
+        choices = np.array([1, 3, 2, 0, 4])
+        stream = FixedProbeStream(5, choices)
+        assert np.array_equal(stream.take(3), [1, 3, 2])
+        assert np.array_equal(stream.take(2), [0, 4])
+
+    def test_exhaustion_raises(self):
+        stream = FixedProbeStream(5, np.array([0, 1]))
+        stream.take(2)
+        with pytest.raises(ProtocolError):
+            stream.take(1)
+
+    def test_give_back_replays_values(self):
+        stream = FixedProbeStream(5, np.array([0, 1, 2, 3]))
+        block = stream.take(3)
+        stream.give_back(block[1:])
+        assert np.array_equal(stream.take(2), [1, 2])
+
+    def test_remaining(self):
+        stream = FixedProbeStream(5, np.array([0, 1, 2, 3]))
+        stream.take(1)
+        assert stream.remaining == 3
+
+    def test_out_of_range_choices_raise(self):
+        with pytest.raises(ConfigurationError):
+            FixedProbeStream(3, np.array([0, 5]))
+
+    def test_non_1d_choices_raise(self):
+        with pytest.raises(ConfigurationError):
+            FixedProbeStream(3, np.zeros((2, 2), dtype=int))
+
+    def test_empty_choices_allowed_until_take(self):
+        stream = FixedProbeStream(3, np.array([], dtype=int))
+        assert stream.remaining == 0
+        with pytest.raises(ProtocolError):
+            stream.take(1)

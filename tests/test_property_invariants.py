@@ -1,0 +1,116 @@
+"""Cross-module property-based invariants.
+
+These hypothesis tests exercise the public API the way the experiment harness
+does — through the protocol registry — and assert the invariants that every
+allocation scheme in the package must satisfy, plus a few algebraic
+identities connecting the potential functions to elementary statistics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+import repro  # noqa: F401  (registers the baselines)
+from repro.core import make_protocol, max_final_load
+from repro.core.potentials import holes, quadratic_potential
+from repro.core.thresholds import acceptance_limit, stage_windows
+from repro.core.window import occurrence_ranks
+
+# Protocols cheap enough for property-based testing (the parallel collision
+# protocol builds per-round message lists and is exercised separately).
+FAST_PROTOCOLS = [
+    ("adaptive", {}),
+    ("threshold", {}),
+    ("single-choice", {}),
+    ("greedy", {"d": 2}),
+    ("left", {"d": 2}),
+    ("memory", {"d": 1, "k": 1}),
+    ("rebalancing", {"d": 2}),
+    ("parallel-greedy", {"d": 2, "rounds": 2}),
+]
+
+sizes = st.tuples(st.integers(0, 400), st.integers(2, 40))
+
+
+class TestUniversalProtocolInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(size=sizes, seed=st.integers(0, 2**32 - 1), index=st.integers(0, len(FAST_PROTOCOLS) - 1))
+    def test_conservation_and_cost_consistency(self, size, seed, index):
+        """Every protocol places every ball and reports consistent costs."""
+        m, n = size
+        name, params = FAST_PROTOCOLS[index]
+        result = make_protocol(name, **params).allocate(m, n, seed)
+        assert int(result.loads.sum()) == m
+        assert np.all(result.loads >= 0)
+        assert result.allocation_time >= 0
+        assert result.costs.probes == result.allocation_time
+        assert result.n_bins == n and result.n_balls == m
+        record = result.as_record()
+        assert record["protocol"] == name
+        assert record["max_load"] == result.max_load
+
+    @settings(max_examples=15, deadline=None)
+    @given(size=sizes, seed=st.integers(0, 2**32 - 1))
+    def test_near_optimal_protocols_meet_guarantee(self, size, seed):
+        """ADAPTIVE and THRESHOLD always respect ceil(m/n) + 1."""
+        m, n = size
+        for name in ("adaptive", "threshold"):
+            result = make_protocol(name).allocate(m, n, seed)
+            if m:
+                assert result.max_load <= max_final_load(m, n)
+                assert result.allocation_time >= m
+
+    @settings(max_examples=10, deadline=None)
+    @given(size=sizes, seed=st.integers(0, 2**32 - 1), index=st.integers(0, len(FAST_PROTOCOLS) - 1))
+    def test_determinism_across_repeats(self, size, seed, index):
+        m, n = size
+        name, params = FAST_PROTOCOLS[index]
+        a = make_protocol(name, **params).allocate(m, n, seed)
+        b = make_protocol(name, **params).allocate(m, n, seed)
+        assert np.array_equal(a.loads, b.loads)
+        assert a.allocation_time == b.allocation_time
+
+
+class TestPotentialIdentities:
+    loads_arrays = arrays(np.int64, st.integers(1, 60), elements=st.integers(0, 30))
+
+    @given(loads_arrays)
+    def test_quadratic_potential_equals_n_times_variance(self, loads):
+        """Ψ(ℓ) = n · Var(ℓ) when t = Σℓ (population variance)."""
+        psi = quadratic_potential(loads)
+        assert psi == pytest.approx(loads.size * np.var(loads), rel=1e-9, abs=1e-6)
+
+    @given(loads_arrays, st.integers(0, 40))
+    def test_holes_identity_when_all_below_limit(self, loads, limit):
+        """If every load is ≤ limit, holes = limit·n − Σℓ."""
+        if np.all(loads <= limit):
+            assert holes(loads, limit) == limit * loads.size - int(loads.sum())
+        else:
+            assert holes(loads, limit) >= max(0, limit * loads.size - int(loads.sum()))
+
+    @given(st.lists(st.integers(0, 15), min_size=1, max_size=300))
+    def test_occurrence_ranks_count_each_value(self, values):
+        """For each value v appearing c times, the ranks of v are 0..c-1."""
+        values = np.array(values)
+        ranks = occurrence_ranks(values)
+        for v in np.unique(values):
+            mask = values == v
+            assert sorted(ranks[mask]) == list(range(int(mask.sum())))
+
+
+class TestThresholdArithmeticProperties:
+    @given(st.integers(1, 10_000), st.integers(1, 200), st.integers(0, 3))
+    def test_acceptance_limit_defines_the_float_condition(self, k, n, offset):
+        limit = acceptance_limit(k, n, offset)
+        assert limit < k / n + offset
+        assert limit + 1 >= k / n + offset
+
+    @given(st.integers(0, 2_000), st.integers(1, 60))
+    def test_stage_windows_limits_match_per_ball_limits(self, m, n):
+        """The per-stage constant limit equals every member ball's own limit."""
+        for window in stage_windows(m, n):
+            for ball in (window.first_ball, window.last_ball):
+                assert acceptance_limit(ball, n) == window.acceptance_limit

@@ -1,0 +1,81 @@
+"""Tests for the CRS-style rebalancing baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.greedy import run_greedy
+from repro.baselines.rebalancing import RebalancingProtocol, run_rebalancing
+from repro.core.thresholds import ceil_div
+from repro.errors import ConfigurationError
+from repro.runtime.probes import FixedProbeStream
+
+
+class TestConstruction:
+    def test_d_must_be_at_least_two(self):
+        with pytest.raises(ConfigurationError):
+            RebalancingProtocol(d=1)
+
+    def test_max_passes_positive(self):
+        with pytest.raises(ConfigurationError):
+            RebalancingProtocol(max_passes=0)
+
+    def test_params(self):
+        params = RebalancingProtocol(d=3, max_passes=7).params()
+        assert params == {"d": 3, "max_passes": 7}
+
+
+class TestAllocate:
+    def test_all_balls_placed(self, problem_size):
+        m, n = problem_size
+        assert int(run_rebalancing(m, n, seed=0).loads.sum()) == m
+
+    def test_deterministic(self):
+        a = run_rebalancing(400, 40, seed=1)
+        b = run_rebalancing(400, 40, seed=1)
+        assert np.array_equal(a.loads, b.loads)
+        assert a.costs.reallocations == b.costs.reallocations
+
+    def test_never_worse_than_plain_greedy(self):
+        m, n = 8000, 400
+        for seed in range(3):
+            rebalanced = run_rebalancing(m, n, seed=seed)
+            greedy = run_greedy(m, n, seed=seed)
+            assert rebalanced.max_load <= greedy.max_load
+
+    def test_max_load_close_to_perfect(self):
+        """Czumaj–Riley–Scheideler: max load ⌈m/n⌉ (we allow +1 slack)."""
+        m, n = 8000, 400
+        result = run_rebalancing(m, n, seed=2)
+        assert result.max_load <= ceil_div(m, n) + 1
+
+    def test_reallocations_counted_separately_from_probes(self):
+        result = run_rebalancing(2000, 100, seed=3)
+        assert result.allocation_time == 2 * 2000
+        assert result.costs.probes == 2 * 2000
+        assert result.costs.reallocations >= 0
+
+    def test_rebalancing_reduces_quadratic_potential(self):
+        m, n = 4000, 200
+        for seed in range(2):
+            rebalanced = run_rebalancing(m, n, seed=seed)
+            greedy = run_greedy(m, n, seed=seed, d=2)
+            assert (
+                rebalanced.quadratic_potential() <= greedy.quadratic_potential() + 1e-9
+            )
+
+    def test_zero_balls(self):
+        result = run_rebalancing(0, 10, seed=0)
+        assert result.allocation_time == 0
+        assert result.costs.reallocations == 0
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigurationError):
+            run_rebalancing(5, 0)
+
+    def test_mismatched_stream(self):
+        with pytest.raises(ConfigurationError):
+            RebalancingProtocol().allocate(
+                4, 5, probe_stream=FixedProbeStream(3, np.arange(3))
+            )

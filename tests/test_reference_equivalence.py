@@ -1,0 +1,157 @@
+"""Bit-exact equivalence of the vectorised engines with the paper's pseudocode.
+
+Both ADAPTIVE and THRESHOLD are implemented twice: the literal ball-by-ball
+loops of Figures 1 and 2 (:mod:`repro.core.reference`) and the vectorised
+window engines (:mod:`repro.core.adaptive` / :mod:`repro.core.threshold`).
+Feeding both with the same fixed choice vector must give *identical* loads and
+allocation times — this is the strongest possible check that the fast engines
+simulate exactly the processes the paper analyses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.adaptive import AdaptiveProtocol
+from repro.core.reference import reference_adaptive, reference_threshold
+from repro.core.threshold import ThresholdProtocol
+from repro.errors import ConfigurationError
+from repro.runtime.probes import FixedProbeStream
+
+
+def _choice_vector(n_bins: int, length: int, seed: int) -> np.ndarray:
+    return np.random.default_rng(seed).integers(0, n_bins, size=length)
+
+
+CASES = [
+    (50, 10, 0),  # m = 5n
+    (100, 100, 1),  # m = n
+    (37, 8, 2),  # non-divisible
+    (7, 20, 3),  # m < n
+    (250, 25, 4),
+]
+
+
+class TestAdaptiveEquivalence:
+    @pytest.mark.parametrize("n_balls,n_bins,seed", CASES)
+    def test_matches_reference(self, n_balls, n_bins, seed):
+        choices = _choice_vector(n_bins, 200 * n_balls + 500, seed)
+        ref_loads, ref_probes = reference_adaptive(
+            n_balls, n_bins, probe_stream=FixedProbeStream(n_bins, choices)
+        )
+        result = AdaptiveProtocol().allocate(
+            n_balls, n_bins, probe_stream=FixedProbeStream(n_bins, choices)
+        )
+        assert np.array_equal(result.loads, ref_loads)
+        assert result.allocation_time == ref_probes
+
+    @pytest.mark.parametrize("offset", [0, 1, 2])
+    def test_matches_reference_with_offsets(self, offset):
+        n_balls, n_bins = 60, 12
+        choices = _choice_vector(n_bins, 50_000, 7)
+        ref_loads, ref_probes = reference_adaptive(
+            n_balls,
+            n_bins,
+            probe_stream=FixedProbeStream(n_bins, choices),
+            offset=offset,
+        )
+        result = AdaptiveProtocol(offset=offset).allocate(
+            n_balls, n_bins, probe_stream=FixedProbeStream(n_bins, choices)
+        )
+        assert np.array_equal(result.loads, ref_loads)
+        assert result.allocation_time == ref_probes
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n_bins=st.integers(2, 15),
+        phi=st.integers(1, 6),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    def test_property_equivalence(self, n_bins, phi, seed):
+        n_balls = n_bins * phi + seed % n_bins  # include partial stages
+        choices = _choice_vector(n_bins, 400 * n_balls + 1000, seed)
+        ref_loads, ref_probes = reference_adaptive(
+            n_balls, n_bins, probe_stream=FixedProbeStream(n_bins, choices)
+        )
+        result = AdaptiveProtocol().allocate(
+            n_balls, n_bins, probe_stream=FixedProbeStream(n_bins, choices)
+        )
+        assert np.array_equal(result.loads, ref_loads)
+        assert result.allocation_time == ref_probes
+
+
+class TestThresholdEquivalence:
+    @pytest.mark.parametrize("n_balls,n_bins,seed", CASES)
+    def test_matches_reference(self, n_balls, n_bins, seed):
+        choices = _choice_vector(n_bins, 200 * n_balls + 500, seed)
+        ref_loads, ref_probes = reference_threshold(
+            n_balls, n_bins, probe_stream=FixedProbeStream(n_bins, choices)
+        )
+        result = ThresholdProtocol().allocate(
+            n_balls, n_bins, probe_stream=FixedProbeStream(n_bins, choices)
+        )
+        assert np.array_equal(result.loads, ref_loads)
+        assert result.allocation_time == ref_probes
+
+    def test_traced_run_matches_reference_too(self):
+        n_balls, n_bins = 120, 20
+        choices = _choice_vector(n_bins, 50_000, 9)
+        ref_loads, ref_probes = reference_threshold(
+            n_balls, n_bins, probe_stream=FixedProbeStream(n_bins, choices)
+        )
+        result = ThresholdProtocol().allocate(
+            n_balls,
+            n_bins,
+            probe_stream=FixedProbeStream(n_bins, choices),
+            record_trace=True,
+        )
+        assert np.array_equal(result.loads, ref_loads)
+        assert result.allocation_time == ref_probes
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n_bins=st.integers(2, 15),
+        phi=st.integers(1, 6),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    def test_property_equivalence(self, n_bins, phi, seed):
+        n_balls = n_bins * phi + seed % n_bins
+        choices = _choice_vector(n_bins, 400 * n_balls + 1000, seed)
+        ref_loads, ref_probes = reference_threshold(
+            n_balls, n_bins, probe_stream=FixedProbeStream(n_bins, choices)
+        )
+        result = ThresholdProtocol().allocate(
+            n_balls, n_bins, probe_stream=FixedProbeStream(n_bins, choices)
+        )
+        assert np.array_equal(result.loads, ref_loads)
+        assert result.allocation_time == ref_probes
+
+
+class TestReferenceValidation:
+    def test_reference_adaptive_invalid_sizes(self):
+        with pytest.raises(ConfigurationError):
+            reference_adaptive(5, 0)
+        with pytest.raises(ConfigurationError):
+            reference_adaptive(-1, 5)
+
+    def test_reference_threshold_invalid_sizes(self):
+        with pytest.raises(ConfigurationError):
+            reference_threshold(5, 0)
+        with pytest.raises(ConfigurationError):
+            reference_threshold(-1, 5)
+
+    def test_reference_stream_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            reference_adaptive(5, 5, probe_stream=FixedProbeStream(6, np.arange(6)))
+
+    def test_reference_guarantees(self):
+        loads, probes = reference_adaptive(200, 20, seed=0)
+        assert loads.sum() == 200
+        assert loads.max() <= 11
+        assert probes >= 200
+        loads, probes = reference_threshold(200, 20, seed=0)
+        assert loads.sum() == 200
+        assert loads.max() <= 11
+        assert probes >= 200

@@ -1,0 +1,121 @@
+"""Tests for the reporting helpers (tables, ASCII plots, reports)."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reporting.ascii_plot import ascii_plot
+from repro.reporting.report import ExperimentReport
+from repro.reporting.tables import (
+    format_csv,
+    format_markdown_table,
+    format_value,
+    write_csv,
+)
+
+
+class TestFormatValue:
+    def test_floats_rounded(self):
+        assert format_value(3.14159) == "3.142"
+
+    def test_large_floats_scientific(self):
+        assert "e" in format_value(1.5e7)
+
+    def test_small_floats_scientific(self):
+        assert "e" in format_value(1.5e-5)
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_bool_and_str(self):
+        assert format_value(True) == "True"
+        assert format_value("abc") == "abc"
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        table = format_markdown_table([{"a": 1, "b": 2.5}, {"a": 3, "b": 4.0}])
+        lines = table.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert len(lines) == 4
+
+    def test_column_selection_and_missing_values(self):
+        table = format_markdown_table([{"a": 1}], columns=["a", "missing"])
+        assert "missing" in table.splitlines()[0]
+
+    def test_empty_rows_raise(self):
+        with pytest.raises(ConfigurationError):
+            format_markdown_table([])
+
+
+class TestCsv:
+    def test_round_trip(self):
+        rows = [{"x": 1, "y": "a"}, {"x": 2, "y": "b"}]
+        text = format_csv(rows)
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert parsed[0]["x"] == "1" and parsed[1]["y"] == "b"
+
+    def test_write_csv(self, tmp_path):
+        path = write_csv(tmp_path / "sub" / "out.csv", [{"a": 1}])
+        assert path.exists()
+        assert "a" in path.read_text()
+
+    def test_empty_rows_raise(self):
+        with pytest.raises(ConfigurationError):
+            format_csv([])
+
+
+class TestAsciiPlot:
+    def test_contains_title_and_legend(self):
+        text = ascii_plot([1, 2, 3], {"up": [1, 2, 3]}, title="T", x_label="m", y_label="y")
+        assert "T" in text
+        assert "legend" in text
+        assert "* = up" in text
+
+    def test_multiple_series_use_distinct_markers(self):
+        text = ascii_plot([1, 2], {"a": [1, 2], "b": [2, 1]})
+        assert "* = a" in text and "o = b" in text
+
+    def test_constant_series_does_not_crash(self):
+        text = ascii_plot([1, 2, 3], {"flat": [5, 5, 5]})
+        assert "flat" in text
+
+    def test_single_point(self):
+        assert "p" in ascii_plot([1], {"p": [3]})
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot([], {"a": []})
+        with pytest.raises(ConfigurationError):
+            ascii_plot([1, 2], {})
+        with pytest.raises(ConfigurationError):
+            ascii_plot([1, 2], {"a": [1]})
+        with pytest.raises(ConfigurationError):
+            ascii_plot([1, 2], {"a": [1, 2]}, width=5)
+
+
+class TestExperimentReport:
+    def test_render_contains_sections_and_tables(self):
+        report = ExperimentReport("My experiment")
+        section = report.add_section("Results")
+        section.add_text("Some findings.")
+        section.add_table([{"metric": "max_load", "value": 11}])
+        text = report.render()
+        assert "# My experiment" in text
+        assert "## Results" in text
+        assert "max_load" in text
+
+    def test_empty_report_raises(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentReport("empty").render()
+
+    def test_write(self, tmp_path):
+        report = ExperimentReport("R")
+        report.add_section("S").add_text("body")
+        path = report.write(tmp_path / "report.md")
+        assert path.read_text().startswith("# R")

@@ -1,0 +1,85 @@
+"""Tests for AllocationResult (repro.core.result)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.result import AllocationResult
+from repro.errors import ProtocolError
+from repro.runtime.costs import CostModel
+
+
+def make_result(loads=(3, 2, 5), probes=12, **kwargs) -> AllocationResult:
+    loads = np.array(loads, dtype=np.int64)
+    return AllocationResult(
+        protocol="test",
+        n_balls=int(loads.sum()),
+        n_bins=loads.size,
+        loads=loads,
+        allocation_time=probes,
+        costs=CostModel(probes=probes),
+        **kwargs,
+    )
+
+
+class TestValidation:
+    def test_wrong_length_raises(self):
+        with pytest.raises(ProtocolError):
+            AllocationResult("p", 5, 3, np.array([1, 2]), 5)
+
+    def test_wrong_sum_raises(self):
+        with pytest.raises(ProtocolError):
+            AllocationResult("p", 5, 2, np.array([1, 2]), 5)
+
+    def test_negative_time_raises(self):
+        with pytest.raises(ProtocolError):
+            AllocationResult("p", 3, 2, np.array([1, 2]), -1)
+
+    def test_loads_cast_to_int64(self):
+        result = AllocationResult("p", 3, 2, np.array([1.0, 2.0]), 3)
+        assert result.loads.dtype == np.int64
+
+
+class TestDerivedStatistics:
+    def test_extremes_and_gap(self):
+        result = make_result()
+        assert result.max_load == 5
+        assert result.min_load == 2
+        assert result.gap == 3
+
+    def test_average_and_probes_per_ball(self):
+        result = make_result(loads=(4, 4, 4), probes=24)
+        assert result.average_load == pytest.approx(4.0)
+        assert result.probes_per_ball == pytest.approx(2.0)
+
+    def test_probes_per_ball_zero_balls(self):
+        result = AllocationResult("p", 0, 3, np.zeros(3, dtype=int), 0)
+        assert result.probes_per_ball == 0.0
+
+    def test_quadratic_potential_matches_module(self):
+        from repro.core.potentials import quadratic_potential
+
+        result = make_result()
+        assert result.quadratic_potential() == pytest.approx(
+            quadratic_potential(result.loads, result.n_balls)
+        )
+
+    def test_log_exponential_potential_finite(self):
+        assert np.isfinite(make_result().log_exponential_potential())
+
+    def test_smoothness_keys(self):
+        assert "gap" in make_result().smoothness()
+
+
+class TestAsRecord:
+    def test_record_contains_core_fields(self):
+        record = make_result(params={"offset": 1}).as_record()
+        assert record["protocol"] == "test"
+        assert record["max_load"] == 5
+        assert record["cost_probes"] == 12
+        assert record["param_offset"] == 1
+
+    def test_record_is_flat(self):
+        record = make_result().as_record()
+        assert all(not isinstance(v, (dict, list, np.ndarray)) for v in record.values())

@@ -1,0 +1,79 @@
+"""Tests for repro.runtime.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.rng import as_generator, derive_generator, spawn_generators, spawn_seeds
+
+
+class TestAsGenerator:
+    def test_from_int_is_deterministic(self):
+        a = as_generator(7).integers(0, 1000, size=10)
+        b = as_generator(7).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_from_none_gives_generator(self):
+        gen = as_generator(None)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(3)
+        assert as_generator(gen) is gen
+
+    def test_from_seed_sequence(self):
+        seq = np.random.SeedSequence(11)
+        gen = as_generator(seq)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(ConfigurationError):
+            as_generator("not-a-seed")  # type: ignore[arg-type]
+
+
+class TestSpawn:
+    def test_spawn_seeds_count(self):
+        seeds = spawn_seeds(0, 5)
+        assert len(seeds) == 5
+
+    def test_spawn_seeds_negative_count_raises(self):
+        with pytest.raises(ConfigurationError):
+            spawn_seeds(0, -1)
+
+    def test_spawn_generators_are_independent(self):
+        gens = spawn_generators(42, 3)
+        streams = [g.integers(0, 10**9, size=50) for g in gens]
+        assert not np.array_equal(streams[0], streams[1])
+        assert not np.array_equal(streams[1], streams[2])
+
+    def test_spawn_is_reproducible(self):
+        a = [g.integers(0, 10**9, size=5) for g in spawn_generators(1, 2)]
+        b = [g.integers(0, 10**9, size=5) for g in spawn_generators(1, 2)]
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_spawn_from_generator(self):
+        gens = spawn_generators(np.random.default_rng(9), 2)
+        assert len(gens) == 2
+
+    def test_spawn_from_seed_sequence(self):
+        gens = spawn_generators(np.random.SeedSequence(5), 2)
+        assert len(gens) == 2
+
+
+class TestDeriveGenerator:
+    def test_same_keys_same_stream(self):
+        a = derive_generator(10, 1, 2).integers(0, 10**9, size=10)
+        b = derive_generator(10, 1, 2).integers(0, 10**9, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_keys_different_stream(self):
+        a = derive_generator(10, 1).integers(0, 10**9, size=10)
+        b = derive_generator(10, 2).integers(0, 10**9, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_derive_from_seed_sequence(self):
+        gen = derive_generator(np.random.SeedSequence(4), 7)
+        assert isinstance(gen, np.random.Generator)

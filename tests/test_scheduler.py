@@ -1,0 +1,142 @@
+"""Tests for the scheduling application substrate (repro.scheduler)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scheduler.dispatcher import Dispatcher
+from repro.scheduler.jobs import (
+    bursty_workload,
+    heavy_tailed_workload,
+    uniform_workload,
+)
+from repro.scheduler.metrics import compute_metrics
+
+
+class TestWorkloads:
+    def test_uniform_workload(self):
+        workload = uniform_workload(100)
+        assert len(workload) == 100
+        assert workload.total_work == pytest.approx(100.0)
+        assert np.all(workload.sizes() == 1.0)
+
+    def test_heavy_tailed_workload_mean(self):
+        workload = heavy_tailed_workload(5000, seed=0, mean_size=2.0)
+        assert workload.sizes().mean() == pytest.approx(2.0, rel=1e-9)
+        assert workload.sizes().max() > 4.0  # heavy tail produces outliers
+
+    def test_bursty_workload_arrivals(self):
+        workload = bursty_workload(250, seed=1, burst_size=100, burst_gap=10.0)
+        arrivals = np.array([job.arrival for job in workload])
+        assert arrivals[0] == 0.0
+        assert arrivals[100] == 10.0
+        assert arrivals[200] == 20.0
+        assert np.all(np.diff(arrivals) >= 0)
+
+    def test_job_ids_sequential(self):
+        workload = heavy_tailed_workload(10, seed=2)
+        assert [job.job_id for job in workload] == list(range(10))
+
+    def test_invalid_workload_args(self):
+        with pytest.raises(ConfigurationError):
+            uniform_workload(-1)
+        with pytest.raises(ConfigurationError):
+            uniform_workload(5, mean_size=0.0)
+        with pytest.raises(ConfigurationError):
+            heavy_tailed_workload(5, alpha=1.0)
+        with pytest.raises(ConfigurationError):
+            bursty_workload(5, burst_size=0)
+        with pytest.raises(ConfigurationError):
+            bursty_workload(5, burst_gap=-1.0)
+
+    def test_workloads_deterministic(self):
+        a = heavy_tailed_workload(50, seed=3).sizes()
+        b = heavy_tailed_workload(50, seed=3).sizes()
+        assert np.array_equal(a, b)
+
+
+class TestMetrics:
+    def test_simple_values(self):
+        metrics = compute_metrics(
+            work=np.array([2.0, 4.0]), job_counts=np.array([1, 2]), probes=6
+        )
+        assert metrics.makespan == 4.0
+        assert metrics.avg_work == 3.0
+        assert metrics.max_jobs == 2 and metrics.min_jobs == 1
+        assert metrics.job_imbalance == 1
+        assert metrics.probes_per_job == pytest.approx(2.0)
+        assert metrics.work_imbalance_ratio == pytest.approx(4.0 / 3.0)
+
+    def test_zero_work(self):
+        metrics = compute_metrics(np.zeros(3), np.zeros(3, dtype=int), probes=0)
+        assert metrics.work_imbalance_ratio == 1.0
+        assert metrics.probes_per_job == 0.0
+
+    def test_as_dict(self):
+        metrics = compute_metrics(np.array([1.0]), np.array([1]), probes=1)
+        assert "makespan" in metrics.as_dict()
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            compute_metrics(np.array([1.0]), np.array([1, 2]), probes=1)
+        with pytest.raises(ConfigurationError):
+            compute_metrics(np.array([]), np.array([], dtype=int), probes=0)
+        with pytest.raises(ConfigurationError):
+            compute_metrics(np.array([1.0]), np.array([1]), probes=-1)
+
+
+class TestDispatcher:
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            Dispatcher(0)
+        with pytest.raises(ConfigurationError):
+            Dispatcher(5, policy="round-robin")
+        with pytest.raises(ConfigurationError):
+            Dispatcher(5, d=0)
+
+    @pytest.mark.parametrize("policy", ["adaptive", "threshold", "greedy", "single"])
+    def test_every_job_assigned(self, policy):
+        workload = uniform_workload(500)
+        outcome = Dispatcher(50, policy=policy, seed=0).dispatch(workload)
+        assert int(outcome.job_counts.sum()) == 500
+        assert outcome.assignments.size == 500
+        assert outcome.work.sum() == pytest.approx(workload.total_work)
+
+    def test_adaptive_policy_respects_load_guarantee(self):
+        workload = uniform_workload(1000)
+        outcome = Dispatcher(100, policy="adaptive", seed=1).dispatch(workload)
+        assert outcome.metrics.max_jobs <= 1000 // 100 + 1
+
+    def test_threshold_policy_respects_load_guarantee(self):
+        workload = uniform_workload(1000)
+        outcome = Dispatcher(100, policy="threshold", seed=1).dispatch(workload)
+        assert outcome.metrics.max_jobs <= 1000 // 100 + 1
+
+    def test_balanced_policies_beat_single_choice(self):
+        workload = heavy_tailed_workload(2000, seed=2)
+        single = Dispatcher(200, policy="single", seed=3).dispatch(workload)
+        adaptive = Dispatcher(200, policy="adaptive", seed=3).dispatch(workload)
+        assert adaptive.metrics.max_jobs < single.metrics.max_jobs
+
+    def test_unit_jobs_makespan_equals_max_jobs(self):
+        workload = uniform_workload(600)
+        outcome = Dispatcher(60, policy="adaptive", seed=4).dispatch(workload)
+        assert outcome.metrics.makespan == pytest.approx(outcome.metrics.max_jobs)
+
+    def test_probes_per_job_reasonable(self):
+        workload = uniform_workload(2000)
+        outcome = Dispatcher(200, policy="adaptive", seed=5).dispatch(workload)
+        assert 1.0 <= outcome.metrics.probes_per_job < 3.0
+
+    def test_deterministic_given_seed(self):
+        workload = uniform_workload(300)
+        a = Dispatcher(30, policy="greedy", seed=6).dispatch(workload)
+        b = Dispatcher(30, policy="greedy", seed=6).dispatch(workload)
+        assert np.array_equal(a.assignments, b.assignments)
+
+    def test_empty_workload(self):
+        outcome = Dispatcher(10, policy="adaptive", seed=0).dispatch(uniform_workload(0))
+        assert outcome.metrics.probes_per_job == 0.0
+        assert outcome.job_counts.sum() == 0

@@ -1,0 +1,82 @@
+"""Tests for the stage-level analysis of ADAPTIVE (Lemmas 3.2–3.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.stage_analysis import (
+    LEMMA32_RATE,
+    lemma32_catchup,
+    lemma34_potential_drift,
+)
+
+
+class TestLemma32Catchup:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            lemma32_catchup(n_bins=1)
+        with pytest.raises(ConfigurationError):
+            lemma32_catchup(n_stages=0)
+        with pytest.raises(ConfigurationError):
+            lemma32_catchup(hole_threshold=0)
+        with pytest.raises(ConfigurationError):
+            lemma32_catchup(max_k=0)
+        with pytest.raises(ConfigurationError):
+            lemma32_catchup(trials=0)
+
+    def test_rate_constant(self):
+        assert LEMMA32_RATE == pytest.approx(199 / 198)
+
+    def test_tail_arrays_aligned(self):
+        stats = lemma32_catchup(n_bins=300, n_stages=10, trials=1, seed=1, max_k=5)
+        assert stats.empirical_tail.shape == stats.poisson_tail.shape == (6,)
+        assert stats.empirical_tail[0] == pytest.approx(1.0)
+        assert stats.poisson_tail[0] == pytest.approx(1.0)
+
+    def test_underloaded_bins_catch_up(self):
+        """Lemma 3.2's conclusion: underloaded bins receive > 1 ball per stage."""
+        stats = lemma32_catchup(n_bins=500, n_stages=25, trials=2, seed=3)
+        assert stats.observations > 0
+        assert stats.mean_balls_received > 1.0
+        # Empirical tail dominates (approximately) the Poisson benchmark for
+        # small k: allow a modest slack for finite-n effects.
+        for k in (1, 2):
+            assert stats.empirical_tail[k] >= stats.poisson_tail[k] - 0.1
+
+    def test_empirical_tail_monotone(self):
+        stats = lemma32_catchup(n_bins=300, n_stages=15, trials=1, seed=5)
+        assert np.all(np.diff(stats.empirical_tail) <= 1e-12)
+
+    def test_deeper_holes_catch_up_at_least_as_fast(self):
+        shallow = lemma32_catchup(n_bins=400, n_stages=20, hole_threshold=2, seed=7)
+        deep = lemma32_catchup(n_bins=400, n_stages=20, hole_threshold=4, seed=7)
+        # Deeper holes are rarer ...
+        assert deep.observations <= shallow.observations
+        # ... but catch up at least as fast on average (they are easier to hit
+        # relative to the acceptance limit for longer).
+        if deep.observations:
+            assert deep.mean_balls_received >= shallow.mean_balls_received - 0.1
+
+
+class TestLemma34Drift:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            lemma34_potential_drift(n_bins=1)
+        with pytest.raises(ConfigurationError):
+            lemma34_potential_drift(n_stages=1)
+
+    def test_potential_stays_linear_in_n(self):
+        data = lemma34_potential_drift(n_bins=500, n_stages=30, seed=2)
+        assert data["max_potential_per_bin"] < 10.0
+        assert len(data["potentials"]) == 30
+
+    def test_growth_ratio_bounded_by_one_plus_epsilon(self):
+        """Φ can grow by at most (1+ε) per stage (deterministic inequality)."""
+        data = lemma34_potential_drift(n_bins=400, n_stages=25, seed=4)
+        assert data["max_growth_ratio"] <= 1.0 + 1.0 / 200.0 + 1e-9
+
+    def test_mean_growth_is_neutral_or_contracting(self):
+        data = lemma34_potential_drift(n_bins=400, n_stages=40, seed=6)
+        assert data["mean_growth_ratio"] <= 1.0 + 1e-3

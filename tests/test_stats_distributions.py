@@ -1,0 +1,114 @@
+"""Tests for empirical load-distribution tools (repro.stats.distributions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.stats.distributions import (
+    empirical_cdf,
+    hole_profile,
+    load_histogram,
+    overload_profile,
+    poisson_reference_pmf,
+    total_variation_distance,
+)
+
+
+class TestLoadHistogram:
+    def test_counts_per_level(self):
+        levels, counts = load_histogram(np.array([0, 2, 2, 3]))
+        assert np.array_equal(levels, [0, 1, 2, 3])
+        assert np.array_equal(counts, [1, 0, 2, 1])
+
+    def test_counts_sum_to_n_bins(self, small_loads):
+        _, counts = load_histogram(small_loads)
+        assert counts.sum() == small_loads.size
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            load_histogram(np.array([-1, 2]))
+
+
+class TestEmpiricalCdf:
+    def test_last_value_is_one(self, small_loads):
+        _, cdf = empirical_cdf(small_loads)
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_monotone(self, small_loads):
+        _, cdf = empirical_cdf(small_loads)
+        assert np.all(np.diff(cdf) >= -1e-12)
+
+
+class TestTotalVariation:
+    def test_identical_distributions(self):
+        p = np.array([0.5, 0.5])
+        assert total_variation_distance(p, p) == pytest.approx(0.0)
+
+    def test_disjoint_distributions(self):
+        assert total_variation_distance(np.array([1, 0]), np.array([0, 1])) == pytest.approx(1.0)
+
+    def test_counts_are_normalised(self):
+        assert total_variation_distance(np.array([10, 10]), np.array([1, 1])) == pytest.approx(0.0)
+
+    def test_different_lengths_are_padded(self):
+        assert total_variation_distance(np.array([1.0]), np.array([0.5, 0.5])) == pytest.approx(0.5)
+
+    def test_symmetry(self, rng):
+        p = rng.random(8)
+        q = rng.random(8)
+        assert total_variation_distance(p, q) == pytest.approx(total_variation_distance(q, p))
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            total_variation_distance(np.array([]), np.array([1.0]))
+        with pytest.raises(ConfigurationError):
+            total_variation_distance(np.array([-1.0, 2.0]), np.array([1.0]))
+        with pytest.raises(ConfigurationError):
+            total_variation_distance(np.array([0.0]), np.array([1.0]))
+
+
+class TestPoissonReference:
+    def test_pmf_sums_to_less_than_one(self):
+        pmf = poisson_reference_pmf(3.0, 20)
+        assert pmf.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_single_choice_loads_close_to_poisson(self, rng):
+        """Lemma A.7 in action: single-choice loads ≈ independent Poissons."""
+        n, m = 2_000, 10_000
+        loads = np.bincount(rng.integers(0, n, size=m), minlength=n)
+        _, counts = load_histogram(loads)
+        pmf = poisson_reference_pmf(m / n, counts.size - 1)
+        assert total_variation_distance(counts, pmf) < 0.05
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            poisson_reference_pmf(-1.0, 5)
+        with pytest.raises(ConfigurationError):
+            poisson_reference_pmf(1.0, -1)
+
+
+class TestProfiles:
+    def test_hole_profile_counts(self):
+        profile = hole_profile(np.array([0, 1, 3, 5]), cap=3)
+        # holes: 3, 2, 0, 0 -> one bin with 3 holes, one with 2, two with 0
+        assert np.array_equal(profile, [2, 0, 1, 1])
+
+    def test_hole_profile_total_holes(self):
+        loads = np.array([0, 1, 2, 3])
+        profile = hole_profile(loads, cap=3)
+        total = sum(k * c for k, c in enumerate(profile))
+        assert total == np.sum(np.clip(3 - loads, 0, None))
+
+    def test_hole_profile_invalid(self):
+        with pytest.raises(ConfigurationError):
+            hole_profile(np.array([1, 2]), cap=-1)
+
+    def test_overload_profile_fractions_sum_to_one(self, small_loads):
+        profile = overload_profile(small_loads, average=float(small_loads.mean()))
+        assert profile["below"] + profile["at"] + profile["above"] == pytest.approx(1.0)
+
+    def test_overload_profile_invalid(self):
+        with pytest.raises(ConfigurationError):
+            overload_profile(np.array([1, 2]), average=-1.0)

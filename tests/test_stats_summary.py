@@ -1,0 +1,92 @@
+"""Tests for trial summaries (repro.stats.summary)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.stats.summary import TrialSummary, relative_spread, summarize, summarize_records
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.n_trials == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1.0 and summary.maximum == 4.0
+        assert summary.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+
+    def test_confidence_interval_contains_mean(self):
+        summary = summarize([5.0, 6.0, 7.0, 8.0, 9.0])
+        assert summary.ci_low <= summary.mean <= summary.ci_high
+
+    def test_wider_confidence_gives_wider_interval(self):
+        values = list(np.random.default_rng(0).normal(size=30))
+        narrow = summarize(values, confidence=0.5)
+        wide = summarize(values, confidence=0.99)
+        assert (wide.ci_high - wide.ci_low) > (narrow.ci_high - narrow.ci_low)
+
+    def test_single_value_degenerate_interval(self):
+        summary = summarize([3.0])
+        assert summary.std == 0.0
+        assert summary.ci_low == summary.ci_high == 3.0
+
+    def test_constant_values(self):
+        summary = summarize([2.0, 2.0, 2.0])
+        assert summary.std == 0.0
+        assert summary.ci_low == summary.ci_high == 2.0
+
+    def test_as_dict_keys(self):
+        d = summarize([1.0, 2.0]).as_dict()
+        assert {"mean", "std", "stderr", "ci_low", "ci_high", "min", "max", "n_trials"} == set(d)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+        with pytest.raises(ConfigurationError):
+            summarize([1.0], confidence=1.5)
+
+    def test_coverage_of_normal_mean(self, rng):
+        """95% CI should cover the true mean in roughly 95% of repetitions."""
+        covered = 0
+        repetitions = 200
+        for _ in range(repetitions):
+            sample = rng.normal(loc=10.0, scale=2.0, size=25)
+            summary = summarize(sample)
+            covered += summary.ci_low <= 10.0 <= summary.ci_high
+        assert covered / repetitions > 0.85
+
+
+class TestSummarizeRecords:
+    def test_aggregates_selected_keys(self):
+        records = [{"a": 1.0, "b": 10.0}, {"a": 3.0, "b": 20.0}]
+        summaries = summarize_records(records, ["a", "b"])
+        assert summaries["a"].mean == pytest.approx(2.0)
+        assert summaries["b"].mean == pytest.approx(15.0)
+
+    def test_missing_key_raises(self):
+        with pytest.raises(ConfigurationError):
+            summarize_records([{"a": 1.0}], ["b"])
+
+    def test_empty_records_raise(self):
+        with pytest.raises(ConfigurationError):
+            summarize_records([], ["a"])
+
+
+class TestRelativeSpread:
+    def test_zero_for_constant(self):
+        assert relative_spread([5.0, 5.0, 5.0]) == 0.0
+
+    def test_zero_mean(self):
+        assert relative_spread([-1.0, 1.0]) == 0.0
+
+    def test_scale_invariance(self):
+        values = [1.0, 2.0, 3.0]
+        assert relative_spread(values) == pytest.approx(
+            relative_spread([10 * v for v in values])
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            relative_spread([])

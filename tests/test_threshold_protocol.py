@@ -1,0 +1,104 @@
+"""Tests for the THRESHOLD protocol (repro.core.threshold)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.threshold import ThresholdProtocol, run_threshold
+from repro.core.thresholds import max_final_load
+from repro.errors import ConfigurationError
+from repro.runtime.probes import RandomProbeStream
+from repro.theory.bounds import threshold_excess_probes
+
+
+class TestConstruction:
+    def test_offset_below_one_raises(self):
+        with pytest.raises(ConfigurationError):
+            ThresholdProtocol(offset=0)
+
+    def test_bad_block_size_raises(self):
+        with pytest.raises(ConfigurationError):
+            ThresholdProtocol(block_size=-1)
+
+    def test_params(self):
+        assert ThresholdProtocol(offset=2).params() == {"offset": 2}
+
+
+class TestAllocate:
+    def test_zero_balls(self):
+        result = run_threshold(0, 10, seed=0)
+        assert result.allocation_time == 0
+        assert result.loads.sum() == 0
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigurationError):
+            run_threshold(10, 0)
+        with pytest.raises(ConfigurationError):
+            run_threshold(-1, 10)
+
+    def test_mismatched_probe_stream_raises(self):
+        with pytest.raises(ConfigurationError):
+            ThresholdProtocol().allocate(10, 5, probe_stream=RandomProbeStream(6))
+
+    def test_all_balls_placed(self, problem_size):
+        m, n = problem_size
+        result = run_threshold(m, n, seed=1)
+        assert int(result.loads.sum()) == m
+
+    def test_deterministic_given_seed(self, problem_size):
+        m, n = problem_size
+        a = run_threshold(m, n, seed=8)
+        b = run_threshold(m, n, seed=8)
+        assert np.array_equal(a.loads, b.loads)
+        assert a.allocation_time == b.allocation_time
+
+    def test_max_load_guarantee(self, problem_size):
+        m, n = problem_size
+        result = run_threshold(m, n, seed=5)
+        assert result.max_load <= max_final_load(m, n)
+
+    def test_allocation_time_close_to_m(self):
+        """Theorem 4.1: m + O(m^{3/4} n^{1/4}) probes."""
+        m, n = 100_000, 1_000
+        result = run_threshold(m, n, seed=3)
+        excess = result.allocation_time - m
+        assert excess >= 0
+        # Allow a generous constant (empirically the ratio is well below 2).
+        assert excess <= 5 * threshold_excess_probes(m, n)
+
+    def test_fewer_probes_than_adaptive_on_average(self):
+        """Figure 3(a): THRESHOLD's runtime sits below ADAPTIVE's."""
+        from repro.core.adaptive import run_adaptive
+
+        m, n = 50_000, 1_000
+        threshold_times = [run_threshold(m, n, seed=s).allocation_time for s in range(3)]
+        adaptive_times = [run_adaptive(m, n, seed=s).allocation_time for s in range(3)]
+        assert np.mean(threshold_times) < np.mean(adaptive_times)
+
+    def test_record_trace_stage_chunks(self):
+        result = run_threshold(1000, 100, seed=2, record_trace=True)
+        assert result.trace is not None
+        assert len(result.trace) == 10
+        assert int(result.trace.probes_per_stage().sum()) == result.allocation_time
+
+    def test_trace_partial_final_chunk(self):
+        result = run_threshold(1025, 100, seed=2, record_trace=True)
+        assert result.trace is not None
+        assert result.trace[-1].balls_placed == 25
+
+    def test_trace_and_plain_run_agree(self):
+        """Tracing splits the run into chunks but must not change the process."""
+        traced = run_threshold(2000, 100, seed=11, record_trace=True)
+        plain = run_threshold(2000, 100, seed=11, record_trace=False)
+        assert np.array_equal(traced.loads, plain.loads)
+        assert traced.allocation_time == plain.allocation_time
+
+    def test_single_bin(self):
+        result = run_threshold(5, 1, seed=0)
+        assert result.loads[0] == 5
+        assert result.allocation_time == 5
+
+    def test_costs_match(self):
+        result = run_threshold(500, 20, seed=1)
+        assert result.costs.probes == result.allocation_time

@@ -1,0 +1,137 @@
+"""Tests for the acceptance-limit arithmetic (repro.core.thresholds)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.thresholds import (
+    StageWindow,
+    acceptance_limit,
+    ceil_div,
+    max_final_load,
+    stage_of_ball,
+    stage_windows,
+)
+from repro.errors import ConfigurationError
+
+
+class TestCeilDiv:
+    @pytest.mark.parametrize(
+        "a,b,expected", [(0, 5, 0), (1, 5, 1), (5, 5, 1), (6, 5, 2), (10, 3, 4)]
+    )
+    def test_values(self, a, b, expected):
+        assert ceil_div(a, b) == expected
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            ceil_div(-1, 2)
+        with pytest.raises(ConfigurationError):
+            ceil_div(1, 0)
+
+    @given(st.integers(0, 10**9), st.integers(1, 10**6))
+    def test_matches_math_ceil(self, a, b):
+        assert ceil_div(a, b) == math.ceil(a / b) or ceil_div(a, b) == -(-a // b)
+
+
+class TestAcceptanceLimit:
+    def test_matches_float_condition(self):
+        # load < k/n + offset  <=>  load <= acceptance_limit(k, n, offset)
+        for n in (3, 7, 10):
+            for k in range(1, 5 * n + 1):
+                for offset in (0, 1, 2):
+                    limit = acceptance_limit(k, n, offset)
+                    threshold = k / n + offset
+                    assert limit < threshold  # limit itself is accepted
+                    assert limit + 1 >= threshold  # limit + 1 is rejected
+
+    def test_stage_constantness(self):
+        # Within a stage of n balls the acceptance limit does not change.
+        n = 13
+        for stage in range(5):
+            limits = {
+                acceptance_limit(i, n) for i in range(stage * n + 1, (stage + 1) * n + 1)
+            }
+            assert limits == {stage + 1}
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            acceptance_limit(-1, 5)
+        with pytest.raises(ConfigurationError):
+            acceptance_limit(1, 0)
+
+
+class TestMaxFinalLoad:
+    @pytest.mark.parametrize(
+        "m,n,expected",
+        [(0, 5, 0), (5, 5, 2), (6, 5, 3), (100, 10, 11), (101, 10, 12)],
+    )
+    def test_values(self, m, n, expected):
+        assert max_final_load(m, n) == expected
+
+    def test_paper_guarantee_formula(self):
+        # ceil(m/n) + 1
+        for m, n in [(7, 3), (30, 7), (1000, 13)]:
+            assert max_final_load(m, n) == ceil_div(m, n) + 1
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            max_final_load(-1, 5)
+
+
+class TestStageOfBall:
+    def test_first_stage(self):
+        assert stage_of_ball(1, 10) == 0
+        assert stage_of_ball(10, 10) == 0
+
+    def test_second_stage(self):
+        assert stage_of_ball(11, 10) == 1
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            stage_of_ball(0, 10)
+        with pytest.raises(ConfigurationError):
+            stage_of_ball(1, 0)
+
+
+class TestStageWindows:
+    def test_full_stages(self):
+        windows = list(stage_windows(30, 10))
+        assert len(windows) == 3
+        assert [w.n_balls for w in windows] == [10, 10, 10]
+        assert [w.acceptance_limit for w in windows] == [1, 2, 3]
+
+    def test_partial_final_stage(self):
+        windows = list(stage_windows(25, 10))
+        assert len(windows) == 3
+        assert windows[-1].n_balls == 5
+        assert windows[-1].first_ball == 21 and windows[-1].last_ball == 25
+
+    def test_zero_balls(self):
+        assert list(stage_windows(0, 10)) == []
+
+    def test_windows_cover_all_balls_exactly_once(self):
+        m, n = 47, 9
+        covered = []
+        for window in stage_windows(m, n):
+            covered.extend(range(window.first_ball, window.last_ball + 1))
+        assert covered == list(range(1, m + 1))
+
+    def test_offset_zero_limits(self):
+        windows = list(stage_windows(20, 10, offset=0))
+        assert [w.acceptance_limit for w in windows] == [0, 1]
+
+    def test_window_is_frozen(self):
+        window = StageWindow(stage=0, first_ball=1, last_ball=10, acceptance_limit=1)
+        with pytest.raises(AttributeError):
+            window.stage = 1  # type: ignore[misc]
+
+    @given(st.integers(1, 500), st.integers(1, 50))
+    def test_property_total_balls(self, m, n):
+        windows = list(stage_windows(m, n))
+        assert sum(w.n_balls for w in windows) == m
+        # limits are strictly increasing across stages
+        limits = [w.acceptance_limit for w in windows]
+        assert limits == sorted(limits)

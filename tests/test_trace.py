@@ -1,0 +1,54 @@
+"""Tests for repro.runtime.trace."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.trace import StageRecord, Trace
+
+
+def make_record(stage: int, probes: int = 10) -> StageRecord:
+    return StageRecord(
+        stage=stage,
+        balls_placed=100,
+        probes=probes,
+        max_load=stage + 2,
+        min_load=stage,
+        quadratic_potential=float(stage),
+        exponential_potential=float(stage * 2),
+    )
+
+
+class TestTrace:
+    def test_append_and_len(self):
+        trace = Trace()
+        trace.append(make_record(0))
+        trace.append(make_record(1))
+        assert len(trace) == 2
+
+    def test_iteration_and_indexing(self):
+        trace = Trace(records=[make_record(0), make_record(1)])
+        assert [r.stage for r in trace] == [0, 1]
+        assert trace[1].stage == 1
+
+    def test_probes_per_stage(self):
+        trace = Trace(records=[make_record(0, probes=5), make_record(1, probes=7)])
+        assert np.array_equal(trace.probes_per_stage(), [5, 7])
+
+    def test_potential_arrays(self):
+        trace = Trace(records=[make_record(0), make_record(1)])
+        assert np.allclose(trace.quadratic_potentials(), [0.0, 1.0])
+        assert np.allclose(trace.exponential_potentials(), [0.0, 2.0])
+
+    def test_gaps(self):
+        trace = Trace(records=[make_record(0), make_record(3)])
+        assert np.array_equal(trace.gaps(), [2, 2])
+
+    def test_record_is_frozen(self):
+        record = make_record(0)
+        try:
+            record.stage = 5  # type: ignore[misc]
+        except AttributeError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("StageRecord should be frozen")

@@ -1,0 +1,111 @@
+"""Tests for the weighted-balls extension (repro.core.weighted)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.weighted import (
+    run_weighted_adaptive,
+    weighted_gap_bound,
+)
+from repro.errors import ConfigurationError
+from repro.runtime.probes import FixedProbeStream
+
+
+class TestValidation:
+    def test_invalid_weights(self):
+        with pytest.raises(ConfigurationError):
+            run_weighted_adaptive(np.array([1.0, -1.0]), 10)
+        with pytest.raises(ConfigurationError):
+            run_weighted_adaptive(np.array([[1.0]]), 10)
+
+    def test_invalid_bins(self):
+        with pytest.raises(ConfigurationError):
+            run_weighted_adaptive(np.array([1.0]), 0)
+
+    def test_w_max_must_dominate(self):
+        with pytest.raises(ConfigurationError):
+            run_weighted_adaptive(np.array([1.0, 5.0]), 10, w_max=2.0)
+
+    def test_gap_bound_validation(self):
+        with pytest.raises(ConfigurationError):
+            weighted_gap_bound(np.array([]), 10)
+        with pytest.raises(ConfigurationError):
+            weighted_gap_bound(np.array([1.0]), 0)
+        with pytest.raises(ConfigurationError):
+            weighted_gap_bound(np.array([0.0]), 5)
+
+
+class TestAllocation:
+    def test_zero_balls(self):
+        result = run_weighted_adaptive(np.array([]), 10, seed=0)
+        assert result.allocation_time == 0
+        assert result.total_weight == 0.0
+
+    def test_unit_weights_match_guarantee(self):
+        weights = np.ones(500)
+        result = run_weighted_adaptive(weights, 50, seed=1)
+        # Unit weights: the bound W/n + 2*w_max = 10 + 2 = 12; the classical
+        # protocol actually achieves ceil(m/n) + 1 = 11, so 12 certainly holds.
+        assert result.max_load <= weighted_gap_bound(weights, 50)
+        assert result.counts.sum() == 500
+        assert result.loads.sum() == pytest.approx(500.0)
+
+    def test_deterministic(self):
+        weights = np.linspace(0.5, 2.0, 200)
+        a = run_weighted_adaptive(weights, 40, seed=3)
+        b = run_weighted_adaptive(weights, 40, seed=3)
+        assert np.array_equal(a.loads, b.loads)
+        assert a.allocation_time == b.allocation_time
+
+    def test_heterogeneous_weights_guarantee(self):
+        rng = np.random.default_rng(7)
+        weights = rng.uniform(0.1, 3.0, size=2_000)
+        result = run_weighted_adaptive(weights, 100, seed=4)
+        assert result.max_load <= weighted_gap_bound(weights, 100) + 1e-9
+        assert result.loads.sum() == pytest.approx(weights.sum())
+
+    def test_probes_linear_in_balls(self):
+        rng = np.random.default_rng(0)
+        weights = rng.uniform(0.5, 1.5, size=5_000)
+        result = run_weighted_adaptive(weights, 500, seed=5)
+        assert result.probes_per_ball < 3.0
+
+    def test_fixed_probe_stream_replay(self):
+        weights = np.array([1.0, 1.0, 1.0])
+        choices = np.array([0, 0, 1])
+        result = run_weighted_adaptive(
+            weights, 3, probe_stream=FixedProbeStream(3, choices)
+        )
+        # threshold for ball 1: 1/3 + 1 = 1.33 -> bin 0 accepted (load 0)
+        # ball 2: 2/3 + 1 = 1.67 -> bin 0 has load 1.0 < 1.67 -> accepted
+        # ball 3: 3/3 + 1 = 2    -> bin 1 empty -> accepted
+        assert np.array_equal(result.counts, [2, 1, 0])
+        assert result.allocation_time == 3
+
+    def test_gap_stays_small_relative_to_average(self):
+        rng = np.random.default_rng(11)
+        weights = rng.exponential(1.0, size=20_000)
+        result = run_weighted_adaptive(weights, 200, seed=6)
+        # The average bin holds ~100 units of weight; the adaptive rule keeps
+        # every bin within a modest band around it (no bin is ever more than
+        # 2*w_max above the average by construction, and the empirical gap is
+        # far smaller than the average itself).
+        assert result.max_load <= result.average_load + 2 * weights.max() + 1e-9
+        assert result.gap < result.average_load
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n_bins=st.integers(2, 20),
+        n_balls=st.integers(1, 120),
+        seed=st.integers(0, 2**16),
+    )
+    def test_property_weight_conservation_and_bound(self, n_bins, n_balls, seed):
+        rng = np.random.default_rng(seed)
+        weights = rng.uniform(0.1, 2.0, size=n_balls)
+        result = run_weighted_adaptive(weights, n_bins, seed=seed)
+        assert result.loads.sum() == pytest.approx(weights.sum())
+        assert result.max_load <= weighted_gap_bound(weights, n_bins) + 1e-9
+        assert result.allocation_time >= n_balls

@@ -1,0 +1,134 @@
+"""Tests for the vectorised window-filling primitive (repro.core.window)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.window import fill_window, occurrence_ranks
+from repro.errors import ConfigurationError, ProtocolError
+from repro.runtime.probes import FixedProbeStream, RandomProbeStream
+
+
+class TestOccurrenceRanks:
+    def test_documented_example(self):
+        assert list(occurrence_ranks(np.array([3, 5, 3, 3, 5]))) == [0, 0, 1, 2, 1]
+
+    def test_empty(self):
+        assert occurrence_ranks(np.array([], dtype=int)).size == 0
+
+    def test_all_distinct(self):
+        assert list(occurrence_ranks(np.array([4, 1, 9]))) == [0, 0, 0]
+
+    def test_all_equal(self):
+        assert list(occurrence_ranks(np.array([2, 2, 2, 2]))) == [0, 1, 2, 3]
+
+    def test_non_1d_raises(self):
+        with pytest.raises(ConfigurationError):
+            occurrence_ranks(np.zeros((2, 2), dtype=int))
+
+    @given(st.lists(st.integers(0, 9), min_size=1, max_size=200))
+    def test_matches_naive_counting(self, values):
+        values = np.array(values)
+        ranks = occurrence_ranks(values)
+        seen: dict[int, int] = {}
+        for value, rank in zip(values, ranks):
+            assert rank == seen.get(int(value), 0)
+            seen[int(value)] = seen.get(int(value), 0) + 1
+
+
+def _naive_fill(loads, limit, n_balls, choices):
+    """Ball-by-ball reference of the window semantics."""
+    loads = loads.copy()
+    probes = 0
+    placed = 0
+    for j in choices:
+        if placed == n_balls:
+            break
+        probes += 1
+        if loads[j] <= limit:
+            loads[j] += 1
+            placed += 1
+        if placed == n_balls:
+            break
+    return loads, probes
+
+
+class TestFillWindow:
+    def test_zero_balls_is_noop(self):
+        loads = np.zeros(5, dtype=np.int64)
+        outcome = fill_window(loads, 1, 0, RandomProbeStream(5, seed=0))
+        assert outcome.placed == 0 and outcome.probes == 0
+        assert loads.sum() == 0
+
+    def test_insufficient_capacity_raises(self):
+        loads = np.full(4, 3, dtype=np.int64)
+        with pytest.raises(ProtocolError):
+            fill_window(loads, 2, 1, RandomProbeStream(4, seed=0))
+
+    def test_mismatched_stream_raises(self):
+        loads = np.zeros(4, dtype=np.int64)
+        with pytest.raises(ConfigurationError):
+            fill_window(loads, 2, 1, RandomProbeStream(5, seed=0))
+
+    def test_negative_balls_raises(self):
+        with pytest.raises(ConfigurationError):
+            fill_window(np.zeros(4, dtype=np.int64), 1, -1, RandomProbeStream(4))
+
+    def test_places_exact_count(self):
+        loads = np.zeros(10, dtype=np.int64)
+        outcome = fill_window(loads, 1, 15, RandomProbeStream(10, seed=2))
+        assert outcome.placed == 15
+        assert loads.sum() == 15
+        assert loads.max() <= 2
+
+    def test_stream_consumption_matches_probes(self):
+        stream = RandomProbeStream(10, seed=3)
+        loads = np.zeros(10, dtype=np.int64)
+        outcome = fill_window(loads, 0, 10, stream)
+        assert stream.consumed == outcome.probes
+
+    @pytest.mark.parametrize("block_size", [1, 2, 7, 64, None])
+    def test_block_size_does_not_change_result_on_fixed_stream(self, block_size):
+        rng = np.random.default_rng(0)
+        choices = rng.integers(0, 20, size=5000)
+        loads_a = np.zeros(20, dtype=np.int64)
+        outcome_a = fill_window(
+            loads_a, 2, 40, FixedProbeStream(20, choices), block_size=block_size
+        )
+        expected_loads, expected_probes = _naive_fill(
+            np.zeros(20, dtype=np.int64), 2, 40, choices
+        )
+        assert np.array_equal(loads_a, expected_loads)
+        assert outcome_a.probes == expected_probes
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n_bins=st.integers(2, 12),
+        limit=st.integers(0, 4),
+        data=st.data(),
+    )
+    def test_property_equivalence_with_naive(self, n_bins, limit, data):
+        capacity = n_bins * (limit + 1)
+        n_balls = data.draw(st.integers(0, capacity))
+        # Provide a long-enough fixed choice vector for both implementations.
+        seed = data.draw(st.integers(0, 2**32 - 1))
+        rng = np.random.default_rng(seed)
+        choices = rng.integers(0, n_bins, size=capacity * 50 + 100)
+        loads_vec = np.zeros(n_bins, dtype=np.int64)
+        outcome = fill_window(loads_vec, limit, n_balls, FixedProbeStream(n_bins, choices))
+        naive_loads, naive_probes = _naive_fill(
+            np.zeros(n_bins, dtype=np.int64), limit, n_balls, choices
+        )
+        assert np.array_equal(loads_vec, naive_loads)
+        assert outcome.probes == naive_probes
+        assert outcome.placed == n_balls
+
+    def test_existing_loads_respected(self):
+        loads = np.array([2, 0, 0], dtype=np.int64)
+        choices = np.array([0, 0, 1, 0, 2, 1])
+        outcome = fill_window(loads, 1, 3, FixedProbeStream(3, choices))
+        # bin 0 is already above the limit: the probes into it are rejected.
+        assert np.array_equal(loads, [2, 2, 1])
+        assert outcome.probes == 6
