@@ -1,0 +1,131 @@
+"""Throughput benchmark of the batched dispatch engine.
+
+Guards the acceptance claim of the dispatcher refactor: on a 1M-job /
+10k-server uniform workload the batched engine must be at least 20x faster
+than the seed per-job loop (kept verbatim as
+:func:`repro.scheduler.reference.reference_dispatch`), while producing
+bit-identical assignments — the equivalence half is certified by
+``tests/test_dispatch_equivalence.py``, this file measures the speed half
+and records per-policy throughput in jobs/second.
+
+Run under pytest (``pytest benchmarks/bench_dispatch_throughput.py``) or
+directly::
+
+    python benchmarks/bench_dispatch_throughput.py          # full 1M / 10k
+    python benchmarks/bench_dispatch_throughput.py --quick  # CI smoke scale
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.scheduler.dispatcher import Dispatcher
+from repro.scheduler.jobs import Workload, uniform_workload
+from repro.scheduler.reference import reference_dispatch
+
+from conftest import BENCH_SEED
+
+#: Acceptance scale: 1M jobs onto 10k servers.
+FULL_JOBS = 1_000_000
+FULL_SERVERS = 10_000
+#: CI smoke scale (the speedup is already unambiguous here).
+QUICK_JOBS = 100_000
+QUICK_SERVERS = 1_000
+#: Required advantage of the batched engine over the per-job loop.
+MIN_SPEEDUP = 20.0
+
+
+def _time_batched(workload: Workload, n_servers: int, policy: str) -> tuple[float, int]:
+    dispatcher = Dispatcher(n_servers, policy=policy, seed=BENCH_SEED)
+    start = time.perf_counter()
+    outcome = dispatcher.dispatch(workload)
+    return time.perf_counter() - start, outcome.probes
+
+
+def _time_reference(
+    workload: Workload, n_servers: int, policy: str
+) -> tuple[float, int]:
+    start = time.perf_counter()
+    outcome = reference_dispatch(workload, n_servers, policy=policy, seed=BENCH_SEED)
+    return time.perf_counter() - start, outcome.probes
+
+
+def measure_speedup(
+    n_jobs: int, n_servers: int, policy: str = "adaptive"
+) -> dict[str, float]:
+    """Time batched vs per-job dispatch of a uniform workload."""
+    workload = uniform_workload(n_jobs)
+    batched_seconds, batched_probes = _time_batched(workload, n_servers, policy)
+    reference_seconds, reference_probes = _time_reference(workload, n_servers, policy)
+    assert batched_probes == reference_probes  # same probe sequence consumed
+    return {
+        "policy": policy,
+        "n_jobs": n_jobs,
+        "n_servers": n_servers,
+        "batched_seconds": batched_seconds,
+        "reference_seconds": reference_seconds,
+        "speedup": reference_seconds / batched_seconds,
+        "batched_jobs_per_second": n_jobs / batched_seconds,
+    }
+
+
+def test_dispatch_speedup_full_scale():
+    """Acceptance criterion: >= 20x on 1M jobs / 10k servers (uniform)."""
+    stats = measure_speedup(FULL_JOBS, FULL_SERVERS, policy="adaptive")
+    assert stats["speedup"] >= MIN_SPEEDUP, (
+        f"batched dispatch only {stats['speedup']:.1f}x faster than the "
+        f"per-job loop (required {MIN_SPEEDUP:.0f}x)"
+    )
+
+
+def test_dispatch_speedup_smoke_scale():
+    """Same claim at the CI smoke scale, with headroom removed."""
+    stats = measure_speedup(QUICK_JOBS, QUICK_SERVERS, policy="adaptive")
+    assert stats["speedup"] >= MIN_SPEEDUP
+
+
+def test_all_policies_dispatch_full_workload_fast():
+    """Every policy sustains well over 10^5 jobs/s at the smoke scale."""
+    workload = uniform_workload(QUICK_JOBS)
+    for policy in ("adaptive", "threshold", "greedy", "single"):
+        seconds, _ = _time_batched(workload, QUICK_SERVERS, policy)
+        assert QUICK_JOBS / seconds > 1e5, f"{policy} too slow: {seconds:.2f}s"
+
+
+def main() -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="run at CI smoke scale"
+    )
+    args = parser.parse_args()
+    n_jobs = QUICK_JOBS if args.quick else FULL_JOBS
+    n_servers = QUICK_SERVERS if args.quick else FULL_SERVERS
+
+    print(f"Dispatch throughput: {n_jobs:,} jobs onto {n_servers:,} servers\n")
+    header = f"{'policy':<10} {'batched':>10} {'per-job':>10} {'speedup':>9} {'jobs/s':>12}"
+    print(header)
+    print("-" * len(header))
+    for policy in ("adaptive", "threshold", "greedy", "single"):
+        stats = measure_speedup(n_jobs, n_servers, policy)
+        print(
+            f"{policy:<10} {stats['batched_seconds']:>9.3f}s "
+            f"{stats['reference_seconds']:>9.2f}s "
+            f"{stats['speedup']:>8.1f}x "
+            f"{stats['batched_jobs_per_second']:>12,.0f}"
+        )
+    adaptive = measure_speedup(n_jobs, n_servers, "adaptive")
+    verdict = "PASS" if adaptive["speedup"] >= MIN_SPEEDUP else "FAIL"
+    print(
+        f"\nacceptance (adaptive >= {MIN_SPEEDUP:.0f}x): {verdict} "
+        f"({adaptive['speedup']:.1f}x)"
+    )
+    if verdict == "FAIL":
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -13,14 +13,22 @@ using four policies:
 * ``adaptive``  — the paper's ADAPTIVE rule (fully online).
 
 It reports how many requests land on the busiest server (the balls-into-bins
-max load), the makespan, and the probing cost per request — showing what the
-paper's "nearly optimal load distribution with O(m) probes" buys in an
-application setting.
+max load), the makespan, the probing cost per request, and the *measured
+dispatch throughput* of the batched engine — the dispatcher routes whole
+arrival batches through the exact vectorised window primitive, so millions of
+requests are assigned in a handful of NumPy passes while remaining
+bit-identical to the sequential process.
+
+The second half streams a bursty workload burst-by-burst through
+``Dispatcher.dispatch_batch`` — the online API a front-end proxy would use —
+and shows the adaptive guarantee holding after every burst.
 
 Run it with ``python examples/web_server_load_balancing.py``.
 """
 
 from __future__ import annotations
+
+import time
 
 from repro.reporting import format_markdown_table
 from repro.scheduler import Dispatcher, bursty_workload, heavy_tailed_workload
@@ -29,7 +37,10 @@ from repro.scheduler import Dispatcher, bursty_workload, heavy_tailed_workload
 def run_scenario(name: str, workload, n_servers: int, seed: int) -> list[dict]:
     rows = []
     for policy in ("single", "greedy", "threshold", "adaptive"):
-        outcome = Dispatcher(n_servers, policy=policy, d=2, seed=seed).dispatch(workload)
+        dispatcher = Dispatcher(n_servers, policy=policy, d=2, seed=seed)
+        start = time.perf_counter()
+        outcome = dispatcher.dispatch(workload)
+        elapsed = time.perf_counter() - start
         metrics = outcome.metrics
         rows.append(
             {
@@ -40,14 +51,38 @@ def run_scenario(name: str, workload, n_servers: int, seed: int) -> list[dict]:
                 "makespan": metrics.makespan,
                 "work imbalance": metrics.work_imbalance_ratio,
                 "probes/request": metrics.probes_per_job,
+                "Mreq/s": len(workload) / elapsed / 1e6,
             }
         )
     return rows
 
 
+def stream_bursts(n_servers: int, n_requests: int, seed: int) -> None:
+    """Feed a bursty workload burst-by-burst through the streaming API."""
+    workload = bursty_workload(
+        n_requests, seed=seed, burst_size=n_requests // 8, burst_gap=5.0
+    )
+    sizes = workload.sizes()
+    dispatcher = Dispatcher(n_servers, policy="adaptive", seed=seed)
+    print(
+        f"Streaming {n_requests} requests to {n_servers} servers in "
+        "arrival-time bursts (adaptive policy):\n"
+    )
+    for arrival, start, stop in workload.arrival_batches():
+        dispatcher.dispatch_batch(sizes[start:stop])
+        snapshot = dispatcher.outcome().metrics
+        guarantee = -(-dispatcher.jobs_dispatched // n_servers) + 1
+        print(
+            f"  t={arrival:5.1f}  dispatched={dispatcher.jobs_dispatched:>7}  "
+            f"busiest server={snapshot.max_jobs:>3} requests "
+            f"(guarantee <= {guarantee})  probes/request="
+            f"{dispatcher.probes / dispatcher.jobs_dispatched:.2f}"
+        )
+
+
 def main() -> None:
     n_servers = 500
-    n_requests = 20_000
+    n_requests = 200_000
     seed = 7
 
     print(
@@ -56,7 +91,7 @@ def main() -> None:
     )
 
     heavy = heavy_tailed_workload(n_requests, seed=seed, alpha=1.8)
-    bursty = bursty_workload(n_requests, seed=seed, burst_size=1_000, burst_gap=5.0)
+    bursty = bursty_workload(n_requests, seed=seed, burst_size=10_000, burst_gap=5.0)
 
     rows = run_scenario("heavy-tailed", heavy, n_servers, seed)
     rows += run_scenario("bursty", bursty, n_servers, seed)
@@ -70,8 +105,11 @@ def main() -> None:
         f"(vs {single['max requests/server']} for random assignment) while probing "
         f"only {adaptive['probes/request']:.2f} servers per request on average — "
         "and unlike the threshold policy it never needs to know the total "
-        "number of requests in advance."
+        "number of requests in advance.  The batched engine sustains "
+        f"{adaptive['Mreq/s']:.1f}M requests/second on this workload.\n"
     )
+
+    stream_bursts(n_servers, n_requests // 10, seed)
 
 
 if __name__ == "__main__":

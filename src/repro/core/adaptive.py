@@ -66,7 +66,7 @@ class AdaptiveProtocol(AllocationProtocol):
         self.block_size = block_size
 
     def params(self) -> dict[str, Any]:
-        return {"offset": self.offset}
+        return {"offset": self.offset, "block_size": self.block_size}
 
     def allocate(
         self,

@@ -65,7 +65,7 @@ class ThresholdProtocol(AllocationProtocol):
         self.block_size = block_size
 
     def params(self) -> dict[str, Any]:
-        return {"offset": self.offset}
+        return {"offset": self.offset, "block_size": self.block_size}
 
     def allocate(
         self,

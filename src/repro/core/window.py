@@ -29,7 +29,13 @@ import numpy as np
 from repro.errors import ConfigurationError, ProtocolError
 from repro.runtime.probes import ProbeStream
 
-__all__ = ["WindowOutcome", "occurrence_ranks", "fill_window"]
+__all__ = [
+    "WindowOutcome",
+    "WindowAssignment",
+    "occurrence_ranks",
+    "fill_window",
+    "assign_window",
+]
 
 
 @dataclass(frozen=True)
@@ -46,6 +52,23 @@ class WindowOutcome:
     """
 
     placed: int
+    probes: int
+
+
+@dataclass(frozen=True)
+class WindowAssignment:
+    """Result of :func:`assign_window`: who went where, in placement order.
+
+    Attributes
+    ----------
+    assignments:
+        Bin index of each placed ball, ordered by placement (equivalently, by
+        the position of the accepting probe in the probe sequence).
+    probes:
+        Number of probes consumed.
+    """
+
+    assignments: np.ndarray
     probes: int
 
 
@@ -87,6 +110,87 @@ def _default_block_size(balls_remaining: int, n_bins: int) -> int:
     return min(base, max(4 * n_bins, 1 << 22))
 
 
+def _run_window(
+    loads: np.ndarray,
+    acceptance_limit: int,
+    n_balls: int,
+    stream: ProbeStream,
+    block_size: int | None,
+    collect: bool,
+) -> tuple[int, list[np.ndarray]]:
+    """Shared engine behind :func:`fill_window` and :func:`assign_window`.
+
+    Returns ``(probes, accepted_chunks)`` where ``accepted_chunks`` holds the
+    accepted bins of each pass in probe order (empty unless ``collect``).
+    """
+    if n_balls < 0:
+        raise ConfigurationError(f"n_balls must be non-negative, got {n_balls}")
+    loads = np.asarray(loads)
+    if loads.ndim != 1 or loads.size == 0:
+        raise ConfigurationError("loads must be a non-empty 1-D array")
+    if loads.size != stream.n_bins:
+        raise ConfigurationError(
+            f"loads has {loads.size} bins but the probe stream samples from "
+            f"{stream.n_bins}"
+        )
+    if n_balls == 0:
+        return 0, []
+
+    capacities = np.maximum(acceptance_limit + 1 - loads, 0).astype(np.int64)
+    total_capacity = int(capacities.sum())
+    if total_capacity < n_balls:
+        raise ProtocolError(
+            f"window capacity {total_capacity} is smaller than the {n_balls} "
+            "balls to place; the protocol cannot terminate"
+        )
+
+    # Number of probes already seen per bin within this window.  A probe into
+    # bin j is accepted iff seen[j] (at probe time) < capacities[j].
+    seen = np.zeros(loads.size, dtype=np.int64)
+    placed = 0
+    probes = 0
+    chunks: list[np.ndarray] = []
+
+    while placed < n_balls:
+        remaining = n_balls - placed
+        size = block_size if block_size is not None else _default_block_size(
+            remaining, loads.size
+        )
+        if stream.available is not None:
+            # Finite replay streams: never request more than they can serve
+            # (requesting at least one keeps the exhaustion error meaningful).
+            size = max(1, min(size, stream.available))
+        block = stream.take(size)
+        ranks = occurrence_ranks(block)
+        accepted = seen[block] + ranks < capacities[block]
+        cumulative = np.cumsum(accepted)
+        if cumulative.size and cumulative[-1] >= remaining:
+            # The `remaining`-th acceptance happens at this index; everything
+            # after it is never examined by the sequential process.
+            cutoff = int(np.searchsorted(cumulative, remaining))
+            if cutoff + 1 < size:
+                stream.give_back(block[cutoff + 1 :])
+            block = block[: cutoff + 1]
+            accepted = accepted[: cutoff + 1]
+            probes += cutoff + 1
+            newly_placed = remaining
+        else:
+            probes += size
+            newly_placed = int(cumulative[-1]) if cumulative.size else 0
+
+        accepted_bins = block[accepted]
+        if accepted_bins.size:
+            counts = np.bincount(accepted_bins, minlength=loads.size)
+            loads += counts
+            if collect:
+                chunks.append(accepted_bins)
+        # Every probe in the (possibly truncated) block was seen by its bin.
+        seen += np.bincount(block, minlength=loads.size)
+        placed += newly_placed
+
+    return probes, chunks
+
+
 def fill_window(
     loads: np.ndarray,
     acceptance_limit: int,
@@ -122,66 +226,33 @@ def fill_window(
         If the window's total remaining capacity is smaller than ``n_balls``
         (the protocol could never terminate) .
     """
-    if n_balls < 0:
-        raise ConfigurationError(f"n_balls must be non-negative, got {n_balls}")
-    loads = np.asarray(loads)
-    if loads.ndim != 1 or loads.size == 0:
-        raise ConfigurationError("loads must be a non-empty 1-D array")
-    if loads.size != stream.n_bins:
-        raise ConfigurationError(
-            f"loads has {loads.size} bins but the probe stream samples from "
-            f"{stream.n_bins}"
-        )
-    if n_balls == 0:
-        return WindowOutcome(placed=0, probes=0)
+    probes, _ = _run_window(
+        loads, acceptance_limit, n_balls, stream, block_size, collect=False
+    )
+    return WindowOutcome(placed=n_balls, probes=probes)
 
-    capacities = np.maximum(acceptance_limit + 1 - loads, 0).astype(np.int64)
-    total_capacity = int(capacities.sum())
-    if total_capacity < n_balls:
-        raise ProtocolError(
-            f"window capacity {total_capacity} is smaller than the {n_balls} "
-            "balls to place; the protocol cannot terminate"
-        )
 
-    # Number of probes already seen per bin within this window.  A probe into
-    # bin j is accepted iff seen[j] (at probe time) < capacities[j].
-    seen = np.zeros(loads.size, dtype=np.int64)
-    placed = 0
-    probes = 0
+def assign_window(
+    loads: np.ndarray,
+    acceptance_limit: int,
+    n_balls: int,
+    stream: ProbeStream,
+    *,
+    block_size: int | None = None,
+) -> WindowAssignment:
+    """Like :func:`fill_window`, but also report which bin took each ball.
 
-    while placed < n_balls:
-        remaining = n_balls - placed
-        size = block_size if block_size is not None else _default_block_size(
-            remaining, loads.size
-        )
-        if stream.available is not None:
-            # Finite replay streams: never request more than they can serve
-            # (requesting at least one keeps the exhaustion error meaningful).
-            size = max(1, min(size, stream.available))
-        block = stream.take(size)
-        ranks = occurrence_ranks(block)
-        accepted = seen[block] + ranks < capacities[block]
-        cumulative = np.cumsum(accepted)
-        if cumulative.size and cumulative[-1] >= remaining:
-            # The `remaining`-th acceptance happens at this index; everything
-            # after it is never examined by the sequential process.
-            cutoff = int(np.searchsorted(cumulative, remaining))
-            if cutoff + 1 < size:
-                stream.give_back(block[cutoff + 1 :])
-            block = block[: cutoff + 1]
-            accepted = accepted[: cutoff + 1]
-            probes += cutoff + 1
-            newly_placed = remaining
-        else:
-            probes += size
-            newly_placed = int(cumulative[-1]) if cumulative.size else 0
-
-        accepted_bins = block[accepted]
-        if accepted_bins.size:
-            counts = np.bincount(accepted_bins, minlength=loads.size)
-            loads += counts
-        # Every probe in the (possibly truncated) block was seen by its bin.
-        seen += np.bincount(block, minlength=loads.size)
-        placed += newly_placed
-
-    return WindowOutcome(placed=placed, probes=probes)
+    This is the "probe until accepted" primitive the batched dispatcher is
+    built on: the ``k``-th entry of the returned ``assignments`` is the bin
+    that accepted ball ``k`` of the window, exactly as in the sequential
+    process (same probes consumed, same loads, same acceptance order).
+    ``loads`` is modified in place, as in :func:`fill_window`.
+    """
+    probes, chunks = _run_window(
+        loads, acceptance_limit, n_balls, stream, block_size, collect=True
+    )
+    if chunks:
+        assignments = np.concatenate(chunks)
+    else:
+        assignments = np.empty(0, dtype=np.int64)
+    return WindowAssignment(assignments=assignments, probes=probes)

@@ -16,7 +16,18 @@ The implementation follows the classical collision scheme:
   uniformly random choice (so the protocol always terminates, as in the
   original paper's final "clean-up" round).
 
-The per-round thresholds grow geometrically, which is enough to observe the
+Within a round, each ball offers its candidates one position at a time (``d``
+sub-phases): in sub-phase ``j``, every still-unplaced ball submits its
+``j``-th candidate, and a bin accepts the submissions it receives in ball
+order while its load stays below the round threshold.  This symmetric rule is
+fully vectorised with the same ``occurrence_ranks`` trick the window engine
+of :mod:`repro.core.window` uses — acceptance of a request depends only on
+the bin's load and the request's rank among same-bin requests of the
+sub-phase — so no per-ball Python loop is needed.
+
+The per-round thresholds follow a configurable *schedule*: ``"arithmetic"``
+(the default, threshold ``ceil(m/n) + r`` in round ``r``) or ``"geometric"``
+(threshold ``ceil(m/n)·2^r``), either of which is enough to observe the
 qualitative round/load trade-off in the benchmarks.
 """
 
@@ -29,12 +40,15 @@ import numpy as np
 from repro.core.protocol import AllocationProtocol, register_protocol
 from repro.core.result import AllocationResult
 from repro.core.thresholds import ceil_div
+from repro.core.window import occurrence_ranks
 from repro.errors import ConfigurationError
 from repro.runtime.costs import CostModel
 from repro.runtime.probes import ProbeStream, RandomProbeStream
 from repro.runtime.rng import SeedLike
 
 __all__ = ["ParallelGreedyProtocol", "run_parallel_greedy"]
+
+_SCHEDULES = ("arithmetic", "geometric")
 
 
 @register_protocol
@@ -47,20 +61,37 @@ class ParallelGreedyProtocol(AllocationProtocol):
         Number of candidate bins contacted per ball and per round.
     rounds:
         Number of synchronous rounds before the clean-up round.
+    schedule:
+        Per-round threshold schedule: ``"arithmetic"`` (default) uses
+        ``ceil(m/n) + r`` in round ``r``, ``"geometric"`` uses
+        ``ceil(m/n) · 2^r``.
     """
 
     name = "parallel-greedy"
 
-    def __init__(self, d: int = 2, rounds: int = 3) -> None:
+    def __init__(
+        self, d: int = 2, rounds: int = 3, schedule: str = "arithmetic"
+    ) -> None:
         if d < 1:
             raise ConfigurationError(f"d must be at least 1, got {d}")
         if rounds < 1:
             raise ConfigurationError(f"rounds must be at least 1, got {rounds}")
+        if schedule not in _SCHEDULES:
+            raise ConfigurationError(
+                f"schedule must be one of {_SCHEDULES}, got {schedule!r}"
+            )
         self.d = int(d)
         self.rounds = int(rounds)
+        self.schedule = schedule
 
     def params(self) -> dict[str, Any]:
-        return {"d": self.d, "rounds": self.rounds}
+        return {"d": self.d, "rounds": self.rounds, "schedule": self.schedule}
+
+    def round_threshold(self, average: int, round_index: int) -> int:
+        """Commit threshold used in round ``round_index`` (0-based)."""
+        if self.schedule == "arithmetic":
+            return average + round_index
+        return max(average, 1) * (1 << round_index)
 
     def allocate(
         self,
@@ -88,22 +119,26 @@ class ParallelGreedyProtocol(AllocationProtocol):
             unplaced = np.flatnonzero(~placed)
             if unplaced.size == 0:
                 break
-            threshold = average + round_index  # geometric-ish relaxation
-            candidates = stream.take(unplaced.size * self.d).reshape(
-                unplaced.size, self.d
-            )
+            threshold = self.round_threshold(average, round_index)
+            candidates = stream.take_matrix(unplaced.size, self.d)
             probes += unplaced.size * self.d
             costs.add_round(messages=int(unplaced.size * self.d))
-            # Bins commit requests in a random order; processing requests in
-            # stream order is an equivalent symmetric rule and keeps this
-            # reproducible from the probe stream alone.
-            for row_index, ball in enumerate(unplaced):
-                row = candidates[row_index]
-                candidate_loads = loads[row]
-                best_pos = int(np.argmin(candidate_loads))
-                if candidate_loads[best_pos] < threshold:
-                    loads[row[best_pos]] += 1
-                    placed[ball] = True
+            # d sub-phases: in sub-phase j every still-unplaced ball submits
+            # its j-th candidate, and bins accept submissions in ball order
+            # while below the round threshold.  A submission into bin b is
+            # accepted iff loads[b] plus its rank among earlier same-bin
+            # submissions of the sub-phase is below the threshold, so each
+            # sub-phase is one occurrence_ranks pass — no per-ball loop.
+            active = np.arange(unplaced.size)
+            for j in range(self.d):
+                if active.size == 0:
+                    break
+                requests = candidates[active, j]
+                accepted = loads[requests] + occurrence_ranks(requests) < threshold
+                if accepted.any():
+                    loads += np.bincount(requests[accepted], minlength=n_bins)
+                    placed[unplaced[active[accepted]]] = True
+                    active = active[~accepted]
 
         # Clean-up round: any leftover ball takes one uniform choice.
         leftovers = np.flatnonzero(~placed)
@@ -133,6 +168,9 @@ def run_parallel_greedy(
     *,
     d: int = 2,
     rounds: int = 3,
+    schedule: str = "arithmetic",
 ) -> AllocationResult:
     """Functional one-liner for :class:`ParallelGreedyProtocol`."""
-    return ParallelGreedyProtocol(d=d, rounds=rounds).allocate(n_balls, n_bins, seed)
+    return ParallelGreedyProtocol(d=d, rounds=rounds, schedule=schedule).allocate(
+        n_balls, n_bins, seed
+    )

@@ -74,14 +74,22 @@ class CostModel:
         return list(self._probe_log)
 
     def merge(self, other: "CostModel") -> "CostModel":
-        """Return a new :class:`CostModel` summing ``self`` and ``other``."""
+        """Return a new :class:`CostModel` summing ``self`` and ``other``.
+
+        ``other``'s probe checkpoints are cumulative within its own run, so
+        they are offset by ``self.probes``; the merged checkpoint list is the
+        one an equivalent single run (``self`` followed by ``other``) would
+        have recorded, and stays monotone.
+        """
         merged = CostModel(
             probes=self.probes + other.probes,
             reallocations=self.reallocations + other.reallocations,
             messages=self.messages + other.messages,
             rounds=self.rounds + other.rounds,
         )
-        merged._probe_log = self._probe_log + other._probe_log
+        merged._probe_log = self._probe_log + [
+            self.probes + checkpoint for checkpoint in other._probe_log
+        ]
         return merged
 
     def as_dict(self) -> dict[str, int]:

@@ -84,6 +84,21 @@ class ProbeStream(ABC):
         """Consume and return a single probe."""
         return int(self.take(1)[0])
 
+    def take_matrix(self, rows: int, cols: int) -> np.ndarray:
+        """Consume ``rows * cols`` probes and return them as a matrix.
+
+        The matrix is filled row-major, so row ``i`` holds the ``cols``
+        consecutive probes a sequential process would have drawn for ball
+        ``i``.  Bulk consumers (the greedy dispatcher policy, the parallel
+        round protocol) use this to replace per-ball scalar draws with one
+        block draw while keeping the logical probe sequence identical.
+        """
+        if rows < 0 or cols < 0:
+            raise ConfigurationError(
+                f"rows and cols must be non-negative, got {rows} x {cols}"
+            )
+        return self.take(rows * cols).reshape(rows, cols)
+
     @property
     def available(self) -> int | None:
         """Number of probes still obtainable, or ``None`` when unbounded.
@@ -163,7 +178,10 @@ class FixedProbeStream(ProbeStream):
             )
         block = self._choices[self._cursor : end]
         self._cursor = end
-        return block
+        # Copy so consumers that mutate the returned block (or hand it to
+        # callers, as the dispatcher does with assignments) cannot corrupt
+        # the replayed choice vector, which the caller may share.
+        return block.copy()
 
     @property
     def remaining(self) -> int:

@@ -1,4 +1,10 @@
-"""Load-balancing application substrate: workloads, dispatcher, metrics."""
+"""Load-balancing application substrate: workloads, dispatcher, metrics.
+
+The dispatcher is a batched engine: whole workloads (or streamed arrival
+batches, via :meth:`Dispatcher.dispatch_batch`) are routed through the exact
+vectorised window primitive, with a ball-by-ball reference implementation
+(:func:`reference_dispatch`) kept for equivalence testing and benchmarking.
+"""
 
 from repro.scheduler.dispatcher import Dispatcher, DispatchOutcome
 from repro.scheduler.jobs import (
@@ -9,10 +15,12 @@ from repro.scheduler.jobs import (
     uniform_workload,
 )
 from repro.scheduler.metrics import ScheduleMetrics, compute_metrics
+from repro.scheduler.reference import reference_dispatch
 
 __all__ = [
     "Dispatcher",
     "DispatchOutcome",
+    "reference_dispatch",
     "Job",
     "Workload",
     "bursty_workload",

@@ -41,7 +41,13 @@ class Job:
 
 @dataclass(frozen=True)
 class Workload:
-    """An ordered batch of jobs plus a label used by reports."""
+    """An ordered batch of jobs plus a label used by reports.
+
+    The per-job ``sizes()`` and ``arrivals()`` vectors are cached after the
+    first call (the generators below pre-warm them from the arrays they
+    already computed), so the batched dispatcher never pays a per-job Python
+    loop to recover them; treat the returned arrays as read-only.
+    """
 
     name: str
     jobs: tuple[Job, ...]
@@ -54,10 +60,43 @@ class Workload:
 
     @property
     def total_work(self) -> float:
-        return float(sum(job.size for job in self.jobs))
+        return float(self.sizes().sum())
+
+    def _cache(self, attr: str, values) -> np.ndarray:
+        array = np.asarray(values, dtype=np.float64)
+        object.__setattr__(self, attr, array)
+        return array
 
     def sizes(self) -> np.ndarray:
-        return np.array([job.size for job in self.jobs], dtype=np.float64)
+        cached = self.__dict__.get("_sizes")
+        if cached is None:
+            cached = self._cache("_sizes", [job.size for job in self.jobs])
+        return cached
+
+    def arrivals(self) -> np.ndarray:
+        cached = self.__dict__.get("_arrivals")
+        if cached is None:
+            cached = self._cache("_arrivals", [job.arrival for job in self.jobs])
+        return cached
+
+    def arrival_batches(self) -> Iterator[tuple[float, int, int]]:
+        """Yield ``(arrival, start, stop)`` for each run of equal arrival times.
+
+        Jobs are grouped in arrival order: each yielded half-open index range
+        ``[start, stop)`` covers a maximal run of consecutive jobs sharing one
+        arrival time (generators emit non-decreasing arrivals, so runs are
+        exactly the arrival groups — e.g. one group per burst of
+        :func:`bursty_workload`).  This is the batch structure the dispatcher's
+        streaming engine processes in bulk.
+        """
+        n = len(self.jobs)
+        if n == 0:
+            return
+        arrivals = self.arrivals()
+        boundaries = np.flatnonzero(np.diff(arrivals)) + 1
+        edges = np.concatenate([[0], boundaries, [n]])
+        for start, stop in zip(edges[:-1], edges[1:]):
+            yield float(arrivals[start]), int(start), int(stop)
 
 
 def _make_jobs(sizes: Sequence[float], arrivals: Sequence[float]) -> tuple[Job, ...]:
@@ -65,6 +104,14 @@ def _make_jobs(sizes: Sequence[float], arrivals: Sequence[float]) -> tuple[Job, 
         Job(job_id=i, size=float(s), arrival=float(a))
         for i, (s, a) in enumerate(zip(sizes, arrivals))
     )
+
+
+def _make_workload(name: str, sizes: np.ndarray, arrivals: np.ndarray) -> Workload:
+    """Build a workload and pre-warm its cached size/arrival vectors."""
+    workload = Workload(name, _make_jobs(sizes, arrivals))
+    workload._cache("_sizes", sizes)
+    workload._cache("_arrivals", arrivals)
+    return workload
 
 
 def uniform_workload(
@@ -80,7 +127,7 @@ def uniform_workload(
     if mean_size <= 0:
         raise ConfigurationError(f"mean_size must be positive, got {mean_size}")
     sizes = np.full(n_jobs, mean_size)
-    return Workload("uniform", _make_jobs(sizes, np.zeros(n_jobs)))
+    return _make_workload("uniform", sizes, np.zeros(n_jobs))
 
 
 def heavy_tailed_workload(
@@ -103,7 +150,7 @@ def heavy_tailed_workload(
     raw = rng.pareto(alpha, size=n_jobs) + 1.0
     if n_jobs:
         raw *= mean_size / raw.mean()
-    return Workload("heavy-tailed", _make_jobs(raw, np.zeros(n_jobs)))
+    return _make_workload("heavy-tailed", raw, np.zeros(n_jobs))
 
 
 def bursty_workload(
@@ -131,4 +178,4 @@ def bursty_workload(
     rng = as_generator(seed)
     sizes = rng.exponential(mean_size, size=n_jobs)
     arrivals = (np.arange(n_jobs) // burst_size) * burst_gap
-    return Workload("bursty", _make_jobs(sizes, arrivals))
+    return _make_workload("bursty", sizes, arrivals)

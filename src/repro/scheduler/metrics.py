@@ -1,4 +1,12 @@
-"""Scheduling metrics derived from a dispatch run."""
+"""Scheduling metrics derived from a dispatch run.
+
+Metrics are computed from the per-server aggregates (``work`` and
+``job_counts``) rather than per-job records, so they cost O(n_servers)
+regardless of workload size and apply equally to a one-shot
+:meth:`~repro.scheduler.dispatcher.Dispatcher.dispatch` outcome and to a
+mid-stream :meth:`~repro.scheduler.dispatcher.Dispatcher.outcome` snapshot
+taken between ``dispatch_batch`` calls.
+"""
 
 from __future__ import annotations
 

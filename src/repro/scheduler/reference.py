@@ -1,0 +1,90 @@
+"""Ball-by-ball reference dispatcher.
+
+This is the dispatch analogue of :mod:`repro.core.reference`: one Python loop
+iteration per probe, following the probing rules literally.  It reproduces the
+seed implementation of :class:`repro.scheduler.dispatcher.Dispatcher` (one
+scalar draw per probe, jobs processed strictly in arrival order) and exists so
+the test-suite can certify that the batched dispatch engine is an exact,
+probe-for-probe reproduction of the sequential process: both implementations
+fed the same :class:`~repro.runtime.probes.FixedProbeStream` must produce
+bit-identical assignments, probe counts and per-server state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.thresholds import acceptance_limit
+from repro.errors import ConfigurationError
+from repro.runtime.probes import ProbeStream, RandomProbeStream
+from repro.runtime.rng import SeedLike
+from repro.scheduler.dispatcher import _POLICIES, DispatchOutcome
+from repro.scheduler.jobs import Workload
+
+__all__ = ["reference_dispatch"]
+
+
+def reference_dispatch(
+    workload: Workload,
+    n_servers: int,
+    *,
+    policy: str = "adaptive",
+    d: int = 2,
+    seed: SeedLike = None,
+    probe_stream: ProbeStream | None = None,
+) -> DispatchOutcome:
+    """Dispatch ``workload`` with one scalar probe draw per loop iteration.
+
+    Semantics match :meth:`repro.scheduler.dispatcher.Dispatcher.dispatch`
+    exactly; only the execution strategy differs (deliberately slow and
+    simple).
+    """
+    if n_servers <= 0:
+        raise ConfigurationError(f"n_servers must be positive, got {n_servers}")
+    if policy not in _POLICIES:
+        raise ConfigurationError(f"policy must be one of {_POLICIES}, got {policy!r}")
+    if d < 1:
+        raise ConfigurationError(f"d must be at least 1, got {d}")
+    if probe_stream is not None:
+        if probe_stream.n_bins != n_servers:
+            raise ConfigurationError("probe_stream.n_bins does not match n_servers")
+        stream = probe_stream
+    else:
+        stream = RandomProbeStream(n_servers, seed)
+
+    n_jobs = len(workload)
+    job_counts = np.zeros(n_servers, dtype=np.int64)
+    work = np.zeros(n_servers, dtype=np.float64)
+    assignments = np.empty(n_jobs, dtype=np.int64)
+    probes = 0
+
+    for index, job in enumerate(workload):
+        if policy == "single":
+            server = stream.take_one()
+            probes += 1
+        elif policy == "greedy":
+            candidates = stream.take(d)
+            server = int(candidates[int(np.argmin(job_counts[candidates]))])
+            probes += d
+        else:
+            if policy == "adaptive":
+                limit = acceptance_limit(index + 1, n_servers, offset=1)
+            else:  # threshold
+                limit = acceptance_limit(max(n_jobs, 1), n_servers, offset=1)
+            while True:
+                server = stream.take_one()
+                probes += 1
+                if job_counts[server] <= limit:
+                    break
+        assignments[index] = server
+        job_counts[server] += 1
+        work[server] += job.size
+
+    return DispatchOutcome(
+        policy=policy,
+        n_servers=n_servers,
+        assignments=assignments,
+        job_counts=job_counts,
+        work=work,
+        probes=probes,
+    )

@@ -21,7 +21,16 @@ class TestConstruction:
             AdaptiveProtocol(block_size=0)
 
     def test_params_exposed(self):
-        assert AdaptiveProtocol(offset=2).params() == {"offset": 2}
+        params = AdaptiveProtocol(offset=2, block_size=128).params()
+        assert params == {"offset": 2, "block_size": 128}
+
+    def test_params_round_trip_is_lossless(self):
+        from repro.core.protocol import make_protocol
+
+        original = AdaptiveProtocol(offset=2, block_size=64)
+        rebuilt = make_protocol(original.name, **original.params())
+        assert rebuilt.params() == original.params()
+        assert rebuilt.block_size == 64
 
 
 class TestAllocate:

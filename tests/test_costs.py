@@ -66,6 +66,37 @@ class TestCostModel:
         # merging leaves the originals untouched
         assert a.probes == 1 and b.probes == 10
 
+    def test_merge_offsets_probe_checkpoints(self):
+        """Regression: merged checkpoints must match an equivalent single run.
+
+        ``other``'s checkpoints are cumulative within its own run; merging
+        used to concatenate them verbatim, producing a non-monotone log.
+        """
+        first = CostModel()
+        first.add_probes(3)
+        first.log_probe_checkpoint()
+        first.add_probes(2)
+        first.log_probe_checkpoint()
+
+        second = CostModel()
+        second.add_probes(4)
+        second.log_probe_checkpoint()
+        second.add_probes(1)
+        second.log_probe_checkpoint()
+
+        merged = first.merge(second)
+
+        single = CostModel()
+        for count in (3, 2, 4, 1):
+            single.add_probes(count)
+            single.log_probe_checkpoint()
+
+        assert merged.probe_checkpoints == single.probe_checkpoints == [3, 5, 9, 10]
+        checkpoints = merged.probe_checkpoints
+        assert all(a <= b for a, b in zip(checkpoints, checkpoints[1:]))
+        # the inputs are untouched
+        assert second.probe_checkpoints == [4, 5]
+
     def test_as_dict_keys(self):
         d = CostModel(probes=5).as_dict()
         assert d == {"probes": 5, "reallocations": 0, "messages": 0, "rounds": 0}

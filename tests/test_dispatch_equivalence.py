@@ -1,0 +1,184 @@
+"""Replay-stream equivalence tests for the batched dispatch engine.
+
+The batched :class:`~repro.scheduler.dispatcher.Dispatcher` and the
+ball-by-ball :func:`~repro.scheduler.reference.reference_dispatch` are fed the
+same pre-computed choice vector through two :class:`FixedProbeStream`
+instances; every policy and every workload generator must produce bit-identical
+assignments, probe counts and per-server state.  A second group checks that
+the batched engine is invariant under how the work is partitioned (streaming
+batch boundaries, window block sizes) and that a seeded run equals its own
+reference — i.e. the refactor changed no observable output for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime.probes import FixedProbeStream
+from repro.scheduler.dispatcher import Dispatcher
+from repro.scheduler.jobs import (
+    Workload,
+    bursty_workload,
+    heavy_tailed_workload,
+    uniform_workload,
+)
+from repro.scheduler.reference import reference_dispatch
+
+POLICIES = ("adaptive", "threshold", "greedy", "single")
+
+N_JOBS = 1500
+N_SERVERS = 120
+
+
+def make_workload(kind: str) -> Workload:
+    if kind == "uniform":
+        return uniform_workload(N_JOBS)
+    if kind == "heavy-tailed":
+        return heavy_tailed_workload(N_JOBS, seed=11)
+    return bursty_workload(N_JOBS, seed=11, burst_size=200, burst_gap=3.0)
+
+
+def choice_vector(length: int, seed: int = 99) -> np.ndarray:
+    return np.random.default_rng(seed).integers(
+        0, N_SERVERS, size=length, dtype=np.int64
+    )
+
+
+def assert_outcomes_identical(batched, reference) -> None:
+    assert np.array_equal(batched.assignments, reference.assignments)
+    assert batched.probes == reference.probes
+    assert np.array_equal(batched.job_counts, reference.job_counts)
+    assert np.array_equal(batched.work, reference.work)
+    assert batched.metrics.makespan == reference.metrics.makespan
+    assert batched.metrics.max_jobs == reference.metrics.max_jobs
+    assert batched.metrics.probes_per_job == reference.metrics.probes_per_job
+
+
+class TestFixedStreamReplay:
+    @pytest.mark.parametrize("workload_kind", ["uniform", "heavy-tailed", "bursty"])
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_bit_identical_to_reference(self, policy, workload_kind):
+        workload = make_workload(workload_kind)
+        choices = choice_vector(30 * N_JOBS)
+        batched = Dispatcher(
+            N_SERVERS,
+            policy=policy,
+            d=2,
+            probe_stream=FixedProbeStream(N_SERVERS, choices),
+        ).dispatch(workload)
+        reference = reference_dispatch(
+            workload,
+            N_SERVERS,
+            policy=policy,
+            d=2,
+            probe_stream=FixedProbeStream(N_SERVERS, choices),
+        )
+        assert_outcomes_identical(batched, reference)
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_seeded_run_equals_reference(self, policy):
+        """With a plain seed the batched engine consumes the exact probe
+        sequence the per-job loop would have, so outcomes are unchanged."""
+        workload = heavy_tailed_workload(N_JOBS, seed=5)
+        batched = Dispatcher(N_SERVERS, policy=policy, d=3, seed=21).dispatch(workload)
+        reference = reference_dispatch(
+            workload, N_SERVERS, policy=policy, d=3, seed=21
+        )
+        assert_outcomes_identical(batched, reference)
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_block_size_does_not_change_outcome(self, policy):
+        workload = make_workload("bursty")
+        choices = choice_vector(30 * N_JOBS)
+        outcomes = [
+            Dispatcher(
+                N_SERVERS,
+                policy=policy,
+                probe_stream=FixedProbeStream(N_SERVERS, choices),
+                block_size=block_size,
+            ).dispatch(workload)
+            for block_size in (None, 7, 256)
+        ]
+        for other in outcomes[1:]:
+            assert np.array_equal(outcomes[0].assignments, other.assignments)
+            assert outcomes[0].probes == other.probes
+
+
+class TestStreamingBatches:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_dispatch_batch_partition_invariance(self, policy):
+        """Streaming the jobs in arbitrary chunks matches one-shot dispatch."""
+        workload = heavy_tailed_workload(N_JOBS, seed=8)
+        sizes = workload.sizes()
+        choices = choice_vector(30 * N_JOBS, seed=123)
+
+        one_shot = Dispatcher(
+            N_SERVERS, policy=policy, probe_stream=FixedProbeStream(N_SERVERS, choices)
+        ).dispatch(workload)
+
+        streamed = Dispatcher(
+            N_SERVERS, policy=policy, probe_stream=FixedProbeStream(N_SERVERS, choices)
+        )
+        parts = []
+        for start in range(0, N_JOBS, 217):  # deliberately stage-misaligned
+            parts.append(
+                streamed.dispatch_batch(
+                    sizes[start : start + 217], total_jobs=N_JOBS
+                )
+            )
+        assignments = np.concatenate(parts)
+
+        assert np.array_equal(assignments, one_shot.assignments)
+        assert streamed.probes == one_shot.probes
+        assert np.array_equal(streamed.job_counts, one_shot.job_counts)
+        np.testing.assert_allclose(streamed.work, one_shot.work)
+
+    def test_streaming_outcome_snapshot(self):
+        dispatcher = Dispatcher(50, policy="adaptive", seed=0)
+        dispatcher.dispatch_batch(np.ones(300))
+        dispatcher.dispatch_batch(np.ones(200))
+        outcome = dispatcher.outcome()
+        assert int(outcome.job_counts.sum()) == 500
+        assert outcome.metrics.max_jobs <= 500 // 50 + 1
+        assert dispatcher.jobs_dispatched == 500
+
+    def test_threshold_requires_consistent_total(self):
+        from repro.errors import ConfigurationError
+
+        dispatcher = Dispatcher(10, policy="threshold", seed=0)
+        dispatcher.dispatch_batch(np.ones(30), total_jobs=40)
+        with pytest.raises(ConfigurationError):
+            dispatcher.dispatch_batch(np.ones(20), total_jobs=40)
+
+    def test_threshold_rejects_changing_total(self):
+        from repro.errors import ConfigurationError
+
+        dispatcher = Dispatcher(10, policy="threshold", seed=0)
+        dispatcher.dispatch_batch(np.ones(30), total_jobs=40)
+        with pytest.raises(ConfigurationError):
+            dispatcher.dispatch_batch(np.ones(10), total_jobs=400)
+
+    def test_threshold_requires_total_when_streaming(self):
+        from repro.errors import ConfigurationError
+
+        dispatcher = Dispatcher(10, policy="threshold", seed=0)
+        with pytest.raises(ConfigurationError):
+            dispatcher.dispatch_batch(np.ones(5))
+
+    def test_assignments_do_not_alias_replay_vector(self):
+        choices = choice_vector(100)
+        stream = FixedProbeStream(N_SERVERS, choices)
+        assignments = Dispatcher(
+            N_SERVERS, policy="single", probe_stream=stream
+        ).dispatch_batch(np.ones(50))
+        assert not np.shares_memory(assignments, choices)
+
+    def test_reset_clears_state(self):
+        dispatcher = Dispatcher(20, policy="adaptive", seed=1)
+        dispatcher.dispatch_batch(np.ones(100))
+        dispatcher.reset()
+        assert dispatcher.probes == 0
+        assert dispatcher.jobs_dispatched == 0
+        assert int(dispatcher.job_counts.sum()) == 0
+        assert float(dispatcher.work.sum()) == 0.0

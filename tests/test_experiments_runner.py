@@ -26,6 +26,15 @@ class TestRunTrial:
         assert not np.array_equal(first.loads, second.loads)
         assert np.array_equal(first.loads, again.loads)
 
+    def test_unseeded_runs_stay_independent(self):
+        """The cached seed table must not make seed=None batches identical."""
+        config = TrialConfig(
+            protocol="adaptive", n_balls=500, n_bins=100, trials=2, seed=None
+        )
+        first = run_trial(config, 0)
+        second = run_trial(config, 0)
+        assert not np.array_equal(first.loads, second.loads)
+
     def test_invalid_trial_index(self):
         with pytest.raises(ConfigurationError):
             run_trial(SMALL, 99)

@@ -84,6 +84,26 @@ class TestParallelGreedy:
             ParallelGreedyProtocol(d=0)
         with pytest.raises(ConfigurationError):
             ParallelGreedyProtocol(rounds=0)
+        with pytest.raises(ConfigurationError):
+            ParallelGreedyProtocol(schedule="exponential-ish")
+
+    def test_params_include_schedule(self):
+        params = ParallelGreedyProtocol(d=3, rounds=2, schedule="geometric").params()
+        assert params == {"d": 3, "rounds": 2, "schedule": "geometric"}
+
+    def test_threshold_schedules(self):
+        arithmetic = ParallelGreedyProtocol(schedule="arithmetic")
+        geometric = ParallelGreedyProtocol(schedule="geometric")
+        assert [arithmetic.round_threshold(4, r) for r in range(3)] == [4, 5, 6]
+        assert [geometric.round_threshold(4, r) for r in range(3)] == [4, 8, 16]
+        # geometric doubles from 1 even when the average load is 0 (m < n)
+        assert [geometric.round_threshold(0, r) for r in range(3)] == [1, 2, 4]
+
+    def test_geometric_schedule_places_all_balls(self):
+        result = ParallelGreedyProtocol(schedule="geometric").allocate(
+            2000, 500, seed=3
+        )
+        assert int(result.loads.sum()) == 2000
 
     def test_all_balls_placed(self, problem_size):
         m, n = problem_size

@@ -56,6 +56,22 @@ class TestWorkloads:
         b = heavy_tailed_workload(50, seed=3).sizes()
         assert np.array_equal(a, b)
 
+    def test_arrival_batches_groups_bursts(self):
+        workload = bursty_workload(250, seed=1, burst_size=100, burst_gap=10.0)
+        batches = list(workload.arrival_batches())
+        assert [(t, start, stop) for t, start, stop in batches] == [
+            (0.0, 0, 100),
+            (10.0, 100, 200),
+            (20.0, 200, 250),
+        ]
+
+    def test_arrival_batches_single_group_when_simultaneous(self):
+        workload = uniform_workload(40)
+        assert list(workload.arrival_batches()) == [(0.0, 0, 40)]
+
+    def test_arrival_batches_empty_workload(self):
+        assert list(uniform_workload(0).arrival_batches()) == []
+
 
 class TestMetrics:
     def test_simple_values(self):
@@ -140,3 +156,36 @@ class TestDispatcher:
         outcome = Dispatcher(10, policy="adaptive", seed=0).dispatch(uniform_workload(0))
         assert outcome.metrics.probes_per_job == 0.0
         assert outcome.job_counts.sum() == 0
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ConfigurationError):
+            Dispatcher(5, block_size=0)
+
+    def test_mismatched_probe_stream(self):
+        from repro.runtime.probes import RandomProbeStream
+
+        with pytest.raises(ConfigurationError):
+            Dispatcher(5, probe_stream=RandomProbeStream(7, seed=0))
+
+    def test_dispatch_batch_streaming_adaptive_guarantee(self):
+        """The online guarantee holds across streamed batches: after i jobs
+        the max load never exceeds ceil(i/n) + 1."""
+        dispatcher = Dispatcher(40, policy="adaptive", seed=9)
+        dispatched = 0
+        for batch in (25, 75, 140, 160):
+            dispatcher.dispatch_batch(np.ones(batch))
+            dispatched += batch
+            limit = -(-dispatched // 40) + 1
+            assert int(dispatcher.job_counts.max()) <= limit
+
+    def test_dispatch_batch_returns_assignments(self):
+        dispatcher = Dispatcher(10, policy="single", seed=2)
+        assignments = dispatcher.dispatch_batch(np.ones(50))
+        assert assignments.shape == (50,)
+        assert assignments.min() >= 0 and assignments.max() < 10
+        assert dispatcher.probes == 50
+
+    def test_empty_batch_is_noop(self):
+        dispatcher = Dispatcher(10, policy="greedy", seed=2)
+        assert dispatcher.dispatch_batch(np.empty(0)).size == 0
+        assert dispatcher.probes == 0

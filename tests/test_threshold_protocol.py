@@ -22,7 +22,16 @@ class TestConstruction:
             ThresholdProtocol(block_size=-1)
 
     def test_params(self):
-        assert ThresholdProtocol(offset=2).params() == {"offset": 2}
+        params = ThresholdProtocol(offset=2, block_size=256).params()
+        assert params == {"offset": 2, "block_size": 256}
+
+    def test_params_round_trip_is_lossless(self):
+        from repro.core.protocol import make_protocol
+
+        original = ThresholdProtocol(offset=3, block_size=32)
+        rebuilt = make_protocol(original.name, **original.params())
+        assert rebuilt.params() == original.params()
+        assert rebuilt.block_size == 32
 
 
 class TestAllocate:

@@ -132,3 +132,60 @@ class TestFillWindow:
         # bin 0 is already above the limit: the probes into it are rejected.
         assert np.array_equal(loads, [2, 2, 1])
         assert outcome.probes == 6
+
+
+class TestAssignWindow:
+    """assign_window must mirror fill_window and report placement order."""
+
+    def _sequential_assignments(self, loads, limit, n_balls, choices):
+        loads = loads.copy()
+        assignments = []
+        probes = 0
+        cursor = 0
+        while len(assignments) < n_balls:
+            j = int(choices[cursor])
+            cursor += 1
+            probes += 1
+            if loads[j] <= limit:
+                loads[j] += 1
+                assignments.append(j)
+        return np.array(assignments, dtype=np.int64), probes, loads
+
+    @pytest.mark.parametrize("block_size", [None, 3, 64])
+    def test_matches_sequential_process(self, block_size):
+        from repro.core.window import assign_window
+
+        rng = np.random.default_rng(17)
+        n_bins, n_balls, limit = 37, 150, 5
+        start_loads = rng.integers(0, 3, size=n_bins).astype(np.int64)
+        choices = rng.integers(0, n_bins, size=10_000, dtype=np.int64)
+
+        expected, expected_probes, expected_loads = self._sequential_assignments(
+            start_loads, limit, n_balls, choices
+        )
+
+        loads = start_loads.copy()
+        stream = FixedProbeStream(n_bins, choices)
+        result = assign_window(loads, limit, n_balls, stream, block_size=block_size)
+
+        assert np.array_equal(result.assignments, expected)
+        assert result.probes == expected_probes
+        assert np.array_equal(loads, expected_loads)
+        assert stream.consumed == expected_probes
+
+    def test_zero_balls(self):
+        from repro.core.window import assign_window
+
+        loads = np.zeros(5, dtype=np.int64)
+        stream = FixedProbeStream(5, np.arange(5))
+        result = assign_window(loads, 1, 0, stream)
+        assert result.assignments.size == 0
+        assert result.probes == 0
+
+    def test_insufficient_capacity_raises(self):
+        from repro.core.window import assign_window
+
+        loads = np.full(4, 3, dtype=np.int64)
+        stream = FixedProbeStream(4, np.zeros(100, dtype=np.int64))
+        with pytest.raises(ProtocolError):
+            assign_window(loads, 2, 5, stream)
