@@ -87,9 +87,14 @@ def test_dispatch_speedup_smoke_scale():
 
 
 def test_all_policies_dispatch_full_workload_fast():
-    """Every policy sustains well over 10^5 jobs/s at the smoke scale."""
+    """Every policy sustains well over 10^5 jobs/s at the smoke scale.
+
+    This includes the Table-1 baseline policies ``left`` and ``memory``
+    routed through the chunked baseline engine (QUICK_SERVERS is divisible
+    by d=2, as the left policy requires).
+    """
     workload = uniform_workload(QUICK_JOBS)
-    for policy in ("adaptive", "threshold", "greedy", "single"):
+    for policy in ("adaptive", "threshold", "greedy", "left", "memory", "single"):
         seconds, _ = _time_batched(workload, QUICK_SERVERS, policy)
         assert QUICK_JOBS / seconds > 1e5, f"{policy} too slow: {seconds:.2f}s"
 
@@ -109,7 +114,7 @@ def main() -> None:
     header = f"{'policy':<10} {'batched':>10} {'per-job':>10} {'speedup':>9} {'jobs/s':>12}"
     print(header)
     print("-" * len(header))
-    for policy in ("adaptive", "threshold", "greedy", "single"):
+    for policy in ("adaptive", "threshold", "greedy", "left", "memory", "single"):
         stats = measure_speedup(n_jobs, n_servers, policy)
         print(
             f"{policy:<10} {stats['batched_seconds']:>9.3f}s "

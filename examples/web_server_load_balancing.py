@@ -5,19 +5,22 @@ The introduction of the paper motivates balls-into-bins processes with load
 balancing: every ball is a request/task, every bin a server.  This example
 uses the :mod:`repro.scheduler` substrate to dispatch a heavy-tailed workload
 (Pareto service times, the classic web-request model) onto a server fleet
-using four policies:
+using every Table-1 strategy:
 
 * ``single``    — one random server per request (no load information),
 * ``greedy``    — power of two choices,
+* ``left``      — Vöcking's always-go-left rule over two server groups,
+* ``memory``    — two-choice with one remembered server (Mitzenmacher et al.),
 * ``threshold`` — the THRESHOLD probing rule (needs the request count upfront),
 * ``adaptive``  — the paper's ADAPTIVE rule (fully online).
 
 It reports how many requests land on the busiest server (the balls-into-bins
 max load), the makespan, the probing cost per request, and the *measured
 dispatch throughput* of the batched engine — the dispatcher routes whole
-arrival batches through the exact vectorised window primitive, so millions of
-requests are assigned in a handful of NumPy passes while remaining
-bit-identical to the sequential process.
+arrival batches through the exact vectorised window primitive
+(adaptive/threshold) or the chunked conflict-free commit engine
+(greedy/left), so millions of requests are assigned in a handful of NumPy
+passes while remaining bit-identical to the sequential process.
 
 The second half streams a bursty workload burst-by-burst through
 ``Dispatcher.dispatch_batch`` — the online API a front-end proxy would use —
@@ -36,8 +39,8 @@ from repro.scheduler import Dispatcher, bursty_workload, heavy_tailed_workload
 
 def run_scenario(name: str, workload, n_servers: int, seed: int) -> list[dict]:
     rows = []
-    for policy in ("single", "greedy", "threshold", "adaptive"):
-        dispatcher = Dispatcher(n_servers, policy=policy, d=2, seed=seed)
+    for policy in ("single", "greedy", "left", "memory", "threshold", "adaptive"):
+        dispatcher = Dispatcher(n_servers, policy=policy, d=2, k=1, seed=seed)
         start = time.perf_counter()
         outcome = dispatcher.dispatch(workload)
         elapsed = time.perf_counter() - start

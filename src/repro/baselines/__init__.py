@@ -9,13 +9,35 @@
 * :class:`~repro.baselines.rebalancing.RebalancingProtocol` — greedy[d] plus
   self-balancing moves in the spirit of Czumaj, Riley and Scheideler.
 
+All d-choice baselines run through the chunked exact vectorised commit
+engine of :mod:`repro.baselines.engine`; the original ball-by-ball loops are
+kept in :mod:`repro.baselines.reference` (mirroring
+:mod:`repro.core.reference` and :mod:`repro.scheduler.reference`) so the
+test-suite can certify bit-identical replay equivalence.
+
 Importing this subpackage registers all of them with the protocol registry.
 """
 
+from repro.baselines.engine import (
+    chunked_argmin_commit,
+    chunked_move_sweep,
+    default_chunk_size,
+)
 from repro.baselines.greedy import GreedyProtocol, run_greedy
-from repro.baselines.left import LeftProtocol, group_boundaries, run_left
+from repro.baselines.left import (
+    LeftProtocol,
+    group_boundaries,
+    replay_group_map,
+    run_left,
+)
 from repro.baselines.memory import MemoryProtocol, run_memory
 from repro.baselines.rebalancing import RebalancingProtocol, run_rebalancing
+from repro.baselines.reference import (
+    reference_greedy,
+    reference_left,
+    reference_memory,
+    reference_rebalancing,
+)
 from repro.baselines.single_choice import SingleChoiceProtocol, run_single_choice
 
 __all__ = [
@@ -24,10 +46,18 @@ __all__ = [
     "LeftProtocol",
     "run_left",
     "group_boundaries",
+    "replay_group_map",
     "MemoryProtocol",
     "run_memory",
     "RebalancingProtocol",
     "run_rebalancing",
     "SingleChoiceProtocol",
     "run_single_choice",
+    "chunked_argmin_commit",
+    "chunked_move_sweep",
+    "default_chunk_size",
+    "reference_greedy",
+    "reference_left",
+    "reference_memory",
+    "reference_rebalancing",
 ]

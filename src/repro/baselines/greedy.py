@@ -7,9 +7,26 @@ Czumaj, Steger and Vöcking extend this to the heavily loaded case, giving
 ``m/n + ln ln n / ln d + Θ(1)`` — the first two rows of Table 1.  The
 allocation time is exactly ``d·m`` probes.
 
-The placement decisions are inherently sequential (each depends on the loads
-produced by all previous balls), so the inner loop is a Python loop; the ``d``
-choices of all balls are drawn in one vectorised call up front.
+Placement decisions are inherently sequential (each depends on the loads
+produced by all previous balls), but the per-ball Python loop of the seed
+implementation (kept as :func:`repro.baselines.reference.reference_greedy`)
+is gone: balls are placed through the chunked commit engine of
+:mod:`repro.baselines.engine`, which bulk-draws each chunk's ``d`` choices
+with :meth:`~repro.runtime.probes.ProbeStream.take_matrix` and commits all
+conflict-free balls of a chunk in one vectorised pass.  The outcome is
+bit-identical to the sequential loop for the same probe stream and seed.
+
+Replay contract
+---------------
+The random tie-break draws one ``(m, d)`` priority matrix, before any
+placements, from ``stream.derive_generator(seed)``: a spawned child of the
+probe generator for seeded runs (so tie noise is a pure function of the seed,
+independent of probe consumption), and a generator seeded by ``seed`` — or
+the documented fallback :data:`repro.runtime.probes.AUX_SEED` — for replay
+streams.  The seed implementation instead reused the probe generator (after
+exhausting it) and fell back to a hard-coded ``default_rng(0)`` for non-random
+streams, which coupled tie randomness to the stream *type*; any two
+implementations given the same stream and seed now agree bit-for-bit.
 """
 
 from __future__ import annotations
@@ -18,6 +35,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.baselines.engine import chunked_argmin_commit
 from repro.core.protocol import AllocationProtocol, register_protocol
 from repro.core.result import AllocationResult
 from repro.errors import ConfigurationError
@@ -76,29 +94,20 @@ class GreedyProtocol(AllocationProtocol):
 
         loads = np.zeros(n_bins, dtype=np.int64)
         if n_balls:
-            # Draw all d·m probes up front: ball i uses probes i·d … i·d+d-1,
-            # in stream order, matching a ball-by-ball implementation exactly.
-            choices = stream.take(n_balls * self.d).reshape(n_balls, self.d)
-            tie_rng = (
-                stream.generator
-                if isinstance(stream, RandomProbeStream)
-                else np.random.default_rng(0)
-            )
+            priorities = None
             if self.tie_break == "random":
-                # Pre-draw tie-breaking priorities; a fresh permutation per
-                # ball would be equivalent but far slower.
-                priorities = tie_rng.random(size=(n_balls, self.d))
-            for i in range(n_balls):
-                row = choices[i]
-                candidate_loads = loads[row]
-                min_load = candidate_loads.min()
-                mask = candidate_loads == min_load
-                if self.tie_break == "first" or mask.sum() == 1:
-                    target = row[int(np.argmax(mask))]
-                else:
-                    tied = np.flatnonzero(mask)
-                    target = row[tied[int(np.argmin(priorities[i][tied]))]]
-                loads[target] += 1
+                # One up-front matrix from the auxiliary generator (see the
+                # replay contract in the module docstring).
+                priorities = stream.derive_generator(seed).random(
+                    size=(n_balls, self.d)
+                )
+            chunked_argmin_commit(
+                loads,
+                lambda start, count: stream.take_matrix(count, self.d),
+                n_balls,
+                self.d,
+                priorities=priorities,
+            )
 
         probes = n_balls * self.d
         return AllocationResult(
@@ -113,7 +122,17 @@ class GreedyProtocol(AllocationProtocol):
 
 
 def run_greedy(
-    n_balls: int, n_bins: int, seed: SeedLike = None, *, d: int = 2
+    n_balls: int,
+    n_bins: int,
+    seed: SeedLike = None,
+    *,
+    d: int = 2,
+    **params: Any,
 ) -> AllocationResult:
-    """Functional one-liner for :class:`GreedyProtocol`."""
-    return GreedyProtocol(d=d).allocate(n_balls, n_bins, seed)
+    """Functional one-liner for :class:`GreedyProtocol`.
+
+    All remaining keyword arguments (``tie_break``, …) are forwarded to the
+    constructor, so wrapper runs agree with registry runs for the same
+    parameter dictionary.
+    """
+    return GreedyProtocol(d=d, **params).allocate(n_balls, n_bins, seed)

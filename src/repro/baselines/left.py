@@ -7,6 +7,25 @@ showed this achieves a maximum load of ``ln ln n / (d · ln Φ_d) + O(1)`` for
 ``m = n`` — better than greedy[d] even though it uses the same number of
 probes — and that this matches his general lower bound.  Berenbrink et al.
 extended the analysis to the heavily loaded case (Table 1, second row).
+
+The per-ball loop of the seed implementation (kept as
+:func:`repro.baselines.reference.reference_left`) is replaced by the chunked
+commit engine of :mod:`repro.baselines.engine`; the leftmost-minimum rule is
+exactly the engine's first-minimum tie-break, so the loads are bit-identical
+to the sequential loop for the same randomness.
+
+Replay contract
+---------------
+Seeded runs sample each ball's in-group offsets from one up-front matrix of
+uniform floats, exactly as the seed implementation did (any group sizes).
+When an explicit ``probe_stream`` is given the groups must be of equal size
+(``n_bins`` divisible by ``d``): the ``g``-th probe of a ball, uniform over
+``{0, …, n-1}``, maps to the uniform in-group choice ``g·(n/d) + probe mod
+(n/d)``, consuming ``d`` stream probes per ball in ball order — which is what
+lets a :class:`~repro.runtime.probes.FixedProbeStream` replay certify the
+engine against the reference.  Unequal groups cannot be driven by a uniform
+stream without biasing some bins, so that case still raises
+:class:`~repro.errors.ConfigurationError`.
 """
 
 from __future__ import annotations
@@ -15,6 +34,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.baselines.engine import chunked_argmin_commit, matrix_source
 from repro.core.protocol import AllocationProtocol, register_protocol
 from repro.core.result import AllocationResult
 from repro.errors import ConfigurationError
@@ -22,7 +42,7 @@ from repro.runtime.costs import CostModel
 from repro.runtime.probes import ProbeStream, RandomProbeStream
 from repro.runtime.rng import SeedLike
 
-__all__ = ["LeftProtocol", "run_left", "group_boundaries"]
+__all__ = ["LeftProtocol", "run_left", "group_boundaries", "replay_group_map"]
 
 
 def group_boundaries(n_bins: int, d: int) -> np.ndarray:
@@ -41,6 +61,27 @@ def group_boundaries(n_bins: int, d: int) -> np.ndarray:
     sizes = np.full(d, n_bins // d, dtype=np.int64)
     sizes[: n_bins % d] += 1
     return np.concatenate(([0], np.cumsum(sizes)))
+
+
+def replay_group_map(n_bins: int, d: int) -> tuple[np.ndarray, int]:
+    """Return ``(group_base, size)`` for mapping uniform probes onto groups.
+
+    This is the single home of the left[d] replay contract: it requires
+    ``n_bins`` divisible by ``d`` (equal groups) and a probe ``v`` uniform
+    over ``{0, …, n-1}`` for group ``g`` maps to the uniform in-group choice
+    ``group_base[g] + v % size``.  Both :class:`LeftProtocol` and the
+    dispatcher's ``"left"`` policy (plus their per-ball references) go
+    through this helper, so the mapping cannot silently diverge.  Unequal
+    groups cannot be driven by a uniform stream without biasing some bins,
+    hence the :class:`~repro.errors.ConfigurationError`.
+    """
+    boundaries = group_boundaries(n_bins, d)
+    if n_bins % d:
+        raise ConfigurationError(
+            "left[d] probe replay needs equal groups: n_bins must be "
+            f"divisible by d, got {n_bins} bins and d={d}"
+        )
+    return boundaries[:-1], n_bins // d
 
 
 @register_protocol
@@ -74,27 +115,34 @@ class LeftProtocol(AllocationProtocol):
         record_trace: bool = False,
     ) -> AllocationResult:
         self.validate_size(n_balls, n_bins)
-        if probe_stream is not None:
-            raise ConfigurationError(
-                "left[d] samples one bin per group and cannot replay a uniform "
-                "probe stream"
-            )
-        rng = RandomProbeStream(n_bins, seed).generator
-        boundaries = group_boundaries(n_bins, self.d)
-        sizes = np.diff(boundaries)
-
         loads = np.zeros(n_bins, dtype=np.int64)
-        if n_balls:
-            # choices[i, g] = bin sampled by ball i from group g.
-            offsets = rng.random(size=(n_balls, self.d))
-            choices = (boundaries[:-1] + np.floor(offsets * sizes)).astype(np.int64)
-            for i in range(n_balls):
-                row = choices[i]
-                candidate_loads = loads[row]
-                # argmin returns the first (leftmost group) minimum: exactly
-                # Vöcking's asymmetric tie-breaking rule.
-                target = row[int(np.argmin(candidate_loads))]
-                loads[target] += 1
+
+        if probe_stream is not None:
+            if probe_stream.n_bins != n_bins:
+                raise ConfigurationError(
+                    "probe_stream.n_bins does not match the requested n_bins"
+                )
+            group_base, size = replay_group_map(n_bins, self.d)
+            chunked_argmin_commit(
+                loads,
+                lambda start, count: group_base
+                + probe_stream.take_matrix(count, self.d) % size,
+                n_balls,
+                self.d,
+            )
+        else:
+            boundaries = group_boundaries(n_bins, self.d)
+            if n_balls:
+                rng = RandomProbeStream(n_bins, seed).generator
+                sizes = np.diff(boundaries)
+                # choices[i, g] = bin sampled by ball i from group g.
+                offsets = rng.random(size=(n_balls, self.d))
+                choices = (boundaries[:-1] + np.floor(offsets * sizes)).astype(
+                    np.int64
+                )
+                chunked_argmin_commit(
+                    loads, matrix_source(choices), n_balls, self.d
+                )
 
         probes = n_balls * self.d
         return AllocationResult(
@@ -109,7 +157,16 @@ class LeftProtocol(AllocationProtocol):
 
 
 def run_left(
-    n_balls: int, n_bins: int, seed: SeedLike = None, *, d: int = 2
+    n_balls: int,
+    n_bins: int,
+    seed: SeedLike = None,
+    *,
+    d: int = 2,
+    **params: Any,
 ) -> AllocationResult:
-    """Functional one-liner for :class:`LeftProtocol`."""
-    return LeftProtocol(d=d).allocate(n_balls, n_bins, seed)
+    """Functional one-liner for :class:`LeftProtocol`.
+
+    Remaining keyword arguments are forwarded to the constructor, so wrapper
+    runs agree with registry runs for the same parameter dictionary.
+    """
+    return LeftProtocol(d=d, **params).allocate(n_balls, n_bins, seed)

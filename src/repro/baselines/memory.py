@@ -7,6 +7,22 @@ least loaded candidates (after placement) are passed on to the next ball.
 For ``d = k = 1`` and ``m = n`` the maximum load is
 ``ln ln n / (2 ln Φ₂) + O(1)``, matching Vöcking's lower bound — the third row
 of Table 1 — while using only ``Θ(m)`` random choices.
+
+The remembered set holds **distinct** bins: after placement the candidate
+bins are deduplicated (first occurrence kept) before the ``k`` least loaded
+are selected.  The seed implementation remembered the raw candidate
+positions, so a fresh choice colliding with a remembered bin could fill
+several memory slots with the same bin and silently shrink the effective
+``d + k`` candidate diversity below what the Mitzenmacher–Prabhakar–Shah
+analysis assumes (``tests/test_memory.py`` carries the regression).
+
+The memory hand-off makes every decision depend on the previous ball's full
+candidate set, so the hand-off itself stays sequential; the chunked engine
+structure still applies: each chunk's fresh choices are bulk-drawn with
+:meth:`~repro.runtime.probes.ProbeStream.take_matrix` (consumption order
+identical to a per-ball loop) and the hand-off runs over plain Python ints,
+which is several times faster than the per-ball NumPy indexing of the seed
+loop (kept as :func:`repro.baselines.reference.reference_memory`).
 """
 
 from __future__ import annotations
@@ -22,7 +38,82 @@ from repro.runtime.costs import CostModel
 from repro.runtime.probes import ProbeStream, RandomProbeStream
 from repro.runtime.rng import SeedLike
 
-__all__ = ["MemoryProtocol", "run_memory"]
+__all__ = [
+    "MemoryProtocol",
+    "run_memory",
+    "memory_hand_off",
+    "chunked_memory_hand_off",
+]
+
+#: Balls per bulk fresh-choice draw; the hand-off is sequential either way,
+#: so the chunk only bounds the size of each ``take_matrix`` call.
+_FRESH_CHUNK = 4096
+
+
+def memory_hand_off(
+    counts: list[int],
+    fresh_rows: list[list[int]],
+    memory: list[int],
+    k: int,
+    assignments: list[int] | None = None,
+) -> list[int]:
+    """Run the sequential (d,k)-memory hand-off over one chunk of balls.
+
+    ``counts`` (per-bin loads, mutated in place) and the returned memory are
+    plain Python lists — the hot loop touches ``d + k`` scalars per ball.
+    Candidates are the fresh row followed by the remembered bins; the first
+    least-loaded candidate wins, and the ``k`` least loaded *distinct*
+    candidate bins (stable order: candidate order breaks load ties) are
+    remembered for the next ball.  The dispatcher's ``memory`` policy and
+    :class:`MemoryProtocol` share this loop so both stay bit-identical to
+    :func:`repro.baselines.reference.reference_memory`.
+    """
+    for row in fresh_rows:
+        candidates = row + memory
+        best = candidates[0]
+        best_load = counts[best]
+        for bin_index in candidates[1:]:
+            load = counts[bin_index]
+            if load < best_load:
+                best, best_load = bin_index, load
+        counts[best] = best_load + 1
+        if assignments is not None:
+            assignments.append(best)
+        if k:
+            seen: set[int] = set()
+            unique = [
+                b for b in candidates if not (b in seen or seen.add(b))
+            ]
+            unique.sort(key=counts.__getitem__)  # stable: ties keep cand order
+            memory = unique[:k]
+    return memory
+
+
+def chunked_memory_hand_off(
+    stream: ProbeStream,
+    counts: list[int],
+    memory: list[int],
+    n_balls: int,
+    d: int,
+    k: int,
+    assignments: list[int] | None = None,
+) -> list[int]:
+    """Drive :func:`memory_hand_off` over ``n_balls`` chunked fresh draws.
+
+    Each chunk's ``d`` fresh choices come from one bulk
+    :meth:`~repro.runtime.probes.ProbeStream.take_matrix` call (consumption
+    order identical to a per-ball loop).  This is the single driver behind
+    :class:`MemoryProtocol` and the dispatcher's ``"memory"`` policy, so the
+    two cannot drift apart in how they chunk the stream.  Returns the new
+    remembered set; ``counts`` (and ``assignments``) are mutated in place.
+    """
+    placed = 0
+    while placed < n_balls:
+        count = min(_FRESH_CHUNK, n_balls - placed)
+        fresh = stream.take_matrix(count, d).tolist()
+        memory = memory_hand_off(counts, fresh, memory, k, assignments=assignments)
+        placed += count
+    return memory
 
 
 @register_protocol
@@ -67,19 +158,10 @@ class MemoryProtocol(AllocationProtocol):
             )
 
         loads = np.zeros(n_bins, dtype=np.int64)
-        memory: np.ndarray = np.empty(0, dtype=np.int64)
         if n_balls:
-            fresh = stream.take(n_balls * self.d).reshape(n_balls, self.d)
-            for i in range(n_balls):
-                candidates = np.concatenate((fresh[i], memory))
-                candidate_loads = loads[candidates]
-                target = candidates[int(np.argmin(candidate_loads))]
-                loads[target] += 1
-                if self.k:
-                    # Remember the k least loaded candidates *after* placement.
-                    post_loads = loads[candidates]
-                    keep = np.argsort(post_loads, kind="stable")[: self.k]
-                    memory = candidates[keep]
+            counts = loads.tolist()
+            chunked_memory_hand_off(stream, counts, [], n_balls, self.d, self.k)
+            loads = np.asarray(counts, dtype=np.int64)
 
         probes = n_balls * self.d
         return AllocationResult(
@@ -94,7 +176,17 @@ class MemoryProtocol(AllocationProtocol):
 
 
 def run_memory(
-    n_balls: int, n_bins: int, seed: SeedLike = None, *, d: int = 1, k: int = 1
+    n_balls: int,
+    n_bins: int,
+    seed: SeedLike = None,
+    *,
+    d: int = 1,
+    k: int = 1,
+    **params: Any,
 ) -> AllocationResult:
-    """Functional one-liner for :class:`MemoryProtocol`."""
-    return MemoryProtocol(d=d, k=k).allocate(n_balls, n_bins, seed)
+    """Functional one-liner for :class:`MemoryProtocol`.
+
+    Remaining keyword arguments are forwarded to the constructor, so wrapper
+    runs agree with registry runs for the same parameter dictionary.
+    """
+    return MemoryProtocol(d=d, k=k, **params).allocate(n_balls, n_bins, seed)

@@ -18,6 +18,14 @@ Moves never increase the maximum load, every move strictly decreases the
 quadratic potential (so termination is guaranteed), and reallocations are
 counted separately from probes in the cost model, mirroring how Table 1
 separates ``O(m) + n^{O(1)}`` reallocation cost from allocation time.
+
+Both phases run through the chunked engine of :mod:`repro.baselines.engine`:
+the greedy[d] init commits conflict-free chunks in bulk (first-minimum ties,
+recording each ball's placement), and every sweep is a
+:func:`~repro.baselines.engine.chunked_move_sweep` — a ball reads and writes
+only its own candidate bins, so the same conflict-free rule makes the sweep
+bit-identical to the per-ball loop kept as
+:func:`repro.baselines.reference.reference_rebalancing`.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.baselines.engine import chunked_argmin_commit, chunked_move_sweep
 from repro.core.protocol import AllocationProtocol, register_protocol
 from repro.core.result import AllocationResult
 from repro.errors import ConfigurationError
@@ -83,35 +92,28 @@ class RebalancingProtocol(AllocationProtocol):
 
         loads = np.zeros(n_bins, dtype=np.int64)
         costs = CostModel()
-        choices = np.empty((0, self.d), dtype=np.int64)
-        placement = np.empty(0, dtype=np.int64)
 
         if n_balls:
             # Phase 1: greedy[d] initial allocation (ties to the first minimum;
-            # the rebalancing phase removes any bias this introduces).
-            choices = stream.take(n_balls * self.d).reshape(n_balls, self.d)
+            # the rebalancing phase removes any bias this introduces).  The
+            # chunk source stashes each bulk draw so phase 2 can reuse the
+            # choice matrix.
+            choices = np.empty((n_balls, self.d), dtype=np.int64)
             placement = np.empty(n_balls, dtype=np.int64)
-            for i in range(n_balls):
-                row = choices[i]
-                target_pos = int(np.argmin(loads[row]))
-                placement[i] = row[target_pos]
-                loads[row[target_pos]] += 1
+
+            def draw(start: int, count: int) -> np.ndarray:
+                block = stream.take_matrix(count, self.d)
+                choices[start : start + count] = block
+                return block
+
+            chunked_argmin_commit(
+                loads, draw, n_balls, self.d, assignments=placement
+            )
             costs.add_probes(n_balls * self.d)
 
-            # Phase 2: self-balancing sweeps.
+            # Phase 2: self-balancing sweeps, one chunked pass per sweep.
             for _ in range(self.max_passes):
-                moved = 0
-                for i in range(n_balls):
-                    current = placement[i]
-                    row = choices[i]
-                    candidate_loads = loads[row]
-                    best_pos = int(np.argmin(candidate_loads))
-                    best = row[best_pos]
-                    if loads[best] + 2 <= loads[current]:
-                        loads[current] -= 1
-                        loads[best] += 1
-                        placement[i] = best
-                        moved += 1
+                moved = chunked_move_sweep(loads, choices, placement)
                 costs.add_reallocations(moved)
                 if moved == 0:
                     break
@@ -128,7 +130,17 @@ class RebalancingProtocol(AllocationProtocol):
 
 
 def run_rebalancing(
-    n_balls: int, n_bins: int, seed: SeedLike = None, *, d: int = 2
+    n_balls: int,
+    n_bins: int,
+    seed: SeedLike = None,
+    *,
+    d: int = 2,
+    **params: Any,
 ) -> AllocationResult:
-    """Functional one-liner for :class:`RebalancingProtocol`."""
-    return RebalancingProtocol(d=d).allocate(n_balls, n_bins, seed)
+    """Functional one-liner for :class:`RebalancingProtocol`.
+
+    Remaining keyword arguments (``max_passes``, …) are forwarded to the
+    constructor, so wrapper runs agree with registry runs for the same
+    parameter dictionary.
+    """
+    return RebalancingProtocol(d=d, **params).allocate(n_balls, n_bins, seed)

@@ -1,0 +1,204 @@
+"""Ball-by-ball reference implementations of the Table-1 baselines.
+
+This is the baseline analogue of :mod:`repro.core.reference` and
+:mod:`repro.scheduler.reference`: one Python loop iteration per ball,
+following each protocol's probing rule literally.  These are the seed
+implementations of :mod:`repro.baselines` (with the memory-deduplication and
+tie-break-generator fixes applied on both sides), kept so the test-suite can
+certify that the chunked engine of :mod:`repro.baselines.engine` is an exact,
+probe-for-probe reproduction of the sequential processes: both
+implementations fed the same :class:`~repro.runtime.probes.FixedProbeStream`
+(and the same ``seed``, which fully determines any auxiliary randomness — see
+:meth:`~repro.runtime.probes.ProbeStream.derive_generator`) must produce
+bit-identical loads, probe counts and reallocation counts.
+
+Each function returns ``(loads, probes)`` — rebalancing additionally returns
+the reallocation count — mirroring the tuple style of
+:mod:`repro.core.reference`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.left import group_boundaries, replay_group_map
+from repro.errors import ConfigurationError
+from repro.runtime.probes import ProbeStream, RandomProbeStream
+from repro.runtime.rng import SeedLike
+
+__all__ = [
+    "reference_greedy",
+    "reference_left",
+    "reference_memory",
+    "reference_rebalancing",
+]
+
+
+def _resolve_stream(
+    n_bins: int, seed: SeedLike, probe_stream: ProbeStream | None
+) -> ProbeStream:
+    if n_bins <= 0:
+        raise ConfigurationError(f"n_bins must be positive, got {n_bins}")
+    if probe_stream is not None:
+        if probe_stream.n_bins != n_bins:
+            raise ConfigurationError(
+                "probe_stream.n_bins does not match the requested n_bins"
+            )
+        return probe_stream
+    return RandomProbeStream(n_bins, seed)
+
+
+def reference_greedy(
+    n_balls: int,
+    n_bins: int,
+    seed: SeedLike = None,
+    *,
+    d: int = 2,
+    tie_break: str = "random",
+    probe_stream: ProbeStream | None = None,
+) -> tuple[np.ndarray, int]:
+    """greedy[d], one ball at a time: place into the least loaded of d draws.
+
+    Follows the shared consumption contract: ball ``i`` consumes probes
+    ``i·d … i·d+d-1`` from the stream, and the random tie-break uses one
+    ``(n_balls, d)`` priority matrix drawn up front from
+    ``stream.derive_generator(seed)``.
+    """
+    if n_balls < 0:
+        raise ConfigurationError(f"n_balls must be non-negative, got {n_balls}")
+    stream = _resolve_stream(n_bins, seed, probe_stream)
+    loads = np.zeros(n_bins, dtype=np.int64)
+    if n_balls == 0:
+        return loads, 0
+    priorities = None
+    if tie_break == "random":
+        priorities = stream.derive_generator(seed).random(size=(n_balls, d))
+    for i in range(n_balls):
+        row = stream.take(d)
+        candidate_loads = loads[row]
+        min_load = candidate_loads.min()
+        mask = candidate_loads == min_load
+        if priorities is None or mask.sum() == 1:
+            target = row[int(np.argmax(mask))]
+        else:
+            tied = np.flatnonzero(mask)
+            target = row[tied[int(np.argmin(priorities[i][tied]))]]
+        loads[target] += 1
+    return loads, n_balls * d
+
+
+def reference_left(
+    n_balls: int,
+    n_bins: int,
+    seed: SeedLike = None,
+    *,
+    d: int = 2,
+    probe_stream: ProbeStream | None = None,
+) -> tuple[np.ndarray, int]:
+    """left[d], one ball at a time: one bin per group, leftmost minimum wins.
+
+    With a probe stream the groups must be of equal size (``n_bins % d ==
+    0``); the ``g``-th probe of a ball, uniform over ``{0, …, n-1}``, maps to
+    the uniform in-group choice ``g·(n/d) + probe mod (n/d)``.  Without a
+    stream the seeded float-offset sampling of the protocol is reproduced,
+    which works for any group sizes.
+    """
+    if n_balls < 0:
+        raise ConfigurationError(f"n_balls must be non-negative, got {n_balls}")
+    boundaries = group_boundaries(n_bins, d)
+    loads = np.zeros(n_bins, dtype=np.int64)
+    if probe_stream is not None:
+        group_base, size = replay_group_map(n_bins, d)
+        stream = _resolve_stream(n_bins, seed, probe_stream)
+        for _ in range(n_balls):
+            row = group_base + stream.take(d) % size
+            loads[row[int(np.argmin(loads[row]))]] += 1
+        return loads, n_balls * d
+    rng = RandomProbeStream(n_bins, seed).generator
+    sizes = np.diff(boundaries)
+    if n_balls:
+        offsets = rng.random(size=(n_balls, d))
+        choices = (boundaries[:-1] + np.floor(offsets * sizes)).astype(np.int64)
+        for i in range(n_balls):
+            row = choices[i]
+            loads[row[int(np.argmin(loads[row]))]] += 1
+    return loads, n_balls * d
+
+
+def reference_memory(
+    n_balls: int,
+    n_bins: int,
+    seed: SeedLike = None,
+    *,
+    d: int = 1,
+    k: int = 1,
+    probe_stream: ProbeStream | None = None,
+) -> tuple[np.ndarray, int]:
+    """(d,k)-memory, one ball at a time, with distinct remembered bins.
+
+    Candidates are the ball's ``d`` fresh draws followed by the remembered
+    bins; the first least-loaded candidate wins.  After placement the
+    candidate *bins* are deduplicated (first occurrence kept) and the ``k``
+    least loaded — stable, so candidate order breaks load ties — are
+    remembered for the next ball.
+    """
+    if n_balls < 0:
+        raise ConfigurationError(f"n_balls must be non-negative, got {n_balls}")
+    stream = _resolve_stream(n_bins, seed, probe_stream)
+    loads = np.zeros(n_bins, dtype=np.int64)
+    memory: np.ndarray = np.empty(0, dtype=np.int64)
+    for _ in range(n_balls):
+        candidates = np.concatenate((stream.take(d), memory))
+        target = candidates[int(np.argmin(loads[candidates]))]
+        loads[target] += 1
+        if k:
+            _, first = np.unique(candidates, return_index=True)
+            unique = candidates[np.sort(first)]
+            keep = np.argsort(loads[unique], kind="stable")[:k]
+            memory = unique[keep]
+    return loads, n_balls * d
+
+
+def reference_rebalancing(
+    n_balls: int,
+    n_bins: int,
+    seed: SeedLike = None,
+    *,
+    d: int = 2,
+    max_passes: int = 50,
+    probe_stream: ProbeStream | None = None,
+) -> tuple[np.ndarray, int, int]:
+    """greedy[d] init (first-minimum ties) plus per-ball move sweeps.
+
+    Returns ``(loads, probes, reallocations)``.
+    """
+    if n_balls < 0:
+        raise ConfigurationError(f"n_balls must be non-negative, got {n_balls}")
+    stream = _resolve_stream(n_bins, seed, probe_stream)
+    loads = np.zeros(n_bins, dtype=np.int64)
+    if n_balls == 0:
+        return loads, 0, 0
+    choices = np.empty((n_balls, d), dtype=np.int64)
+    placement = np.empty(n_balls, dtype=np.int64)
+    for i in range(n_balls):
+        row = stream.take(d)
+        choices[i] = row
+        target = row[int(np.argmin(loads[row]))]
+        placement[i] = target
+        loads[target] += 1
+    reallocations = 0
+    for _ in range(max_passes):
+        moved = 0
+        for i in range(n_balls):
+            current = placement[i]
+            row = choices[i]
+            best = row[int(np.argmin(loads[row]))]
+            if loads[best] + 2 <= loads[current]:
+                loads[current] -= 1
+                loads[best] += 1
+                placement[i] = best
+                moved += 1
+        reallocations += moved
+        if moved == 0:
+            break
+    return loads, n_balls * d, reallocations

@@ -33,6 +33,7 @@ __all__ = [
     "WindowOutcome",
     "WindowAssignment",
     "occurrence_ranks",
+    "conflict_free_rows",
     "fill_window",
     "assign_window",
 ]
@@ -97,6 +98,47 @@ def occurrence_ranks(values: np.ndarray) -> np.ndarray:
     ranks = np.empty(k, dtype=np.int64)
     ranks[order] = ranks_sorted
     return ranks
+
+
+def conflict_free_rows(candidates: np.ndarray, n_bins: int | None = None) -> np.ndarray:
+    """Mark the rows of a candidate matrix that no earlier row can disturb.
+
+    ``candidates`` is a ``(k, d)`` matrix of bin indices: row ``i`` holds the
+    candidate bins of the ``i``-th ball of a block, in sequential order.  A
+    row is *conflict-free* when none of its values occurs in any **earlier**
+    row; values repeated within a single row do not count as conflicts, and
+    the first row is always conflict-free.
+
+    This is the commit rule of the chunked baseline engine
+    (:mod:`repro.baselines.engine`): a conflict-free ball sees exactly the
+    bin loads the sequential process would show it, because every earlier
+    ball of the block places into one of *its own* candidate bins — all
+    disjoint from this row — and every later, already-committed ball was
+    itself required to be disjoint from this row when it committed.
+
+    The occurrence-rank idea of :func:`occurrence_ranks` specialises here to
+    "does an element's value have an earlier holder?", which a single scatter
+    answers in O(k·d + n) without a sort: assigning rows to a per-bin table
+    in *reversed* element order leaves each bin holding its **first** row
+    (later assignments overwrite, so reversing makes the earliest win), and
+    an element conflicts iff its bin's first holder is a strictly earlier
+    row.  ``n_bins`` sizes the scatter table; it defaults to
+    ``candidates.max() + 1``.
+    """
+    candidates = np.asarray(candidates)
+    if candidates.ndim != 2:
+        raise ConfigurationError("candidates must be a 2-D (balls x choices) array")
+    k, d = candidates.shape
+    if k == 0 or d == 0:
+        return np.ones(k, dtype=bool)
+    flat = candidates.ravel()
+    rows = np.repeat(np.arange(k, dtype=np.int64), d)
+    size = int(flat.max()) + 1 if n_bins is None else int(n_bins)
+    # No fill needed: only slots named by `flat` are read, all of them written.
+    first_holder = np.empty(size, dtype=np.int64)
+    first_holder[flat[::-1]] = rows[::-1]
+    conflict = first_holder[flat] < rows
+    return ~conflict.reshape(k, d).any(axis=1)
 
 
 def _default_block_size(balls_remaining: int, n_bins: int) -> int:

@@ -63,6 +63,11 @@ def _run_trial_for_pool(args: tuple[TrialConfig, int]) -> dict[str, Any]:
     return run_trial(config, index).as_record()
 
 
+def _run_trial_result_for_pool(args: tuple[TrialConfig, int]) -> AllocationResult:
+    config, index = args
+    return run_trial(config, index)
+
+
 def run_trials(
     config: TrialConfig, *, workers: int = 1, as_records: bool = False
 ) -> list[AllocationResult] | list[dict[str, Any]]:
@@ -76,8 +81,11 @@ def run_trials(
         Number of worker processes; 1 (default) runs sequentially in-process.
     as_records:
         When true, return flattened record dictionaries instead of
-        :class:`AllocationResult` objects (always the case when
-        ``workers > 1`` since results cross a process boundary).
+        :class:`AllocationResult` objects.  The return type honours this flag
+        for any ``workers`` count: multi-process runs pickle the full results
+        back to the parent when ``as_records`` is false (record dictionaries
+        are the cheaper wire format, so summarising callers should pass
+        ``as_records=True``).
     """
     if workers < 1:
         raise ConfigurationError(f"workers must be at least 1, got {workers}")
@@ -86,11 +94,11 @@ def run_trials(
         if as_records:
             return [r.as_record() for r in results]
         return results
+    worker_fn = _run_trial_for_pool if as_records else _run_trial_result_for_pool
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        records = list(
-            pool.map(_run_trial_for_pool, [(config, i) for i in range(config.trials)])
+        return list(
+            pool.map(worker_fn, [(config, i) for i in range(config.trials)])
         )
-    return records
 
 
 def summarize_trials(

@@ -33,7 +33,13 @@ import numpy as np
 from repro.errors import ConfigurationError, ProtocolError
 from repro.runtime.rng import SeedLike, as_generator
 
-__all__ = ["ProbeStream", "RandomProbeStream", "FixedProbeStream"]
+__all__ = ["ProbeStream", "RandomProbeStream", "FixedProbeStream", "AUX_SEED"]
+
+#: Fallback seed for :meth:`ProbeStream.derive_generator` on replay streams
+#: when the caller supplies no seed.  Fixed (and documented) so that replaying
+#: the same choice vector through two implementations always produces the
+#: same auxiliary randomness — the replay-equivalence tests depend on it.
+AUX_SEED = 0x7AB1E1
 
 
 class ProbeStream(ABC):
@@ -128,6 +134,26 @@ class ProbeStream(ABC):
         self.consumed -= int(arr.size)
         self._pending = np.concatenate([arr, self._pending])
 
+    def derive_generator(self, seed: SeedLike = None) -> np.random.Generator:
+        """Deterministic auxiliary generator for protocol-internal randomness.
+
+        Protocols that need randomness *besides* uniform bin probes (e.g. the
+        greedy[d] random tie-break) must not draw it from the probe source —
+        that would couple the auxiliary noise to how many probes have been
+        consumed, and make vectorised engines diverge from their per-ball
+        references.  The contract is:
+
+        * :class:`RandomProbeStream` returns a spawned child of its own
+          generator, so the auxiliary stream is a pure function of the
+          stream's seed, independent of every probe draw (``seed`` is
+          ignored; repeated calls yield independent children);
+        * replay streams return a generator seeded by ``seed``, falling back
+          to the fixed, documented :data:`AUX_SEED` when ``seed`` is ``None``
+          — so two implementations replaying the same choice vector (and
+          passing the same ``seed``) always agree on the auxiliary noise.
+        """
+        return as_generator(AUX_SEED if seed is None else seed)
+
 
 class RandomProbeStream(ProbeStream):
     """Probe stream backed by a :class:`numpy.random.Generator`."""
@@ -143,6 +169,15 @@ class RandomProbeStream(ProbeStream):
     def generator(self) -> np.random.Generator:
         """The underlying generator (used by protocols needing extra draws)."""
         return self._rng
+
+    def derive_generator(self, seed: SeedLike = None) -> np.random.Generator:
+        """A spawned child of the probe generator (see the base contract).
+
+        Spawning advances only the seed-sequence spawn counter, never the bit
+        stream, so deriving an auxiliary generator does not perturb the probe
+        sequence.
+        """
+        return self._rng.spawn(1)[0]
 
 
 class FixedProbeStream(ProbeStream):

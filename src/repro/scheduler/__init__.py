@@ -2,8 +2,12 @@
 
 The dispatcher is a batched engine: whole workloads (or streamed arrival
 batches, via :meth:`Dispatcher.dispatch_batch`) are routed through the exact
-vectorised window primitive, with a ball-by-ball reference implementation
-(:func:`reference_dispatch`) kept for equivalence testing and benchmarking.
+vectorised window primitive (ADAPTIVE/THRESHOLD) or the chunked conflict-free
+commit engine of :mod:`repro.baselines.engine` (greedy[d]/left[d]), so every
+Table-1 strategy — including the ``"left"`` and ``"memory"`` baselines — is
+available as a streaming dispatch policy.  A ball-by-ball reference
+implementation (:func:`reference_dispatch`) is kept for equivalence testing
+and benchmarking.
 """
 
 from repro.scheduler.dispatcher import Dispatcher, DispatchOutcome

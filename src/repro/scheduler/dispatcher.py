@@ -7,27 +7,33 @@ paper's protocols into the load-balancing scenario its introduction
 motivates, and lets the examples and benchmarks measure application-level
 metrics (makespan, per-server work) instead of only the abstract max load.
 
-Four dispatch policies are provided, mirroring the protocols compared in the
-paper:
+Six dispatch policies are provided, mirroring the paper's protocols and
+every Table-1 comparison strategy:
 
 * ``"adaptive"`` — threshold ``jobs_dispatched/n + 1`` (ADAPTIVE; needs no
   knowledge of the total number of jobs),
 * ``"threshold"`` — threshold ``total_jobs/n + 1`` (THRESHOLD; requires the
   workload length up front),
 * ``"greedy"`` — sample ``d`` servers, pick the least loaded (greedy[d]),
+* ``"left"`` — one server per group of ``n/d``, leftmost least-loaded wins
+  (Vöcking's left[d]; needs ``n_servers`` divisible by ``d`` so each uniform
+  probe maps to a uniform in-group choice),
+* ``"memory"`` — ``d`` fresh servers plus the ``k`` least loaded remembered
+  from the previous job (Mitzenmacher–Prabhakar–Shah (d,k)-memory),
 * ``"single"`` — one random server per job.
 
 Dispatch is *batched*: instead of one Python loop iteration (and one scalar
 RNG call) per probe, jobs are processed in bulk through the exact vectorised
-window primitive of :mod:`repro.core.window` — the same machinery the core
-ADAPTIVE/THRESHOLD engines use — so millions of jobs are dispatched in a
-handful of NumPy passes.  The result is *bit-for-bit identical* to the
-sequential ball-by-ball process (see :mod:`repro.scheduler.reference`): the
-same probe sequence is consumed in the same order, so assignments, probe
-counts and all derived metrics are unchanged for a fixed seed.  The
-test-suite certifies this by replaying shared
-:class:`~repro.runtime.probes.FixedProbeStream` choice vectors through both
-implementations.
+window primitive of :mod:`repro.core.window` (ADAPTIVE/THRESHOLD) and the
+chunked conflict-free commit engine of :mod:`repro.baselines.engine`
+(greedy[d]/left[d]) — the same machinery the core protocol engines use — so
+millions of jobs are dispatched in a handful of NumPy passes.  The result is
+*bit-for-bit identical* to the sequential ball-by-ball process (see
+:mod:`repro.scheduler.reference`): the same probe sequence is consumed in
+the same order, so assignments, probe counts and all derived metrics are
+unchanged for a fixed seed.  The test-suite certifies this by replaying
+shared :class:`~repro.runtime.probes.FixedProbeStream` choice vectors
+through both implementations.
 
 Two entry points are exposed:
 
@@ -47,6 +53,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.baselines.engine import chunked_argmin_commit
+from repro.baselines.left import replay_group_map
+from repro.baselines.memory import chunked_memory_hand_off
 from repro.core.thresholds import acceptance_limit
 from repro.core.window import assign_window
 from repro.errors import ConfigurationError
@@ -57,7 +66,7 @@ from repro.scheduler.metrics import ScheduleMetrics, compute_metrics
 
 __all__ = ["DispatchOutcome", "Dispatcher"]
 
-_POLICIES = ("adaptive", "threshold", "greedy", "single")
+_POLICIES = ("adaptive", "threshold", "greedy", "left", "memory", "single")
 
 
 @dataclass
@@ -84,9 +93,13 @@ class Dispatcher:
     n_servers:
         Number of servers (bins).
     policy:
-        One of ``"adaptive"``, ``"threshold"``, ``"greedy"``, ``"single"``.
+        One of ``"adaptive"``, ``"threshold"``, ``"greedy"``, ``"left"``,
+        ``"memory"``, ``"single"``.
     d:
-        Number of probes per job for the ``"greedy"`` policy.
+        Number of probes per job for the ``"greedy"``, ``"left"`` and
+        ``"memory"`` policies.
+    k:
+        Number of remembered servers for the ``"memory"`` policy.
     seed:
         Randomness for server sampling (ignored when ``probe_stream`` is
         given).
@@ -95,12 +108,14 @@ class Dispatcher:
         :class:`~repro.runtime.probes.FixedProbeStream` here to replay a fixed
         choice vector through both this engine and the ball-by-ball reference.
     block_size:
-        Optional fixed probe block size for the vectorised window passes
-        (mainly for tests; the default heuristic is fine in practice).
+        Optional fixed probe block size for the vectorised window passes,
+        also used as the chunk size of the greedy/left commit engine (mainly
+        for tests; the default heuristics are fine in practice).
 
-    The dispatcher is stateful: ``job_counts``, ``work`` and ``probes``
-    accumulate across :meth:`dispatch_batch` calls until :meth:`reset`.
-    :meth:`dispatch` resets automatically so each workload starts fresh.
+    The dispatcher is stateful: ``job_counts``, ``work``, ``probes`` (and the
+    remembered servers of the ``"memory"`` policy) accumulate across
+    :meth:`dispatch_batch` calls until :meth:`reset`.  :meth:`dispatch`
+    resets automatically so each workload starts fresh.
     """
 
     def __init__(
@@ -109,6 +124,7 @@ class Dispatcher:
         *,
         policy: str = "adaptive",
         d: int = 2,
+        k: int = 1,
         seed: SeedLike = None,
         probe_stream: ProbeStream | None = None,
         block_size: int | None = None,
@@ -121,11 +137,17 @@ class Dispatcher:
             )
         if d < 1:
             raise ConfigurationError(f"d must be at least 1, got {d}")
+        if k < 0:
+            raise ConfigurationError(f"k must be non-negative, got {k}")
+        if policy == "left":
+            # Validates the equal-groups requirement of the replay contract.
+            replay_group_map(n_servers, d)
         if block_size is not None and block_size <= 0:
             raise ConfigurationError("block_size must be positive when given")
         self.n_servers = int(n_servers)
         self.policy = policy
         self.d = int(d)
+        self.k = int(k)
         self.block_size = block_size
         if probe_stream is not None:
             if probe_stream.n_bins != n_servers:
@@ -147,6 +169,7 @@ class Dispatcher:
         self.probes = 0
         self.jobs_dispatched = 0
         self._threshold_total: int | None = None
+        self._memory: list[int] = []
 
     def outcome(self) -> DispatchOutcome:
         """Snapshot the accumulated state as a :class:`DispatchOutcome`.
@@ -212,6 +235,12 @@ class Dispatcher:
         elif self.policy == "greedy":
             assignments = self._dispatch_greedy(k)
             probes = k * self.d
+        elif self.policy == "left":
+            assignments = self._dispatch_left(k)
+            probes = k * self.d
+        elif self.policy == "memory":
+            assignments = self._dispatch_memory(k)
+            probes = k * self.d
         elif self.policy == "threshold":
             if total_jobs is None:
                 raise ConfigurationError(
@@ -269,29 +298,63 @@ class Dispatcher:
         return assignments, probes
 
     def _dispatch_greedy(self, k: int) -> np.ndarray:
-        """Greedy[d]: one block draw of ``k·d`` candidates, then commit.
+        """Greedy[d] through the chunked conflict-free commit engine.
 
-        The candidate matrix comes from a single bulk draw (the expensive
-        part of the per-job loop), while commits stay sequential because each
-        job's argmin depends on the loads left by every earlier job.  The
-        commit loop runs over plain Python lists, which is an order of
-        magnitude faster than per-row NumPy indexing.
+        Each chunk's candidate matrix comes from one bulk
+        :meth:`~repro.runtime.probes.ProbeStream.take_matrix` draw and all
+        conflict-free jobs of a chunk commit in one vectorised pass — the
+        same engine (and therefore the same bit-identical guarantee) as the
+        greedy[d] baseline protocol, with first-minimum tie-breaking as in
+        the per-job reference.
         """
-        candidates = self._stream.take_matrix(k, self.d).tolist()
-        counts = self.job_counts.tolist()
         assignments = np.empty(k, dtype=np.int64)
-        for index, row in enumerate(candidates):
-            best = row[0]
-            best_count = counts[best]
-            for server in row[1:]:
-                count = counts[server]
-                if count < best_count:
-                    best = server
-                    best_count = count
-            counts[best] = best_count + 1
-            assignments[index] = best
-        self.job_counts += np.bincount(assignments, minlength=self.n_servers)
+        chunked_argmin_commit(
+            self.job_counts,
+            lambda start, count: self._stream.take_matrix(count, self.d),
+            k,
+            self.d,
+            chunk_size=self.block_size,
+            assignments=assignments,
+        )
         return assignments
+
+    def _dispatch_left(self, k: int) -> np.ndarray:
+        """Left[d]: probes map to equal server groups, leftmost minimum wins.
+
+        The probe-to-group mapping comes from the shared
+        :func:`~repro.baselines.left.replay_group_map` contract; the
+        engine's first-minimum rule is exactly Vöcking's asymmetric
+        tie-break.
+        """
+        group_base, size = replay_group_map(self.n_servers, self.d)
+        assignments = np.empty(k, dtype=np.int64)
+        chunked_argmin_commit(
+            self.job_counts,
+            lambda start, count: group_base
+            + self._stream.take_matrix(count, self.d) % size,
+            k,
+            self.d,
+            chunk_size=self.block_size,
+            assignments=assignments,
+        )
+        return assignments
+
+    def _dispatch_memory(self, k: int) -> np.ndarray:
+        """(d,k)-memory: chunked bulk fresh draws, sequential hand-off.
+
+        The remembered set persists across :meth:`dispatch_batch` calls (it
+        is part of the protocol state, like ``job_counts``) and holds
+        distinct servers; the loop and the fresh-draw chunking are shared
+        with :class:`~repro.baselines.memory.MemoryProtocol`, and
+        ``job_counts`` is updated in place like every other policy.
+        """
+        counts = self.job_counts.tolist()
+        placed: list[int] = []
+        self._memory = chunked_memory_hand_off(
+            self._stream, counts, self._memory, k, self.d, self.k, assignments=placed
+        )
+        self.job_counts[:] = counts
+        return np.asarray(placed, dtype=np.int64)
 
     def dispatch(self, workload: Workload) -> DispatchOutcome:
         """Assign every job of ``workload`` to a server, in arrival order.

@@ -30,14 +30,17 @@ def reference_dispatch(
     *,
     policy: str = "adaptive",
     d: int = 2,
+    k: int = 1,
     seed: SeedLike = None,
     probe_stream: ProbeStream | None = None,
 ) -> DispatchOutcome:
     """Dispatch ``workload`` with one scalar probe draw per loop iteration.
 
     Semantics match :meth:`repro.scheduler.dispatcher.Dispatcher.dispatch`
-    exactly; only the execution strategy differs (deliberately slow and
-    simple).
+    exactly — including the Table-1 baseline policies ``"left"`` (equal
+    server groups, leftmost least-loaded) and ``"memory"`` (``d`` fresh
+    draws plus ``k`` distinct remembered servers) — only the execution
+    strategy differs (deliberately slow and simple).
     """
     if n_servers <= 0:
         raise ConfigurationError(f"n_servers must be positive, got {n_servers}")
@@ -45,6 +48,13 @@ def reference_dispatch(
         raise ConfigurationError(f"policy must be one of {_POLICIES}, got {policy!r}")
     if d < 1:
         raise ConfigurationError(f"d must be at least 1, got {d}")
+    if k < 0:
+        raise ConfigurationError(f"k must be non-negative, got {k}")
+    if policy == "left" and n_servers % d:
+        raise ConfigurationError(
+            "the left policy needs n_servers divisible by d, got "
+            f"{n_servers} servers and d={d}"
+        )
     if probe_stream is not None:
         if probe_stream.n_bins != n_servers:
             raise ConfigurationError("probe_stream.n_bins does not match n_servers")
@@ -57,6 +67,8 @@ def reference_dispatch(
     work = np.zeros(n_servers, dtype=np.float64)
     assignments = np.empty(n_jobs, dtype=np.int64)
     probes = 0
+    group_size = n_servers // d if d else 0
+    memory: np.ndarray = np.empty(0, dtype=np.int64)
 
     for index, job in enumerate(workload):
         if policy == "single":
@@ -64,6 +76,17 @@ def reference_dispatch(
             probes += 1
         elif policy == "greedy":
             candidates = stream.take(d)
+            server = int(candidates[int(np.argmin(job_counts[candidates]))])
+            probes += d
+        elif policy == "left":
+            candidates = (
+                np.arange(d, dtype=np.int64) * group_size
+                + stream.take(d) % group_size
+            )
+            server = int(candidates[int(np.argmin(job_counts[candidates]))])
+            probes += d
+        elif policy == "memory":
+            candidates = np.concatenate((stream.take(d), memory))
             server = int(candidates[int(np.argmin(job_counts[candidates]))])
             probes += d
         else:
@@ -79,6 +102,11 @@ def reference_dispatch(
         assignments[index] = server
         job_counts[server] += 1
         work[server] += job.size
+        if policy == "memory" and k:
+            # Remember the k least loaded distinct candidates after placement.
+            _, first = np.unique(candidates, return_index=True)
+            unique = candidates[np.sort(first)]
+            memory = unique[np.argsort(job_counts[unique], kind="stable")[:k]]
 
     return DispatchOutcome(
         policy=policy,

@@ -25,8 +25,9 @@ from repro.scheduler.jobs import (
 )
 from repro.scheduler.reference import reference_dispatch
 
-POLICIES = ("adaptive", "threshold", "greedy", "single")
+POLICIES = ("adaptive", "threshold", "greedy", "left", "memory", "single")
 
+# 120 is divisible by the d values used below, as the left policy requires.
 N_JOBS = 1500
 N_SERVERS = 120
 
@@ -182,3 +183,47 @@ class TestStreamingBatches:
         assert dispatcher.jobs_dispatched == 0
         assert int(dispatcher.job_counts.sum()) == 0
         assert float(dispatcher.work.sum()) == 0.0
+
+    def test_reset_clears_remembered_servers(self):
+        dispatcher = Dispatcher(20, policy="memory", d=1, k=2, seed=1)
+        dispatcher.dispatch_batch(np.ones(100))
+        assert dispatcher._memory
+        dispatcher.reset()
+        assert dispatcher._memory == []
+
+
+class TestTable1Policies:
+    def test_left_policy_requires_equal_groups(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            Dispatcher(10, policy="left", d=3)
+        with pytest.raises(ConfigurationError):
+            reference_dispatch(uniform_workload(5), 10, policy="left", d=3)
+
+    def test_memory_policy_matches_reference_for_dk_grid(self):
+        workload = uniform_workload(600)
+        for d, k in [(1, 1), (2, 2), (1, 3), (3, 0)]:
+            choices = choice_vector(30 * N_JOBS, seed=d * 10 + k)
+            batched = Dispatcher(
+                N_SERVERS,
+                policy="memory",
+                d=d,
+                k=k,
+                probe_stream=FixedProbeStream(N_SERVERS, choices),
+            ).dispatch(workload)
+            reference = reference_dispatch(
+                workload,
+                N_SERVERS,
+                policy="memory",
+                d=d,
+                k=k,
+                probe_stream=FixedProbeStream(N_SERVERS, choices),
+            )
+            assert_outcomes_identical(batched, reference)
+
+    def test_left_policy_beats_single_choice(self):
+        workload = uniform_workload(5000)
+        left = Dispatcher(100, policy="left", d=2, seed=0).dispatch(workload)
+        single = Dispatcher(100, policy="single", seed=0).dispatch(workload)
+        assert left.metrics.max_jobs <= single.metrics.max_jobs

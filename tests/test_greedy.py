@@ -72,6 +72,39 @@ class TestAllocate:
         result = run_greedy(m, n, seed=5, d=2)
         assert result.max_load <= m / n + 5
 
+    def test_wrapper_forwards_tie_break(self):
+        """Regression: run_greedy dropped tie_break, so wrapper and registry
+        runs could disagree for the same parameter dictionary."""
+        a = run_greedy(50, 5, seed=3, d=2, tie_break="first")
+        b = GreedyProtocol(d=2, tie_break="first").allocate(50, 5, seed=3)
+        assert np.array_equal(a.loads, b.loads)
+
+    def test_replay_tie_break_is_seed_determined(self):
+        """Regression: the seed implementation hard-coded default_rng(0) for
+        non-random streams, coupling tie randomness to the stream *type*.
+        Replays must now be a pure function of (choice vector, seed)."""
+        choices = np.random.default_rng(0).integers(0, 4, size=400)
+        runs = {
+            seed: GreedyProtocol(d=2).allocate(
+                200, 4, seed=seed, probe_stream=FixedProbeStream(4, choices)
+            )
+            for seed in (11, 12, 11)
+        }
+        again = GreedyProtocol(d=2).allocate(
+            200, 4, seed=11, probe_stream=FixedProbeStream(4, choices)
+        )
+        assert np.array_equal(runs[11].loads, again.loads)
+        # Different seeds give different tie noise on a heavily tied vector.
+        assert not np.array_equal(runs[11].loads, runs[12].loads)
+
+    def test_seeded_tie_noise_is_independent_of_probe_consumption(self):
+        """The auxiliary generator is a spawned child of the probe generator,
+        so the probe sequence itself is unchanged between tie_break modes."""
+        first = GreedyProtocol(d=2, tie_break="first").allocate(500, 50, seed=9)
+        random_ties = GreedyProtocol(d=2, tie_break="random").allocate(500, 50, seed=9)
+        assert first.allocation_time == random_ties.allocation_time
+        assert int(first.loads.sum()) == int(random_ties.loads.sum()) == 500
+
     def test_zero_balls(self):
         assert run_greedy(0, 5, seed=0).allocation_time == 0
 

@@ -50,9 +50,31 @@ class TestLeftProtocol:
         b = run_left(500, 60, seed=2)
         assert np.array_equal(a.loads, b.loads)
 
-    def test_rejects_probe_stream(self):
+    def test_rejects_probe_stream_with_unequal_groups(self):
+        """Replay needs equal groups: a uniform probe cannot map to a uniform
+        in-group choice when group sizes differ."""
         with pytest.raises(ConfigurationError):
-            LeftProtocol().allocate(5, 10, probe_stream=RandomProbeStream(10, seed=0))
+            LeftProtocol(d=3).allocate(
+                5, 10, probe_stream=RandomProbeStream(10, seed=0)
+            )
+
+    def test_accepts_probe_stream_with_equal_groups(self):
+        """With n_bins divisible by d, each probe maps to group g's bin
+        ``g·(n/d) + probe mod (n/d)``, consuming d probes per ball."""
+        import numpy as np
+        from repro.runtime.probes import FixedProbeStream
+
+        # n=4, d=2, size=2: ball 1 probes (3, 1) -> bins (3 % 2, 2 + 1 % 2)
+        # = (1, 3), both empty -> leftmost group wins -> bin 1.  Ball 2
+        # probes (1, 0) -> bins (1, 2); bin 2 is empty -> bin 2.
+        stream = FixedProbeStream(4, np.array([3, 1, 1, 0]))
+        result = LeftProtocol(d=2).allocate(2, 4, probe_stream=stream)
+        assert np.array_equal(result.loads, [0, 1, 1, 0])
+        assert stream.consumed == 4
+
+    def test_mismatched_stream(self):
+        with pytest.raises(ConfigurationError):
+            LeftProtocol().allocate(3, 6, probe_stream=RandomProbeStream(4, seed=0))
 
     def test_choices_stay_within_groups(self):
         """Each ball samples one bin per group, so with d=n each bin gets load 1."""

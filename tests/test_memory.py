@@ -72,6 +72,36 @@ class TestAllocate:
         greedy = np.mean([run_greedy(m, n, seed=s, d=2).max_load for s in range(4)])
         assert memory <= greedy + 1.0
 
+    def test_remembered_bins_are_deduplicated(self):
+        """Regression: the seed implementation remembered raw candidate
+        positions, so a fresh choice colliding with a remembered bin could
+        fill several memory slots with the same bin and silently shrink the
+        effective d+k diversity.
+
+        With d=2, k=2 and fresh pairs (0,1), (0,0), (0,0), (0,0): after ball
+        2 the buggy memory is [0, 0] (bin 1 displaced by a duplicate), so
+        balls 3 and 4 both pile onto bin 0, giving loads [3, 1, 0].  With
+        distinct remembered bins the memory keeps bin 1 alive and the loads
+        end at [2, 2, 0].
+        """
+        stream = FixedProbeStream(3, np.array([0, 1, 0, 0, 0, 0, 0, 0]))
+        result = MemoryProtocol(d=2, k=2).allocate(4, 3, probe_stream=stream)
+        assert np.array_equal(result.loads, [2, 2, 0])
+
+    def test_memory_never_exceeds_k_distinct_bins(self):
+        """The effective candidate set of every ball is at most d + k bins
+        and the remembered set never carries duplicates — observable as
+        max_load staying within the (d,k) guarantee on adversarial streams."""
+        # An all-collisions stream: every fresh pair repeats one bin.
+        n = 5
+        repeats = np.repeat(np.arange(n), 2)
+        choices = np.tile(repeats, 40)
+        result = MemoryProtocol(d=2, k=2).allocate(
+            choices.size // 2, n, probe_stream=FixedProbeStream(n, choices)
+        )
+        assert int(result.loads.sum()) == choices.size // 2
+        assert result.gap <= 1  # perfect balance: memory always offers a hole
+
     def test_zero_balls(self):
         assert run_memory(0, 5, seed=0).allocation_time == 0
 
