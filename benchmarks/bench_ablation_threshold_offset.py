@@ -14,7 +14,6 @@ with offsets 0, 1 and 2 and verifies:
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.adaptive import AdaptiveProtocol

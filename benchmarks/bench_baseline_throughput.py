@@ -31,7 +31,7 @@ from repro.baselines import (
     reference_rebalancing,
 )
 
-from conftest import BENCH_SEED
+from conftest import BENCH_SEED, write_bench_json
 
 #: Acceptance scale: 1M balls into 10k bins.
 FULL_BALLS = 1_000_000
@@ -141,15 +141,25 @@ def main() -> None:
     print(header)
     print("-" * len(header))
     acceptance = {}
+    entries = []
     for name in _PROTOCOLS:
         stats = measure_speedup(name, n_balls, n_bins)
         acceptance[name] = stats["speedup"]
+        entries.append(
+            {
+                "label": name,
+                "ops_per_second": stats["balls_per_second"],
+                **stats,
+            }
+        )
         print(
             f"{name:<15} {stats['vectorised_seconds']:>9.3f}s "
             f"{stats['reference_seconds']:>9.2f}s "
             f"{stats['speedup']:>8.1f}x "
             f"{stats['balls_per_second']:>12,.0f}"
         )
+    path = write_bench_json("baseline_throughput", entries)
+    print(f"\nwrote {path}")
     worst = min(acceptance["greedy[2]"], acceptance["left[2]"])
     verdict = "PASS" if worst >= required else "FAIL"
     print(

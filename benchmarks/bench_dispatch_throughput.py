@@ -19,13 +19,15 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
-
 from repro.scheduler.dispatcher import Dispatcher
 from repro.scheduler.jobs import Workload, uniform_workload
 from repro.scheduler.reference import reference_dispatch
 
-from conftest import BENCH_SEED
+from conftest import BENCH_SEED, write_bench_json
+
+#: Policies reported by the benchmark (the full dispatcher surface,
+#: including the weighted work-balancing policy).
+POLICIES = ("adaptive", "threshold", "greedy", "left", "memory", "single", "weighted")
 
 #: Acceptance scale: 1M jobs onto 10k servers.
 FULL_JOBS = 1_000_000
@@ -94,7 +96,7 @@ def test_all_policies_dispatch_full_workload_fast():
     by d=2, as the left policy requires).
     """
     workload = uniform_workload(QUICK_JOBS)
-    for policy in ("adaptive", "threshold", "greedy", "left", "memory", "single"):
+    for policy in POLICIES:
         seconds, _ = _time_batched(workload, QUICK_SERVERS, policy)
         assert QUICK_JOBS / seconds > 1e5, f"{policy} too slow: {seconds:.2f}s"
 
@@ -114,14 +116,24 @@ def main() -> None:
     header = f"{'policy':<10} {'batched':>10} {'per-job':>10} {'speedup':>9} {'jobs/s':>12}"
     print(header)
     print("-" * len(header))
-    for policy in ("adaptive", "threshold", "greedy", "left", "memory", "single"):
+    entries = []
+    for policy in POLICIES:
         stats = measure_speedup(n_jobs, n_servers, policy)
+        entries.append(
+            {
+                "label": policy,
+                "ops_per_second": stats["batched_jobs_per_second"],
+                **stats,
+            }
+        )
         print(
             f"{policy:<10} {stats['batched_seconds']:>9.3f}s "
             f"{stats['reference_seconds']:>9.2f}s "
             f"{stats['speedup']:>8.1f}x "
             f"{stats['batched_jobs_per_second']:>12,.0f}"
         )
+    path = write_bench_json("dispatch_throughput", entries)
+    print(f"\nwrote {path}")
     adaptive = measure_speedup(n_jobs, n_servers, "adaptive")
     verdict = "PASS" if adaptive["speedup"] >= MIN_SPEEDUP else "FAIL"
     print(

@@ -5,19 +5,25 @@ reproduction relies on: the vectorised window primitive must stay orders of
 magnitude faster than the ball-by-ball reference (otherwise the Figure 3
 sweep at paper scale becomes impractical), and the probe stream must add
 negligible overhead per block.
+
+Run under pytest (with ``pytest-benchmark``) for the statistical view, or
+directly (``python benchmarks/bench_engine_throughput.py --quick``) for the
+one-shot numbers recorded as a ``BENCH_engine_throughput.json`` regression
+baseline.
 """
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
-import pytest
 
 from repro.core.reference import reference_adaptive
 from repro.core.window import fill_window, occurrence_ranks
 from repro.core.adaptive import run_adaptive
 from repro.runtime.probes import RandomProbeStream
 
-from conftest import BENCH_SEED
+from conftest import BENCH_SEED, write_bench_json
 
 
 def test_occurrence_ranks_throughput(benchmark):
@@ -50,8 +56,6 @@ def test_probe_stream_throughput(benchmark):
 
 def test_vectorised_engine_speedup(benchmark):
     """The vectorised ADAPTIVE must beat the reference loop by a wide margin."""
-    import time
-
     m, n = 20_000, 1_000
 
     start = time.perf_counter()
@@ -63,3 +67,56 @@ def test_vectorised_engine_speedup(benchmark):
 
     vectorised_seconds = benchmark.stats.stats.mean
     assert vectorised_seconds < reference_seconds
+
+
+def _time_ops(label: str, ops: int, fn) -> dict:
+    start = time.perf_counter()
+    fn()
+    seconds = time.perf_counter() - start
+    return {"label": label, "ops": ops, "seconds": seconds, "ops_per_second": ops / seconds}
+
+
+def main() -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="run at CI smoke scale"
+    )
+    args = parser.parse_args()
+    scale = 1 if args.quick else 10
+    n = 10_000
+    rank_elements = 100_000 * scale
+    window_balls = 100_000 * scale
+    probe_draws = 1_000_000 * scale
+    adaptive_balls = 100_000 * scale
+
+    values = np.random.default_rng(BENCH_SEED).integers(0, n, size=rank_elements)
+    loads = np.zeros(n, dtype=np.int64)
+    stream = RandomProbeStream(n, seed=BENCH_SEED)
+    entries = [
+        _time_ops("occurrence_ranks", rank_elements, lambda: occurrence_ranks(values)),
+        _time_ops(
+            "fill_window",
+            window_balls,
+            lambda: fill_window(loads, window_balls // n, window_balls, stream),
+        ),
+        _time_ops("probe_stream_take", probe_draws, lambda: stream.take(probe_draws)),
+        _time_ops(
+            "run_adaptive",
+            adaptive_balls,
+            lambda: run_adaptive(adaptive_balls, n, seed=BENCH_SEED),
+        ),
+    ]
+    print(f"{'primitive':<20} {'ops':>12} {'seconds':>9} {'ops/s':>14}")
+    for entry in entries:
+        print(
+            f"{entry['label']:<20} {entry['ops']:>12,} {entry['seconds']:>8.3f}s "
+            f"{entry['ops_per_second']:>14,.0f}"
+        )
+    path = write_bench_json("engine_throughput", entries)
+    print(f"\nwrote {path}")
+
+
+if __name__ == "__main__":
+    main()

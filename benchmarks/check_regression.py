@@ -1,0 +1,142 @@
+"""Benchmark-regression gate for CI.
+
+Compares the fresh ``BENCH_<name>.json`` files written by the
+``bench_*_throughput.py --quick`` runs against the reference numbers
+committed under ``benchmarks/baselines/`` and fails (exit code 1) when any
+scenario's throughput dropped by more than the tolerance (default 30%,
+overridable with ``--tolerance`` or the ``BENCH_REGRESSION_TOLERANCE``
+environment variable — CI runners are noisy, so the default is deliberately
+generous; a real engine regression shows up as a 2-10x cliff, not a few
+percent).
+
+Usage::
+
+    python benchmarks/check_regression.py            # compare, exit 1 on drop
+    python benchmarks/check_regression.py --update   # bless current numbers
+
+New benchmarks (fresh file without a committed baseline) pass with a notice;
+a committed baseline without a fresh measurement fails, so CI cannot
+silently stop running a benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+BASELINE_DIR = BENCH_DIR / "baselines"
+DEFAULT_TOLERANCE = 0.30
+METRIC = "ops_per_second"
+
+
+def load_entries(path: Path) -> dict[str, float]:
+    """Map ``label -> ops_per_second`` for one benchmark JSON file."""
+    payload = json.loads(path.read_text())
+    entries = {}
+    for entry in payload.get("entries", []):
+        entries[str(entry["label"])] = float(entry[METRIC])
+    return entries
+
+
+def compare(
+    baseline_path: Path, current_path: Path, tolerance: float
+) -> list[str]:
+    """Return human-readable regression descriptions (empty = pass)."""
+    baseline = load_entries(baseline_path)
+    current = load_entries(current_path)
+    problems = []
+    for label, reference_ops in sorted(baseline.items()):
+        if label not in current:
+            problems.append(
+                f"{baseline_path.name}: scenario {label!r} missing from the "
+                "fresh run"
+            )
+            continue
+        fresh_ops = current[label]
+        floor = reference_ops * (1.0 - tolerance)
+        if fresh_ops < floor:
+            drop = 1.0 - fresh_ops / reference_ops
+            problems.append(
+                f"{baseline_path.name}: {label!r} dropped {drop:.0%} "
+                f"({fresh_ops:,.0f} ops/s vs baseline {reference_ops:,.0f}, "
+                f"tolerance {tolerance:.0%})"
+            )
+    return problems
+
+
+def update_baselines() -> int:
+    BASELINE_DIR.mkdir(exist_ok=True)
+    fresh = sorted(BENCH_DIR.glob("BENCH_*.json"))
+    if not fresh:
+        print("no BENCH_*.json files to bless; run the --quick benchmarks first")
+        return 1
+    for path in fresh:
+        target = BASELINE_DIR / path.name
+        shutil.copyfile(path, target)
+        print(f"blessed {path.name} -> {target.relative_to(BENCH_DIR.parent)}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(
+            os.environ.get("BENCH_REGRESSION_TOLERANCE", DEFAULT_TOLERANCE)
+        ),
+        help="allowed relative throughput drop before failing (default 0.30)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="copy the fresh BENCH_*.json files over the committed baselines",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error(f"tolerance must be in [0, 1), got {args.tolerance}")
+
+    if args.update:
+        return update_baselines()
+
+    baselines = sorted(BASELINE_DIR.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"no committed baselines under {BASELINE_DIR}; nothing to check")
+        return 1
+
+    problems = []
+    checked = 0
+    for baseline_path in baselines:
+        current_path = BENCH_DIR / baseline_path.name
+        if not current_path.exists():
+            problems.append(
+                f"{baseline_path.name}: no fresh measurement found — did the "
+                "--quick benchmark run?"
+            )
+            continue
+        file_problems = compare(baseline_path, current_path, args.tolerance)
+        problems.extend(file_problems)
+        checked += len(load_entries(baseline_path))
+    for fresh in sorted(BENCH_DIR.glob("BENCH_*.json")):
+        if not (BASELINE_DIR / fresh.name).exists():
+            print(f"note: {fresh.name} has no committed baseline yet (new benchmark)")
+
+    if problems:
+        print(f"benchmark regression check FAILED ({len(problems)} problem(s)):")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(
+        f"benchmark regression check passed: {checked} scenario(s) within "
+        f"{args.tolerance:.0%} of the committed baselines"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,10 @@ EXPERIMENTS.md for the recorded outputs.
 
 from __future__ import annotations
 
+import json
+import subprocess
+from pathlib import Path
+
 import pytest
 
 #: Problem size used by the Table 1 benchmarks (paper-scale is unspecified;
@@ -29,3 +33,52 @@ BENCH_SEED = 2013
 @pytest.fixture(scope="session")
 def bench_seed() -> int:
     return BENCH_SEED
+
+
+# --------------------------------------------------------------------- #
+# Benchmark-regression tracking (see benchmarks/check_regression.py)
+# --------------------------------------------------------------------- #
+#: Where the ``--quick`` runs drop their fresh measurements.
+BENCH_OUTPUT_DIR = Path(__file__).resolve().parent
+#: Where the committed reference numbers live.
+BENCH_BASELINE_DIR = BENCH_OUTPUT_DIR / "baselines"
+
+
+def git_sha() -> str:
+    """Short commit hash of the working tree, or ``"unknown"`` outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=BENCH_OUTPUT_DIR,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        )
+        return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def write_bench_json(name: str, entries: list[dict]) -> Path:
+    """Record one benchmark run as ``BENCH_<name>.json`` for CI tracking.
+
+    ``entries`` is a list of measurements; each must carry a unique
+    ``label`` and an ``ops_per_second`` throughput (plus whatever sizes and
+    auxiliary numbers the benchmark wants to keep).  The surrounding
+    envelope records the git commit so artifacts uploaded from CI are
+    attributable.  Returns the written path.
+    """
+    for entry in entries:
+        if "label" not in entry or "ops_per_second" not in entry:
+            raise ValueError(
+                "every benchmark entry needs a 'label' and an 'ops_per_second'"
+            )
+    payload = {
+        "benchmark": name,
+        "git_sha": git_sha(),
+        "entries": entries,
+    }
+    path = BENCH_OUTPUT_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

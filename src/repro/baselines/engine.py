@@ -82,6 +82,7 @@ def commit_chunk(
     priorities: np.ndarray | None = None,
     assignments: np.ndarray | None = None,
     base: int = 0,
+    weights: np.ndarray | None = None,
 ) -> None:
     """Commit one chunk of balls, bit-identical to the per-ball argmin loop.
 
@@ -99,10 +100,18 @@ def commit_chunk(
     assignments:
         Optional output vector; ball ``i`` of the chunk writes its bin to
         ``assignments[base + i]``.
+    weights:
+        Optional ``(b,)`` per-ball weight vector (weighted greedy[d]):
+        ``loads`` must then be float and each committed ball adds its own
+        weight instead of 1.  Additions into a bin happen in ball order
+        (conflict-free balls sharing a bin commit in sequence, and
+        ``np.add.at`` applies element by element), so the float accumulation
+        is bit-identical to the sequential loop's.
     """
     n_bins = loads.size
     block = rows
     pblock = priorities
+    wblock = weights
     # Original in-chunk positions of `block`'s rows; None = identity (saves a
     # gather on the first sub-phase, which handles ~all of the chunk).
     indices: np.ndarray | None = None
@@ -130,7 +139,9 @@ def commit_chunk(
             )
             pos = np.argmin(tied, axis=1)
             targets = sub[np.arange(sub.shape[0]), pos]
-        if targets.size * 16 >= n_bins:
+        if wblock is not None:
+            np.add.at(loads, targets, wblock[free])
+        elif targets.size * 16 >= n_bins:
             loads += np.bincount(targets, minlength=n_bins)
         else:
             np.add.at(loads, targets, 1)
@@ -144,6 +155,8 @@ def commit_chunk(
         block = block[spilled]
         if pblock is not None:
             pblock = pblock[spilled]
+        if wblock is not None:
+            wblock = wblock[spilled]
 
 
 def matrix_source(choices: np.ndarray) -> Callable[[int, int], np.ndarray]:
@@ -164,6 +177,7 @@ def chunked_argmin_commit(
     priorities: np.ndarray | None = None,
     chunk_size: int | None = None,
     assignments: np.ndarray | None = None,
+    weights: np.ndarray | None = None,
 ) -> None:
     """Place ``n_balls`` d-choice balls through the chunked commit engine.
 
@@ -174,7 +188,9 @@ def chunked_argmin_commit(
     the probe-stream consumption order identical to a ball-by-ball loop.
     ``priorities`` (when given) must cover all ``n_balls`` rows; it is drawn
     up front from the auxiliary generator so vectorised and reference runs
-    consume identical tie-break noise.
+    consume identical tie-break noise.  ``weights`` (when given) must cover
+    all ``n_balls`` balls and switches the engine to weighted increments
+    (see :func:`commit_chunk`).
     """
     if n_balls < 0:
         raise ConfigurationError(f"n_balls must be non-negative, got {n_balls}")
@@ -191,6 +207,7 @@ def chunked_argmin_commit(
             priorities=None if priorities is None else priorities[done : done + count],
             assignments=assignments,
             base=done,
+            weights=None if weights is None else weights[done : done + count],
         )
         done += count
 

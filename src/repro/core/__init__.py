@@ -37,9 +37,24 @@ from repro.core.reference import reference_adaptive, reference_threshold
 from repro.core.result import AllocationResult
 from repro.core.threshold import ThresholdProtocol, run_threshold
 from repro.core.weighted import (
+    WeightedAdaptiveProtocol,
     WeightedAllocationResult,
+    WeightedGreedyProtocol,
+    WeightedRunResult,
+    WeightedThresholdProtocol,
+    reference_weighted_adaptive,
+    reference_weighted_greedy,
+    reference_weighted_threshold,
     run_weighted_adaptive,
+    run_weighted_greedy,
+    run_weighted_threshold,
     weighted_gap_bound,
+)
+from repro.core.weighted_engine import (
+    adaptive_weighted_thresholds,
+    chunked_weighted_assign,
+    default_weighted_chunk_size,
+    fixed_weighted_threshold,
 )
 from repro.core.thresholds import (
     StageWindow,
@@ -82,6 +97,19 @@ __all__ = [
     "fill_window",
     "occurrence_ranks",
     "WeightedAllocationResult",
+    "WeightedRunResult",
+    "WeightedAdaptiveProtocol",
+    "WeightedThresholdProtocol",
+    "WeightedGreedyProtocol",
     "run_weighted_adaptive",
+    "run_weighted_threshold",
+    "run_weighted_greedy",
+    "reference_weighted_adaptive",
+    "reference_weighted_threshold",
+    "reference_weighted_greedy",
     "weighted_gap_bound",
+    "adaptive_weighted_thresholds",
+    "chunked_weighted_assign",
+    "default_weighted_chunk_size",
+    "fixed_weighted_threshold",
 ]

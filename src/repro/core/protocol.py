@@ -11,7 +11,7 @@ serialisable.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Callable, Iterable
+from typing import Any, Iterable
 
 from repro.core.result import AllocationResult
 from repro.errors import ConfigurationError

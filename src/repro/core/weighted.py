@@ -1,4 +1,4 @@
-"""Weighted-balls extension of the ADAPTIVE protocol.
+"""Weighted-balls extension of the paper's protocols.
 
 The paper analyses unit-weight balls.  A natural extension (and the setting
 of most follow-up work on the heavily loaded case) gives every ball ``i`` a
@@ -7,33 +7,78 @@ rule generalises directly: ball ``i`` is accepted into a bin whose current
 weight is strictly below ``W_i/n + w_max``, where ``W_i`` is the total weight
 of the balls placed so far (including ball ``i``) and ``w_max`` an upper bound
 on the individual weights.  With unit weights this is exactly the paper's
-threshold ``i/n + 1``, and the same argument gives the deterministic
-guarantee ``max load ≤ W/n + 2·w_max`` (the accepted bin was below the
-threshold, and the ball adds at most ``w_max``).
+threshold ``i/n + 1`` — probe for probe, since integer loads satisfy
+``load < i/n + 1`` iff ``load <= ceil(i/n)`` — and the same argument gives
+the deterministic guarantee ``max load ≤ W/n + 2·w_max``.
 
-This module is an *extension*, not a reproduction artefact: it exists to show
-that the library's architecture supports the natural follow-up experiments
-(DESIGN.md lists it as optional scope).  The implementation is a clean
-ball-by-ball loop — the exact vectorised window trick does not apply because
-the threshold moves with every ball.
+Three weighted protocols are provided, mirroring the unit-weight family:
+
+* :func:`run_weighted_adaptive` — the moving-threshold rule above;
+* :func:`run_weighted_threshold` — the THRESHOLD analogue with the fixed
+  bound ``W/n + w_max`` (needs the total weight up front);
+* :func:`run_weighted_greedy` — greedy[d] on weighted loads (place into the
+  least-weighted of ``d`` uniform draws).
+
+All three run through chunked exact vectorised engines — the moving
+threshold is bracketed per chunk by the engine of
+:mod:`repro.core.weighted_engine`, and the d-choice rule reuses the
+conflict-free commit engine of :mod:`repro.baselines.engine` with weighted
+increments.  The original ball-by-ball loops are kept as
+``reference_weighted_*`` (mirroring :mod:`repro.baselines.reference`) so the
+test-suite can certify bit-identical replay equivalence, and every probe
+loop is capped by ``max_probes`` (raising
+:class:`~repro.errors.SimulationError` instead of spinning forever on a
+probe source that never offers an acceptable bin).
+
+The registry names ``"weighted-adaptive"``, ``"weighted-threshold"`` and
+``"weighted-greedy"`` wrap these runners as
+:class:`~repro.core.protocol.AllocationProtocol` instances that draw their
+weights from a named family of :data:`repro.stats.distributions.WEIGHT_DISTRIBUTIONS`
+(Pareto, exponential, bimodal, …) via the stream's auxiliary generator, so
+experiment configurations stay serialisable and replay-deterministic.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
+from repro.core.protocol import AllocationProtocol, register_protocol
+from repro.core.result import AllocationResult
+from repro.core.weighted_engine import (
+    adaptive_weighted_thresholds,
+    chunked_weighted_assign,
+    fixed_weighted_threshold,
+    resolve_max_probes,
+    sequential_weighted_place,
+)
 from repro.errors import ConfigurationError
+from repro.runtime.costs import CostModel
 from repro.runtime.probes import ProbeStream, RandomProbeStream
 from repro.runtime.rng import SeedLike
+from repro.stats.distributions import WEIGHT_DISTRIBUTIONS, make_weights
 
-__all__ = ["WeightedAllocationResult", "run_weighted_adaptive", "weighted_gap_bound"]
+__all__ = [
+    "WeightedAllocationResult",
+    "WeightedRunResult",
+    "run_weighted_adaptive",
+    "reference_weighted_adaptive",
+    "run_weighted_threshold",
+    "reference_weighted_threshold",
+    "run_weighted_greedy",
+    "reference_weighted_greedy",
+    "weighted_gap_bound",
+    "WeightedAdaptiveProtocol",
+    "WeightedThresholdProtocol",
+    "WeightedGreedyProtocol",
+]
 
 
 @dataclass
 class WeightedAllocationResult:
-    """Outcome of a weighted ADAPTIVE run.
+    """Outcome of a weighted allocation run.
 
     Attributes
     ----------
@@ -45,12 +90,15 @@ class WeightedAllocationResult:
         Final per-bin number of balls.
     allocation_time:
         Number of bin probes consumed.
+    protocol:
+        Which weighted rule produced the result.
     """
 
     weights: np.ndarray
     loads: np.ndarray
     counts: np.ndarray
     allocation_time: int
+    protocol: str = "weighted-adaptive"
 
     @property
     def n_bins(self) -> int:
@@ -93,6 +141,52 @@ def weighted_gap_bound(weights: np.ndarray, n_bins: int) -> float:
     return float(weights.sum() / n_bins + 2.0 * weights.max())
 
 
+def _validate_weighted_run(
+    weights: np.ndarray,
+    n_bins: int,
+    seed: SeedLike,
+    probe_stream: ProbeStream | None,
+    w_max: float | None,
+) -> tuple[np.ndarray, ProbeStream, float]:
+    """Shared validation of the weighted runners; returns the resolved trio."""
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 1:
+        raise ConfigurationError("weights must be a 1-D array")
+    if weights.size and np.any(weights <= 0):
+        raise ConfigurationError("weights must be positive")
+    if n_bins <= 0:
+        raise ConfigurationError(f"n_bins must be positive, got {n_bins}")
+    if w_max is None:
+        w_max = float(weights.max()) if weights.size else 1.0
+    elif weights.size and w_max < weights.max():
+        raise ConfigurationError("w_max must dominate every ball weight")
+    stream = probe_stream or RandomProbeStream(n_bins, seed)
+    if stream.n_bins != n_bins:
+        raise ConfigurationError(
+            "probe_stream.n_bins does not match the requested n_bins"
+        )
+    return weights, stream, float(w_max)
+
+
+def _result(
+    protocol: str,
+    weights: np.ndarray,
+    loads: np.ndarray,
+    counts: np.ndarray,
+    probes: int,
+) -> WeightedAllocationResult:
+    return WeightedAllocationResult(
+        weights=weights.copy(),
+        loads=loads,
+        counts=counts,
+        allocation_time=probes,
+        protocol=protocol,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Weighted ADAPTIVE
+# --------------------------------------------------------------------- #
 def run_weighted_adaptive(
     weights: np.ndarray,
     n_bins: int,
@@ -100,8 +194,15 @@ def run_weighted_adaptive(
     *,
     probe_stream: ProbeStream | None = None,
     w_max: float | None = None,
+    chunk_size: int | None = None,
+    max_probes: int | None = None,
 ) -> WeightedAllocationResult:
     """Allocate weighted balls with the generalised ADAPTIVE rule.
+
+    Runs through the chunked vectorised engine of
+    :mod:`repro.core.weighted_engine`; the result (loads, counts and probe
+    consumption) is bit-identical to :func:`reference_weighted_adaptive` for
+    the same probe stream.
 
     Parameters
     ----------
@@ -114,29 +215,54 @@ def run_weighted_adaptive(
     w_max:
         Upper bound on the weights used in the acceptance threshold; defaults
         to ``weights.max()``.  Must dominate every weight.
-
-    Returns
-    -------
-    WeightedAllocationResult
+    chunk_size:
+        Balls per engine chunk (default: ambiguity-balancing heuristic).
+    max_probes:
+        Per-ball probe cap; exceeding it raises
+        :class:`~repro.errors.SimulationError`.
     """
-    weights = np.asarray(weights, dtype=np.float64)
-    if weights.ndim != 1:
-        raise ConfigurationError("weights must be a 1-D array")
-    if weights.size and np.any(weights <= 0):
-        raise ConfigurationError("weights must be positive")
-    if n_bins <= 0:
-        raise ConfigurationError(f"n_bins must be positive, got {n_bins}")
-    if w_max is None:
-        w_max = float(weights.max()) if weights.size else 1.0
-    elif weights.size and w_max < weights.max():
-        raise ConfigurationError("w_max must dominate every ball weight")
-
-    stream = probe_stream or RandomProbeStream(n_bins, seed)
-    if stream.n_bins != n_bins:
-        raise ConfigurationError(
-            "probe_stream.n_bins does not match the requested n_bins"
+    weights, stream, w_max = _validate_weighted_run(
+        weights, n_bins, seed, probe_stream, w_max
+    )
+    loads = np.zeros(n_bins, dtype=np.float64)
+    probes = 0
+    assignments = np.empty(weights.size, dtype=np.int64)
+    if weights.size:
+        thresholds = adaptive_weighted_thresholds(weights, n_bins, w_max)
+        probes = chunked_weighted_assign(
+            loads,
+            weights,
+            thresholds,
+            stream,
+            chunk_size=chunk_size,
+            assignments=assignments,
+            max_probes=max_probes,
         )
+    counts = np.bincount(assignments, minlength=n_bins).astype(np.int64)
+    return _result("weighted-adaptive", weights, loads, counts, probes)
 
+
+def reference_weighted_adaptive(
+    weights: np.ndarray,
+    n_bins: int,
+    seed: SeedLike = None,
+    *,
+    probe_stream: ProbeStream | None = None,
+    w_max: float | None = None,
+    max_probes: int | None = None,
+) -> WeightedAllocationResult:
+    """Ball-by-ball weighted ADAPTIVE (the seed implementation, kept verbatim).
+
+    One Python loop iteration per ball, following the rule literally; used by
+    the test-suite to certify the chunked engine and by the throughput
+    benchmark as the speedup baseline.  The probe loop is capped by
+    ``max_probes`` per ball (the seed's unbounded ``while True`` could spin
+    forever on a probe source that never offers an acceptable bin).
+    """
+    weights, stream, w_max = _validate_weighted_run(
+        weights, n_bins, seed, probe_stream, w_max
+    )
+    cap = resolve_max_probes(max_probes, n_bins)
     loads = np.zeros(n_bins, dtype=np.float64)
     counts = np.zeros(n_bins, dtype=np.int64)
     probes = 0
@@ -145,17 +271,383 @@ def run_weighted_adaptive(
     for weight in weights:
         placed_weight += float(weight)
         threshold = placed_weight / n_bins + w_max
-        while True:
-            j = stream.take_one()
-            probes += 1
-            if loads[j] < threshold:
-                loads[j] += float(weight)
-                counts[j] += 1
-                break
+        j, used = sequential_weighted_place(loads, threshold, stream, cap)
+        probes += used
+        loads[j] += float(weight)
+        counts[j] += 1
 
-    return WeightedAllocationResult(
-        weights=weights.copy(),
-        loads=loads,
-        counts=counts,
-        allocation_time=probes,
+    return _result("weighted-adaptive", weights, loads, counts, probes)
+
+
+# --------------------------------------------------------------------- #
+# Weighted THRESHOLD
+# --------------------------------------------------------------------- #
+def run_weighted_threshold(
+    weights: np.ndarray,
+    n_bins: int,
+    seed: SeedLike = None,
+    *,
+    probe_stream: ProbeStream | None = None,
+    w_max: float | None = None,
+    chunk_size: int | None = None,
+    max_probes: int | None = None,
+) -> WeightedAllocationResult:
+    """Weighted THRESHOLD: fixed acceptance bound ``W/n + w_max``.
+
+    Requires the full weight vector up front (as the unit-weight THRESHOLD
+    requires ``m``).  The bound always leaves at least one bin acceptable
+    (if every bin reached ``W/n + w_max`` the total placed weight would
+    exceed ``W``), so the rule terminates for any fair probe source.
+    """
+    weights, stream, w_max = _validate_weighted_run(
+        weights, n_bins, seed, probe_stream, w_max
     )
+    loads = np.zeros(n_bins, dtype=np.float64)
+    probes = 0
+    assignments = np.empty(weights.size, dtype=np.int64)
+    if weights.size:
+        bound = fixed_weighted_threshold(weights, n_bins, w_max)
+        thresholds = np.full(weights.size, bound)
+        probes = chunked_weighted_assign(
+            loads,
+            weights,
+            thresholds,
+            stream,
+            chunk_size=chunk_size,
+            assignments=assignments,
+            max_probes=max_probes,
+        )
+    counts = np.bincount(assignments, minlength=n_bins).astype(np.int64)
+    return _result("weighted-threshold", weights, loads, counts, probes)
+
+
+def reference_weighted_threshold(
+    weights: np.ndarray,
+    n_bins: int,
+    seed: SeedLike = None,
+    *,
+    probe_stream: ProbeStream | None = None,
+    w_max: float | None = None,
+    max_probes: int | None = None,
+) -> WeightedAllocationResult:
+    """Ball-by-ball weighted THRESHOLD (validation / benchmark baseline)."""
+    weights, stream, w_max = _validate_weighted_run(
+        weights, n_bins, seed, probe_stream, w_max
+    )
+    cap = resolve_max_probes(max_probes, n_bins)
+    loads = np.zeros(n_bins, dtype=np.float64)
+    counts = np.zeros(n_bins, dtype=np.int64)
+    probes = 0
+    if weights.size:
+        bound = fixed_weighted_threshold(weights, n_bins, w_max)
+        for weight in weights:
+            j, used = sequential_weighted_place(loads, bound, stream, cap)
+            probes += used
+            loads[j] += float(weight)
+            counts[j] += 1
+    return _result("weighted-threshold", weights, loads, counts, probes)
+
+
+# --------------------------------------------------------------------- #
+# Weighted greedy[d]
+# --------------------------------------------------------------------- #
+def run_weighted_greedy(
+    weights: np.ndarray,
+    n_bins: int,
+    seed: SeedLike = None,
+    *,
+    d: int = 2,
+    tie_break: str = "random",
+    probe_stream: ProbeStream | None = None,
+    chunk_size: int | None = None,
+) -> WeightedAllocationResult:
+    """Weighted greedy[d]: place into the least-*weighted* of ``d`` draws.
+
+    Reuses the chunked conflict-free commit engine of
+    :mod:`repro.baselines.engine` with weighted increments; the replay
+    contract (one ``(m, d)`` probe matrix in ball order, tie-break priorities
+    from ``stream.derive_generator(seed)``) matches the unit-weight
+    greedy[d] exactly, and with all-equal weights the per-bin *counts*
+    reproduce the unit protocol's loads.
+    """
+    from repro.baselines.engine import chunked_argmin_commit
+
+    if d < 1:
+        raise ConfigurationError(f"d must be at least 1, got {d}")
+    if tie_break not in ("random", "first"):
+        raise ConfigurationError(
+            f"tie_break must be 'random' or 'first', got {tie_break!r}"
+        )
+    weights, stream, _ = _validate_weighted_run(
+        weights, n_bins, seed, probe_stream, None
+    )
+    loads = np.zeros(n_bins, dtype=np.float64)
+    counts = np.zeros(n_bins, dtype=np.int64)
+    m = weights.size
+    assignments = np.empty(m, dtype=np.int64)
+    if m:
+        priorities = None
+        if tie_break == "random":
+            priorities = stream.derive_generator(seed).random(size=(m, d))
+        chunked_argmin_commit(
+            loads,
+            lambda start, count: stream.take_matrix(count, d),
+            m,
+            d,
+            priorities=priorities,
+            chunk_size=chunk_size,
+            assignments=assignments,
+            weights=weights,
+        )
+        counts = np.bincount(assignments, minlength=n_bins).astype(np.int64)
+    return _result("weighted-greedy", weights, loads, counts, m * d)
+
+
+def reference_weighted_greedy(
+    weights: np.ndarray,
+    n_bins: int,
+    seed: SeedLike = None,
+    *,
+    d: int = 2,
+    tie_break: str = "random",
+    probe_stream: ProbeStream | None = None,
+) -> WeightedAllocationResult:
+    """Ball-by-ball weighted greedy[d] (validation / benchmark baseline).
+
+    Mirrors :func:`repro.baselines.reference.reference_greedy` with float
+    loads and per-ball weight increments.
+    """
+    if d < 1:
+        raise ConfigurationError(f"d must be at least 1, got {d}")
+    if tie_break not in ("random", "first"):
+        raise ConfigurationError(
+            f"tie_break must be 'random' or 'first', got {tie_break!r}"
+        )
+    weights, stream, _ = _validate_weighted_run(
+        weights, n_bins, seed, probe_stream, None
+    )
+    loads = np.zeros(n_bins, dtype=np.float64)
+    counts = np.zeros(n_bins, dtype=np.int64)
+    m = weights.size
+    priorities = None
+    if m and tie_break == "random":
+        priorities = stream.derive_generator(seed).random(size=(m, d))
+    for i in range(m):
+        row = stream.take(d)
+        candidate_loads = loads[row]
+        min_load = candidate_loads.min()
+        mask = candidate_loads == min_load
+        if priorities is None or mask.sum() == 1:
+            target = row[int(np.argmax(mask))]
+        else:
+            tied = np.flatnonzero(mask)
+            target = row[tied[int(np.argmin(priorities[i][tied]))]]
+        loads[target] += weights[i]
+        counts[target] += 1
+    return _result("weighted-greedy", weights, loads, counts, m * d)
+
+
+# --------------------------------------------------------------------- #
+# Registry protocols
+# --------------------------------------------------------------------- #
+@dataclass
+class WeightedRunResult(AllocationResult):
+    """Registry-compatible record of a weighted protocol run.
+
+    ``loads`` holds the per-bin *ball counts* (so every
+    :class:`~repro.core.result.AllocationResult` invariant and downstream
+    consumer keeps working); the weighted view lives in the extra fields.
+    """
+
+    weights: np.ndarray | None = None
+    weighted_loads: np.ndarray | None = None
+    w_max_used: float | None = None
+
+    @property
+    def total_weight(self) -> float:
+        return float(self.weights.sum()) if self.weights is not None else 0.0
+
+    @property
+    def weighted_max_load(self) -> float:
+        if self.weighted_loads is None or not self.weighted_loads.size:
+            return 0.0
+        return float(self.weighted_loads.max())
+
+    @property
+    def weighted_gap(self) -> float:
+        if self.weighted_loads is None or not self.weighted_loads.size:
+            return 0.0
+        return float(self.weighted_loads.max() - self.weighted_loads.min())
+
+    def as_record(self) -> dict[str, Any]:
+        record = super().as_record()
+        record["total_weight"] = self.total_weight
+        record["weighted_max_load"] = self.weighted_max_load
+        record["weighted_gap"] = self.weighted_gap
+        return record
+
+
+class _WeightedProtocolBase(AllocationProtocol):
+    """Shared scaffolding of the weighted registry protocols.
+
+    Weights are drawn up front from the probe stream's auxiliary generator
+    (:meth:`~repro.runtime.probes.ProbeStream.derive_generator`), so a run is
+    a pure function of ``(seed, weight_dist, dist params)`` for seeded
+    streams and replay-deterministic for fixed streams — the same contract
+    as the greedy tie-break noise.
+    """
+
+    def __init__(
+        self,
+        weight_dist: str = "pareto",
+        w_max: float | None = None,
+        chunk_size: int | None = None,
+        **dist_params: Any,
+    ) -> None:
+        if weight_dist not in WEIGHT_DISTRIBUTIONS:
+            raise ConfigurationError(
+                f"unknown weight distribution {weight_dist!r}; "
+                f"available: {sorted(WEIGHT_DISTRIBUTIONS)}"
+            )
+        if w_max is not None and w_max <= 0:
+            raise ConfigurationError(f"w_max must be positive, got {w_max}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError(f"chunk_size must be positive, got {chunk_size}")
+        self.weight_dist = weight_dist
+        self.w_max = w_max
+        self.chunk_size = chunk_size
+        self.dist_params = dict(dist_params)
+
+    def params(self) -> dict[str, Any]:
+        return {
+            "weight_dist": self.weight_dist,
+            "w_max": self.w_max,
+            "chunk_size": self.chunk_size,
+            **self.dist_params,
+        }
+
+    def _draw_weights(
+        self, n_balls: int, stream: ProbeStream, seed: SeedLike
+    ) -> np.ndarray:
+        return make_weights(
+            self.weight_dist, n_balls, stream.derive_generator(seed), **self.dist_params
+        )
+
+    def _run(
+        self, weights: np.ndarray, n_bins: int, stream: ProbeStream, seed: SeedLike
+    ) -> WeightedAllocationResult:
+        raise NotImplementedError
+
+    def allocate(
+        self,
+        n_balls: int,
+        n_bins: int,
+        seed: SeedLike = None,
+        *,
+        probe_stream: ProbeStream | None = None,
+        record_trace: bool = False,
+    ) -> AllocationResult:
+        self.validate_size(n_balls, n_bins)
+        stream = probe_stream or RandomProbeStream(n_bins, seed)
+        if stream.n_bins != n_bins:
+            raise ConfigurationError(
+                "probe_stream.n_bins does not match the requested n_bins"
+            )
+        weights = self._draw_weights(n_balls, stream, seed)
+        run = self._run(weights, n_bins, stream, seed)
+        used = self.w_max
+        if used is None:
+            used = float(weights.max()) if weights.size else 1.0
+        return WeightedRunResult(
+            protocol=self.name,
+            n_balls=n_balls,
+            n_bins=n_bins,
+            loads=run.counts,
+            allocation_time=run.allocation_time,
+            costs=CostModel(probes=run.allocation_time),
+            params=self.params(),
+            weights=run.weights,
+            weighted_loads=run.loads,
+            w_max_used=used,
+        )
+
+
+@register_protocol
+class WeightedAdaptiveProtocol(_WeightedProtocolBase):
+    """Registry wrapper for :func:`run_weighted_adaptive`."""
+
+    name = "weighted-adaptive"
+
+    def _run(
+        self, weights: np.ndarray, n_bins: int, stream: ProbeStream, seed: SeedLike
+    ) -> WeightedAllocationResult:
+        return run_weighted_adaptive(
+            weights,
+            n_bins,
+            probe_stream=stream,
+            w_max=self.w_max,
+            chunk_size=self.chunk_size,
+        )
+
+
+@register_protocol
+class WeightedThresholdProtocol(_WeightedProtocolBase):
+    """Registry wrapper for :func:`run_weighted_threshold`."""
+
+    name = "weighted-threshold"
+
+    def _run(
+        self, weights: np.ndarray, n_bins: int, stream: ProbeStream, seed: SeedLike
+    ) -> WeightedAllocationResult:
+        return run_weighted_threshold(
+            weights,
+            n_bins,
+            probe_stream=stream,
+            w_max=self.w_max,
+            chunk_size=self.chunk_size,
+        )
+
+
+@register_protocol
+class WeightedGreedyProtocol(_WeightedProtocolBase):
+    """Registry wrapper for :func:`run_weighted_greedy`."""
+
+    name = "weighted-greedy"
+
+    def __init__(
+        self,
+        d: int = 2,
+        tie_break: str = "random",
+        weight_dist: str = "pareto",
+        chunk_size: int | None = None,
+        **dist_params: Any,
+    ) -> None:
+        if d < 1:
+            raise ConfigurationError(f"d must be at least 1, got {d}")
+        if tie_break not in ("random", "first"):
+            raise ConfigurationError(
+                f"tie_break must be 'random' or 'first', got {tie_break!r}"
+            )
+        super().__init__(
+            weight_dist=weight_dist, w_max=None, chunk_size=chunk_size, **dist_params
+        )
+        self.d = int(d)
+        self.tie_break = tie_break
+
+    def params(self) -> dict[str, Any]:
+        params = super().params()
+        params.pop("w_max", None)
+        return {"d": self.d, "tie_break": self.tie_break, **params}
+
+    def _run(
+        self, weights: np.ndarray, n_bins: int, stream: ProbeStream, seed: SeedLike
+    ) -> WeightedAllocationResult:
+        return run_weighted_greedy(
+            weights,
+            n_bins,
+            seed,
+            d=self.d,
+            tie_break=self.tie_break,
+            probe_stream=stream,
+            chunk_size=self.chunk_size,
+        )

@@ -13,6 +13,7 @@ __all__ = [
     "ConfigurationError",
     "ProtocolError",
     "CapacityExceededError",
+    "SimulationError",
     "ExperimentError",
 ]
 
@@ -42,6 +43,17 @@ class CapacityExceededError(ProtocolError):
 
     Used by the hashing substrate (bounded buckets, cuckoo tables) and by the
     protocol engines to signal that an insertion cannot be honoured.
+    """
+
+
+class SimulationError(ProtocolError):
+    """Raised when a simulated run cannot make progress.
+
+    The canonical case is a probe loop whose acceptance condition can never
+    be satisfied by the supplied probe source (e.g. a replay stream that only
+    ever probes saturated bins): the weighted engines cap the number of
+    probes any single ball may consume and raise this error instead of
+    spinning forever.
     """
 
 

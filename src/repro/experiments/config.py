@@ -9,7 +9,7 @@ scaled-down variants so the whole suite runs in seconds.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Sequence
+from typing import Any
 
 from repro.errors import ConfigurationError
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.core.protocol import make_protocol
 from repro.errors import ExperimentError
 from repro.experiments import figure3, smoothness, table1
 from repro.experiments.config import FIGURE3_DEFAULT
@@ -98,6 +99,59 @@ def _run_smoothness(scale: float = 1.0, **kwargs: Any) -> Any:
     return smoothness.smoothness_contrast(n_bins_values=sizes, **kwargs)
 
 
+#: The weighted sweep's protocol/parameter grid (the weighted analogue of
+#: the Table 1 comparison).
+_WEIGHTED_PROTOCOLS: tuple[tuple[str, dict[str, Any]], ...] = (
+    ("weighted-adaptive", {}),
+    ("weighted-threshold", {}),
+    ("weighted-greedy", {"d": 2}),
+)
+_WEIGHTED_DISTRIBUTIONS = ("pareto", "exponential", "bimodal")
+
+
+def _run_weighted(
+    scale: float = 1.0, trials: int = 3, seed: int = 2013, **kwargs: Any
+) -> Any:
+    """Weighted protocols under heavy-tailed weight families.
+
+    For every (protocol, weight distribution) pair, run ``trials`` seeded
+    allocations and report ball-count and weighted-load balance alongside
+    the probe cost — the weighted analogue of the Table 1 sweep.
+    """
+    import numpy as np
+
+    n_balls = max(500, int(200_000 * scale))
+    n_bins = max(50, int(5_000 * scale))
+    rows = []
+    for dist in _WEIGHTED_DISTRIBUTIONS:
+        for name, params in _WEIGHTED_PROTOCOLS:
+            protocol = make_protocol(name, weight_dist=dist, **params, **kwargs)
+            records = [
+                protocol.allocate(n_balls, n_bins, seed=seed + trial).as_record()
+                for trial in range(max(1, trials))
+            ]
+            rows.append(
+                {
+                    "protocol": name,
+                    "weight_dist": dist,
+                    "n_balls": n_balls,
+                    "n_bins": n_bins,
+                    "trials": len(records),
+                    "mean_probes_per_ball": float(
+                        np.mean([r["probes_per_ball"] for r in records])
+                    ),
+                    "mean_count_gap": float(np.mean([r["gap"] for r in records])),
+                    "mean_weighted_max_load": float(
+                        np.mean([r["weighted_max_load"] for r in records])
+                    ),
+                    "mean_weighted_gap": float(
+                        np.mean([r["weighted_gap"] for r in records])
+                    ),
+                }
+            )
+    return rows
+
+
 EXPERIMENTS: dict[str, ExperimentSpec] = {
     spec.experiment_id: spec
     for spec in (
@@ -142,6 +196,13 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             "Smoothness contrast between ADAPTIVE and THRESHOLD at m = n^2",
             _run_smoothness,
             "benchmarks/bench_smoothness_contrast.py",
+        ),
+        ExperimentSpec(
+            "weighted",
+            "Extension (weighted balls)",
+            "Weighted ADAPTIVE/THRESHOLD/greedy under heavy-tailed weights",
+            _run_weighted,
+            "benchmarks/bench_weighted_throughput.py",
         ),
     )
 }

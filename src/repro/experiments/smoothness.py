@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from typing import Any, Sequence
 
-import numpy as np
 
 from repro.core.adaptive import AdaptiveProtocol
 from repro.core.threshold import ThresholdProtocol

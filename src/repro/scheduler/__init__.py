@@ -17,6 +17,7 @@ from repro.scheduler.jobs import (
     bursty_workload,
     heavy_tailed_workload,
     uniform_workload,
+    weighted_workload,
 )
 from repro.scheduler.metrics import ScheduleMetrics, compute_metrics
 from repro.scheduler.reference import reference_dispatch
@@ -30,6 +31,7 @@ __all__ = [
     "bursty_workload",
     "heavy_tailed_workload",
     "uniform_workload",
+    "weighted_workload",
     "ScheduleMetrics",
     "compute_metrics",
 ]

@@ -20,7 +20,14 @@ every Table-1 comparison strategy:
   probe maps to a uniform in-group choice),
 * ``"memory"`` — ``d`` fresh servers plus the ``k`` least loaded remembered
   from the previous job (Mitzenmacher–Prabhakar–Shah (d,k)-memory),
-* ``"single"`` — one random server per job.
+* ``"single"`` — one random server per job,
+* ``"weighted"`` — the weighted ADAPTIVE rule on accumulated *work*: a job
+  of size ``w`` accepts a server whose total assigned work is strictly
+  below ``W/n + w_max`` (``W`` the work dispatched so far including this
+  job, ``w_max`` a bound on job sizes — fixed via the ``w_max`` parameter
+  or tracked as the running maximum of the sizes seen).  This balances the
+  actual load (service time), not just the job count, which is what
+  matters under heavy-tailed sizes.
 
 Dispatch is *batched*: instead of one Python loop iteration (and one scalar
 RNG call) per probe, jobs are processed in bulk through the exact vectorised
@@ -57,6 +64,7 @@ from repro.baselines.engine import chunked_argmin_commit
 from repro.baselines.left import replay_group_map
 from repro.baselines.memory import chunked_memory_hand_off
 from repro.core.thresholds import acceptance_limit
+from repro.core.weighted_engine import chunked_weighted_assign
 from repro.core.window import assign_window
 from repro.errors import ConfigurationError
 from repro.runtime.probes import ProbeStream, RandomProbeStream
@@ -66,7 +74,7 @@ from repro.scheduler.metrics import ScheduleMetrics, compute_metrics
 
 __all__ = ["DispatchOutcome", "Dispatcher"]
 
-_POLICIES = ("adaptive", "threshold", "greedy", "left", "memory", "single")
+_POLICIES = ("adaptive", "threshold", "greedy", "left", "memory", "single", "weighted")
 
 
 @dataclass
@@ -100,6 +108,10 @@ class Dispatcher:
         ``"memory"`` policies.
     k:
         Number of remembered servers for the ``"memory"`` policy.
+    w_max:
+        Optional fixed upper bound on job sizes for the ``"weighted"``
+        policy (every dispatched size must respect it); when omitted the
+        policy uses the running maximum of the sizes seen so far.
     seed:
         Randomness for server sampling (ignored when ``probe_stream`` is
         given).
@@ -125,6 +137,7 @@ class Dispatcher:
         policy: str = "adaptive",
         d: int = 2,
         k: int = 1,
+        w_max: float | None = None,
         seed: SeedLike = None,
         probe_stream: ProbeStream | None = None,
         block_size: int | None = None,
@@ -139,6 +152,8 @@ class Dispatcher:
             raise ConfigurationError(f"d must be at least 1, got {d}")
         if k < 0:
             raise ConfigurationError(f"k must be non-negative, got {k}")
+        if w_max is not None and w_max <= 0:
+            raise ConfigurationError(f"w_max must be positive, got {w_max}")
         if policy == "left":
             # Validates the equal-groups requirement of the replay contract.
             replay_group_map(n_servers, d)
@@ -148,6 +163,7 @@ class Dispatcher:
         self.policy = policy
         self.d = int(d)
         self.k = int(k)
+        self.w_max = None if w_max is None else float(w_max)
         self.block_size = block_size
         if probe_stream is not None:
             if probe_stream.n_bins != n_servers:
@@ -168,6 +184,8 @@ class Dispatcher:
         self.work = np.zeros(self.n_servers, dtype=np.float64)
         self.probes = 0
         self.jobs_dispatched = 0
+        self.weight_dispatched = 0.0
+        self._w_max_seen = 0.0
         self._threshold_total: int | None = None
         self._memory: list[int] = []
 
@@ -211,20 +229,24 @@ class Dispatcher:
             job-by-job with the same probe sequence.
         """
         sizes = np.asarray(sizes, dtype=np.float64).ravel()
-        assignments = self._assign_batch(sizes.size, total_jobs)
-        if assignments.size:
+        assignments = self._assign_batch(sizes, total_jobs)
+        if assignments.size and self.policy != "weighted":
             self.work += np.bincount(
                 assignments, weights=sizes, minlength=self.n_servers
             )
         return assignments
 
-    def _assign_batch(self, k: int, total_jobs: int | None) -> np.ndarray:
-        """Assign ``k`` jobs to servers, updating every counter except work.
+    def _assign_batch(self, sizes: np.ndarray, total_jobs: int | None) -> np.ndarray:
+        """Assign one batch of jobs to servers, updating every counter except work.
 
         Work accounting is the caller's job: :meth:`dispatch_batch` folds the
         batch in incrementally, while :meth:`dispatch` bins all jobs once at
         the end (cheaper, and bit-identical to the sequential sum order).
+        The exception is the ``"weighted"`` policy, whose routing decisions
+        *are* the work vector — its engine maintains ``self.work`` in place
+        (in exact sequential order), so both callers skip their own update.
         """
+        k = int(sizes.size)
         if k == 0:
             return np.empty(0, dtype=np.int64)
 
@@ -265,6 +287,8 @@ class Dispatcher:
                 self.job_counts, limit, k, self._stream, block_size=self.block_size
             )
             assignments, probes = window.assignments, window.probes
+        elif self.policy == "weighted":
+            assignments, probes = self._dispatch_weighted(sizes)
         else:  # adaptive: constant acceptance limit within each stage of n jobs
             assignments, probes = self._dispatch_adaptive(k)
 
@@ -295,6 +319,46 @@ class Dispatcher:
             probes += window.probes
             placed += seg
         assignments = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        return assignments, probes
+
+    def _dispatch_weighted(self, sizes: np.ndarray) -> tuple[np.ndarray, int]:
+        """Weighted ADAPTIVE on accumulated work, through the chunked engine.
+
+        Per-job thresholds are ``W_i/n + w_max_i`` with ``W_i`` the exact
+        sequential cumulative work (the batch cumsum is seeded with the
+        stream's running total, so batch splits cannot perturb the float
+        accumulation) and ``w_max_i`` either the fixed ``w_max`` parameter or
+        the running maximum of all sizes seen.  ``self.work`` is updated in
+        place by the engine, in exact sequential per-server order.
+        """
+        if sizes.size and sizes.min() <= 0:
+            raise ConfigurationError(
+                "the weighted policy needs strictly positive job sizes"
+            )
+        cumulative = np.cumsum(np.concatenate(([self.weight_dispatched], sizes)))[1:]
+        if self.w_max is not None:
+            if sizes.size and sizes.max() > self.w_max:
+                raise ConfigurationError(
+                    f"job size {sizes.max()} exceeds the declared w_max={self.w_max}"
+                )
+            bounds = np.full(sizes.size, self.w_max)
+        else:
+            bounds = np.maximum.accumulate(
+                np.concatenate(([self._w_max_seen], sizes))
+            )[1:]
+            self._w_max_seen = float(bounds[-1])
+        thresholds = cumulative / self.n_servers + bounds
+        self.weight_dispatched = float(cumulative[-1])
+        assignments = np.empty(sizes.size, dtype=np.int64)
+        probes = chunked_weighted_assign(
+            self.work,
+            sizes,
+            thresholds,
+            self._stream,
+            chunk_size=self.block_size,
+            assignments=assignments,
+        )
+        self.job_counts += np.bincount(assignments, minlength=self.n_servers)
         return assignments, probes
 
     def _dispatch_greedy(self, k: int) -> np.ndarray:
@@ -368,11 +432,16 @@ class Dispatcher:
         sizes = workload.sizes()
         assignments = np.empty(n_jobs, dtype=np.int64)
         for _, start, stop in workload.arrival_batches():
-            assignments[start:stop] = self._assign_batch(stop - start, n_jobs)
-        # Bin the work in a single pass over all jobs: per-server additions
-        # then happen in job order, making the totals bit-identical to the
-        # sequential loop (batch-wise partial sums can differ in the last ulp).
-        self.work = np.bincount(assignments, weights=sizes, minlength=self.n_servers)
+            assignments[start:stop] = self._assign_batch(sizes[start:stop], n_jobs)
+        if self.policy != "weighted":
+            # Bin the work in a single pass over all jobs: per-server additions
+            # then happen in job order, making the totals bit-identical to the
+            # sequential loop (batch-wise partial sums can differ in the last
+            # ulp).  The weighted engine already maintained self.work in exact
+            # sequential order — its routing decisions depend on it.
+            self.work = np.bincount(
+                assignments, weights=sizes, minlength=self.n_servers
+            )
         return DispatchOutcome(
             policy=self.policy,
             n_servers=self.n_servers,

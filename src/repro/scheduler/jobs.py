@@ -16,8 +16,16 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.runtime.rng import SeedLike, as_generator
+from repro.stats.distributions import make_weights
 
-__all__ = ["Job", "Workload", "uniform_workload", "heavy_tailed_workload", "bursty_workload"]
+__all__ = [
+    "Job",
+    "Workload",
+    "uniform_workload",
+    "heavy_tailed_workload",
+    "bursty_workload",
+    "weighted_workload",
+]
 
 
 @dataclass(frozen=True)
@@ -151,6 +159,28 @@ def heavy_tailed_workload(
     if n_jobs:
         raw *= mean_size / raw.mean()
     return _make_workload("heavy-tailed", raw, np.zeros(n_jobs))
+
+
+def weighted_workload(
+    n_jobs: int,
+    seed: SeedLike = None,
+    *,
+    weight_dist: str = "pareto",
+    **dist_params,
+) -> Workload:
+    """Jobs whose sizes come from a named weight family, arriving at time 0.
+
+    The size families are the ball-weight generators of
+    :data:`repro.stats.distributions.WEIGHT_DISTRIBUTIONS` (``"pareto"``,
+    ``"exponential"``, ``"bimodal"``, …), so the dispatcher's ``"weighted"``
+    policy — which balances the accumulated *work* with the weighted
+    ADAPTIVE rule — can be driven by exactly the scenarios the weighted
+    protocols are studied under.
+    """
+    if n_jobs < 0:
+        raise ConfigurationError(f"n_jobs must be non-negative, got {n_jobs}")
+    sizes = make_weights(weight_dist, n_jobs, as_generator(seed), **dist_params)
+    return _make_workload(f"weighted-{weight_dist}", sizes, np.zeros(n_jobs))
 
 
 def bursty_workload(

@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.thresholds import acceptance_limit
+from repro.core.weighted_engine import resolve_max_probes, sequential_weighted_place
 from repro.errors import ConfigurationError
 from repro.runtime.probes import ProbeStream, RandomProbeStream
 from repro.runtime.rng import SeedLike
@@ -31,6 +32,7 @@ def reference_dispatch(
     policy: str = "adaptive",
     d: int = 2,
     k: int = 1,
+    w_max: float | None = None,
     seed: SeedLike = None,
     probe_stream: ProbeStream | None = None,
 ) -> DispatchOutcome:
@@ -39,8 +41,9 @@ def reference_dispatch(
     Semantics match :meth:`repro.scheduler.dispatcher.Dispatcher.dispatch`
     exactly — including the Table-1 baseline policies ``"left"`` (equal
     server groups, leftmost least-loaded) and ``"memory"`` (``d`` fresh
-    draws plus ``k`` distinct remembered servers) — only the execution
-    strategy differs (deliberately slow and simple).
+    draws plus ``k`` distinct remembered servers), and the ``"weighted"``
+    work-balancing policy — only the execution strategy differs
+    (deliberately slow and simple).
     """
     if n_servers <= 0:
         raise ConfigurationError(f"n_servers must be positive, got {n_servers}")
@@ -50,6 +53,8 @@ def reference_dispatch(
         raise ConfigurationError(f"d must be at least 1, got {d}")
     if k < 0:
         raise ConfigurationError(f"k must be non-negative, got {k}")
+    if w_max is not None and w_max <= 0:
+        raise ConfigurationError(f"w_max must be positive, got {w_max}")
     if policy == "left" and n_servers % d:
         raise ConfigurationError(
             "the left policy needs n_servers divisible by d, got "
@@ -70,6 +75,29 @@ def reference_dispatch(
     group_size = n_servers // d if d else 0
     memory: np.ndarray = np.empty(0, dtype=np.int64)
 
+    weighted_thresholds: np.ndarray | None = None
+    max_probes_cap = 0
+    if policy == "weighted":
+        sizes = workload.sizes()
+        if sizes.size and sizes.min() <= 0:
+            raise ConfigurationError(
+                "the weighted policy needs strictly positive job sizes"
+            )
+        # Exactly the float expressions of the batched engine: a cumsum
+        # (which accumulates strictly left to right) plus either the fixed
+        # bound or the running maximum of the sizes.
+        cumulative = np.cumsum(np.concatenate(([0.0], sizes)))[1:]
+        if w_max is not None:
+            if sizes.size and sizes.max() > w_max:
+                raise ConfigurationError(
+                    f"job size {sizes.max()} exceeds the declared w_max={w_max}"
+                )
+            bounds = np.full(sizes.size, float(w_max))
+        else:
+            bounds = np.maximum.accumulate(np.concatenate(([0.0], sizes)))[1:]
+        weighted_thresholds = cumulative / n_servers + bounds
+        max_probes_cap = resolve_max_probes(None, n_servers)
+
     for index, job in enumerate(workload):
         if policy == "single":
             server = stream.take_one()
@@ -89,6 +117,11 @@ def reference_dispatch(
             candidates = np.concatenate((stream.take(d), memory))
             server = int(candidates[int(np.argmin(job_counts[candidates]))])
             probes += d
+        elif policy == "weighted":
+            server, used = sequential_weighted_place(
+                work, float(weighted_thresholds[index]), stream, max_probes_cap
+            )
+            probes += used
         else:
             if policy == "adaptive":
                 limit = acceptance_limit(index + 1, n_servers, offset=1)

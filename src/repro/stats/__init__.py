@@ -1,12 +1,19 @@
 """Statistics utilities: trial summaries and empirical load distributions."""
 
 from repro.stats.distributions import (
+    WEIGHT_DISTRIBUTIONS,
+    bimodal_weights,
+    constant_weights,
     empirical_cdf,
+    exponential_weights,
     hole_profile,
     load_histogram,
+    make_weights,
     overload_profile,
+    pareto_weights,
     poisson_reference_pmf,
     total_variation_distance,
+    uniform_weights,
 )
 from repro.stats.summary import (
     TrialSummary,
@@ -22,6 +29,13 @@ __all__ = [
     "overload_profile",
     "poisson_reference_pmf",
     "total_variation_distance",
+    "WEIGHT_DISTRIBUTIONS",
+    "make_weights",
+    "pareto_weights",
+    "exponential_weights",
+    "bimodal_weights",
+    "uniform_weights",
+    "constant_weights",
     "TrialSummary",
     "relative_spread",
     "summarize",

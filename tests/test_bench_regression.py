@@ -1,0 +1,128 @@
+"""Tests for the CI benchmark-regression gate (benchmarks/check_regression.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_MODULE_PATH = Path(__file__).resolve().parent.parent / "benchmarks" / "check_regression.py"
+_spec = importlib.util.spec_from_file_location("check_regression", _MODULE_PATH)
+check_regression = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_regression)
+
+
+def write_bench(path: Path, entries: list[dict]) -> Path:
+    path.write_text(
+        json.dumps({"benchmark": path.stem, "git_sha": "test", "entries": entries})
+    )
+    return path
+
+
+@pytest.fixture
+def bench_pair(tmp_path: Path):
+    baseline = write_bench(
+        tmp_path / "BENCH_demo_baseline.json",
+        [
+            {"label": "fast", "ops_per_second": 1_000_000.0},
+            {"label": "slow", "ops_per_second": 10_000.0},
+        ],
+    )
+
+    def current(entries: list[dict]) -> Path:
+        return write_bench(tmp_path / "BENCH_demo_current.json", entries)
+
+    return baseline, current
+
+
+class TestCompare:
+    def test_unchanged_throughput_passes(self, bench_pair):
+        baseline, current = bench_pair
+        fresh = current(
+            [
+                {"label": "fast", "ops_per_second": 1_000_000.0},
+                {"label": "slow", "ops_per_second": 10_000.0},
+            ]
+        )
+        assert check_regression.compare(baseline, fresh, tolerance=0.30) == []
+
+    def test_drop_within_tolerance_passes(self, bench_pair):
+        baseline, current = bench_pair
+        fresh = current(
+            [
+                {"label": "fast", "ops_per_second": 750_000.0},
+                {"label": "slow", "ops_per_second": 9_000.0},
+            ]
+        )
+        assert check_regression.compare(baseline, fresh, tolerance=0.30) == []
+
+    def test_drop_beyond_tolerance_fails(self, bench_pair):
+        baseline, current = bench_pair
+        fresh = current(
+            [
+                {"label": "fast", "ops_per_second": 400_000.0},
+                {"label": "slow", "ops_per_second": 10_000.0},
+            ]
+        )
+        problems = check_regression.compare(baseline, fresh, tolerance=0.30)
+        assert len(problems) == 1
+        assert "fast" in problems[0]
+        assert "60%" in problems[0]
+
+    def test_improvement_always_passes(self, bench_pair):
+        baseline, current = bench_pair
+        fresh = current(
+            [
+                {"label": "fast", "ops_per_second": 5_000_000.0},
+                {"label": "slow", "ops_per_second": 50_000.0},
+            ]
+        )
+        assert check_regression.compare(baseline, fresh, tolerance=0.0) == []
+
+    def test_missing_scenario_fails(self, bench_pair):
+        baseline, current = bench_pair
+        fresh = current([{"label": "fast", "ops_per_second": 1_000_000.0}])
+        problems = check_regression.compare(baseline, fresh, tolerance=0.30)
+        assert len(problems) == 1
+        assert "slow" in problems[0]
+
+    def test_extra_fresh_scenarios_are_fine(self, bench_pair):
+        baseline, current = bench_pair
+        fresh = current(
+            [
+                {"label": "fast", "ops_per_second": 1_000_000.0},
+                {"label": "slow", "ops_per_second": 10_000.0},
+                {"label": "brand-new", "ops_per_second": 1.0},
+            ]
+        )
+        assert check_regression.compare(baseline, fresh, tolerance=0.30) == []
+
+
+class TestCommittedBaselines:
+    """The repo must ship baselines for every throughput benchmark."""
+
+    BASELINE_DIR = _MODULE_PATH.parent / "baselines"
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "baseline_throughput",
+            "dispatch_throughput",
+            "engine_throughput",
+            "weighted_throughput",
+        ],
+    )
+    def test_baseline_committed_and_well_formed(self, name):
+        path = self.BASELINE_DIR / f"BENCH_{name}.json"
+        assert path.exists(), f"missing committed baseline {path.name}"
+        entries = check_regression.load_entries(path)
+        assert entries, f"{path.name} has no entries"
+        assert all(ops > 0 for ops in entries.values())
+
+    def test_weighted_baseline_covers_acceptance_scenarios(self):
+        entries = check_regression.load_entries(
+            self.BASELINE_DIR / "BENCH_weighted_throughput.json"
+        )
+        assert {"adaptive/uniform", "adaptive/pareto"} <= set(entries)

@@ -22,10 +22,11 @@ from repro.scheduler.jobs import (
     bursty_workload,
     heavy_tailed_workload,
     uniform_workload,
+    weighted_workload,
 )
 from repro.scheduler.reference import reference_dispatch
 
-POLICIES = ("adaptive", "threshold", "greedy", "left", "memory", "single")
+POLICIES = ("adaptive", "threshold", "greedy", "left", "memory", "single", "weighted")
 
 # 120 is divisible by the d values used below, as the left policy requires.
 N_JOBS = 1500
@@ -190,6 +191,76 @@ class TestStreamingBatches:
         assert dispatcher._memory
         dispatcher.reset()
         assert dispatcher._memory == []
+
+
+class TestWeightedPolicy:
+    """The weighted work-balancing policy on its native workloads."""
+
+    @pytest.mark.parametrize("dist", ["pareto", "exponential", "bimodal"])
+    def test_bit_identical_on_weighted_workloads(self, dist):
+        workload = weighted_workload(N_JOBS, seed=17, weight_dist=dist)
+        choices = choice_vector(30 * N_JOBS, seed=31)
+        batched = Dispatcher(
+            N_SERVERS,
+            policy="weighted",
+            probe_stream=FixedProbeStream(N_SERVERS, choices),
+        ).dispatch(workload)
+        reference = reference_dispatch(
+            workload,
+            N_SERVERS,
+            policy="weighted",
+            probe_stream=FixedProbeStream(N_SERVERS, choices),
+        )
+        assert_outcomes_identical(batched, reference)
+
+    def test_fixed_w_max_matches_reference(self):
+        workload = weighted_workload(N_JOBS, seed=23, weight_dist="bimodal")
+        bound = float(workload.sizes().max())
+        choices = choice_vector(30 * N_JOBS, seed=37)
+        batched = Dispatcher(
+            N_SERVERS,
+            policy="weighted",
+            w_max=bound,
+            probe_stream=FixedProbeStream(N_SERVERS, choices),
+        ).dispatch(workload)
+        reference = reference_dispatch(
+            workload,
+            N_SERVERS,
+            policy="weighted",
+            w_max=bound,
+            probe_stream=FixedProbeStream(N_SERVERS, choices),
+        )
+        assert_outcomes_identical(batched, reference)
+
+    def test_work_guarantee_holds(self):
+        """Every server's work stays within W/n + 2*w_max of the rule."""
+        workload = weighted_workload(2_000, seed=3, weight_dist="pareto")
+        outcome = Dispatcher(50, policy="weighted", seed=4).dispatch(workload)
+        sizes = workload.sizes()
+        bound = sizes.sum() / 50 + 2 * sizes.max()
+        assert float(outcome.work.max()) <= bound + 1e-9
+
+    def test_rejects_non_positive_sizes(self):
+        from repro.errors import ConfigurationError
+
+        dispatcher = Dispatcher(10, policy="weighted", seed=0)
+        with pytest.raises(ConfigurationError):
+            dispatcher.dispatch_batch(np.array([1.0, 0.0, 2.0]))
+
+    def test_rejects_sizes_above_declared_w_max(self):
+        from repro.errors import ConfigurationError
+
+        dispatcher = Dispatcher(10, policy="weighted", w_max=2.0, seed=0)
+        with pytest.raises(ConfigurationError):
+            dispatcher.dispatch_batch(np.array([1.0, 3.0]))
+
+    def test_reset_clears_weighted_state(self):
+        dispatcher = Dispatcher(10, policy="weighted", seed=0)
+        dispatcher.dispatch_batch(np.full(40, 2.5))
+        assert dispatcher.weight_dispatched == pytest.approx(100.0)
+        dispatcher.reset()
+        assert dispatcher.weight_dispatched == 0.0
+        assert dispatcher._w_max_seen == 0.0
 
 
 class TestTable1Policies:

@@ -28,6 +28,10 @@ from repro.experiments.figure3 import figure3_series, potential_curve, runtime_c
 from repro.stats.summary import relative_spread
 from repro.theory.bounds import threshold_excess_probes
 
+# End-to-end simulations at integration scale: excluded from the fast CI
+# tier (-m "not slow").
+pytestmark = pytest.mark.slow
+
 
 class TestHeadlineGuarantees:
     @pytest.mark.parametrize("m,n", [(5_000, 500), (20_000, 500), (12_345, 678)])

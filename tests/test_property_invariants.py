@@ -19,6 +19,9 @@ from repro.core.potentials import holes, quadratic_potential
 from repro.core.thresholds import acceptance_limit, stage_windows
 from repro.core.window import occurrence_ranks
 
+# Hypothesis-heavy: excluded from the fast CI tier (-m "not slow").
+pytestmark = pytest.mark.slow
+
 # Protocols cheap enough for property-based testing (the parallel collision
 # protocol builds per-round message lists and is exercised separately).
 FAST_PROTOCOLS = [

@@ -13,9 +13,30 @@ from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experime
 
 class TestRegistry:
     def test_all_paper_artefacts_registered(self):
-        assert {"table1", "figure3a", "figure3b", "theorem31", "theorem41", "smoothness"} == set(
-            EXPERIMENTS
-        )
+        assert {
+            "table1",
+            "figure3a",
+            "figure3b",
+            "theorem31",
+            "theorem41",
+            "smoothness",
+            "weighted",
+        } == set(EXPERIMENTS)
+
+    def test_run_weighted_small(self):
+        rows = run_experiment("weighted", scale=0.01, trials=1)
+        protocols = {row["protocol"] for row in rows}
+        assert protocols == {
+            "weighted-adaptive",
+            "weighted-threshold",
+            "weighted-greedy",
+        }
+        assert {row["weight_dist"] for row in rows} == {
+            "pareto",
+            "exponential",
+            "bimodal",
+        }
+        assert all(row["mean_weighted_max_load"] > 0 for row in rows)
 
     def test_every_spec_names_a_bench_target(self):
         for spec in EXPERIMENTS.values():

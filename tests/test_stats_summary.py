@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.stats.summary import TrialSummary, relative_spread, summarize, summarize_records
+from repro.stats.summary import relative_spread, summarize, summarize_records
 
 
 class TestSummarize:

@@ -6,12 +6,17 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.core.protocol import available_protocols, make_protocol
 from repro.core.weighted import (
+    WeightedRunResult,
+    reference_weighted_adaptive,
     run_weighted_adaptive,
+    run_weighted_greedy,
+    run_weighted_threshold,
     weighted_gap_bound,
 )
-from repro.errors import ConfigurationError
-from repro.runtime.probes import FixedProbeStream
+from repro.errors import ConfigurationError, SimulationError
+from repro.runtime.probes import FixedProbeStream, ProbeStream
 
 
 class TestValidation:
@@ -109,3 +114,138 @@ class TestAllocation:
         assert result.loads.sum() == pytest.approx(weights.sum())
         assert result.max_load <= weighted_gap_bound(weights, n_bins) + 1e-9
         assert result.allocation_time >= n_balls
+
+
+class _SaturatingStream(ProbeStream):
+    """Infinite stream that only ever probes bin 0 (never terminates)."""
+
+    def _draw(self, count: int) -> np.ndarray:
+        return np.zeros(count, dtype=np.int64)
+
+
+class TestMaxProbesGuard:
+    """Regression: the seed's unbounded ``while True`` probe loop.
+
+    A probe source that never offers a bin below the threshold used to spin
+    forever; every weighted runner must now raise
+    :class:`~repro.errors.SimulationError` once a single ball exceeds its
+    probe cap.  Bin 0 saturates after a few unit balls into two bins (its
+    load grows by 1 per ball while the threshold grows by 1/2), so a
+    constant-zero stream reproduces the hang deterministically.
+    """
+
+    def test_reference_raises_instead_of_spinning(self):
+        weights = np.ones(10)
+        with pytest.raises(SimulationError):
+            reference_weighted_adaptive(
+                weights, 2, probe_stream=_SaturatingStream(2), max_probes=50
+            )
+
+    def test_engine_raises_instead_of_spinning(self):
+        weights = np.ones(10)
+        with pytest.raises(SimulationError):
+            run_weighted_adaptive(
+                weights, 2, probe_stream=_SaturatingStream(2), max_probes=50
+            )
+
+    @pytest.mark.parametrize("chunk_size", [1, 3, None])
+    def test_engine_raises_for_every_chunking(self, chunk_size):
+        weights = np.ones(10)
+        with pytest.raises(SimulationError):
+            run_weighted_adaptive(
+                weights,
+                2,
+                probe_stream=_SaturatingStream(2),
+                max_probes=50,
+                chunk_size=chunk_size,
+            )
+
+    def test_threshold_guard(self):
+        weights = np.ones(8)
+        with pytest.raises(SimulationError):
+            run_weighted_threshold(
+                weights, 2, probe_stream=_SaturatingStream(2), max_probes=4
+            )
+
+    def test_default_cap_is_generous(self):
+        # A healthy random run never comes close to the default cap.
+        weights = np.random.default_rng(0).uniform(0.5, 1.5, 2_000)
+        result = run_weighted_adaptive(weights, 50, seed=1)
+        assert result.probes_per_ball < 5.0
+
+    def test_invalid_max_probes(self):
+        with pytest.raises(ConfigurationError):
+            run_weighted_adaptive(np.ones(3), 2, seed=0, max_probes=0)
+
+
+class TestEdgeCases:
+    def test_zero_balls_all_runners(self):
+        for runner in (run_weighted_adaptive, run_weighted_threshold):
+            result = runner(np.array([]), 7, seed=0)
+            assert result.allocation_time == 0
+            assert result.total_weight == 0.0
+            assert np.array_equal(result.counts, np.zeros(7, dtype=np.int64))
+        greedy = run_weighted_greedy(np.array([]), 7, seed=0)
+        assert greedy.allocation_time == 0
+
+    def test_single_bin(self):
+        weights = np.random.default_rng(3).uniform(0.2, 4.0, 100)
+        for runner in (run_weighted_adaptive, run_weighted_threshold):
+            result = runner(weights, 1, seed=2)
+            assert result.counts[0] == 100
+            assert result.loads[0] == pytest.approx(weights.sum())
+            # One bin: the first probe of every ball is below threshold.
+            assert result.allocation_time == 100
+        greedy = run_weighted_greedy(weights, 1, seed=2, d=2)
+        assert greedy.counts[0] == 100
+        assert greedy.allocation_time == 200
+
+    def test_w_max_exactly_equal_to_weight_max(self):
+        weights = np.random.default_rng(4).uniform(0.5, 2.0, 300)
+        choices = np.random.default_rng(5).integers(0, 16, size=10_000)
+        explicit = run_weighted_adaptive(
+            weights,
+            16,
+            probe_stream=FixedProbeStream(16, choices),
+            w_max=float(weights.max()),
+        )
+        default = run_weighted_adaptive(
+            weights, 16, probe_stream=FixedProbeStream(16, choices)
+        )
+        assert np.array_equal(explicit.loads, default.loads)
+        assert explicit.allocation_time == default.allocation_time
+
+
+class TestRegistryProtocols:
+    def test_weighted_protocols_registered(self):
+        names = set(available_protocols())
+        assert {"weighted-adaptive", "weighted-threshold", "weighted-greedy"} <= names
+
+    @pytest.mark.parametrize(
+        "name", ["weighted-adaptive", "weighted-threshold", "weighted-greedy"]
+    )
+    def test_params_round_trip(self, name):
+        protocol = make_protocol(name, weight_dist="bimodal", low=0.5, high=8.0)
+        rebuilt = make_protocol(name, **protocol.params())
+        assert rebuilt.params() == protocol.params()
+
+    def test_allocate_returns_weighted_record(self):
+        protocol = make_protocol("weighted-adaptive", weight_dist="pareto")
+        result = protocol.allocate(500, 20, seed=3)
+        assert isinstance(result, WeightedRunResult)
+        assert int(result.loads.sum()) == 500  # counts obey the base invariant
+        assert result.weighted_loads.sum() == pytest.approx(result.total_weight)
+        record = result.as_record()
+        assert record["weighted_max_load"] >= record["total_weight"] / 20
+        assert record["weighted_gap"] >= 0
+
+    def test_seeded_runs_are_deterministic(self):
+        protocol = make_protocol("weighted-greedy", weight_dist="exponential", d=2)
+        a = protocol.allocate(400, 16, seed=9)
+        b = protocol.allocate(400, 16, seed=9)
+        assert np.array_equal(a.weighted_loads, b.weighted_loads)
+        assert np.array_equal(a.weights, b.weights)
+
+    def test_unknown_weight_dist_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_protocol("weighted-adaptive", weight_dist="nope")
