@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import time
 
+import numpy as np
+
 from repro.scheduler.dispatcher import Dispatcher
 from repro.scheduler.jobs import Workload, uniform_workload
 from repro.scheduler.reference import reference_dispatch
@@ -71,6 +73,60 @@ def measure_speedup(
         "speedup": reference_seconds / batched_seconds,
         "batched_jobs_per_second": n_jobs / batched_seconds,
     }
+
+
+#: Small-burst streaming scenario: many tiny arrival groups against a large
+#: server fleet, where the vectorised engines' O(n_servers) per-call setup
+#: dominates unless the scalar fast path kicks in.  The fleet size is fixed
+#: (10k servers) because the fast path targets exactly the
+#: tiny-burst-huge-fleet regime; --quick only reduces the burst count.
+BURST_SIZE = 10
+BURST_SERVERS = 10_000
+FULL_BURSTS = 2_000
+QUICK_BURSTS = 300
+#: Policies reported for the small-burst scenario (the measured winners the
+#: auto crossover rule enables at this size).
+BURST_POLICIES = ("adaptive", "threshold", "memory")
+#: Required advantage of the scalar fast path on tiny bursts.
+MIN_BURST_SPEEDUP = 1.5
+
+
+def measure_small_burst(
+    n_bursts: int, policy: str = "adaptive", n_servers: int = BURST_SERVERS
+) -> dict[str, float]:
+    """Time tiny-burst streaming with the fast path forced on vs off."""
+    rng = np.random.default_rng(BENCH_SEED)
+    bursts = [rng.uniform(0.5, 1.5, size=BURST_SIZE) for _ in range(n_bursts)]
+    total = n_bursts * BURST_SIZE
+    timings = {}
+    for label, small_burst in (("fast", BURST_SIZE + 1), ("vector", 0)):
+        dispatcher = Dispatcher(
+            n_servers, policy=policy, seed=BENCH_SEED, small_burst=small_burst
+        )
+        start = time.perf_counter()
+        for burst in bursts:
+            dispatcher.dispatch_batch(burst, total_jobs=total)
+        timings[label] = time.perf_counter() - start
+    return {
+        "policy": policy,
+        "n_bursts": n_bursts,
+        "burst_size": BURST_SIZE,
+        "n_servers": n_servers,
+        "fast_seconds": timings["fast"],
+        "vector_seconds": timings["vector"],
+        "speedup": timings["vector"] / timings["fast"],
+        "fast_jobs_per_second": total / timings["fast"],
+    }
+
+
+def test_small_burst_fast_path_speedup():
+    """The scalar path beats the vectorised engines on tiny arrival groups."""
+    for policy in BURST_POLICIES:
+        stats = measure_small_burst(QUICK_BURSTS, policy)
+        assert stats["speedup"] >= MIN_BURST_SPEEDUP, (
+            f"{policy} small-burst fast path only {stats['speedup']:.2f}x "
+            f"faster (required {MIN_BURST_SPEEDUP:.1f}x)"
+        )
 
 
 def test_dispatch_speedup_full_scale():
@@ -131,6 +187,22 @@ def main() -> None:
             f"{stats['reference_seconds']:>9.2f}s "
             f"{stats['speedup']:>8.1f}x "
             f"{stats['batched_jobs_per_second']:>12,.0f}"
+        )
+    n_bursts = QUICK_BURSTS if args.quick else FULL_BURSTS
+    for policy in BURST_POLICIES:
+        stats = measure_small_burst(n_bursts, policy)
+        entries.append(
+            {
+                "label": f"burst{BURST_SIZE}-{policy}",
+                "ops_per_second": stats["fast_jobs_per_second"],
+                **stats,
+            }
+        )
+        print(
+            f"burst{BURST_SIZE}-{policy:<9} {stats['fast_seconds']:>9.3f}s "
+            f"{stats['vector_seconds']:>9.2f}s "
+            f"{stats['speedup']:>8.1f}x "
+            f"{stats['fast_jobs_per_second']:>12,.0f}"
         )
     path = write_bench_json("dispatch_throughput", entries)
     print(f"\nwrote {path}")

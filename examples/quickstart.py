@@ -3,18 +3,21 @@
 
 This example shows the smallest useful slice of the public API:
 
-* run the ADAPTIVE and THRESHOLD protocols on the same problem size,
+* describe runs declaratively with :class:`repro.SimulationSpec` and execute
+  them with :func:`repro.simulate`,
 * read off the two quantities the paper cares about (allocation time and
   maximum load),
-* compare the smoothness of the resulting load vectors, and
-* cross-check against the deterministic ``ceil(m/n) + 1`` guarantee.
+* compare the smoothness of the resulting load vectors,
+* cross-check against the deterministic ``ceil(m/n) + 1`` guarantee, and
+* round-trip a spec through JSON (the form you would log or ship to a
+  worker) and reproduce the identical run.
 
 Run it with ``python examples/quickstart.py``.
 """
 
 from __future__ import annotations
 
-from repro import max_final_load, run_adaptive, run_threshold
+from repro import SimulationSpec, max_final_load, simulate
 from repro.reporting import format_markdown_table
 
 
@@ -23,12 +26,15 @@ def main() -> None:
     n_bins = 10_000
     seed = 42
 
-    adaptive = run_adaptive(n_balls, n_bins, seed=seed)
-    threshold = run_threshold(n_balls, n_bins, seed=seed)
+    specs = {
+        name: SimulationSpec(name, n_balls=n_balls, n_bins=n_bins, seed=seed)
+        for name in ("adaptive", "threshold")
+    }
+    results = {name: simulate(spec) for name, spec in specs.items()}
     guarantee = max_final_load(n_balls, n_bins)
 
     rows = []
-    for result in (adaptive, threshold):
+    for result in results.values():
         rows.append(
             {
                 "protocol": result.protocol,
@@ -53,9 +59,16 @@ def main() -> None:
         "(smaller gap and quadratic potential) - exactly the trade-off the "
         "paper establishes."
     )
+    for result in results.values():
+        assert result.max_load <= guarantee
 
-    assert adaptive.max_load <= guarantee
-    assert threshold.max_load <= guarantee
+    # Specs are plain JSON documents: log them, hash them, ship them — the
+    # rebuilt spec reproduces the identical run, bit for bit.
+    replayed = simulate(SimulationSpec.from_json(specs["adaptive"].to_json()))
+    assert replayed.allocation_time == results["adaptive"].allocation_time
+    assert (replayed.loads == results["adaptive"].loads).all()
+    print("\nJSON round-trip reproduced the adaptive run bit-for-bit:")
+    print(specs["adaptive"].to_json())
 
 
 if __name__ == "__main__":

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Streaming simulation sessions: inspect a run while it is in flight.
+
+The spec-driven API can drive a protocol incrementally: ``Simulation.step(k)``
+places the next ``k`` balls and ``Simulation.state`` exposes the evolving
+loads, probe consumption and smoothness potentials between steps.  Any split
+into steps is bit-identical to a one-shot run (same seed, same probes), so
+streaming costs nothing in fidelity.
+
+This example replays the paper's central smoothness contrast live: ADAPTIVE
+keeps the quadratic potential ``Ψ`` (deviation of loads from the perfect
+``i/n`` average) small *throughout* the run, while THRESHOLD — probing
+against its final threshold from the start — lets the allocation get rough
+mid-flight and only converges at the end (Corollary 3.5 vs Lemma 4.2).
+
+Run it with ``python examples/streaming_session.py``.
+"""
+
+from __future__ import annotations
+
+from repro import Simulation, SimulationSpec
+
+
+def main() -> None:
+    n_balls = 200_000
+    n_bins = 10_000
+    chunk = n_balls // 10
+    seed = 2013
+
+    sims = {
+        name: Simulation(
+            SimulationSpec(name, n_balls=n_balls, n_bins=n_bins, seed=seed)
+        )
+        for name in ("adaptive", "threshold")
+    }
+
+    print(
+        f"Streaming m={n_balls:,} balls into n={n_bins:,} bins "
+        f"in {n_balls // chunk} steps (seed={seed})\n"
+    )
+    header = (
+        f"{'placed':>8} | {'Ψ adaptive':>12} {'probes':>8} | "
+        f"{'Ψ threshold':>12} {'probes':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    while not sims["adaptive"].state.done:
+        states = {name: sim.step(chunk) for name, sim in sims.items()}
+        a, t = states["adaptive"], states["threshold"]
+        print(
+            f"{a.placed:>8,} | {a.quadratic_potential:>12,.0f} {a.probes:>8,} | "
+            f"{t.quadratic_potential:>12,.0f} {t.probes:>8,}"
+        )
+
+    results = {name: sim.results() for name, sim in sims.items()}
+    print(
+        "\nFinal max loads: "
+        f"adaptive={results['adaptive'].max_load}, "
+        f"threshold={results['threshold'].max_load} "
+        f"(both within the deterministic ceil(m/n) + 1 guarantee)."
+    )
+    print(
+        "ADAPTIVE kept Ψ flat the whole way (Corollary 3.5); THRESHOLD "
+        "let the mid-run allocation get orders of magnitude rougher "
+        "(Lemma 4.2) — visible above without any post-hoc tracing."
+    )
+
+    # Streaming changes nothing: a one-shot run of the same spec is
+    # bit-identical in loads and probe counts.
+    one_shot = Simulation(
+        SimulationSpec("adaptive", n_balls=n_balls, n_bins=n_bins, seed=seed)
+    ).run()
+    assert one_shot.allocation_time == results["adaptive"].allocation_time
+    assert (one_shot.loads == results["adaptive"].loads).all()
+    print("\nSanity: stepped run is bit-identical to the one-shot run.")
+
+
+if __name__ == "__main__":
+    main()

@@ -49,14 +49,14 @@ def main() -> None:
             {
                 "weights": name,
                 "total weight": result.total_weight,
-                "avg load": result.average_load,
-                "max load": result.max_load,
+                "avg load": result.weighted_average_load,
+                "max load": result.weighted_max_load,
                 "guarantee W/n + 2*w_max": bound,
-                "gap": result.gap,
+                "gap": result.weighted_gap,
                 "probes/ball": result.probes_per_ball,
             }
         )
-        assert result.max_load <= bound + 1e-9
+        assert result.weighted_max_load <= bound + 1e-9
 
     print(
         f"Weighted ADAPTIVE: {n_balls} balls into {n_bins} bins "

@@ -4,6 +4,9 @@ Berenbrink, Khodamoradi, Sauerwald, Stauffer — SPAA 2013.
 
 The package is organised as follows:
 
+* :mod:`repro.api` — the unified spec-driven entry point: declarative
+  :class:`SimulationSpec`/:class:`DispatchSpec` documents, streaming
+  :class:`Simulation` sessions and the :func:`simulate` facade.
 * :mod:`repro.core` — the paper's ADAPTIVE and THRESHOLD protocols, the
   smoothness potentials and the protocol registry.
 * :mod:`repro.baselines` — every comparison protocol of Table 1
@@ -17,25 +20,67 @@ The package is organised as follows:
 * :mod:`repro.hashing` / :mod:`repro.scheduler` — the hashing and
   load-balancing applications that motivate the paper.
 * :mod:`repro.experiments` — the Table 1 / Figure 3 / smoothness experiment
-  harness.
+  harness (spec-driven, with a ``repro-experiment`` CLI).
 * :mod:`repro.reporting` — markdown/CSV tables and ASCII plots.
 
 Quickstart
 ----------
->>> from repro import run_adaptive, run_threshold
->>> adaptive = run_adaptive(n_balls=100_000, n_bins=10_000, seed=1)
->>> threshold = run_threshold(n_balls=100_000, n_bins=10_000, seed=1)
->>> adaptive.max_load <= 11 and threshold.max_load <= 11
+Describe a run declaratively and simulate it — every protocol of the paper
+(and of Table 1) is addressed by its registry name, and every result is a
+:class:`RunResult`:
+
+>>> from repro import SimulationSpec, simulate
+>>> spec = SimulationSpec("adaptive", n_balls=100_000, n_bins=10_000, seed=1)
+>>> result = simulate(spec)
+>>> result.max_load <= 11
 True
->>> adaptive.quadratic_potential() < threshold.quadratic_potential()
+>>> simulate(spec.with_seed(2)).protocol
+'adaptive'
+
+Specs round-trip losslessly through JSON (log them, hash them, ship them to
+workers), and :class:`Simulation` streams a run in chunks so loads, probe
+counts and smoothness potentials can be inspected mid-flight:
+
+>>> from repro import Simulation, SimulationSpec
+>>> sim = Simulation(SimulationSpec("threshold", n_balls=50_000, n_bins=5_000, seed=3))
+>>> state = sim.step(25_000)          # place the first half
+>>> state.placed, state.probes > 0
+(25000, True)
+>>> final = sim.results()             # bit-identical to a one-shot run
+>>> final.max_load <= 11
 True
+
+The scheduler speaks the same language — a :class:`DispatchSpec` plus a
+:class:`WorkloadSpec` runs the batched dispatcher over a named workload:
+
+>>> from repro import DispatchSpec, WorkloadSpec, simulate
+>>> outcome = simulate(DispatchSpec("weighted", n_servers=100, seed=4,
+...     workload=WorkloadSpec("heavy-tailed", n_jobs=10_000, seed=5)))
+>>> outcome.metrics.makespan >= outcome.metrics.avg_work
+True
+
+The legacy free functions (``run_adaptive``/``run_threshold``) keep working
+but are deprecated in favour of :func:`simulate`; they emit one
+:class:`DeprecationWarning` per process.
 """
 
+from repro._compat import deprecated_names
 from repro._version import __version__
+from repro.api import (
+    DispatchSpec,
+    Simulation,
+    SimulationSpec,
+    SimulationState,
+    WorkloadSpec,
+    simulate,
+    spec_from_dict,
+    spec_from_json,
+)
 from repro.core import (
     AdaptiveProtocol,
     AllocationProtocol,
     AllocationResult,
+    RunResult,
     ThresholdProtocol,
     available_protocols,
     exponential_potential,
@@ -44,9 +89,9 @@ from repro.core import (
     make_protocol,
     max_final_load,
     quadratic_potential,
-    run_adaptive,
-    run_threshold,
 )
+from repro.core import adaptive as _adaptive_module
+from repro.core import threshold as _threshold_module
 from repro.errors import (
     CapacityExceededError,
     ConfigurationError,
@@ -64,9 +109,20 @@ from repro import parallel as _parallel  # noqa: F401  (import for side effect)
 
 __all__ = [
     "__version__",
+    # Spec-driven facade (the documented quickstart path).
+    "SimulationSpec",
+    "DispatchSpec",
+    "WorkloadSpec",
+    "Simulation",
+    "SimulationState",
+    "simulate",
+    "spec_from_dict",
+    "spec_from_json",
+    # Core protocol surface.
     "AdaptiveProtocol",
     "ThresholdProtocol",
     "AllocationProtocol",
+    "RunResult",
     "AllocationResult",
     "available_protocols",
     "get_protocol",
@@ -77,9 +133,28 @@ __all__ = [
     "quadratic_potential",
     "exponential_potential",
     "load_gap",
+    # Errors.
     "ReproError",
     "ConfigurationError",
     "ProtocolError",
     "CapacityExceededError",
     "ExperimentError",
 ]
+
+# Deprecated free-function entry points: served lazily so that touching them
+# emits a single DeprecationWarning per process (the functions themselves are
+# unchanged — `repro.core.adaptive.run_adaptive` stays warning-free for
+# internal use and the reference/equivalence test-suite).
+__getattr__ = deprecated_names(
+    __name__,
+    {
+        "run_adaptive": (
+            "repro.simulate(SimulationSpec('adaptive', ...))",
+            lambda: _adaptive_module.run_adaptive,
+        ),
+        "run_threshold": (
+            "repro.simulate(SimulationSpec('threshold', ...))",
+            lambda: _threshold_module.run_threshold,
+        ),
+    },
+)

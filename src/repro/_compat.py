@@ -1,0 +1,55 @@
+"""Warn-once deprecation plumbing for legacy entry points.
+
+PR 4 consolidated the public surface behind :mod:`repro.api`
+(:func:`repro.simulate`, :class:`repro.SimulationSpec`); the legacy names
+keep working unchanged but emit a single :class:`DeprecationWarning` per
+process the first time they are touched.  The warning is emitted exactly
+once per name — not once per call site — so long-running services and test
+suites are not flooded, and CI can assert the "exactly once" contract.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Callable
+
+__all__ = ["warn_deprecated", "deprecated_names"]
+
+#: Names that have already warned in this process.
+_WARNED: set[str] = set()
+
+
+def warn_deprecated(name: str, replacement: str) -> None:
+    """Emit the deprecation warning for ``name`` once per process."""
+    if name in _WARNED:
+        return
+    _WARNED.add(name)
+    warnings.warn(
+        f"{name} is deprecated; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def deprecated_names(
+    module: str, mapping: dict[str, tuple[str, Callable[[], Any]]]
+) -> Callable[[str], Any]:
+    """Build a module ``__getattr__`` serving deprecated attribute aliases.
+
+    ``mapping`` maps the legacy attribute name to ``(replacement, loader)``;
+    the loader returns the live object so modules can defer imports.  The
+    returned function raises :class:`AttributeError` for unknown names, as a
+    module ``__getattr__`` must.
+    """
+
+    def __getattr__(name: str) -> Any:
+        try:
+            replacement, loader = mapping[name]
+        except KeyError:
+            raise AttributeError(
+                f"module {module!r} has no attribute {name!r}"
+            ) from None
+        warn_deprecated(f"{module}.{name}", replacement)
+        return loader()
+
+    return __getattr__

@@ -1,0 +1,29 @@
+"""Unified spec-driven simulation API.
+
+This subpackage is the package's documented entry point: declarative,
+JSON-round-trippable specs (:class:`SimulationSpec`, :class:`DispatchSpec`,
+:class:`WorkloadSpec`), a streaming :class:`Simulation` session, and the
+:func:`simulate` facade that runs any spec and returns results from the
+unified :class:`~repro.core.result.RunResult` hierarchy.  See the package
+docstring of :mod:`repro` for the quickstart.
+"""
+
+from repro.api.session import Simulation, SimulationState, simulate
+from repro.api.spec import (
+    DispatchSpec,
+    SimulationSpec,
+    WorkloadSpec,
+    spec_from_dict,
+    spec_from_json,
+)
+
+__all__ = [
+    "SimulationSpec",
+    "DispatchSpec",
+    "WorkloadSpec",
+    "Simulation",
+    "SimulationState",
+    "simulate",
+    "spec_from_dict",
+    "spec_from_json",
+]

@@ -38,12 +38,96 @@ import numpy as np
 from repro.baselines.engine import chunked_argmin_commit
 from repro.core.protocol import AllocationProtocol, register_protocol
 from repro.core.result import AllocationResult
+from repro.core.session import ProtocolSession
 from repro.errors import ConfigurationError
 from repro.runtime.costs import CostModel
 from repro.runtime.probes import ProbeStream, RandomProbeStream
 from repro.runtime.rng import SeedLike
 
-__all__ = ["GreedyProtocol", "run_greedy"]
+__all__ = ["GreedyProtocol", "DChoiceSession", "run_greedy"]
+
+
+class DChoiceSession(ProtocolSession):
+    """Streaming d-choice commit session (greedy[d] / left[d] / weighted).
+
+    ``source(start, count)`` returns the candidate rows of balls
+    ``start … start+count-1`` (absolute indices over the whole run), so each
+    :meth:`place` call drives :func:`~repro.baselines.engine.chunked_argmin_commit`
+    over the next slice — the engine's chunk-partitioning invariance makes
+    any split of ``place`` calls bit-identical to the one-shot run.
+    Tie-break ``priorities`` (and weighted increments) are drawn up front by
+    the caller, exactly as the one-shot implementations do.
+    """
+
+    def __init__(
+        self,
+        protocol,
+        n_balls: int,
+        n_bins: int,
+        stream: ProbeStream,
+        *,
+        d: int,
+        source,
+        priorities=None,
+        weights=None,
+        chunk_size: int | None = None,
+    ) -> None:
+        super().__init__(protocol, n_balls, n_bins, stream)
+        self.d = int(d)
+        self._source = source
+        self._priorities = priorities
+        self._weights = weights
+        self._chunk_size = chunk_size
+        if weights is None:
+            self._loads = np.zeros(n_bins, dtype=np.int64)
+            self._counts = self._loads
+        else:
+            self._loads = np.zeros(n_bins, dtype=np.float64)
+            self._counts = np.zeros(n_bins, dtype=np.int64)
+        self.assignments = np.empty(n_balls, dtype=np.int64)
+
+    @property
+    def loads(self) -> np.ndarray:
+        return self._counts
+
+    @property
+    def weighted_loads(self) -> np.ndarray | None:
+        return self._loads if self._weights is not None else None
+
+    @property
+    def probes(self) -> int:
+        return self.placed * self.d
+
+    def _place(self, k: int) -> None:
+        start = self.placed
+        chunked_argmin_commit(
+            self._loads,
+            lambda done, count: self._source(start + done, count),
+            k,
+            self.d,
+            priorities=None
+            if self._priorities is None
+            else self._priorities[start : start + k],
+            chunk_size=self._chunk_size,
+            assignments=self.assignments[start : start + k],
+            weights=None
+            if self._weights is None
+            else self._weights[start : start + k],
+        )
+        if self._weights is not None:
+            np.add.at(self._counts, self.assignments[start : start + k], 1)
+
+    def _finalize(self) -> AllocationResult:
+        probes = self.n_balls * self.d
+        return AllocationResult(
+            protocol=self.protocol.name,
+            n_balls=self.n_balls,
+            n_bins=self.n_bins,
+            loads=self._counts,
+            allocation_time=probes,
+            costs=CostModel(probes=probes),
+            params=self.protocol.params(),
+        )
 
 
 @register_protocol
@@ -62,6 +146,7 @@ class GreedyProtocol(AllocationProtocol):
     """
 
     name = "greedy"
+    streaming = True
 
     def __init__(self, d: int = 2, tie_break: str = "random") -> None:
         if d < 1:
@@ -75,6 +160,30 @@ class GreedyProtocol(AllocationProtocol):
 
     def params(self) -> dict[str, Any]:
         return {"d": self.d, "tie_break": self.tie_break}
+
+    def begin(
+        self,
+        n_balls: int,
+        n_bins: int,
+        seed: SeedLike = None,
+        *,
+        probe_stream: ProbeStream | None = None,
+        record_trace: bool = False,
+    ) -> DChoiceSession:
+        self.validate_size(n_balls, n_bins)
+        stream = probe_stream or RandomProbeStream(n_bins, seed)
+        priorities = None
+        if self.tie_break == "random" and n_balls:
+            priorities = stream.derive_generator(seed).random(size=(n_balls, self.d))
+        return DChoiceSession(
+            self,
+            n_balls,
+            n_bins,
+            stream,
+            d=self.d,
+            source=lambda start, count: stream.take_matrix(count, self.d),
+            priorities=priorities,
+        )
 
     def allocate(
         self,

@@ -35,6 +35,7 @@ from typing import Any
 import numpy as np
 
 from repro.baselines.engine import chunked_argmin_commit, matrix_source
+from repro.baselines.greedy import DChoiceSession
 from repro.core.protocol import AllocationProtocol, register_protocol
 from repro.core.result import AllocationResult
 from repro.errors import ConfigurationError
@@ -96,6 +97,7 @@ class LeftProtocol(AllocationProtocol):
     """
 
     name = "left"
+    streaming = True
 
     def __init__(self, d: int = 2) -> None:
         if d < 1:
@@ -104,6 +106,38 @@ class LeftProtocol(AllocationProtocol):
 
     def params(self) -> dict[str, Any]:
         return {"d": self.d}
+
+    def begin(
+        self,
+        n_balls: int,
+        n_bins: int,
+        seed: SeedLike = None,
+        *,
+        probe_stream: ProbeStream | None = None,
+        record_trace: bool = False,
+    ) -> DChoiceSession:
+        self.validate_size(n_balls, n_bins)
+        if probe_stream is not None:
+            # Replay mode: uniform probes map onto equal groups, exactly as
+            # in the one-shot run.
+            group_base, size = replay_group_map(n_bins, self.d)
+            stream = probe_stream
+            source = (
+                lambda start, count: group_base
+                + stream.take_matrix(count, self.d) % size
+            )
+        else:
+            # Seeded mode: the full in-group offset matrix is drawn up front
+            # (identical to the one-shot run), then sliced per step.
+            stream = RandomProbeStream(n_bins, seed)
+            boundaries = group_boundaries(n_bins, self.d)
+            sizes = np.diff(boundaries)
+            offsets = stream.generator.random(size=(n_balls, self.d))
+            choices = (boundaries[:-1] + np.floor(offsets * sizes)).astype(np.int64)
+            source = matrix_source(choices)
+        return DChoiceSession(
+            self, n_balls, n_bins, stream, d=self.d, source=source
+        )
 
     def allocate(
         self,

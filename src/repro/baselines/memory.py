@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.core.protocol import AllocationProtocol, register_protocol
 from repro.core.result import AllocationResult
+from repro.core.session import ProtocolSession
 from repro.errors import ConfigurationError
 from repro.runtime.costs import CostModel
 from repro.runtime.probes import ProbeStream, RandomProbeStream
@@ -129,6 +130,7 @@ class MemoryProtocol(AllocationProtocol):
     """
 
     name = "memory"
+    streaming = True
 
     def __init__(self, d: int = 1, k: int = 1) -> None:
         if d < 1:
@@ -140,6 +142,19 @@ class MemoryProtocol(AllocationProtocol):
 
     def params(self) -> dict[str, Any]:
         return {"d": self.d, "k": self.k}
+
+    def begin(
+        self,
+        n_balls: int,
+        n_bins: int,
+        seed: SeedLike = None,
+        *,
+        probe_stream: ProbeStream | None = None,
+        record_trace: bool = False,
+    ) -> "_MemorySession":
+        self.validate_size(n_balls, n_bins)
+        stream = probe_stream or RandomProbeStream(n_bins, seed)
+        return _MemorySession(self, n_balls, n_bins, stream)
 
     def allocate(
         self,
@@ -172,6 +187,46 @@ class MemoryProtocol(AllocationProtocol):
             allocation_time=probes,
             costs=CostModel(probes=probes),
             params=self.params(),
+        )
+
+
+class _MemorySession(ProtocolSession):
+    """Streaming (d,k)-memory: the remembered set persists across steps.
+
+    The hand-off loop and its fresh-draw chunking are shared with the
+    one-shot run (:func:`chunked_memory_hand_off` consumes the stream in the
+    same row-major order for any split), so stepped runs are bit-identical.
+    """
+
+    def __init__(self, protocol, n_balls, n_bins, stream) -> None:
+        super().__init__(protocol, n_balls, n_bins, stream)
+        self._counts: list[int] = [0] * n_bins
+        self._memory: list[int] = []
+
+    @property
+    def loads(self) -> np.ndarray:
+        return np.asarray(self._counts, dtype=np.int64)
+
+    @property
+    def probes(self) -> int:
+        return self.placed * self.protocol.d
+
+    def _place(self, k: int) -> None:
+        self._memory = chunked_memory_hand_off(
+            self.stream, self._counts, self._memory, k, self.protocol.d,
+            self.protocol.k,
+        )
+
+    def _finalize(self) -> AllocationResult:
+        probes = self.n_balls * self.protocol.d
+        return AllocationResult(
+            protocol=self.protocol.name,
+            n_balls=self.n_balls,
+            n_bins=self.n_bins,
+            loads=np.asarray(self._counts, dtype=np.int64),
+            allocation_time=probes,
+            costs=CostModel(probes=probes),
+            params=self.protocol.params(),
         )
 
 

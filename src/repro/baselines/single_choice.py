@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.protocol import AllocationProtocol, register_protocol
 from repro.core.result import AllocationResult
+from repro.core.session import ProtocolSession
 from repro.errors import ConfigurationError
 from repro.runtime.costs import CostModel
 from repro.runtime.probes import ProbeStream, RandomProbeStream
@@ -29,6 +30,7 @@ class SingleChoiceProtocol(AllocationProtocol):
     """One uniformly random choice per ball (no load information used)."""
 
     name = "single-choice"
+    streaming = True
 
     def __init__(self) -> None:
         # No parameters; keep an explicit __init__ so the registry-based
@@ -37,6 +39,19 @@ class SingleChoiceProtocol(AllocationProtocol):
 
     def params(self) -> dict[str, Any]:
         return {}
+
+    def begin(
+        self,
+        n_balls: int,
+        n_bins: int,
+        seed: SeedLike = None,
+        *,
+        probe_stream: ProbeStream | None = None,
+        record_trace: bool = False,
+    ) -> "_SingleChoiceSession":
+        self.validate_size(n_balls, n_bins)
+        stream = probe_stream or RandomProbeStream(n_bins, seed)
+        return _SingleChoiceSession(self, n_balls, n_bins, stream)
 
     def allocate(
         self,
@@ -64,6 +79,36 @@ class SingleChoiceProtocol(AllocationProtocol):
             allocation_time=n_balls,
             costs=costs,
             params=self.params(),
+        )
+
+
+class _SingleChoiceSession(ProtocolSession):
+    """Streaming single-choice: one uniform probe per ball."""
+
+    def __init__(self, protocol, n_balls, n_bins, stream) -> None:
+        super().__init__(protocol, n_balls, n_bins, stream)
+        self._loads = np.zeros(n_bins, dtype=np.int64)
+
+    @property
+    def loads(self) -> np.ndarray:
+        return self._loads
+
+    @property
+    def probes(self) -> int:
+        return self.placed
+
+    def _place(self, k: int) -> None:
+        self._loads += np.bincount(self.stream.take(k), minlength=self.n_bins)
+
+    def _finalize(self) -> AllocationResult:
+        return AllocationResult(
+            protocol=self.protocol.name,
+            n_balls=self.n_balls,
+            n_bins=self.n_bins,
+            loads=self._loads,
+            allocation_time=self.n_balls,
+            costs=CostModel(probes=self.n_balls),
+            params=self.protocol.params(),
         )
 
 

@@ -34,7 +34,7 @@ from repro.core.protocol import (
     register_protocol,
 )
 from repro.core.reference import reference_adaptive, reference_threshold
-from repro.core.result import AllocationResult
+from repro.core.result import AllocationResult, RunResult
 from repro.core.threshold import ThresholdProtocol, run_threshold
 from repro.core.weighted import (
     WeightedAdaptiveProtocol,
@@ -73,6 +73,7 @@ __all__ = [
     "run_threshold",
     "AllocationProtocol",
     "AllocationResult",
+    "RunResult",
     "available_protocols",
     "get_protocol",
     "make_protocol",

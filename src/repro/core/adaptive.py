@@ -27,7 +27,8 @@ from repro.core.potentials import (
 )
 from repro.core.protocol import AllocationProtocol, register_protocol
 from repro.core.result import AllocationResult
-from repro.core.thresholds import stage_windows
+from repro.core.session import StagedWindowSession
+from repro.core.thresholds import acceptance_limit, stage_windows
 from repro.core.window import fill_window
 from repro.errors import ConfigurationError
 from repro.runtime.costs import CostModel
@@ -56,6 +57,7 @@ class AdaptiveProtocol(AllocationProtocol):
     """
 
     name = "adaptive"
+    streaming = True
 
     def __init__(self, offset: int = 1, block_size: int | None = None) -> None:
         if offset < 0:
@@ -67,6 +69,27 @@ class AdaptiveProtocol(AllocationProtocol):
 
     def params(self) -> dict[str, Any]:
         return {"offset": self.offset, "block_size": self.block_size}
+
+    def begin(
+        self,
+        n_balls: int,
+        n_bins: int,
+        seed: SeedLike = None,
+        *,
+        probe_stream: ProbeStream | None = None,
+        record_trace: bool = False,
+    ) -> "_AdaptiveSession":
+        self.validate_size(n_balls, n_bins)
+        stream = probe_stream or RandomProbeStream(n_bins, seed)
+        return _AdaptiveSession(
+            self,
+            n_balls,
+            n_bins,
+            stream,
+            block_size=self.block_size,
+            checkpoint_stages=True,
+            record_trace=record_trace,
+        )
 
     def allocate(
         self,
@@ -126,6 +149,13 @@ class AdaptiveProtocol(AllocationProtocol):
             trace=trace,
             params=self.params(),
         )
+
+
+class _AdaptiveSession(StagedWindowSession):
+    """Streaming ADAPTIVE: the acceptance limit tracks the ball index."""
+
+    def _limit_for_ball(self, i: int) -> int:
+        return acceptance_limit(i, self.n_bins, self.protocol.offset)
 
 
 def run_adaptive(

@@ -11,9 +11,12 @@ serialisable.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Iterable
+from typing import TYPE_CHECKING, Any, Iterable
 
 from repro.core.result import AllocationResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.session import ProtocolSession
 from repro.errors import ConfigurationError
 from repro.runtime.probes import ProbeStream
 from repro.runtime.rng import SeedLike
@@ -76,6 +79,32 @@ class AllocationProtocol(ABC):
             When true, record a per-stage :class:`~repro.runtime.trace.Trace`.
         """
 
+    #: Whether :meth:`begin` is implemented (sequential per-ball placement).
+    streaming: bool = False
+
+    def begin(
+        self,
+        n_balls: int,
+        n_bins: int,
+        seed: SeedLike = None,
+        *,
+        probe_stream: ProbeStream | None = None,
+        record_trace: bool = False,
+    ) -> "ProtocolSession":
+        """Start a streaming session placing ``n_balls`` balls incrementally.
+
+        The session (:class:`~repro.core.session.ProtocolSession`) places
+        balls in caller-chosen chunks and produces a result bit-identical to
+        :meth:`allocate` for the same seed / probe stream, however the chunks
+        are split.  Protocols whose placement is not sequential per ball
+        (parallel rounds, rebalancing sweeps) raise
+        :class:`~repro.errors.ConfigurationError`.
+        """
+        raise ConfigurationError(
+            f"protocol {self.name!r} does not support streaming sessions; "
+            "run it in one shot instead"
+        )
+
     def describe(self) -> dict[str, Any]:
         """Return the protocol's name and parameters (for provenance)."""
         return {"name": self.name, **self.params()}
@@ -124,8 +153,20 @@ def get_protocol(name: str) -> type[AllocationProtocol]:
 
 
 def make_protocol(name: str, **params: Any) -> AllocationProtocol:
-    """Instantiate the protocol registered under ``name`` with ``params``."""
-    return get_protocol(name)(**params)
+    """Instantiate the protocol registered under ``name`` with ``params``.
+
+    Parameter problems — unknown keyword, wrong arity — surface as
+    :class:`~repro.errors.ConfigurationError` (instead of the bare
+    ``TypeError`` a direct constructor call would raise), so spec validation
+    can report them uniformly.
+    """
+    cls = get_protocol(name)
+    try:
+        return cls(**params)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"invalid parameters for protocol {name!r}: {exc}"
+        ) from exc
 
 
 def available_protocols() -> Iterable[str]:

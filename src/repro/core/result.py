@@ -1,4 +1,14 @@
-"""Result records returned by every allocation protocol."""
+"""Result records returned by every allocation protocol.
+
+:class:`RunResult` is the root of the unified result hierarchy: every entry
+point of the package — the sequential protocols, the weighted protocols
+(:class:`~repro.core.weighted.WeightedRunResult`) and the batched job
+dispatcher (:class:`~repro.scheduler.dispatcher.DispatchResult`) — returns a
+:class:`RunResult` or a subclass of it, so downstream consumers (tables,
+summaries, the experiment harness) handle every run the same way.
+``AllocationResult`` is kept as a thin alias of :class:`RunResult` for
+backwards compatibility.
+"""
 
 from __future__ import annotations
 
@@ -18,11 +28,11 @@ from repro.errors import ProtocolError
 from repro.runtime.costs import CostModel
 from repro.runtime.trace import Trace
 
-__all__ = ["AllocationResult"]
+__all__ = ["RunResult", "AllocationResult"]
 
 
 @dataclass
-class AllocationResult:
+class RunResult:
     """Outcome of allocating ``n_balls`` balls into ``n_bins`` bins.
 
     Attributes
@@ -131,3 +141,8 @@ class AllocationResult:
         record.update({f"cost_{k}": v for k, v in self.costs.as_dict().items()})
         record.update({f"param_{k}": v for k, v in self.params.items()})
         return record
+
+
+#: Backwards-compatible alias: the base of the unified result hierarchy used
+#: to be called ``AllocationResult``.
+AllocationResult = RunResult

@@ -1,0 +1,253 @@
+"""Streaming protocol sessions: place balls in caller-chosen chunks.
+
+A :class:`ProtocolSession` is the incremental counterpart of
+:meth:`~repro.core.protocol.AllocationProtocol.allocate`: the caller places
+balls in chunks of any size (:meth:`ProtocolSession.place`), may inspect the
+evolving load vector and probe consumption between chunks, and finally asks
+for the same unified :class:`~repro.core.result.RunResult` a one-shot run
+would have produced.  The contract — certified by the test-suite for every
+streaming protocol — is that **any split of the balls into ``place`` calls
+yields a bit-identical result**: same loads, same probe-stream consumption,
+same cost checkpoints, same trace.  This works because the sessions are
+thin drivers over the chunked exact engines (the window primitive, the
+conflict-free commit engine, the weighted provisional engine), whose
+chunk-partitioning invariance is already certified.
+
+Sessions are created through
+:meth:`~repro.core.protocol.AllocationProtocol.begin`; protocols whose
+placement order is not sequential per ball (the parallel round protocols,
+rebalancing's move sweeps) do not support sessions and say so with a
+:class:`~repro.errors.ConfigurationError`.
+
+:class:`StagedWindowSession` is the shared machinery of the two
+constant-limit-window protocols (ADAPTIVE and THRESHOLD): it walks the
+stage/chunk boundaries of the one-shot implementations so that probe
+checkpoints and per-stage traces land on exactly the same balls.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.potentials import (
+    DEFAULT_EPSILON,
+    exponential_potential,
+    quadratic_potential,
+)
+from repro.core.result import RunResult
+from repro.core.window import fill_window
+from repro.errors import ConfigurationError, ProtocolError
+from repro.runtime.costs import CostModel
+from repro.runtime.probes import ProbeStream
+from repro.runtime.trace import StageRecord, Trace
+
+__all__ = ["ProtocolSession", "StagedWindowSession"]
+
+
+class ProtocolSession(ABC):
+    """Incremental run of one allocation protocol (see the module docstring).
+
+    Attributes
+    ----------
+    n_balls, n_bins:
+        Problem size fixed at session start (``n_balls`` is the total the
+        session will place — THRESHOLD-style rules need it up front, and it
+        makes any-split equivalence with the one-shot run well defined).
+    placed:
+        Number of balls placed so far.
+    stream:
+        The probe stream the session consumes; ``stream.consumed`` tracks
+        exactly the sequential process.
+    """
+
+    def __init__(
+        self, protocol, n_balls: int, n_bins: int, stream: ProbeStream
+    ) -> None:
+        if n_balls < 0:
+            raise ConfigurationError(f"n_balls must be non-negative, got {n_balls}")
+        if stream.n_bins != n_bins:
+            raise ConfigurationError(
+                "probe_stream.n_bins does not match the requested n_bins"
+            )
+        self.protocol = protocol
+        self.n_balls = int(n_balls)
+        self.n_bins = int(n_bins)
+        self.stream = stream
+        self.placed = 0
+        self._final: RunResult | None = None
+
+    # ------------------------------------------------------------------ #
+    # Introspection between place() calls
+    # ------------------------------------------------------------------ #
+    @property
+    @abstractmethod
+    def loads(self) -> np.ndarray:
+        """Current per-bin ball counts (live view; do not mutate)."""
+
+    @property
+    @abstractmethod
+    def probes(self) -> int:
+        """Probes consumed so far (the run's allocation time to date)."""
+
+    @property
+    def weighted_loads(self) -> np.ndarray | None:
+        """Current per-bin total weight, for weighted sessions (else None)."""
+        return None
+
+    def probe_checkpoints(self) -> list[int]:
+        """Cumulative probe counts at completed stage boundaries (if any)."""
+        return []
+
+    @property
+    def remaining(self) -> int:
+        return self.n_balls - self.placed
+
+    # ------------------------------------------------------------------ #
+    # Driving the run
+    # ------------------------------------------------------------------ #
+    def place(self, k: int) -> int:
+        """Place the next ``min(k, remaining)`` balls; returns how many."""
+        if self._final is not None:
+            raise ProtocolError("session already finalised; start a new one")
+        if k < 0:
+            raise ConfigurationError(f"k must be non-negative, got {k}")
+        k = min(int(k), self.remaining)
+        if k:
+            self._place(k)
+            self.placed += k
+        return k
+
+    @abstractmethod
+    def _place(self, k: int) -> None:
+        """Place exactly ``k`` more balls (``k`` ≥ 1, within bounds)."""
+
+    def result(self) -> RunResult:
+        """Place any remaining balls and return the finished run's record.
+
+        Bit-identical to the protocol's one-shot
+        :meth:`~repro.core.protocol.AllocationProtocol.allocate` for the
+        same seed / probe stream, however the preceding ``place`` calls were
+        split.  Idempotent: repeated calls return the same object.
+        """
+        if self._final is None:
+            self.place(self.remaining)
+            self._final = self._finalize()
+        return self._final
+
+    @abstractmethod
+    def _finalize(self) -> RunResult:
+        """Build the final result (called once, after all balls placed)."""
+
+
+class StagedWindowSession(ProtocolSession):
+    """Session over constant-acceptance-limit windows (ADAPTIVE/THRESHOLD).
+
+    Parameters
+    ----------
+    limits:
+        ``limit_for_ball(i)`` giving the acceptance limit of 1-indexed ball
+        ``i`` (constant within each stage of ``n_bins`` balls by
+        construction of both protocols).
+    checkpoint_stages:
+        Log a cost checkpoint when a stage completes (ADAPTIVE's one-shot
+        implementation does; THRESHOLD's only does in trace mode).
+    record_trace:
+        Record the same per-stage :class:`~repro.runtime.trace.StageRecord`
+        rows as the one-shot implementation.
+    """
+
+    def __init__(
+        self,
+        protocol,
+        n_balls: int,
+        n_bins: int,
+        stream: ProbeStream,
+        *,
+        block_size: int | None,
+        checkpoint_stages: bool,
+        record_trace: bool,
+    ) -> None:
+        super().__init__(protocol, n_balls, n_bins, stream)
+        self._loads = np.zeros(n_bins, dtype=np.int64)
+        self._block_size = block_size
+        self._checkpoint_stages = checkpoint_stages or record_trace
+        self.costs = CostModel()
+        self.trace = Trace() if record_trace else None
+        self._stage_probes = 0  # probes consumed in the currently open stage
+
+    def _limit_for_ball(self, i: int) -> int:
+        raise NotImplementedError
+
+    @property
+    def loads(self) -> np.ndarray:
+        return self._loads
+
+    @property
+    def probes(self) -> int:
+        return self.costs.probes
+
+    def probe_checkpoints(self) -> list[int]:
+        return self.costs.probe_checkpoints
+
+    def _place(self, k: int) -> None:
+        n = self.n_bins
+        done = 0
+        while done < k:
+            i = self.placed + done + 1  # 1-indexed next ball
+            stage_last_ball = ((i - 1) // n + 1) * n
+            seg = min(k - done, stage_last_ball - i + 1)
+            outcome = fill_window(
+                self._loads,
+                self._limit_for_ball(i),
+                seg,
+                self.stream,
+                block_size=self._block_size,
+            )
+            self.costs.add_probes(outcome.probes)
+            self._stage_probes += outcome.probes
+            done += seg
+            balls_so_far = self.placed + done
+            if balls_so_far == min(stage_last_ball, self.n_balls):
+                # The stage (or the final partial stage) just completed —
+                # exactly where the one-shot run logs its checkpoint/record.
+                if self._checkpoint_stages:
+                    self.costs.log_probe_checkpoint()
+                if self.trace is not None:
+                    stage = (i - 1) // n
+                    first_ball = stage * n + 1
+                    self.trace.append(
+                        StageRecord(
+                            stage=stage,
+                            balls_placed=balls_so_far - first_ball + 1,
+                            probes=self._stage_probes,
+                            max_load=int(self._loads.max()),
+                            min_load=int(self._loads.min()),
+                            quadratic_potential=quadratic_potential(
+                                self._loads, balls_so_far
+                            ),
+                            exponential_potential=exponential_potential(
+                                self._loads, balls_so_far, DEFAULT_EPSILON
+                            ),
+                        )
+                    )
+                self._stage_probes = 0
+
+    def _finalize(self) -> RunResult:
+        costs = self.costs
+        if not self._checkpoint_stages:
+            # The one-shot non-traced THRESHOLD run records the probe total
+            # in a single add_probes call and no checkpoints; rebuild the
+            # same flat cost model.
+            costs = CostModel(probes=self.costs.probes)
+        return RunResult(
+            protocol=self.protocol.name,
+            n_balls=self.n_balls,
+            n_bins=self.n_bins,
+            loads=self._loads,
+            allocation_time=self.costs.probes,
+            costs=costs,
+            trace=self.trace,
+            params=self.protocol.params(),
+        )

@@ -27,6 +27,7 @@ from repro.core.potentials import (
 )
 from repro.core.protocol import AllocationProtocol, register_protocol
 from repro.core.result import AllocationResult
+from repro.core.session import StagedWindowSession
 from repro.core.thresholds import acceptance_limit
 from repro.core.window import fill_window
 from repro.errors import ConfigurationError
@@ -52,6 +53,7 @@ class ThresholdProtocol(AllocationProtocol):
     """
 
     name = "threshold"
+    streaming = True
 
     def __init__(self, offset: int = 1, block_size: int | None = None) -> None:
         if offset < 1:
@@ -66,6 +68,29 @@ class ThresholdProtocol(AllocationProtocol):
 
     def params(self) -> dict[str, Any]:
         return {"offset": self.offset, "block_size": self.block_size}
+
+    def begin(
+        self,
+        n_balls: int,
+        n_bins: int,
+        seed: SeedLike = None,
+        *,
+        probe_stream: ProbeStream | None = None,
+        record_trace: bool = False,
+    ) -> "_ThresholdSession":
+        self.validate_size(n_balls, n_bins)
+        stream = probe_stream or RandomProbeStream(n_bins, seed)
+        return _ThresholdSession(
+            self,
+            n_balls,
+            n_bins,
+            stream,
+            block_size=self.block_size,
+            # The one-shot non-traced run logs no stage checkpoints (the
+            # whole run is one window); trace mode chunks by stage.
+            checkpoint_stages=False,
+            record_trace=record_trace,
+        )
 
     def allocate(
         self,
@@ -135,6 +160,13 @@ class ThresholdProtocol(AllocationProtocol):
             trace=trace,
             params=self.params(),
         )
+
+
+class _ThresholdSession(StagedWindowSession):
+    """Streaming THRESHOLD: one fixed acceptance limit for the whole run."""
+
+    def _limit_for_ball(self, i: int) -> int:
+        return acceptance_limit(self.n_balls, self.n_bins, self.protocol.offset)
 
 
 def run_threshold(

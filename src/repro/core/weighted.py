@@ -46,7 +46,8 @@ from typing import Any
 import numpy as np
 
 from repro.core.protocol import AllocationProtocol, register_protocol
-from repro.core.result import AllocationResult
+from repro.core.result import RunResult
+from repro.core.session import ProtocolSession
 from repro.core.weighted_engine import (
     adaptive_weighted_thresholds,
     chunked_weighted_assign,
@@ -77,52 +78,67 @@ __all__ = [
 
 
 @dataclass
-class WeightedAllocationResult:
-    """Outcome of a weighted allocation run.
+class WeightedRunResult(RunResult):
+    """Unified record of a weighted protocol run.
+
+    Part of the :class:`~repro.core.result.RunResult` hierarchy: ``loads``
+    holds the per-bin *ball counts* (so every base-class invariant and
+    downstream consumer keeps working) and the weighted view lives in the
+    extra fields.  ``WeightedAllocationResult`` is a thin alias of this class
+    kept for backwards compatibility.
 
     Attributes
     ----------
     weights:
         The ball weights, in placement order.
-    loads:
-        Final per-bin total weight.
-    counts:
-        Final per-bin number of balls.
-    allocation_time:
-        Number of bin probes consumed.
-    protocol:
-        Which weighted rule produced the result.
+    weighted_loads:
+        Final per-bin total weight (the weighted load vector).
+    w_max_used:
+        The weight bound the acceptance thresholds were computed with
+        (``None`` for rules that use no bound, e.g. weighted greedy).
     """
 
-    weights: np.ndarray
-    loads: np.ndarray
-    counts: np.ndarray
-    allocation_time: int
-    protocol: str = "weighted-adaptive"
+    weights: np.ndarray | None = None
+    weighted_loads: np.ndarray | None = None
+    w_max_used: float | None = None
 
     @property
-    def n_bins(self) -> int:
-        return int(self.loads.size)
+    def counts(self) -> np.ndarray:
+        """Per-bin ball counts (alias of ``loads`` under its weighted name)."""
+        return self.loads
 
     @property
     def total_weight(self) -> float:
-        return float(self.weights.sum())
+        return float(self.weights.sum()) if self.weights is not None else 0.0
 
     @property
-    def max_load(self) -> float:
-        return float(self.loads.max()) if self.loads.size else 0.0
+    def weighted_max_load(self) -> float:
+        if self.weighted_loads is None or not self.weighted_loads.size:
+            return 0.0
+        return float(self.weighted_loads.max())
 
     @property
-    def average_load(self) -> float:
+    def weighted_average_load(self) -> float:
         return self.total_weight / self.n_bins if self.n_bins else 0.0
 
     @property
-    def gap(self) -> float:
-        return float(self.loads.max() - self.loads.min()) if self.loads.size else 0.0
+    def weighted_gap(self) -> float:
+        if self.weighted_loads is None or not self.weighted_loads.size:
+            return 0.0
+        return float(self.weighted_loads.max() - self.weighted_loads.min())
 
-    @property
-    def probes_per_ball(self) -> float:
-        return self.allocation_time / self.weights.size if self.weights.size else 0.0
+    def as_record(self) -> dict[str, Any]:
+        record = super().as_record()
+        record["total_weight"] = self.total_weight
+        record["weighted_max_load"] = self.weighted_max_load
+        record["weighted_gap"] = self.weighted_gap
+        return record
+
+
+#: Backwards-compatible alias: the weighted runners used to return a separate
+#: ``WeightedAllocationResult`` record; they now return the unified
+#: :class:`WeightedRunResult` directly.
+WeightedAllocationResult = WeightedRunResult
 
 
 def weighted_gap_bound(weights: np.ndarray, n_bins: int) -> float:
@@ -171,16 +187,21 @@ def _validate_weighted_run(
 def _result(
     protocol: str,
     weights: np.ndarray,
-    loads: np.ndarray,
+    weighted_loads: np.ndarray,
     counts: np.ndarray,
     probes: int,
-) -> WeightedAllocationResult:
-    return WeightedAllocationResult(
-        weights=weights.copy(),
-        loads=loads,
-        counts=counts,
-        allocation_time=probes,
+    w_max: float | None = None,
+) -> WeightedRunResult:
+    return WeightedRunResult(
         protocol=protocol,
+        n_balls=int(weights.size),
+        n_bins=int(weighted_loads.size),
+        loads=counts,
+        allocation_time=probes,
+        costs=CostModel(probes=probes),
+        weights=weights.copy(),
+        weighted_loads=weighted_loads,
+        w_max_used=w_max,
     )
 
 
@@ -196,7 +217,7 @@ def run_weighted_adaptive(
     w_max: float | None = None,
     chunk_size: int | None = None,
     max_probes: int | None = None,
-) -> WeightedAllocationResult:
+) -> WeightedRunResult:
     """Allocate weighted balls with the generalised ADAPTIVE rule.
 
     Runs through the chunked vectorised engine of
@@ -239,7 +260,7 @@ def run_weighted_adaptive(
             max_probes=max_probes,
         )
     counts = np.bincount(assignments, minlength=n_bins).astype(np.int64)
-    return _result("weighted-adaptive", weights, loads, counts, probes)
+    return _result("weighted-adaptive", weights, loads, counts, probes, w_max)
 
 
 def reference_weighted_adaptive(
@@ -250,7 +271,7 @@ def reference_weighted_adaptive(
     probe_stream: ProbeStream | None = None,
     w_max: float | None = None,
     max_probes: int | None = None,
-) -> WeightedAllocationResult:
+) -> WeightedRunResult:
     """Ball-by-ball weighted ADAPTIVE (the seed implementation, kept verbatim).
 
     One Python loop iteration per ball, following the rule literally; used by
@@ -276,7 +297,7 @@ def reference_weighted_adaptive(
         loads[j] += float(weight)
         counts[j] += 1
 
-    return _result("weighted-adaptive", weights, loads, counts, probes)
+    return _result("weighted-adaptive", weights, loads, counts, probes, w_max)
 
 
 # --------------------------------------------------------------------- #
@@ -291,7 +312,7 @@ def run_weighted_threshold(
     w_max: float | None = None,
     chunk_size: int | None = None,
     max_probes: int | None = None,
-) -> WeightedAllocationResult:
+) -> WeightedRunResult:
     """Weighted THRESHOLD: fixed acceptance bound ``W/n + w_max``.
 
     Requires the full weight vector up front (as the unit-weight THRESHOLD
@@ -318,7 +339,7 @@ def run_weighted_threshold(
             max_probes=max_probes,
         )
     counts = np.bincount(assignments, minlength=n_bins).astype(np.int64)
-    return _result("weighted-threshold", weights, loads, counts, probes)
+    return _result("weighted-threshold", weights, loads, counts, probes, w_max)
 
 
 def reference_weighted_threshold(
@@ -329,7 +350,7 @@ def reference_weighted_threshold(
     probe_stream: ProbeStream | None = None,
     w_max: float | None = None,
     max_probes: int | None = None,
-) -> WeightedAllocationResult:
+) -> WeightedRunResult:
     """Ball-by-ball weighted THRESHOLD (validation / benchmark baseline)."""
     weights, stream, w_max = _validate_weighted_run(
         weights, n_bins, seed, probe_stream, w_max
@@ -345,7 +366,7 @@ def reference_weighted_threshold(
             probes += used
             loads[j] += float(weight)
             counts[j] += 1
-    return _result("weighted-threshold", weights, loads, counts, probes)
+    return _result("weighted-threshold", weights, loads, counts, probes, w_max)
 
 
 # --------------------------------------------------------------------- #
@@ -360,7 +381,7 @@ def run_weighted_greedy(
     tie_break: str = "random",
     probe_stream: ProbeStream | None = None,
     chunk_size: int | None = None,
-) -> WeightedAllocationResult:
+) -> WeightedRunResult:
     """Weighted greedy[d]: place into the least-*weighted* of ``d`` draws.
 
     Reuses the chunked conflict-free commit engine of
@@ -411,7 +432,7 @@ def reference_weighted_greedy(
     d: int = 2,
     tie_break: str = "random",
     probe_stream: ProbeStream | None = None,
-) -> WeightedAllocationResult:
+) -> WeightedRunResult:
     """Ball-by-ball weighted greedy[d] (validation / benchmark baseline).
 
     Mirrors :func:`repro.baselines.reference.reference_greedy` with float
@@ -450,43 +471,6 @@ def reference_weighted_greedy(
 # --------------------------------------------------------------------- #
 # Registry protocols
 # --------------------------------------------------------------------- #
-@dataclass
-class WeightedRunResult(AllocationResult):
-    """Registry-compatible record of a weighted protocol run.
-
-    ``loads`` holds the per-bin *ball counts* (so every
-    :class:`~repro.core.result.AllocationResult` invariant and downstream
-    consumer keeps working); the weighted view lives in the extra fields.
-    """
-
-    weights: np.ndarray | None = None
-    weighted_loads: np.ndarray | None = None
-    w_max_used: float | None = None
-
-    @property
-    def total_weight(self) -> float:
-        return float(self.weights.sum()) if self.weights is not None else 0.0
-
-    @property
-    def weighted_max_load(self) -> float:
-        if self.weighted_loads is None or not self.weighted_loads.size:
-            return 0.0
-        return float(self.weighted_loads.max())
-
-    @property
-    def weighted_gap(self) -> float:
-        if self.weighted_loads is None or not self.weighted_loads.size:
-            return 0.0
-        return float(self.weighted_loads.max() - self.weighted_loads.min())
-
-    def as_record(self) -> dict[str, Any]:
-        record = super().as_record()
-        record["total_weight"] = self.total_weight
-        record["weighted_max_load"] = self.weighted_max_load
-        record["weighted_gap"] = self.weighted_gap
-        return record
-
-
 class _WeightedProtocolBase(AllocationProtocol):
     """Shared scaffolding of the weighted registry protocols.
 
@@ -535,7 +519,41 @@ class _WeightedProtocolBase(AllocationProtocol):
 
     def _run(
         self, weights: np.ndarray, n_bins: int, stream: ProbeStream, seed: SeedLike
-    ) -> WeightedAllocationResult:
+    ) -> WeightedRunResult:
+        raise NotImplementedError
+
+    def _stamp(self, run: WeightedRunResult) -> WeightedRunResult:
+        """Add registry-level provenance to a runner-produced record."""
+        run.protocol = self.name
+        run.params = self.params()
+        if run.w_max_used is None:
+            used = self.w_max
+            if used is None and run.weights is not None and run.weights.size:
+                used = float(run.weights.max())
+            run.w_max_used = 1.0 if used is None else used
+        return run
+
+    def begin(
+        self,
+        n_balls: int,
+        n_bins: int,
+        seed: SeedLike = None,
+        *,
+        probe_stream: ProbeStream | None = None,
+        record_trace: bool = False,
+    ) -> ProtocolSession:
+        self.validate_size(n_balls, n_bins)
+        stream = probe_stream or RandomProbeStream(n_bins, seed)
+        if stream.n_bins != n_bins:
+            raise ConfigurationError(
+                "probe_stream.n_bins does not match the requested n_bins"
+            )
+        weights = self._draw_weights(n_balls, stream, seed)
+        return self._begin_session(weights, n_bins, stream, seed)
+
+    def _begin_session(
+        self, weights: np.ndarray, n_bins: int, stream: ProbeStream, seed: SeedLike
+    ) -> ProtocolSession:
         raise NotImplementedError
 
     def allocate(
@@ -546,7 +564,7 @@ class _WeightedProtocolBase(AllocationProtocol):
         *,
         probe_stream: ProbeStream | None = None,
         record_trace: bool = False,
-    ) -> AllocationResult:
+    ) -> RunResult:
         self.validate_size(n_balls, n_bins)
         stream = probe_stream or RandomProbeStream(n_bins, seed)
         if stream.n_bins != n_bins:
@@ -554,22 +572,78 @@ class _WeightedProtocolBase(AllocationProtocol):
                 "probe_stream.n_bins does not match the requested n_bins"
             )
         weights = self._draw_weights(n_balls, stream, seed)
-        run = self._run(weights, n_bins, stream, seed)
-        used = self.w_max
-        if used is None:
-            used = float(weights.max()) if weights.size else 1.0
-        return WeightedRunResult(
-            protocol=self.name,
-            n_balls=n_balls,
-            n_bins=n_bins,
-            loads=run.counts,
-            allocation_time=run.allocation_time,
-            costs=CostModel(probes=run.allocation_time),
-            params=self.params(),
-            weights=run.weights,
-            weighted_loads=run.loads,
-            w_max_used=used,
+        # The runner produces the unified record; _stamp adds the
+        # registry-level provenance (protocol name, constructor params, and
+        # the resolved weight bound even when it defaulted to weights.max()).
+        return self._stamp(self._run(weights, n_bins, stream, seed))
+
+
+class _WeightedEngineSession(ProtocolSession):
+    """Streaming weighted ADAPTIVE/THRESHOLD via the chunked engine.
+
+    The full weight vector and the per-ball thresholds are fixed up front
+    (exactly as in the one-shot runners), so each :meth:`place` call simply
+    drives :func:`~repro.core.weighted_engine.chunked_weighted_assign` over
+    the next slice — the engine's chunk invariance makes any split of the
+    placement bit-identical to the one-shot run.
+    """
+
+    def __init__(
+        self,
+        protocol: "_WeightedProtocolBase",
+        n_bins: int,
+        stream: ProbeStream,
+        weights: np.ndarray,
+        thresholds: np.ndarray,
+        w_max: float,
+    ) -> None:
+        super().__init__(protocol, int(weights.size), n_bins, stream)
+        self._weights = weights
+        self._thresholds = thresholds
+        self._w_max = w_max
+        self._wloads = np.zeros(n_bins, dtype=np.float64)
+        self._counts = np.zeros(n_bins, dtype=np.int64)
+        self._probes = 0
+        self.assignments = np.empty(weights.size, dtype=np.int64)
+
+    @property
+    def loads(self) -> np.ndarray:
+        return self._counts
+
+    @property
+    def weighted_loads(self) -> np.ndarray:
+        return self._wloads
+
+    @property
+    def probes(self) -> int:
+        return self._probes
+
+    def _place(self, k: int) -> None:
+        start = self.placed
+        segment = self.assignments[start : start + k]
+        self._probes += chunked_weighted_assign(
+            self._wloads,
+            self._weights[start : start + k],
+            self._thresholds[start : start + k],
+            self.stream,
+            chunk_size=self.protocol.chunk_size,
+            assignments=segment,
         )
+        np.add.at(self._counts, segment, 1)
+
+    def _finalize(self) -> WeightedRunResult:
+        counts = np.bincount(self.assignments, minlength=self.n_bins).astype(
+            np.int64
+        )
+        run = _result(
+            self.protocol.name,
+            self._weights,
+            self._wloads,
+            counts,
+            self._probes,
+            self._w_max,
+        )
+        return self.protocol._stamp(run)
 
 
 @register_protocol
@@ -577,10 +651,24 @@ class WeightedAdaptiveProtocol(_WeightedProtocolBase):
     """Registry wrapper for :func:`run_weighted_adaptive`."""
 
     name = "weighted-adaptive"
+    streaming = True
+
+    def _begin_session(
+        self, weights: np.ndarray, n_bins: int, stream: ProbeStream, seed: SeedLike
+    ) -> _WeightedEngineSession:
+        weights, stream, w_max = _validate_weighted_run(
+            weights, n_bins, None, stream, self.w_max
+        )
+        thresholds = (
+            adaptive_weighted_thresholds(weights, n_bins, w_max)
+            if weights.size
+            else np.empty(0, dtype=np.float64)
+        )
+        return _WeightedEngineSession(self, n_bins, stream, weights, thresholds, w_max)
 
     def _run(
         self, weights: np.ndarray, n_bins: int, stream: ProbeStream, seed: SeedLike
-    ) -> WeightedAllocationResult:
+    ) -> WeightedRunResult:
         return run_weighted_adaptive(
             weights,
             n_bins,
@@ -595,10 +683,24 @@ class WeightedThresholdProtocol(_WeightedProtocolBase):
     """Registry wrapper for :func:`run_weighted_threshold`."""
 
     name = "weighted-threshold"
+    streaming = True
+
+    def _begin_session(
+        self, weights: np.ndarray, n_bins: int, stream: ProbeStream, seed: SeedLike
+    ) -> _WeightedEngineSession:
+        weights, stream, w_max = _validate_weighted_run(
+            weights, n_bins, None, stream, self.w_max
+        )
+        if weights.size:
+            bound = fixed_weighted_threshold(weights, n_bins, w_max)
+            thresholds = np.full(weights.size, bound)
+        else:
+            thresholds = np.empty(0, dtype=np.float64)
+        return _WeightedEngineSession(self, n_bins, stream, weights, thresholds, w_max)
 
     def _run(
         self, weights: np.ndarray, n_bins: int, stream: ProbeStream, seed: SeedLike
-    ) -> WeightedAllocationResult:
+    ) -> WeightedRunResult:
         return run_weighted_threshold(
             weights,
             n_bins,
@@ -613,6 +715,47 @@ class WeightedGreedyProtocol(_WeightedProtocolBase):
     """Registry wrapper for :func:`run_weighted_greedy`."""
 
     name = "weighted-greedy"
+    streaming = True
+
+    def _begin_session(
+        self, weights: np.ndarray, n_bins: int, stream: ProbeStream, seed: SeedLike
+    ) -> ProtocolSession:
+        from repro.baselines.greedy import DChoiceSession
+
+        weights, stream, _ = _validate_weighted_run(
+            weights, n_bins, None, stream, None
+        )
+        m, d = int(weights.size), self.d
+        priorities = None
+        if m and self.tie_break == "random":
+            priorities = stream.derive_generator(seed).random(size=(m, d))
+
+        protocol = self
+
+        class _WeightedGreedySession(DChoiceSession):
+            def _finalize(self) -> WeightedRunResult:
+                run = _result(
+                    protocol.name,
+                    self._weights,
+                    self._loads,
+                    np.bincount(self.assignments, minlength=self.n_bins).astype(
+                        np.int64
+                    ),
+                    self.n_balls * self.d,
+                )
+                return protocol._stamp(run)
+
+        return _WeightedGreedySession(
+            self,
+            m,
+            n_bins,
+            stream,
+            d=d,
+            source=lambda start, count: stream.take_matrix(count, d),
+            priorities=priorities,
+            weights=weights,
+            chunk_size=self.chunk_size,
+        )
 
     def __init__(
         self,
@@ -641,7 +784,7 @@ class WeightedGreedyProtocol(_WeightedProtocolBase):
 
     def _run(
         self, weights: np.ndarray, n_bins: int, stream: ProbeStream, seed: SeedLike
-    ) -> WeightedAllocationResult:
+    ) -> WeightedRunResult:
         return run_weighted_greedy(
             weights,
             n_bins,

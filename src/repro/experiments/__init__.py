@@ -1,4 +1,11 @@
-"""Experiment harness: configs, runner, and the paper's tables and figures."""
+"""Experiment harness: configs, runner, and the paper's tables and figures.
+
+The runner is spec-driven: every entry point accepts a
+:class:`repro.api.SimulationSpec` (the legacy :class:`TrialConfig` is
+converted via :func:`as_spec` on the way in, with identical per-trial
+seeds), and the registry's experiments regenerate the paper's artefacts
+through the same :func:`repro.simulate` facade the CLI and scheduler use.
+"""
 
 from repro.experiments.config import (
     FIGURE3_DEFAULT,
@@ -19,6 +26,7 @@ from repro.experiments.registry import (
     run_experiment,
 )
 from repro.experiments.runner import (
+    as_spec,
     run_sweep,
     run_trial,
     run_trials,
@@ -50,6 +58,7 @@ __all__ = [
     "ExperimentSpec",
     "get_experiment",
     "run_experiment",
+    "as_spec",
     "run_sweep",
     "run_trial",
     "run_trials",

@@ -13,6 +13,13 @@ Run a scaled-down Table 1 and print it as markdown::
 Run the Figure 3(a) sweep at 5% scale and write the rows to CSV::
 
     repro-experiment figure3a --scale 0.05 --output out/figure3a.csv
+
+Run an arbitrary declarative spec (simulation or dispatch; see
+:mod:`repro.api`) straight from a JSON file — ``-`` reads stdin::
+
+    repro-experiment --spec runs/adaptive_1m.json
+    echo '{"protocol": "adaptive", "n_balls": 100000, "n_bins": 10000,
+           "seed": 1}' | repro-experiment --spec -
 """
 
 from __future__ import annotations
@@ -65,6 +72,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json", action="store_true", help="print raw JSON instead of a table"
     )
+    parser.add_argument(
+        "--spec",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help=(
+            "run a declarative JSON spec (repro.api.SimulationSpec / "
+            "DispatchSpec) instead of a named experiment; '-' reads stdin"
+        ),
+    )
     return parser
 
 
@@ -77,10 +94,35 @@ def _flatten_result(result: Any) -> list[dict[str, Any]]:
     return [{"result": json.dumps(result, default=str)}]
 
 
+def _run_spec(path: str) -> Any:
+    """Load a JSON spec from ``path`` (``-`` = stdin) and simulate it."""
+    from repro.api import simulate, spec_from_json
+
+    if path == "-":
+        text = sys.stdin.read()
+    else:
+        text = Path(path).read_text()
+    result = simulate(spec_from_json(text))
+    if isinstance(result, list):
+        return [r.as_record() for r in result]
+    return [result.as_record()]
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.spec is not None:
+        rows = _run_spec(args.spec)
+        if args.json:
+            print(json.dumps(rows, default=str, indent=2))
+        elif args.output is not None:
+            write_csv(args.output, rows)
+            print(f"wrote {len(rows)} rows to {args.output}")
+        else:
+            print(format_markdown_table(rows))
+        return 0
 
     if args.list or args.experiment is None:
         rows = [

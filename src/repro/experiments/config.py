@@ -57,6 +57,23 @@ class TrialConfig:
             n_bins=self.n_bins if n_bins is None else n_bins,
         )
 
+    def to_spec(self):
+        """Convert to the unified :class:`repro.api.SimulationSpec`.
+
+        The runner accepts both types and derives identical per-trial seeds
+        either way; new code should construct specs directly.
+        """
+        from repro.api.spec import SimulationSpec
+
+        return SimulationSpec(
+            protocol=self.protocol,
+            n_balls=self.n_balls,
+            n_bins=self.n_bins,
+            seed=self.seed,
+            trials=self.trials,
+            params=dict(self.params),
+        )
+
 
 @dataclass(frozen=True)
 class SweepConfig:
@@ -100,6 +117,10 @@ class SweepConfig:
                     )
                 )
         return configs
+
+    def specs(self) -> list:
+        """Expand into one :class:`repro.api.SimulationSpec` per (protocol, m)."""
+        return [config.to_spec() for config in self.trial_configs()]
 
     def scaled(self, factor: float) -> "SweepConfig":
         """Return a sweep with every ``m`` (and ``n``) scaled by ``factor``.

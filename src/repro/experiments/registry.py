@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from repro.core.protocol import make_protocol
+from repro.api.spec import SimulationSpec
 from repro.errors import ExperimentError
 from repro.experiments import figure3, smoothness, table1
 from repro.experiments.config import FIGURE3_DEFAULT
@@ -115,19 +115,30 @@ def _run_weighted(
     """Weighted protocols under heavy-tailed weight families.
 
     For every (protocol, weight distribution) pair, run ``trials`` seeded
-    allocations and report ball-count and weighted-load balance alongside
-    the probe cost — the weighted analogue of the Table 1 sweep.
+    allocations (one :class:`~repro.api.SimulationSpec` per seed, through
+    the :func:`repro.simulate` facade) and report ball-count and
+    weighted-load balance alongside the probe cost — the weighted analogue
+    of the Table 1 sweep.
     """
     import numpy as np
+
+    from repro.api.session import simulate
 
     n_balls = max(500, int(200_000 * scale))
     n_bins = max(50, int(5_000 * scale))
     rows = []
     for dist in _WEIGHTED_DISTRIBUTIONS:
         for name, params in _WEIGHTED_PROTOCOLS:
-            protocol = make_protocol(name, weight_dist=dist, **params, **kwargs)
             records = [
-                protocol.allocate(n_balls, n_bins, seed=seed + trial).as_record()
+                simulate(
+                    SimulationSpec(
+                        protocol=name,
+                        n_balls=n_balls,
+                        n_bins=n_bins,
+                        seed=seed + trial,
+                        params={"weight_dist": dist, **params, **kwargs},
+                    )
+                ).as_record()
                 for trial in range(max(1, trials))
             ]
             rows.append(

@@ -1,26 +1,29 @@
 """Seeded multi-trial experiment runner.
 
-The runner is the single place that turns a :class:`TrialConfig` into
-repeated, independently seeded protocol runs.  Trials may run sequentially
-(default — the protocols are already numpy-fast) or in a process pool for the
-paper-scale Figure 3 sweep.
+The runner is the single place that turns a declarative
+:class:`~repro.api.SimulationSpec` into repeated, independently seeded
+protocol runs.  The legacy :class:`~repro.experiments.config.TrialConfig` is
+accepted everywhere a spec is (it is converted on the way in), and the
+derived per-trial seeds are identical either way — and identical to what
+:func:`repro.simulate` derives for multi-trial specs.  Trials may run
+sequentially (default — the protocols are already numpy-fast) or in a
+process pool for the paper-scale Figure 3 sweep.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Sequence
+from concurrent.futures import ProcessPoolExecutor
 
-import numpy as np
-
-from repro.core.protocol import make_protocol
-from repro.core.result import AllocationResult
+from repro.api.session import Simulation
+from repro.api.spec import SimulationSpec
+from repro.core.result import RunResult
 from repro.errors import ConfigurationError
 from repro.experiments.config import SweepConfig, TrialConfig
-from repro.runtime.rng import spawn_seeds
+from repro.runtime.rng import trial_seed
 from repro.stats.summary import TrialSummary, summarize_records
 
-__all__ = ["run_trial", "run_trials", "summarize_trials", "run_sweep"]
+__all__ = ["run_trial", "run_trials", "summarize_trials", "run_sweep", "as_spec"]
 
 #: Metrics aggregated by default when summarising trials.
 DEFAULT_METRICS: tuple[str, ...] = (
@@ -32,77 +35,77 @@ DEFAULT_METRICS: tuple[str, ...] = (
 )
 
 
-def _trial_seed(config: TrialConfig, trial_index: int) -> np.random.SeedSequence:
-    """Derive the seed of trial ``trial_index`` in O(1).
-
-    Spawning the whole ``spawn_seeds`` table on every trial made a batch
-    O(trials²) in seed derivation.  For the common integer (or ``None``)
-    master seed, child ``i`` of ``SeedSequence(seed).spawn(trials)`` is by
-    construction ``SeedSequence(seed, spawn_key=(i,))``, so it can be built
-    directly without materialising the table — the derived seeds are
-    unchanged.  Other seed types fall back to a fresh spawn.
-    """
-    if config.seed is None or isinstance(config.seed, (int, np.integer)):
-        return np.random.SeedSequence(config.seed, spawn_key=(trial_index,))
-    return spawn_seeds(config.seed, config.trials)[trial_index]
+def as_spec(config: SimulationSpec | TrialConfig) -> SimulationSpec:
+    """Coerce a legacy :class:`TrialConfig` (or pass a spec through)."""
+    if isinstance(config, SimulationSpec):
+        return config
+    if isinstance(config, TrialConfig):
+        return config.to_spec()
+    raise ConfigurationError(
+        "expected a SimulationSpec or TrialConfig, got "
+        f"{type(config).__name__}"
+    )
 
 
-def run_trial(config: TrialConfig, trial_index: int = 0) -> AllocationResult:
+def run_trial(
+    config: SimulationSpec | TrialConfig, trial_index: int = 0
+) -> RunResult:
     """Run a single trial of ``config`` (trial ``trial_index`` of the batch)."""
-    if trial_index < 0 or trial_index >= config.trials:
-        raise ConfigurationError(
-            f"trial_index must be in [0, {config.trials}), got {trial_index}"
-        )
-    seed = _trial_seed(config, trial_index)
-    protocol = make_protocol(config.protocol, **config.params)
-    return protocol.allocate(config.n_balls, config.n_bins, seed)
+    spec = as_spec(config)
+    seed = trial_seed(spec.seed, trial_index, spec.trials)
+    return Simulation(spec, seed=seed).run()
 
 
-def _run_trial_for_pool(args: tuple[TrialConfig, int]) -> dict[str, Any]:
-    config, index = args
-    return run_trial(config, index).as_record()
+def _run_trial_for_pool(args: tuple[SimulationSpec, int]) -> dict[str, Any]:
+    spec, index = args
+    return run_trial(spec, index).as_record()
 
 
-def _run_trial_result_for_pool(args: tuple[TrialConfig, int]) -> AllocationResult:
-    config, index = args
-    return run_trial(config, index)
+def _run_trial_result_for_pool(args: tuple[SimulationSpec, int]) -> RunResult:
+    spec, index = args
+    return run_trial(spec, index)
 
 
 def run_trials(
-    config: TrialConfig, *, workers: int = 1, as_records: bool = False
-) -> list[AllocationResult] | list[dict[str, Any]]:
+    config: SimulationSpec | TrialConfig,
+    *,
+    workers: int = 1,
+    as_records: bool = False,
+) -> list[RunResult] | list[dict[str, Any]]:
     """Run every trial of ``config``.
 
     Parameters
     ----------
     config:
-        The trial batch to execute.
+        The trial batch to execute (a :class:`~repro.api.SimulationSpec`;
+        legacy :class:`TrialConfig` accepted).
     workers:
         Number of worker processes; 1 (default) runs sequentially in-process.
     as_records:
         When true, return flattened record dictionaries instead of
-        :class:`AllocationResult` objects.  The return type honours this flag
-        for any ``workers`` count: multi-process runs pickle the full results
-        back to the parent when ``as_records`` is false (record dictionaries
-        are the cheaper wire format, so summarising callers should pass
-        ``as_records=True``).
+        :class:`~repro.core.result.RunResult` objects.  The return type
+        honours this flag for any ``workers`` count: multi-process runs
+        pickle the full results back to the parent when ``as_records`` is
+        false (record dictionaries are the cheaper wire format, so
+        summarising callers should pass ``as_records=True``).
     """
+    spec = as_spec(config)
     if workers < 1:
         raise ConfigurationError(f"workers must be at least 1, got {workers}")
     if workers == 1:
-        results = [run_trial(config, i) for i in range(config.trials)]
+        results = [run_trial(spec, i) for i in range(spec.trials)]
         if as_records:
             return [r.as_record() for r in results]
         return results
     worker_fn = _run_trial_for_pool if as_records else _run_trial_result_for_pool
     with ProcessPoolExecutor(max_workers=workers) as pool:
         return list(
-            pool.map(worker_fn, [(config, i) for i in range(config.trials)])
+            pool.map(worker_fn, [(spec, i) for i in range(spec.trials)])
         )
 
 
 def summarize_trials(
-    config: TrialConfig,
+    config: SimulationSpec | TrialConfig,
     *,
     metrics: Sequence[str] = DEFAULT_METRICS,
     workers: int = 1,
@@ -125,13 +128,13 @@ def run_sweep(
     ``k_ci_high``.
     """
     rows: list[dict[str, Any]] = []
-    for config in sweep.trial_configs():
-        summaries = summarize_trials(config, metrics=metrics, workers=workers)
+    for spec in sweep.specs():
+        summaries = summarize_trials(spec, metrics=metrics, workers=workers)
         row: dict[str, Any] = {
-            "protocol": config.protocol,
-            "n_balls": config.n_balls,
-            "n_bins": config.n_bins,
-            "trials": config.trials,
+            "protocol": spec.protocol,
+            "n_balls": spec.n_balls,
+            "n_bins": spec.n_bins,
+            "trials": spec.trials,
         }
         for key, summary in summaries.items():
             row[f"{key}_mean"] = summary.mean

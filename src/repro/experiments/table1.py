@@ -12,9 +12,9 @@ from __future__ import annotations
 
 from typing import Any, Sequence
 
+from repro.api.spec import SimulationSpec
 from repro.errors import ConfigurationError
 from repro.experiments.runner import summarize_trials
-from repro.experiments.config import TrialConfig
 from repro.theory.bounds import TABLE1_ROWS, table1_bounds
 
 __all__ = ["TABLE1_PROTOCOLS", "table1_rows", "table1_measured"]
@@ -51,15 +51,15 @@ def table1_measured(
     bounds = table1_bounds(n_balls, n_bins, d=d_for_bounds)
     rows: list[dict[str, Any]] = []
     for name, params in protocols:
-        config = TrialConfig(
+        spec = SimulationSpec(
             protocol=name,
             n_balls=n_balls,
             n_bins=n_bins,
-            trials=trials,
             seed=seed,
+            trials=trials,
             params=dict(params),
         )
-        summaries = summarize_trials(config, workers=workers)
+        summaries = summarize_trials(spec, workers=workers)
         rows.append(
             {
                 "protocol": name,

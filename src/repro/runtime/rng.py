@@ -28,6 +28,7 @@ __all__ = [
     "spawn_generators",
     "spawn_seeds",
     "derive_generator",
+    "trial_seed",
 ]
 
 #: Type accepted anywhere the library needs randomness.
@@ -77,6 +78,28 @@ def spawn_seeds(seed: SeedLike, count: int) -> list[np.random.SeedSequence]:
     else:
         seed_seq = np.random.SeedSequence(seed)
     return list(seed_seq.spawn(count))
+
+
+def trial_seed(
+    seed: SeedLike, trial_index: int, trials: int
+) -> np.random.SeedSequence:
+    """Derive the seed of trial ``trial_index`` of a ``trials``-trial batch.
+
+    O(1) for the common integer (or ``None``) master seed: child ``i`` of
+    ``SeedSequence(seed).spawn(trials)`` is by construction
+    ``SeedSequence(seed, spawn_key=(i,))``, so it can be built directly
+    without materialising the whole table — the derived seeds are unchanged.
+    Other seed types fall back to a fresh spawn.  Shared by the experiment
+    runner and the spec-driven :func:`repro.simulate` facade so both derive
+    identical per-trial randomness.
+    """
+    if trial_index < 0 or trial_index >= trials:
+        raise ConfigurationError(
+            f"trial_index must be in [0, {trials}), got {trial_index}"
+        )
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.SeedSequence(seed, spawn_key=(trial_index,))
+    return spawn_seeds(seed, trials)[trial_index]
 
 
 def spawn_generators(seed: SeedLike, count: int) -> list[np.random.Generator]:

@@ -8,14 +8,24 @@ Table-1 strategy — including the ``"left"`` and ``"memory"`` baselines — is
 available as a streaming dispatch policy.  A ball-by-ball reference
 implementation (:func:`reference_dispatch`) is kept for equivalence testing
 and benchmarking.
+
+Dispatchers can be built declaratively from a
+:class:`repro.api.DispatchSpec` via :meth:`Dispatcher.from_spec`; workload
+generators are registered by name in :data:`WORKLOADS` so specs stay
+serialisable.  Dispatch runs return :class:`DispatchResult`, part of the
+unified :class:`repro.RunResult` hierarchy (``DispatchOutcome`` is a
+deprecated alias).
 """
 
-from repro.scheduler.dispatcher import Dispatcher, DispatchOutcome
+from repro._compat import deprecated_names
+from repro.scheduler.dispatcher import Dispatcher, DispatchResult
 from repro.scheduler.jobs import (
+    WORKLOADS,
     Job,
     Workload,
     bursty_workload,
     heavy_tailed_workload,
+    make_workload,
     uniform_workload,
     weighted_workload,
 )
@@ -24,10 +34,13 @@ from repro.scheduler.reference import reference_dispatch
 
 __all__ = [
     "Dispatcher",
+    "DispatchResult",
     "DispatchOutcome",
     "reference_dispatch",
     "Job",
     "Workload",
+    "WORKLOADS",
+    "make_workload",
     "bursty_workload",
     "heavy_tailed_workload",
     "uniform_workload",
@@ -35,3 +48,8 @@ __all__ = [
     "ScheduleMetrics",
     "compute_metrics",
 ]
+
+__getattr__ = deprecated_names(
+    __name__,
+    {"DispatchOutcome": ("repro.scheduler.DispatchResult", lambda: DispatchResult)},
+)

@@ -60,37 +60,87 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro._compat import deprecated_names
 from repro.baselines.engine import chunked_argmin_commit
 from repro.baselines.left import replay_group_map
-from repro.baselines.memory import chunked_memory_hand_off
+from repro.baselines.memory import chunked_memory_hand_off, memory_hand_off
+from repro.core.result import RunResult
 from repro.core.thresholds import acceptance_limit
-from repro.core.weighted_engine import chunked_weighted_assign
+from repro.core.weighted_engine import (
+    chunked_weighted_assign,
+    resolve_max_probes,
+    sequential_weighted_place,
+)
 from repro.core.window import assign_window
 from repro.errors import ConfigurationError
+from repro.runtime.costs import CostModel
 from repro.runtime.probes import ProbeStream, RandomProbeStream
 from repro.runtime.rng import SeedLike
 from repro.scheduler.jobs import Workload
 from repro.scheduler.metrics import ScheduleMetrics, compute_metrics
 
-__all__ = ["DispatchOutcome", "Dispatcher"]
+__all__ = ["DispatchResult", "DispatchOutcome", "Dispatcher"]
 
 _POLICIES = ("adaptive", "threshold", "greedy", "left", "memory", "single", "weighted")
 
+#: Arrival groups smaller than this ride the scalar fast path by default:
+#: the vectorised engines pay O(n_servers) setup (capacity vectors, bincount
+#: accumulators) per call, which dominates when only a handful of jobs
+#: arrive.  Measured crossover is around a hundred jobs on 10k servers.
+DEFAULT_SMALL_BURST = 100
+
 
 @dataclass
-class DispatchOutcome:
-    """Full record of a dispatch run."""
+class DispatchResult(RunResult):
+    """Full record of a dispatch run, in the unified result hierarchy.
 
-    policy: str
-    n_servers: int
-    assignments: np.ndarray
-    job_counts: np.ndarray
-    work: np.ndarray
-    probes: int
+    The balls-into-bins view maps onto the base fields — ``protocol`` is the
+    dispatch policy, ``n_bins`` the number of servers, ``loads`` the per-server
+    job counts and ``allocation_time`` the probe total — and the legacy
+    ``policy`` / ``n_servers`` / ``job_counts`` / ``probes`` names are kept as
+    read-only views.  ``DispatchOutcome`` is a deprecated alias of this class.
+    """
+
+    assignments: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    work: np.ndarray | None = None
     metrics: ScheduleMetrics = field(init=False)
 
     def __post_init__(self) -> None:
-        self.metrics = compute_metrics(self.work, self.job_counts, self.probes)
+        super().__post_init__()
+        if self.work is None:
+            self.work = np.zeros(self.n_bins, dtype=np.float64)
+        self.metrics = compute_metrics(self.work, self.loads, self.allocation_time)
+
+    @property
+    def policy(self) -> str:
+        return self.protocol
+
+    @property
+    def n_servers(self) -> int:
+        return self.n_bins
+
+    @property
+    def job_counts(self) -> np.ndarray:
+        return self.loads
+
+    @property
+    def probes(self) -> int:
+        return self.allocation_time
+
+    def as_record(self) -> dict:
+        record = super().as_record()
+        record.update(
+            {f"metric_{k}": v for k, v in self.metrics.as_dict().items()}
+        )
+        return record
+
+
+__getattr__ = deprecated_names(
+    __name__,
+    {"DispatchOutcome": ("repro.scheduler.DispatchResult", lambda: DispatchResult)},
+)
 
 
 class Dispatcher:
@@ -123,6 +173,16 @@ class Dispatcher:
         Optional fixed probe block size for the vectorised window passes,
         also used as the chunk size of the greedy/left commit engine (mainly
         for tests; the default heuristics are fine in practice).
+    small_burst:
+        Controls the scalar fast path for tiny arrival groups, which skips
+        the vectorised engines' O(n_servers) per-call setup.  ``None``
+        (default) picks automatically from a measured, policy-dependent
+        crossover rule (roughly: burst · constant < n_servers, capped at
+        ``DEFAULT_SMALL_BURST`` jobs); an explicit int forces the scalar
+        path for every group smaller than that; 0 disables it.  The
+        assignments, probe consumption and per-server state are
+        bit-identical either way (certified by the test-suite), so this is
+        purely a throughput knob for tiny-burst streaming.
 
     The dispatcher is stateful: ``job_counts``, ``work``, ``probes`` (and the
     remembered servers of the ``"memory"`` policy) accumulate across
@@ -141,6 +201,7 @@ class Dispatcher:
         seed: SeedLike = None,
         probe_stream: ProbeStream | None = None,
         block_size: int | None = None,
+        small_burst: int | None = None,
     ) -> None:
         if n_servers <= 0:
             raise ConfigurationError(f"n_servers must be positive, got {n_servers}")
@@ -159,12 +220,17 @@ class Dispatcher:
             replay_group_map(n_servers, d)
         if block_size is not None and block_size <= 0:
             raise ConfigurationError("block_size must be positive when given")
+        if small_burst is not None and small_burst < 0:
+            raise ConfigurationError(
+                f"small_burst must be non-negative or None (auto), got {small_burst}"
+            )
         self.n_servers = int(n_servers)
         self.policy = policy
         self.d = int(d)
         self.k = int(k)
         self.w_max = None if w_max is None else float(w_max)
         self.block_size = block_size
+        self.small_burst = None if small_burst is None else int(small_burst)
         if probe_stream is not None:
             if probe_stream.n_bins != n_servers:
                 raise ConfigurationError(
@@ -189,21 +255,38 @@ class Dispatcher:
         self._threshold_total: int | None = None
         self._memory: list[int] = []
 
-    def outcome(self) -> DispatchOutcome:
-        """Snapshot the accumulated state as a :class:`DispatchOutcome`.
+    def outcome(self) -> DispatchResult:
+        """Snapshot the accumulated state as a :class:`DispatchResult`.
 
         ``assignments`` covers only jobs whose assignments the caller kept
         from :meth:`dispatch_batch`; the snapshot itself stores the per-server
         aggregates, which is what the metrics need.
         """
-        return DispatchOutcome(
-            policy=self.policy,
-            n_servers=self.n_servers,
-            assignments=np.empty(0, dtype=np.int64),
-            job_counts=self.job_counts.copy(),
+        return self._result(np.empty(0, dtype=np.int64))
+
+    def _result(self, assignments: np.ndarray) -> DispatchResult:
+        return DispatchResult(
+            protocol=self.policy,
+            n_balls=self.jobs_dispatched,
+            n_bins=self.n_servers,
+            loads=self.job_counts.copy(),
+            allocation_time=self.probes,
+            costs=CostModel(probes=self.probes),
+            params=self.describe_params(),
+            assignments=assignments,
             work=self.work.copy(),
-            probes=self.probes,
         )
+
+    def describe_params(self) -> dict:
+        """Policy parameters for provenance in the unified result record."""
+        params: dict = {"policy": self.policy}
+        if self.policy in ("greedy", "left", "memory"):
+            params["d"] = self.d
+        if self.policy == "memory":
+            params["k"] = self.k
+        if self.policy == "weighted":
+            params["w_max"] = self.w_max
+        return params
 
     # ------------------------------------------------------------------ #
     # Batched dispatch engine
@@ -231,9 +314,20 @@ class Dispatcher:
         sizes = np.asarray(sizes, dtype=np.float64).ravel()
         assignments = self._assign_batch(sizes, total_jobs)
         if assignments.size and self.policy != "weighted":
-            self.work += np.bincount(
-                assignments, weights=sizes, minlength=self.n_servers
-            )
+            if assignments.size * 16 < self.n_servers:
+                # O(k log k) instead of O(n_servers): per-server partial sums
+                # accumulated in job order, then added once per touched server
+                # — bit-identical to the bincount-then-add below (which also
+                # sums each server's batch contribution in job order before a
+                # single addition; adding 0.0 to untouched servers is exact).
+                touched, inverse = np.unique(assignments, return_inverse=True)
+                partial = np.zeros(touched.size, dtype=np.float64)
+                np.add.at(partial, inverse, sizes)
+                self.work[touched] += partial
+            else:
+                self.work += np.bincount(
+                    assignments, weights=sizes, minlength=self.n_servers
+                )
         return assignments
 
     def _assign_batch(self, sizes: np.ndarray, total_jobs: int | None) -> np.ndarray:
@@ -250,7 +344,9 @@ class Dispatcher:
         if k == 0:
             return np.empty(0, dtype=np.int64)
 
-        if self.policy == "single":
+        if self._use_small_burst(k):
+            assignments, probes = self._assign_small_burst(sizes, total_jobs)
+        elif self.policy == "single":
             assignments = self._stream.take(k)
             probes = k
             self.job_counts += np.bincount(assignments, minlength=self.n_servers)
@@ -264,25 +360,7 @@ class Dispatcher:
             assignments = self._dispatch_memory(k)
             probes = k * self.d
         elif self.policy == "threshold":
-            if total_jobs is None:
-                raise ConfigurationError(
-                    "the threshold policy needs the workload length up front: "
-                    "pass total_jobs to dispatch_batch"
-                )
-            total = int(total_jobs)
-            if self._threshold_total is not None and total != self._threshold_total:
-                raise ConfigurationError(
-                    f"total_jobs={total} contradicts the previously declared "
-                    f"total of {self._threshold_total}; the threshold policy "
-                    "uses one fixed workload length for the whole stream"
-                )
-            if total < self.jobs_dispatched + k:
-                raise ConfigurationError(
-                    f"total_jobs={total} is smaller than the "
-                    f"{self.jobs_dispatched + k} jobs dispatched so far"
-                )
-            self._threshold_total = total
-            limit = acceptance_limit(total, self.n_servers, offset=1)
+            limit = self._threshold_limit(total_jobs, k)
             window = assign_window(
                 self.job_counts, limit, k, self._stream, block_size=self.block_size
             )
@@ -295,6 +373,28 @@ class Dispatcher:
         self.probes += probes
         self.jobs_dispatched += k
         return assignments
+
+    def _threshold_limit(self, total_jobs: int | None, k: int) -> int:
+        """Validate and pin the fixed workload length of the threshold policy."""
+        if total_jobs is None:
+            raise ConfigurationError(
+                "the threshold policy needs the workload length up front: "
+                "pass total_jobs to dispatch_batch"
+            )
+        total = int(total_jobs)
+        if self._threshold_total is not None and total != self._threshold_total:
+            raise ConfigurationError(
+                f"total_jobs={total} contradicts the previously declared "
+                f"total of {self._threshold_total}; the threshold policy "
+                "uses one fixed workload length for the whole stream"
+            )
+        if total < self.jobs_dispatched + k:
+            raise ConfigurationError(
+                f"total_jobs={total} is smaller than the "
+                f"{self.jobs_dispatched + k} jobs dispatched so far"
+            )
+        self._threshold_total = total
+        return acceptance_limit(total, self.n_servers, offset=1)
 
     def _dispatch_adaptive(self, k: int) -> tuple[np.ndarray, int]:
         """Dispatch ``k`` jobs under the ADAPTIVE rule, one window per stage.
@@ -331,6 +431,28 @@ class Dispatcher:
         the running maximum of all sizes seen.  ``self.work`` is updated in
         place by the engine, in exact sequential per-server order.
         """
+        thresholds = self._weighted_thresholds(sizes)
+        assignments = np.empty(sizes.size, dtype=np.int64)
+        probes = chunked_weighted_assign(
+            self.work,
+            sizes,
+            thresholds,
+            self._stream,
+            chunk_size=self.block_size,
+            assignments=assignments,
+        )
+        self.job_counts += np.bincount(assignments, minlength=self.n_servers)
+        return assignments, probes
+
+    def _weighted_thresholds(self, sizes: np.ndarray) -> np.ndarray:
+        """Per-job weighted acceptance thresholds; updates the running totals.
+
+        Thresholds are ``W_i/n + w_max_i`` with ``W_i`` the exact sequential
+        cumulative work (the batch cumsum is seeded with the stream's running
+        total, so batch splits cannot perturb the float accumulation) and
+        ``w_max_i`` either the fixed ``w_max`` parameter or the running
+        maximum of all sizes seen.
+        """
         if sizes.size and sizes.min() <= 0:
             raise ConfigurationError(
                 "the weighted policy needs strictly positive job sizes"
@@ -349,17 +471,144 @@ class Dispatcher:
             self._w_max_seen = float(bounds[-1])
         thresholds = cumulative / self.n_servers + bounds
         self.weight_dispatched = float(cumulative[-1])
-        assignments = np.empty(sizes.size, dtype=np.int64)
-        probes = chunked_weighted_assign(
-            self.work,
-            sizes,
-            thresholds,
-            self._stream,
-            chunk_size=self.block_size,
-            assignments=assignments,
-        )
-        self.job_counts += np.bincount(assignments, minlength=self.n_servers)
+        return thresholds
+
+    # ------------------------------------------------------------------ #
+    # Small-burst scalar fast path
+    # ------------------------------------------------------------------ #
+    def _use_small_burst(self, k: int) -> bool:
+        """Should this ``k``-job group ride the scalar fast path?
+
+        An explicit ``small_burst`` is an unconditional threshold (0
+        disables).  The automatic rule encodes the measured crossovers: the
+        scalar path wins when the burst is tiny relative to the vectorised
+        engines' O(n_servers) per-call setup, with policy-dependent
+        constants (the memory policy's vector path pays an O(n) list
+        round-trip, so it crosses over latest; the weighted scalar loop is
+        the most expensive per job, so it only pays off for the tiniest
+        bursts).
+        """
+        if self.small_burst is not None:
+            return k < self.small_burst
+        if k >= DEFAULT_SMALL_BURST:
+            return False
+        n = self.n_servers
+        if self.policy == "weighted":
+            return k <= 8
+        if self.policy == "single":
+            return k * 1024 < n
+        if self.policy == "memory":
+            return k * 32 < n
+        return k * 64 < n  # adaptive, threshold, greedy, left
+
+    def _assign_small_burst(
+        self, sizes: np.ndarray, total_jobs: int | None
+    ) -> tuple[np.ndarray, int]:
+        """Scalar dispatch of one small arrival group (bit-identical).
+
+        The vectorised engines allocate O(n_servers) scratch (capacity
+        vectors, ``seen`` accumulators, bincounts) on every call, which for a
+        burst of a few dozen jobs on thousands of servers costs more than the
+        dispatch itself.  This path walks the burst job by job with scalar
+        state updates — the probe sequence, acceptance decisions and
+        per-server totals are identical by construction, and the equivalence
+        tests replay both paths against shared fixed streams.
+        """
+        k = int(sizes.size)
+        n = self.n_servers
+        counts = self.job_counts
+        assignments = np.empty(k, dtype=np.int64)
+        probes = 0
+
+        if self.policy == "single":
+            block = self._stream.take(k)
+            assignments[:] = block
+            np.add.at(counts, block, 1)
+            probes = k
+        elif self.policy in ("greedy", "left"):
+            if self.policy == "left":
+                group_base, size = replay_group_map(n, self.d)
+                matrix = group_base + self._stream.take_matrix(k, self.d) % size
+            else:
+                matrix = self._stream.take_matrix(k, self.d)
+            for i, row in enumerate(matrix.tolist()):
+                best = row[0]
+                best_load = counts[best]
+                for server in row[1:]:
+                    load = counts[server]
+                    if load < best_load:
+                        best, best_load = server, load
+                counts[best] = best_load + 1
+                assignments[i] = best
+            probes = k * self.d
+        elif self.policy == "memory":
+            # memory_hand_off reads/writes loads element-wise, so the numpy
+            # counts vector can be passed directly — no O(n) tolist round-trip.
+            fresh = self._stream.take_matrix(k, self.d).tolist()
+            placed: list[int] = []
+            self._memory = memory_hand_off(
+                counts, fresh, self._memory, self.k, assignments=placed
+            )
+            assignments[:] = placed
+            probes = k * self.d
+        elif self.policy == "weighted":
+            thresholds = self._weighted_thresholds(sizes)
+            cap = resolve_max_probes(None, n)
+            sizes_list = sizes.tolist()
+            for i in range(k):
+                server, used = sequential_weighted_place(
+                    self.work, float(thresholds[i]), self._stream, cap
+                )
+                probes += used
+                self.work[server] += sizes_list[i]
+                counts[server] += 1
+                assignments[i] = server
+        else:  # adaptive / threshold: probe until below the acceptance limit
+            placed = 0
+            while placed < k:
+                if self.policy == "adaptive":
+                    i = self.jobs_dispatched + placed + 1
+                    stage_last = ((i - 1) // n + 1) * n
+                    seg = min(k - placed, stage_last - i + 1)
+                    limit = acceptance_limit(i, n, offset=1)
+                else:
+                    seg = k
+                    limit = self._threshold_limit(total_jobs, k)
+                probes += self._scalar_probe_until(limit, seg, assignments, placed)
+                placed += seg
         return assignments, probes
+
+    def _scalar_probe_until(
+        self, limit: int, n_jobs: int, assignments: np.ndarray, base: int
+    ) -> int:
+        """Place ``n_jobs`` jobs scalar-wise: accept a probe iff load ≤ limit.
+
+        Probes are drawn in small blocks and the unexamined tail is given
+        back, so the consumed sequence is exactly the sequential one.
+        """
+        stream = self._stream
+        counts = self.job_counts
+        placed = 0
+        probes = 0
+        while placed < n_jobs:
+            remaining = n_jobs - placed
+            want = remaining + remaining // 4 + 4
+            if stream.available is not None:
+                want = max(1, min(want, stream.available))
+            block = stream.take(want)
+            examined = 0
+            for server in block.tolist():
+                examined += 1
+                if counts[server] <= limit:
+                    counts[server] += 1
+                    assignments[base + placed] = server
+                    placed += 1
+                    if placed == n_jobs:
+                        break
+            probes += examined
+            if examined < block.size:
+                stream.give_back(block[examined:])
+        return probes
 
     def _dispatch_greedy(self, k: int) -> np.ndarray:
         """Greedy[d] through the chunked conflict-free commit engine.
@@ -420,7 +669,7 @@ class Dispatcher:
         self.job_counts[:] = counts
         return np.asarray(placed, dtype=np.int64)
 
-    def dispatch(self, workload: Workload) -> DispatchOutcome:
+    def dispatch(self, workload: Workload) -> DispatchResult:
         """Assign every job of ``workload`` to a server, in arrival order.
 
         The workload is streamed through :meth:`dispatch_batch` one arrival
@@ -442,11 +691,30 @@ class Dispatcher:
             self.work = np.bincount(
                 assignments, weights=sizes, minlength=self.n_servers
             )
-        return DispatchOutcome(
-            policy=self.policy,
-            n_servers=self.n_servers,
-            assignments=assignments,
-            job_counts=self.job_counts.copy(),
-            work=self.work.copy(),
-            probes=self.probes,
+        return self._result(assignments)
+
+    @classmethod
+    def from_spec(
+        cls, spec: "DispatchSpec", *, probe_stream: ProbeStream | None = None
+    ) -> "Dispatcher":
+        """Build a dispatcher from a declarative :class:`repro.api.DispatchSpec`.
+
+        This is the spec-driven construction path used by
+        :func:`repro.simulate`; the spec's policy parameters map one-to-one
+        onto the constructor arguments.
+        """
+        from repro.api.spec import DispatchSpec
+
+        if not isinstance(spec, DispatchSpec):
+            raise ConfigurationError(
+                f"from_spec expects a DispatchSpec, got {type(spec).__name__}"
+            )
+        return cls(
+            spec.n_servers,
+            policy=spec.policy,
+            seed=spec.seed,
+            probe_stream=probe_stream,
+            block_size=spec.block_size,
+            small_burst=spec.small_burst,
+            **spec.params,
         )

@@ -25,6 +25,8 @@ __all__ = [
     "heavy_tailed_workload",
     "bursty_workload",
     "weighted_workload",
+    "WORKLOADS",
+    "make_workload",
 ]
 
 
@@ -209,3 +211,24 @@ def bursty_workload(
     sizes = rng.exponential(mean_size, size=n_jobs)
     arrivals = (np.arange(n_jobs) // burst_size) * burst_gap
     return _make_workload("bursty", sizes, arrivals)
+
+
+#: Registry of workload generators, keyed by the name
+#: :class:`repro.api.WorkloadSpec` (and the CLI) use to refer to them.
+WORKLOADS = {
+    "uniform": uniform_workload,
+    "heavy-tailed": heavy_tailed_workload,
+    "bursty": bursty_workload,
+    "weighted": weighted_workload,
+}
+
+
+def make_workload(kind: str, n_jobs: int, seed=None, **params) -> Workload:
+    """Build ``n_jobs`` jobs from the workload family registered as ``kind``."""
+    try:
+        generator = WORKLOADS[kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown workload kind {kind!r}; available: {sorted(WORKLOADS)}"
+        ) from None
+    return generator(n_jobs, seed, **params)

@@ -17,9 +17,10 @@ import numpy as np
 from repro.core.thresholds import acceptance_limit
 from repro.core.weighted_engine import resolve_max_probes, sequential_weighted_place
 from repro.errors import ConfigurationError
+from repro.runtime.costs import CostModel
 from repro.runtime.probes import ProbeStream, RandomProbeStream
 from repro.runtime.rng import SeedLike
-from repro.scheduler.dispatcher import _POLICIES, DispatchOutcome
+from repro.scheduler.dispatcher import _POLICIES, DispatchResult
 from repro.scheduler.jobs import Workload
 
 __all__ = ["reference_dispatch"]
@@ -35,7 +36,7 @@ def reference_dispatch(
     w_max: float | None = None,
     seed: SeedLike = None,
     probe_stream: ProbeStream | None = None,
-) -> DispatchOutcome:
+) -> DispatchResult:
     """Dispatch ``workload`` with one scalar probe draw per loop iteration.
 
     Semantics match :meth:`repro.scheduler.dispatcher.Dispatcher.dispatch`
@@ -141,11 +142,13 @@ def reference_dispatch(
             unique = candidates[np.sort(first)]
             memory = unique[np.argsort(job_counts[unique], kind="stable")[:k]]
 
-    return DispatchOutcome(
-        policy=policy,
-        n_servers=n_servers,
+    return DispatchResult(
+        protocol=policy,
+        n_balls=n_jobs,
+        n_bins=n_servers,
+        loads=job_counts,
+        allocation_time=probes,
+        costs=CostModel(probes=probes),
         assignments=assignments,
-        job_counts=job_counts,
         work=work,
-        probes=probes,
     )

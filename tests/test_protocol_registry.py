@@ -39,7 +39,9 @@ class TestRegistry:
         assert protocol.params()["d"] == 3
 
     def test_make_protocol_rejects_bad_params(self):
-        with pytest.raises(TypeError):
+        # Unknown constructor keywords surface as ConfigurationError (naming
+        # the protocol), not the bare TypeError of a direct constructor call.
+        with pytest.raises(ConfigurationError, match="adaptive"):
             make_protocol("adaptive", not_a_real_option=1)
 
     def test_register_requires_name(self):
@@ -82,5 +84,5 @@ class TestProtocolInterface:
         assert description["d"] == 4
 
     def test_base_init_rejects_unknown_params(self):
-        with pytest.raises(TypeError):
+        with pytest.raises(ConfigurationError, match="single-choice"):
             make_protocol("single-choice", bogus=1)

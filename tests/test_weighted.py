@@ -69,8 +69,8 @@ class TestAllocation:
         rng = np.random.default_rng(7)
         weights = rng.uniform(0.1, 3.0, size=2_000)
         result = run_weighted_adaptive(weights, 100, seed=4)
-        assert result.max_load <= weighted_gap_bound(weights, 100) + 1e-9
-        assert result.loads.sum() == pytest.approx(weights.sum())
+        assert result.weighted_max_load <= weighted_gap_bound(weights, 100) + 1e-9
+        assert result.weighted_loads.sum() == pytest.approx(weights.sum())
 
     def test_probes_linear_in_balls(self):
         rng = np.random.default_rng(0)
@@ -98,8 +98,11 @@ class TestAllocation:
         # every bin within a modest band around it (no bin is ever more than
         # 2*w_max above the average by construction, and the empirical gap is
         # far smaller than the average itself).
-        assert result.max_load <= result.average_load + 2 * weights.max() + 1e-9
-        assert result.gap < result.average_load
+        assert (
+            result.weighted_max_load
+            <= result.weighted_average_load + 2 * weights.max() + 1e-9
+        )
+        assert result.weighted_gap < result.weighted_average_load
 
     @settings(max_examples=20, deadline=None)
     @given(
@@ -111,8 +114,8 @@ class TestAllocation:
         rng = np.random.default_rng(seed)
         weights = rng.uniform(0.1, 2.0, size=n_balls)
         result = run_weighted_adaptive(weights, n_bins, seed=seed)
-        assert result.loads.sum() == pytest.approx(weights.sum())
-        assert result.max_load <= weighted_gap_bound(weights, n_bins) + 1e-9
+        assert result.weighted_loads.sum() == pytest.approx(weights.sum())
+        assert result.weighted_max_load <= weighted_gap_bound(weights, n_bins) + 1e-9
         assert result.allocation_time >= n_balls
 
 
@@ -193,7 +196,7 @@ class TestEdgeCases:
         for runner in (run_weighted_adaptive, run_weighted_threshold):
             result = runner(weights, 1, seed=2)
             assert result.counts[0] == 100
-            assert result.loads[0] == pytest.approx(weights.sum())
+            assert result.weighted_loads[0] == pytest.approx(weights.sum())
             # One bin: the first probe of every ball is below threshold.
             assert result.allocation_time == 100
         greedy = run_weighted_greedy(weights, 1, seed=2, d=2)
@@ -212,7 +215,7 @@ class TestEdgeCases:
         default = run_weighted_adaptive(
             weights, 16, probe_stream=FixedProbeStream(16, choices)
         )
-        assert np.array_equal(explicit.loads, default.loads)
+        assert np.array_equal(explicit.weighted_loads, default.weighted_loads)
         assert explicit.allocation_time == default.allocation_time
 
 

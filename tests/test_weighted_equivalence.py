@@ -63,7 +63,9 @@ def choice_vector(m: int, n_bins: int = N_BINS, seed: int = 99) -> np.ndarray:
 
 
 def assert_identical(engine_result, reference_result) -> None:
-    assert np.array_equal(engine_result.loads, reference_result.loads)
+    assert np.array_equal(
+        engine_result.weighted_loads, reference_result.weighted_loads
+    )
     assert np.array_equal(engine_result.counts, reference_result.counts)
     assert engine_result.allocation_time == reference_result.allocation_time
 
@@ -232,7 +234,7 @@ class TestUnitWeightCorrespondence:
             N_BALLS, N_BINS, probe_stream=FixedProbeStream(N_BINS, choices)
         )
         assert np.array_equal(weighted.counts, unit.loads)
-        assert np.array_equal(weighted.loads, unit.loads.astype(np.float64))
+        assert np.array_equal(weighted.weighted_loads, unit.loads.astype(np.float64))
         assert weighted.allocation_time == unit.allocation_time
 
     def test_power_of_two_equal_weights_reproduce_unit_adaptive_counts(self):
