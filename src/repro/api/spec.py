@@ -378,7 +378,7 @@ class DispatchSpec:
             or w_max <= 0
         ):
             raise ConfigurationError(f"w_max must be positive, got {w_max!r}")
-        if self.policy == "left":
+        if self.policy in ("left", "weighted-left"):
             replay_group_map(self.n_servers, d)
         if self.block_size is not None and self.block_size <= 0:
             raise ConfigurationError("block_size must be positive when given")

@@ -43,7 +43,13 @@ from repro.runtime.costs import CostModel
 from repro.runtime.probes import ProbeStream, RandomProbeStream
 from repro.runtime.rng import SeedLike
 
-__all__ = ["LeftProtocol", "run_left", "group_boundaries", "replay_group_map"]
+__all__ = [
+    "LeftProtocol",
+    "run_left",
+    "group_boundaries",
+    "replay_group_map",
+    "seeded_group_choices",
+]
 
 
 def group_boundaries(n_bins: int, d: int) -> np.ndarray:
@@ -83,6 +89,23 @@ def replay_group_map(n_bins: int, d: int) -> tuple[np.ndarray, int]:
             f"divisible by d, got {n_bins} bins and d={d}"
         )
     return boundaries[:-1], n_bins // d
+
+
+def seeded_group_choices(
+    n_bins: int, d: int, n_balls: int, generator: np.random.Generator
+) -> np.ndarray:
+    """Draw every ball's one-bin-per-group choices from uniform floats.
+
+    ``choices[i, g]`` is the bin ball ``i`` samples from group ``g`` —
+    exactly the seed implementation's up-front float-offset sampling, which
+    works for any group sizes.  This is the single home of the seeded
+    left[d] sampling, shared by :class:`LeftProtocol` (one-shot and
+    streaming) and the weighted left[d] runners so the three cannot drift.
+    """
+    boundaries = group_boundaries(n_bins, d)
+    sizes = np.diff(boundaries)
+    offsets = generator.random(size=(n_balls, d))
+    return (boundaries[:-1] + np.floor(offsets * sizes)).astype(np.int64)
 
 
 @register_protocol
@@ -130,11 +153,9 @@ class LeftProtocol(AllocationProtocol):
             # Seeded mode: the full in-group offset matrix is drawn up front
             # (identical to the one-shot run), then sliced per step.
             stream = RandomProbeStream(n_bins, seed)
-            boundaries = group_boundaries(n_bins, self.d)
-            sizes = np.diff(boundaries)
-            offsets = stream.generator.random(size=(n_balls, self.d))
-            choices = (boundaries[:-1] + np.floor(offsets * sizes)).astype(np.int64)
-            source = matrix_source(choices)
+            source = matrix_source(
+                seeded_group_choices(n_bins, self.d, n_balls, stream.generator)
+            )
         return DChoiceSession(
             self, n_balls, n_bins, stream, d=self.d, source=source
         )
@@ -165,14 +186,10 @@ class LeftProtocol(AllocationProtocol):
                 self.d,
             )
         else:
-            boundaries = group_boundaries(n_bins, self.d)
+            group_boundaries(n_bins, self.d)  # validates d against n_bins
             if n_balls:
-                rng = RandomProbeStream(n_bins, seed).generator
-                sizes = np.diff(boundaries)
-                # choices[i, g] = bin sampled by ball i from group g.
-                offsets = rng.random(size=(n_balls, self.d))
-                choices = (boundaries[:-1] + np.floor(offsets * sizes)).astype(
-                    np.int64
+                choices = seeded_group_choices(
+                    n_bins, self.d, n_balls, RandomProbeStream(n_bins, seed).generator
                 )
                 chunked_argmin_commit(
                     loads, matrix_source(choices), n_balls, self.d

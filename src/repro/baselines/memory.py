@@ -16,13 +16,21 @@ several memory slots with the same bin and silently shrink the effective
 ``d + k`` candidate diversity below what the Mitzenmacher–Prabhakar–Shah
 analysis assumes (``tests/test_memory.py`` carries the regression).
 
-The memory hand-off makes every decision depend on the previous ball's full
-candidate set, so the hand-off itself stays sequential; the chunked engine
-structure still applies: each chunk's fresh choices are bulk-drawn with
-:meth:`~repro.runtime.probes.ProbeStream.take_matrix` (consumption order
-identical to a per-ball loop) and the hand-off runs over plain Python ints,
-which is several times faster than the per-ball NumPy indexing of the seed
-loop (kept as :func:`repro.baselines.reference.reference_memory`).
+The hand-off makes every decision depend on the previous ball's full
+candidate set, but the per-ball loop is gone for the common configurations:
+placements run through the chunked provisional-simulation engine of
+:mod:`repro.baselines.memory_engine` (guess the placements, reconstruct
+every candidate load under the guess, replay the remembered-bin recurrence
+in closed form, certify-and-iterate to a fixpoint) — bit-identical to the
+sequential rule, which is kept as
+:func:`repro.baselines.reference.reference_memory` (the per-ball oracle) and
+:func:`~repro.baselines.memory_engine.memory_hand_off` (the scalar
+spill/fallback rule shared with the dispatcher's small-burst path).
+
+With ``record_trace=True`` the run records one
+:class:`~repro.runtime.trace.StageRecord` per stage of ``n`` balls — load
+extremes, smoothness potentials and a snapshot of the remembered set at
+each stage boundary — identically for one-shot and stepped runs.
 """
 
 from __future__ import annotations
@@ -31,6 +39,16 @@ from typing import Any
 
 import numpy as np
 
+from repro.baselines.memory_engine import (  # noqa: F401  (re-exported API)
+    chunked_memory_commit,
+    chunked_memory_hand_off,
+    memory_hand_off,
+)
+from repro.core.potentials import (
+    DEFAULT_EPSILON,
+    exponential_potential,
+    quadratic_potential,
+)
 from repro.core.protocol import AllocationProtocol, register_protocol
 from repro.core.result import AllocationResult
 from repro.core.session import ProtocolSession
@@ -38,6 +56,7 @@ from repro.errors import ConfigurationError
 from repro.runtime.costs import CostModel
 from repro.runtime.probes import ProbeStream, RandomProbeStream
 from repro.runtime.rng import SeedLike
+from repro.runtime.trace import StageRecord, Trace
 
 __all__ = [
     "MemoryProtocol",
@@ -45,76 +64,6 @@ __all__ = [
     "memory_hand_off",
     "chunked_memory_hand_off",
 ]
-
-#: Balls per bulk fresh-choice draw; the hand-off is sequential either way,
-#: so the chunk only bounds the size of each ``take_matrix`` call.
-_FRESH_CHUNK = 4096
-
-
-def memory_hand_off(
-    counts: list[int],
-    fresh_rows: list[list[int]],
-    memory: list[int],
-    k: int,
-    assignments: list[int] | None = None,
-) -> list[int]:
-    """Run the sequential (d,k)-memory hand-off over one chunk of balls.
-
-    ``counts`` (per-bin loads, mutated in place) and the returned memory are
-    plain Python lists — the hot loop touches ``d + k`` scalars per ball.
-    Candidates are the fresh row followed by the remembered bins; the first
-    least-loaded candidate wins, and the ``k`` least loaded *distinct*
-    candidate bins (stable order: candidate order breaks load ties) are
-    remembered for the next ball.  The dispatcher's ``memory`` policy and
-    :class:`MemoryProtocol` share this loop so both stay bit-identical to
-    :func:`repro.baselines.reference.reference_memory`.
-    """
-    for row in fresh_rows:
-        candidates = row + memory
-        best = candidates[0]
-        best_load = counts[best]
-        for bin_index in candidates[1:]:
-            load = counts[bin_index]
-            if load < best_load:
-                best, best_load = bin_index, load
-        counts[best] = best_load + 1
-        if assignments is not None:
-            assignments.append(best)
-        if k:
-            seen: set[int] = set()
-            unique = [
-                b for b in candidates if not (b in seen or seen.add(b))
-            ]
-            unique.sort(key=counts.__getitem__)  # stable: ties keep cand order
-            memory = unique[:k]
-    return memory
-
-
-def chunked_memory_hand_off(
-    stream: ProbeStream,
-    counts: list[int],
-    memory: list[int],
-    n_balls: int,
-    d: int,
-    k: int,
-    assignments: list[int] | None = None,
-) -> list[int]:
-    """Drive :func:`memory_hand_off` over ``n_balls`` chunked fresh draws.
-
-    Each chunk's ``d`` fresh choices come from one bulk
-    :meth:`~repro.runtime.probes.ProbeStream.take_matrix` call (consumption
-    order identical to a per-ball loop).  This is the single driver behind
-    :class:`MemoryProtocol` and the dispatcher's ``"memory"`` policy, so the
-    two cannot drift apart in how they chunk the stream.  Returns the new
-    remembered set; ``counts`` (and ``assignments``) are mutated in place.
-    """
-    placed = 0
-    while placed < n_balls:
-        count = min(_FRESH_CHUNK, n_balls - placed)
-        fresh = stream.take_matrix(count, d).tolist()
-        memory = memory_hand_off(counts, fresh, memory, k, assignments=assignments)
-        placed += count
-    return memory
 
 
 @register_protocol
@@ -154,7 +103,7 @@ class MemoryProtocol(AllocationProtocol):
     ) -> "_MemorySession":
         self.validate_size(n_balls, n_bins)
         stream = probe_stream or RandomProbeStream(n_bins, seed)
-        return _MemorySession(self, n_balls, n_bins, stream)
+        return _MemorySession(self, n_balls, n_bins, stream, record_trace)
 
     def allocate(
         self,
@@ -165,57 +114,90 @@ class MemoryProtocol(AllocationProtocol):
         probe_stream: ProbeStream | None = None,
         record_trace: bool = False,
     ) -> AllocationResult:
-        self.validate_size(n_balls, n_bins)
-        stream = probe_stream or RandomProbeStream(n_bins, seed)
-        if stream.n_bins != n_bins:
-            raise ConfigurationError(
-                "probe_stream.n_bins does not match the requested n_bins"
-            )
-
-        loads = np.zeros(n_bins, dtype=np.int64)
-        if n_balls:
-            counts = loads.tolist()
-            chunked_memory_hand_off(stream, counts, [], n_balls, self.d, self.k)
-            loads = np.asarray(counts, dtype=np.int64)
-
-        probes = n_balls * self.d
-        return AllocationResult(
-            protocol=self.name,
-            n_balls=n_balls,
-            n_bins=n_bins,
-            loads=loads,
-            allocation_time=probes,
-            costs=CostModel(probes=probes),
-            params=self.params(),
-        )
+        # One code path: the one-shot run is the streaming session driven to
+        # completion, so any step split is bit-identical by construction.
+        return self.begin(
+            n_balls,
+            n_bins,
+            seed,
+            probe_stream=probe_stream,
+            record_trace=record_trace,
+        ).result()
 
 
 class _MemorySession(ProtocolSession):
     """Streaming (d,k)-memory: the remembered set persists across steps.
 
-    The hand-off loop and its fresh-draw chunking are shared with the
-    one-shot run (:func:`chunked_memory_hand_off` consumes the stream in the
-    same row-major order for any split), so stepped runs are bit-identical.
+    Each ``place`` call drives the provisional-simulation engine over the
+    next slice; the engine's state between calls is exactly the sequential
+    protocol's (loads plus the remembered set), so any split of the balls
+    into steps is bit-identical to the one-shot run.  In trace mode the
+    slices are aligned to the stage boundaries of ``n`` balls, so stepped
+    runs record the same :class:`~repro.runtime.trace.StageRecord` rows.
     """
 
-    def __init__(self, protocol, n_balls, n_bins, stream) -> None:
+    def __init__(self, protocol, n_balls, n_bins, stream, record_trace) -> None:
         super().__init__(protocol, n_balls, n_bins, stream)
-        self._counts: list[int] = [0] * n_bins
+        self._loads = np.zeros(n_bins, dtype=np.int64)
         self._memory: list[int] = []
+        self.trace = Trace() if record_trace else None
 
     @property
     def loads(self) -> np.ndarray:
-        return np.asarray(self._counts, dtype=np.int64)
+        return self._loads
 
     @property
     def probes(self) -> int:
         return self.placed * self.protocol.d
 
-    def _place(self, k: int) -> None:
-        self._memory = chunked_memory_hand_off(
-            self.stream, self._counts, self._memory, k, self.protocol.d,
-            self.protocol.k,
-        )
+    def _place(self, count: int) -> None:
+        if self.trace is None:
+            self._memory = chunked_memory_commit(
+                self.stream,
+                self._loads,
+                self._memory,
+                count,
+                self.protocol.d,
+                self.protocol.k,
+            )
+            return
+        n = self.n_bins
+        done = 0
+        while done < count:
+            i = self.placed + done + 1  # 1-indexed next ball
+            stage_last_ball = ((i - 1) // n + 1) * n
+            seg = min(count - done, stage_last_ball - i + 1)
+            self._memory = chunked_memory_commit(
+                self.stream,
+                self._loads,
+                self._memory,
+                seg,
+                self.protocol.d,
+                self.protocol.k,
+            )
+            done += seg
+            balls_so_far = self.placed + done
+            if balls_so_far == min(stage_last_ball, self.n_balls):
+                # The stage (or the final partial stage) just completed.
+                stage = (i - 1) // n
+                first_ball = stage * n + 1
+                in_stage = balls_so_far - first_ball + 1
+                self.trace.append(
+                    StageRecord(
+                        stage=stage,
+                        balls_placed=in_stage,
+                        probes=in_stage * self.protocol.d,
+                        max_load=int(self._loads.max()),
+                        min_load=int(self._loads.min()),
+                        quadratic_potential=quadratic_potential(
+                            self._loads, balls_so_far
+                        ),
+                        exponential_potential=exponential_potential(
+                            self._loads, balls_so_far, DEFAULT_EPSILON
+                        ),
+                        remembered=tuple(int(b) for b in self._memory),
+                    )
+                )
 
     def _finalize(self) -> AllocationResult:
         probes = self.n_balls * self.protocol.d
@@ -223,9 +205,10 @@ class _MemorySession(ProtocolSession):
             protocol=self.protocol.name,
             n_balls=self.n_balls,
             n_bins=self.n_bins,
-            loads=np.asarray(self._counts, dtype=np.int64),
+            loads=self._loads,
             allocation_time=probes,
             costs=CostModel(probes=probes),
+            trace=self.trace,
             params=self.protocol.params(),
         )
 

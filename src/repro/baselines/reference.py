@@ -21,7 +21,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines.left import group_boundaries, replay_group_map
+from repro.baselines.left import (
+    group_boundaries,
+    replay_group_map,
+    seeded_group_choices,
+)
 from repro.errors import ConfigurationError
 from repro.runtime.probes import ProbeStream, RandomProbeStream
 from repro.runtime.rng import SeedLike
@@ -105,7 +109,7 @@ def reference_left(
     """
     if n_balls < 0:
         raise ConfigurationError(f"n_balls must be non-negative, got {n_balls}")
-    boundaries = group_boundaries(n_bins, d)
+    group_boundaries(n_bins, d)  # validates the group split
     loads = np.zeros(n_bins, dtype=np.int64)
     if probe_stream is not None:
         group_base, size = replay_group_map(n_bins, d)
@@ -115,10 +119,8 @@ def reference_left(
             loads[row[int(np.argmin(loads[row]))]] += 1
         return loads, n_balls * d
     rng = RandomProbeStream(n_bins, seed).generator
-    sizes = np.diff(boundaries)
     if n_balls:
-        offsets = rng.random(size=(n_balls, d))
-        choices = (boundaries[:-1] + np.floor(offsets * sizes)).astype(np.int64)
+        choices = seeded_group_choices(n_bins, d, n_balls, rng)
         for i in range(n_balls):
             row = choices[i]
             loads[row[int(np.argmin(loads[row]))]] += 1

@@ -11,13 +11,17 @@ threshold ``i/n + 1`` — probe for probe, since integer loads satisfy
 ``load < i/n + 1`` iff ``load <= ceil(i/n)`` — and the same argument gives
 the deterministic guarantee ``max load ≤ W/n + 2·w_max``.
 
-Three weighted protocols are provided, mirroring the unit-weight family:
+Five weighted protocols are provided, mirroring the unit-weight family:
 
 * :func:`run_weighted_adaptive` — the moving-threshold rule above;
 * :func:`run_weighted_threshold` — the THRESHOLD analogue with the fixed
   bound ``W/n + w_max`` (needs the total weight up front);
 * :func:`run_weighted_greedy` — greedy[d] on weighted loads (place into the
-  least-weighted of ``d`` uniform draws).
+  least-weighted of ``d`` uniform draws);
+* :func:`run_weighted_left` — Vöcking's left[d] on weighted loads (one bin
+  per group, leftmost least-weighted wins);
+* :func:`run_weighted_memory` — the (d,k)-memory rule on weighted loads
+  (``d`` fresh draws plus the ``k`` least weighted-loaded remembered bins).
 
 All three run through chunked exact vectorised engines — the moving
 threshold is bracketed per chunk by the engine of
@@ -30,8 +34,9 @@ loop is capped by ``max_probes`` (raising
 :class:`~repro.errors.SimulationError` instead of spinning forever on a
 probe source that never offers an acceptable bin).
 
-The registry names ``"weighted-adaptive"``, ``"weighted-threshold"`` and
-``"weighted-greedy"`` wrap these runners as
+The registry names ``"weighted-adaptive"``, ``"weighted-threshold"``,
+``"weighted-greedy"``, ``"weighted-left"`` and ``"weighted-memory"`` wrap
+these runners as
 :class:`~repro.core.protocol.AllocationProtocol` instances that draw their
 weights from a named family of :data:`repro.stats.distributions.WEIGHT_DISTRIBUTIONS`
 (Pareto, exponential, bimodal, …) via the stream's auxiliary generator, so
@@ -45,6 +50,10 @@ from typing import Any
 
 import numpy as np
 
+from repro.baselines.engine import chunked_argmin_commit, matrix_source
+from repro.baselines.greedy import DChoiceSession
+from repro.baselines.left import replay_group_map, seeded_group_choices
+from repro.baselines.memory_engine import chunked_weighted_memory_commit
 from repro.core.protocol import AllocationProtocol, register_protocol
 from repro.core.result import RunResult
 from repro.core.session import ProtocolSession
@@ -70,10 +79,16 @@ __all__ = [
     "reference_weighted_threshold",
     "run_weighted_greedy",
     "reference_weighted_greedy",
+    "run_weighted_left",
+    "reference_weighted_left",
+    "run_weighted_memory",
+    "reference_weighted_memory",
     "weighted_gap_bound",
     "WeightedAdaptiveProtocol",
     "WeightedThresholdProtocol",
     "WeightedGreedyProtocol",
+    "WeightedLeftProtocol",
+    "WeightedMemoryProtocol",
 ]
 
 
@@ -391,8 +406,6 @@ def run_weighted_greedy(
     greedy[d] exactly, and with all-equal weights the per-bin *counts*
     reproduce the unit protocol's loads.
     """
-    from repro.baselines.engine import chunked_argmin_commit
-
     if d < 1:
         raise ConfigurationError(f"d must be at least 1, got {d}")
     if tie_break not in ("random", "first"):
@@ -466,6 +479,210 @@ def reference_weighted_greedy(
         loads[target] += weights[i]
         counts[target] += 1
     return _result("weighted-greedy", weights, loads, counts, m * d)
+
+
+# --------------------------------------------------------------------- #
+# Weighted left[d]
+# --------------------------------------------------------------------- #
+def run_weighted_left(
+    weights: np.ndarray,
+    n_bins: int,
+    seed: SeedLike = None,
+    *,
+    d: int = 2,
+    probe_stream: ProbeStream | None = None,
+    chunk_size: int | None = None,
+) -> WeightedRunResult:
+    """Weighted left[d]: one bin per group, leftmost least-*weighted* wins.
+
+    Vöcking's asymmetric tie break is exactly the first-minimum rule of the
+    chunked conflict-free commit engine, here with weighted increments.  The
+    replay contract matches the unit left[d]: with a ``probe_stream`` the
+    groups must be of equal size and the ``g``-th probe of a ball maps to
+    ``g·(n/d) + probe mod (n/d)``; seeded runs draw the one-per-group
+    choices from an up-front float-offset matrix (any group sizes), via
+    :func:`repro.baselines.left.seeded_group_choices`.  With all-equal
+    weights the per-bin counts reproduce the unit protocol's loads
+    probe-for-probe.
+    """
+    if d < 1:
+        raise ConfigurationError(f"d must be at least 1, got {d}")
+    weights, stream, _ = _validate_weighted_run(
+        weights, n_bins, seed, probe_stream, None
+    )
+    if probe_stream is not None:
+        group_base, size = replay_group_map(n_bins, d)  # validates equal groups
+        source = (
+            lambda start, count: group_base + stream.take_matrix(count, d) % size
+        )
+    else:
+        source = None
+    return _weighted_left_commit(weights, n_bins, d, stream, source, chunk_size)
+
+
+def _weighted_left_commit(
+    weights: np.ndarray,
+    n_bins: int,
+    d: int,
+    stream: ProbeStream,
+    source,
+    chunk_size: int | None,
+) -> WeightedRunResult:
+    """Single home of the weighted left[d] commit body.
+
+    ``source`` is the replay-mode candidate source (``None`` selects the
+    seeded float-offset sampling against ``stream.generator``); shared by
+    :func:`run_weighted_left` and the registry protocol so the two cannot
+    drift.
+    """
+    loads = np.zeros(n_bins, dtype=np.float64)
+    counts = np.zeros(n_bins, dtype=np.int64)
+    m = weights.size
+    assignments = np.empty(m, dtype=np.int64)
+    if m:
+        if source is None:
+            source = matrix_source(
+                seeded_group_choices(n_bins, d, m, stream.generator)
+            )
+        chunked_argmin_commit(
+            loads,
+            source,
+            m,
+            d,
+            chunk_size=chunk_size,
+            assignments=assignments,
+            weights=weights,
+        )
+        counts = np.bincount(assignments, minlength=n_bins).astype(np.int64)
+    return _result("weighted-left", weights, loads, counts, m * d)
+
+
+def reference_weighted_left(
+    weights: np.ndarray,
+    n_bins: int,
+    seed: SeedLike = None,
+    *,
+    d: int = 2,
+    probe_stream: ProbeStream | None = None,
+) -> WeightedRunResult:
+    """Ball-by-ball weighted left[d] (validation / benchmark baseline).
+
+    Mirrors :func:`repro.baselines.reference.reference_left` with float
+    loads and per-ball weight increments.
+    """
+    if d < 1:
+        raise ConfigurationError(f"d must be at least 1, got {d}")
+    weights, stream, _ = _validate_weighted_run(
+        weights, n_bins, seed, probe_stream, None
+    )
+    loads = np.zeros(n_bins, dtype=np.float64)
+    counts = np.zeros(n_bins, dtype=np.int64)
+    m = weights.size
+    if probe_stream is not None:
+        group_base, size = replay_group_map(n_bins, d)
+        for i in range(m):
+            row = group_base + stream.take(d) % size
+            target = row[int(np.argmin(loads[row]))]
+            loads[target] += weights[i]
+            counts[target] += 1
+    elif m:
+        choices = seeded_group_choices(n_bins, d, m, stream.generator)
+        for i in range(m):
+            row = choices[i]
+            target = row[int(np.argmin(loads[row]))]
+            loads[target] += weights[i]
+            counts[target] += 1
+    return _result("weighted-left", weights, loads, counts, m * d)
+
+
+# --------------------------------------------------------------------- #
+# Weighted (d,k)-memory
+# --------------------------------------------------------------------- #
+def run_weighted_memory(
+    weights: np.ndarray,
+    n_bins: int,
+    seed: SeedLike = None,
+    *,
+    d: int = 1,
+    k: int = 1,
+    probe_stream: ProbeStream | None = None,
+    chunk_size: int | None = None,
+) -> WeightedRunResult:
+    """Weighted (d,k)-memory: remembered bins compete on weighted load.
+
+    Candidates are the ``d`` fresh draws followed by the ``k`` remembered
+    bins; the first least weighted-loaded candidate receives the ball's
+    weight, and the ``k`` least loaded distinct candidates are remembered.
+    Runs through :func:`repro.baselines.memory_engine.chunked_weighted_memory_commit`
+    — bulk fresh draws with the scalar float commit rule, since the
+    continuous load values cannot ride the integer provisional scan; see
+    the engine module for the honest cost accounting.  With all-equal
+    weights the per-bin counts reproduce the unit protocol probe-for-probe.
+    """
+    if d < 1:
+        raise ConfigurationError(f"d must be at least 1, got {d}")
+    if k < 0:
+        raise ConfigurationError(f"k must be non-negative, got {k}")
+    weights, stream, _ = _validate_weighted_run(
+        weights, n_bins, seed, probe_stream, None
+    )
+    loads = np.zeros(n_bins, dtype=np.float64)
+    counts = np.zeros(n_bins, dtype=np.int64)
+    m = weights.size
+    assignments = np.empty(m, dtype=np.int64)
+    if m:
+        chunked_weighted_memory_commit(
+            stream,
+            loads,
+            [],
+            weights,
+            d,
+            k,
+            assignments=assignments,
+            chunk_size=chunk_size,
+        )
+        counts = np.bincount(assignments, minlength=n_bins).astype(np.int64)
+    return _result("weighted-memory", weights, loads, counts, m * d)
+
+
+def reference_weighted_memory(
+    weights: np.ndarray,
+    n_bins: int,
+    seed: SeedLike = None,
+    *,
+    d: int = 1,
+    k: int = 1,
+    probe_stream: ProbeStream | None = None,
+) -> WeightedRunResult:
+    """Ball-by-ball weighted (d,k)-memory (validation baseline).
+
+    Mirrors :func:`repro.baselines.reference.reference_memory` with float
+    loads and per-ball weight increments: the remembered set holds the
+    ``k`` least weighted-loaded *distinct* candidates, stable order.
+    """
+    if d < 1:
+        raise ConfigurationError(f"d must be at least 1, got {d}")
+    if k < 0:
+        raise ConfigurationError(f"k must be non-negative, got {k}")
+    weights, stream, _ = _validate_weighted_run(
+        weights, n_bins, seed, probe_stream, None
+    )
+    loads = np.zeros(n_bins, dtype=np.float64)
+    counts = np.zeros(n_bins, dtype=np.int64)
+    memory: np.ndarray = np.empty(0, dtype=np.int64)
+    for i in range(weights.size):
+        candidates = np.concatenate((stream.take(d), memory))
+        target = candidates[int(np.argmin(loads[candidates]))]
+        loads[target] += weights[i]
+        counts[target] += 1
+        if k:
+            _, first = np.unique(candidates, return_index=True)
+            unique = candidates[np.sort(first)]
+            keep = np.argsort(loads[unique], kind="stable")[:k]
+            memory = unique[keep]
+    return _result(
+        "weighted-memory", weights, loads, counts, int(weights.size) * d
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -710,6 +927,26 @@ class WeightedThresholdProtocol(_WeightedProtocolBase):
         )
 
 
+class _WeightedDChoiceSession(DChoiceSession):
+    """Streaming weighted d-choice session finalising to the unified record.
+
+    Shared by the weighted greedy[d] and weighted left[d] registry
+    protocols: the engine-side behaviour is
+    :class:`~repro.baselines.greedy.DChoiceSession` with weighted
+    increments; only the finished record differs.
+    """
+
+    def _finalize(self) -> WeightedRunResult:
+        run = _result(
+            self.protocol.name,
+            self._weights,
+            self._loads,
+            np.bincount(self.assignments, minlength=self.n_bins).astype(np.int64),
+            self.n_balls * self.d,
+        )
+        return self.protocol._stamp(run)
+
+
 @register_protocol
 class WeightedGreedyProtocol(_WeightedProtocolBase):
     """Registry wrapper for :func:`run_weighted_greedy`."""
@@ -720,8 +957,6 @@ class WeightedGreedyProtocol(_WeightedProtocolBase):
     def _begin_session(
         self, weights: np.ndarray, n_bins: int, stream: ProbeStream, seed: SeedLike
     ) -> ProtocolSession:
-        from repro.baselines.greedy import DChoiceSession
-
         weights, stream, _ = _validate_weighted_run(
             weights, n_bins, None, stream, None
         )
@@ -729,23 +964,7 @@ class WeightedGreedyProtocol(_WeightedProtocolBase):
         priorities = None
         if m and self.tie_break == "random":
             priorities = stream.derive_generator(seed).random(size=(m, d))
-
-        protocol = self
-
-        class _WeightedGreedySession(DChoiceSession):
-            def _finalize(self) -> WeightedRunResult:
-                run = _result(
-                    protocol.name,
-                    self._weights,
-                    self._loads,
-                    np.bincount(self.assignments, minlength=self.n_bins).astype(
-                        np.int64
-                    ),
-                    self.n_balls * self.d,
-                )
-                return protocol._stamp(run)
-
-        return _WeightedGreedySession(
+        return _WeightedDChoiceSession(
             self,
             m,
             n_bins,
@@ -791,6 +1010,218 @@ class WeightedGreedyProtocol(_WeightedProtocolBase):
             seed,
             d=self.d,
             tie_break=self.tie_break,
+            probe_stream=stream,
+            chunk_size=self.chunk_size,
+        )
+
+
+@register_protocol
+class WeightedLeftProtocol(_WeightedProtocolBase):
+    """Registry wrapper for :func:`run_weighted_left`.
+
+    Mirrors :class:`~repro.baselines.left.LeftProtocol`'s replay contract:
+    seeded runs sample each ball's in-group offsets up front (any group
+    sizes); an explicit probe stream requires equal groups so uniform
+    probes map onto uniform in-group choices.
+    """
+
+    name = "weighted-left"
+    streaming = True
+
+    def __init__(
+        self,
+        d: int = 2,
+        weight_dist: str = "pareto",
+        chunk_size: int | None = None,
+        **dist_params: Any,
+    ) -> None:
+        if d < 1:
+            raise ConfigurationError(f"d must be at least 1, got {d}")
+        super().__init__(
+            weight_dist=weight_dist, w_max=None, chunk_size=chunk_size, **dist_params
+        )
+        self.d = int(d)
+
+    def params(self) -> dict[str, Any]:
+        params = super().params()
+        params.pop("w_max", None)
+        return {"d": self.d, **params}
+
+    def _source(self, n_balls: int, n_bins: int, stream, replay: bool):
+        if replay:
+            group_base, size = replay_group_map(n_bins, self.d)
+            return (
+                lambda start, count: group_base
+                + stream.take_matrix(count, self.d) % size
+            )
+        return matrix_source(
+            seeded_group_choices(n_bins, self.d, n_balls, stream.generator)
+        )
+
+    def begin(
+        self,
+        n_balls: int,
+        n_bins: int,
+        seed: SeedLike = None,
+        *,
+        probe_stream: ProbeStream | None = None,
+        record_trace: bool = False,
+    ) -> ProtocolSession:
+        self.validate_size(n_balls, n_bins)
+        stream = probe_stream or RandomProbeStream(n_bins, seed)
+        if stream.n_bins != n_bins:
+            raise ConfigurationError(
+                "probe_stream.n_bins does not match the requested n_bins"
+            )
+        weights = self._draw_weights(n_balls, stream, seed)
+        weights, stream, _ = _validate_weighted_run(
+            weights, n_bins, None, stream, None
+        )
+        return _WeightedDChoiceSession(
+            self,
+            int(weights.size),
+            n_bins,
+            stream,
+            d=self.d,
+            source=self._source(n_balls, n_bins, stream, probe_stream is not None),
+            weights=weights,
+            chunk_size=self.chunk_size,
+        )
+
+    def allocate(
+        self,
+        n_balls: int,
+        n_bins: int,
+        seed: SeedLike = None,
+        *,
+        probe_stream: ProbeStream | None = None,
+        record_trace: bool = False,
+    ) -> RunResult:
+        self.validate_size(n_balls, n_bins)
+        stream = probe_stream or RandomProbeStream(n_bins, seed)
+        if stream.n_bins != n_bins:
+            raise ConfigurationError(
+                "probe_stream.n_bins does not match the requested n_bins"
+            )
+        weights = self._draw_weights(n_balls, stream, seed)
+        weights, stream, _ = _validate_weighted_run(
+            weights, n_bins, None, stream, None
+        )
+        source = (
+            self._source(n_balls, n_bins, stream, True)
+            if probe_stream is not None
+            else None
+        )
+        return self._stamp(
+            _weighted_left_commit(
+                weights, n_bins, self.d, stream, source, self.chunk_size
+            )
+        )
+
+
+class _WeightedMemorySession(ProtocolSession):
+    """Streaming weighted (d,k)-memory: remembered set persists across steps.
+
+    The weight vector is fixed up front (exactly as in the one-shot run) and
+    each ``place`` call drives the chunk-drawn scalar commit over the next
+    slice; the scalar state (float loads, remembered set) is exact at every
+    boundary, so any split is bit-identical to the one-shot run.
+    """
+
+    def __init__(self, protocol, n_bins, stream, weights) -> None:
+        super().__init__(protocol, int(weights.size), n_bins, stream)
+        self._weights = weights
+        self._wloads = np.zeros(n_bins, dtype=np.float64)
+        self._counts = np.zeros(n_bins, dtype=np.int64)
+        self._memory: list[int] = []
+        self.assignments = np.empty(weights.size, dtype=np.int64)
+
+    @property
+    def loads(self) -> np.ndarray:
+        return self._counts
+
+    @property
+    def weighted_loads(self) -> np.ndarray:
+        return self._wloads
+
+    @property
+    def probes(self) -> int:
+        return self.placed * self.protocol.d
+
+    def _place(self, k: int) -> None:
+        start = self.placed
+        segment = self.assignments[start : start + k]
+        self._memory = chunked_weighted_memory_commit(
+            self.stream,
+            self._wloads,
+            self._memory,
+            self._weights[start : start + k],
+            self.protocol.d,
+            self.protocol.k,
+            assignments=segment,
+            chunk_size=self.protocol.chunk_size,
+        )
+        np.add.at(self._counts, segment, 1)
+
+    def _finalize(self) -> WeightedRunResult:
+        # The incrementally maintained per-bin counts are exactly the final
+        # tally once every ball is placed.
+        run = _result(
+            self.protocol.name,
+            self._weights,
+            self._wloads,
+            self._counts,
+            self.n_balls * self.protocol.d,
+        )
+        return self.protocol._stamp(run)
+
+
+@register_protocol
+class WeightedMemoryProtocol(_WeightedProtocolBase):
+    """Registry wrapper for :func:`run_weighted_memory`."""
+
+    name = "weighted-memory"
+    streaming = True
+
+    def __init__(
+        self,
+        d: int = 1,
+        k: int = 1,
+        weight_dist: str = "pareto",
+        chunk_size: int | None = None,
+        **dist_params: Any,
+    ) -> None:
+        if d < 1:
+            raise ConfigurationError(f"d must be at least 1, got {d}")
+        if k < 0:
+            raise ConfigurationError(f"k must be non-negative, got {k}")
+        super().__init__(
+            weight_dist=weight_dist, w_max=None, chunk_size=chunk_size, **dist_params
+        )
+        self.d = int(d)
+        self.k = int(k)
+
+    def params(self) -> dict[str, Any]:
+        params = super().params()
+        params.pop("w_max", None)
+        return {"d": self.d, "k": self.k, **params}
+
+    def _begin_session(
+        self, weights: np.ndarray, n_bins: int, stream: ProbeStream, seed: SeedLike
+    ) -> ProtocolSession:
+        weights, stream, _ = _validate_weighted_run(
+            weights, n_bins, None, stream, None
+        )
+        return _WeightedMemorySession(self, n_bins, stream, weights)
+
+    def _run(
+        self, weights: np.ndarray, n_bins: int, stream: ProbeStream, seed: SeedLike
+    ) -> WeightedRunResult:
+        return run_weighted_memory(
+            weights,
+            n_bins,
+            d=self.d,
+            k=self.k,
             probe_stream=stream,
             chunk_size=self.chunk_size,
         )

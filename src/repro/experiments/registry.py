@@ -105,6 +105,8 @@ _WEIGHTED_PROTOCOLS: tuple[tuple[str, dict[str, Any]], ...] = (
     ("weighted-adaptive", {}),
     ("weighted-threshold", {}),
     ("weighted-greedy", {"d": 2}),
+    ("weighted-left", {"d": 2}),
+    ("weighted-memory", {"d": 1, "k": 1}),
 )
 _WEIGHTED_DISTRIBUTIONS = ("pareto", "exponential", "bimodal")
 

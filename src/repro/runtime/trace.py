@@ -37,6 +37,10 @@ class StageRecord:
         ``Ψ`` of the load vector at the end of the stage.
     exponential_potential:
         ``Φ`` (with the paper's ``ε = 1/200``) at the end of the stage.
+    remembered:
+        Snapshot of protocol-carried state at the end of the stage — the
+        (d,k)-memory protocol records its remembered bins here; protocols
+        without such state leave it ``None``.
     """
 
     stage: int
@@ -46,6 +50,7 @@ class StageRecord:
     min_load: int
     quadratic_potential: float
     exponential_potential: float
+    remembered: tuple[int, ...] | None = None
 
 
 @dataclass

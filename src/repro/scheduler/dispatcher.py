@@ -28,6 +28,12 @@ every Table-1 comparison strategy:
   or tracked as the running maximum of the sizes seen).  This balances the
   actual load (service time), not just the job count, which is what
   matters under heavy-tailed sizes.
+* ``"weighted-left"`` — Vöcking's left[d] on accumulated work: one probe
+  per server group, the job goes to the least-*worked* candidate with ties
+  broken towards the leftmost group.  Like ``"left"`` it needs
+  ``n_servers`` divisible by ``d``; like ``"weighted"`` its routing state
+  is the work vector, so it balances service time with a constant number
+  of probes per job.
 
 Dispatch is *batched*: instead of one Python loop iteration (and one scalar
 RNG call) per probe, jobs are processed in bulk through the exact vectorised
@@ -63,7 +69,7 @@ import numpy as np
 from repro._compat import deprecated_names
 from repro.baselines.engine import chunked_argmin_commit
 from repro.baselines.left import replay_group_map
-from repro.baselines.memory import chunked_memory_hand_off, memory_hand_off
+from repro.baselines.memory_engine import chunked_memory_commit, memory_hand_off
 from repro.core.result import RunResult
 from repro.core.thresholds import acceptance_limit
 from repro.core.weighted_engine import (
@@ -81,7 +87,16 @@ from repro.scheduler.metrics import ScheduleMetrics, compute_metrics
 
 __all__ = ["DispatchResult", "DispatchOutcome", "Dispatcher"]
 
-_POLICIES = ("adaptive", "threshold", "greedy", "left", "memory", "single", "weighted")
+_POLICIES = (
+    "adaptive",
+    "threshold",
+    "greedy",
+    "left",
+    "memory",
+    "single",
+    "weighted",
+    "weighted-left",
+)
 
 #: Arrival groups smaller than this ride the scalar fast path by default:
 #: the vectorised engines pay O(n_servers) setup (capacity vectors, bincount
@@ -215,7 +230,7 @@ class Dispatcher:
             raise ConfigurationError(f"k must be non-negative, got {k}")
         if w_max is not None and w_max <= 0:
             raise ConfigurationError(f"w_max must be positive, got {w_max}")
-        if policy == "left":
+        if policy in ("left", "weighted-left"):
             # Validates the equal-groups requirement of the replay contract.
             replay_group_map(n_servers, d)
         if block_size is not None and block_size <= 0:
@@ -280,7 +295,7 @@ class Dispatcher:
     def describe_params(self) -> dict:
         """Policy parameters for provenance in the unified result record."""
         params: dict = {"policy": self.policy}
-        if self.policy in ("greedy", "left", "memory"):
+        if self.policy in ("greedy", "left", "memory", "weighted-left"):
             params["d"] = self.d
         if self.policy == "memory":
             params["k"] = self.k
@@ -313,7 +328,7 @@ class Dispatcher:
         """
         sizes = np.asarray(sizes, dtype=np.float64).ravel()
         assignments = self._assign_batch(sizes, total_jobs)
-        if assignments.size and self.policy != "weighted":
+        if assignments.size and self.policy not in ("weighted", "weighted-left"):
             if assignments.size * 16 < self.n_servers:
                 # O(k log k) instead of O(n_servers): per-server partial sums
                 # accumulated in job order, then added once per touched server
@@ -367,6 +382,9 @@ class Dispatcher:
             assignments, probes = window.assignments, window.probes
         elif self.policy == "weighted":
             assignments, probes = self._dispatch_weighted(sizes)
+        elif self.policy == "weighted-left":
+            assignments = self._dispatch_weighted_left(sizes)
+            probes = k * self.d
         else:  # adaptive: constant acceptance limit within each stage of n jobs
             assignments, probes = self._dispatch_adaptive(k)
 
@@ -444,6 +462,32 @@ class Dispatcher:
         self.job_counts += np.bincount(assignments, minlength=self.n_servers)
         return assignments, probes
 
+    def _dispatch_weighted_left(self, sizes: np.ndarray) -> np.ndarray:
+        """Weighted left[d]: probes map to server groups, least work wins.
+
+        The probe-to-group mapping is the shared
+        :func:`~repro.baselines.left.replay_group_map` contract and the
+        engine's first-minimum rule is Vöcking's asymmetric tie-break, here
+        over the accumulated work vector with weighted increments — the
+        engine maintains ``self.work`` in place in exact sequential
+        per-server order, so both dispatch entry points skip their own
+        work accounting (as for the ``"weighted"`` policy).
+        """
+        group_base, size = replay_group_map(self.n_servers, self.d)
+        assignments = np.empty(sizes.size, dtype=np.int64)
+        chunked_argmin_commit(
+            self.work,
+            lambda start, count: group_base
+            + self._stream.take_matrix(count, self.d) % size,
+            int(sizes.size),
+            self.d,
+            chunk_size=self.block_size,
+            assignments=assignments,
+            weights=sizes,
+        )
+        self.job_counts += np.bincount(assignments, minlength=self.n_servers)
+        return assignments
+
     def _weighted_thresholds(self, sizes: np.ndarray) -> np.ndarray:
         """Per-job weighted acceptance thresholds; updates the running totals.
 
@@ -482,11 +526,11 @@ class Dispatcher:
         An explicit ``small_burst`` is an unconditional threshold (0
         disables).  The automatic rule encodes the measured crossovers: the
         scalar path wins when the burst is tiny relative to the vectorised
-        engines' O(n_servers) per-call setup, with policy-dependent
-        constants (the memory policy's vector path pays an O(n) list
-        round-trip, so it crosses over latest; the weighted scalar loop is
-        the most expensive per job, so it only pays off for the tiniest
-        bursts).
+        engines' per-call setup, with policy-dependent constants (the
+        memory policy's provisional engine pays a fixed sort-and-scaffold
+        cost worth about a hundred scalar jobs at any fleet size, so every
+        sub-cap burst goes scalar; the weighted scalar loop is the most
+        expensive per job, so it only pays off for the tiniest bursts).
         """
         if self.small_burst is not None:
             return k < self.small_burst
@@ -498,7 +542,11 @@ class Dispatcher:
         if self.policy == "single":
             return k * 1024 < n
         if self.policy == "memory":
-            return k * 32 < n
+            # The provisional-simulation engine pays a fixed per-call setup
+            # (sort, warm fold, fixpoint scaffolding) worth about a hundred
+            # scalar jobs regardless of n — re-measured crossover ~60-200
+            # jobs across 1k-10k servers, so every sub-cap burst goes scalar.
+            return True
         return k * 64 < n  # adaptive, threshold, greedy, left
 
     def _assign_small_burst(
@@ -550,6 +598,22 @@ class Dispatcher:
                 counts, fresh, self._memory, self.k, assignments=placed
             )
             assignments[:] = placed
+            probes = k * self.d
+        elif self.policy == "weighted-left":
+            group_base, size = replay_group_map(n, self.d)
+            matrix = group_base + self._stream.take_matrix(k, self.d) % size
+            work = self.work
+            sizes_list = sizes.tolist()
+            for i, row in enumerate(matrix.tolist()):
+                best = row[0]
+                best_work = work[best]
+                for server in row[1:]:
+                    load = work[server]
+                    if load < best_work:
+                        best, best_work = server, load
+                work[best] = best_work + sizes_list[i]
+                counts[best] += 1
+                assignments[i] = best
             probes = k * self.d
         elif self.policy == "weighted":
             thresholds = self._weighted_thresholds(sizes)
@@ -653,21 +717,26 @@ class Dispatcher:
         return assignments
 
     def _dispatch_memory(self, k: int) -> np.ndarray:
-        """(d,k)-memory: chunked bulk fresh draws, sequential hand-off.
+        """(d,k)-memory through the chunked provisional-simulation engine.
 
         The remembered set persists across :meth:`dispatch_batch` calls (it
         is part of the protocol state, like ``job_counts``) and holds
-        distinct servers; the loop and the fresh-draw chunking are shared
-        with :class:`~repro.baselines.memory.MemoryProtocol`, and
-        ``job_counts`` is updated in place like every other policy.
+        distinct servers; the engine and its spill rule are shared with
+        :class:`~repro.baselines.memory.MemoryProtocol`, and ``job_counts``
+        is updated in place like every other policy.
         """
-        counts = self.job_counts.tolist()
-        placed: list[int] = []
-        self._memory = chunked_memory_hand_off(
-            self._stream, counts, self._memory, k, self.d, self.k, assignments=placed
+        assignments = np.empty(k, dtype=np.int64)
+        self._memory = chunked_memory_commit(
+            self._stream,
+            self.job_counts,
+            self._memory,
+            k,
+            self.d,
+            self.k,
+            assignments=assignments,
+            chunk_size=self.block_size,
         )
-        self.job_counts[:] = counts
-        return np.asarray(placed, dtype=np.int64)
+        return assignments
 
     def dispatch(self, workload: Workload) -> DispatchResult:
         """Assign every job of ``workload`` to a server, in arrival order.
@@ -682,7 +751,7 @@ class Dispatcher:
         assignments = np.empty(n_jobs, dtype=np.int64)
         for _, start, stop in workload.arrival_batches():
             assignments[start:stop] = self._assign_batch(sizes[start:stop], n_jobs)
-        if self.policy != "weighted":
+        if self.policy not in ("weighted", "weighted-left"):
             # Bin the work in a single pass over all jobs: per-server additions
             # then happen in job order, making the totals bit-identical to the
             # sequential loop (batch-wise partial sums can differ in the last

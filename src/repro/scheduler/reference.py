@@ -56,7 +56,7 @@ def reference_dispatch(
         raise ConfigurationError(f"k must be non-negative, got {k}")
     if w_max is not None and w_max <= 0:
         raise ConfigurationError(f"w_max must be positive, got {w_max}")
-    if policy == "left" and n_servers % d:
+    if policy in ("left", "weighted-left") and n_servers % d:
         raise ConfigurationError(
             "the left policy needs n_servers divisible by d, got "
             f"{n_servers} servers and d={d}"
@@ -123,6 +123,13 @@ def reference_dispatch(
                 work, float(weighted_thresholds[index]), stream, max_probes_cap
             )
             probes += used
+        elif policy == "weighted-left":
+            candidates = (
+                np.arange(d, dtype=np.int64) * group_size
+                + stream.take(d) % group_size
+            )
+            server = int(candidates[int(np.argmin(work[candidates]))])
+            probes += d
         else:
             if policy == "adaptive":
                 limit = acceptance_limit(index + 1, n_servers, offset=1)

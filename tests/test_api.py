@@ -45,7 +45,13 @@ ALL_PROTOCOLS = tuple(available_protocols())
 STREAMING_PROTOCOLS = tuple(
     name for name in ALL_PROTOCOLS if make_protocol(name).streaming
 )
-WEIGHTED_PROTOCOLS = ("weighted-adaptive", "weighted-threshold", "weighted-greedy")
+WEIGHTED_PROTOCOLS = (
+    "weighted-adaptive",
+    "weighted-threshold",
+    "weighted-greedy",
+    "weighted-left",
+    "weighted-memory",
+)
 DISPATCH_POLICIES = (
     "adaptive",
     "threshold",
@@ -54,6 +60,7 @@ DISPATCH_POLICIES = (
     "memory",
     "single",
     "weighted",
+    "weighted-left",
 )
 
 
@@ -225,7 +232,9 @@ class TestLegacyEquivalence:
             policy,
             n_servers=64,
             seed=21,
-            params={"d": 2} if policy in ("greedy", "left", "memory") else {},
+            params={"d": 2}
+            if policy in ("greedy", "left", "memory", "weighted-left")
+            else {},
             workload=workload,
         )
         via_spec = simulate(spec)

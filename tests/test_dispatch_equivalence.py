@@ -26,7 +26,16 @@ from repro.scheduler.jobs import (
 )
 from repro.scheduler.reference import reference_dispatch
 
-POLICIES = ("adaptive", "threshold", "greedy", "left", "memory", "single", "weighted")
+POLICIES = (
+    "adaptive",
+    "threshold",
+    "greedy",
+    "left",
+    "memory",
+    "single",
+    "weighted",
+    "weighted-left",
+)
 
 # 120 is divisible by the d values used below, as the left policy requires.
 N_JOBS = 1500

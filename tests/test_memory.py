@@ -112,3 +112,36 @@ class TestAllocate:
     def test_mismatched_stream(self):
         with pytest.raises(ConfigurationError):
             MemoryProtocol().allocate(3, 5, probe_stream=FixedProbeStream(4, np.arange(4)))
+
+
+class TestRecordTrace:
+    """Regression: ``record_trace`` used to be accepted and silently ignored."""
+
+    def test_allocate_records_stage_trace_with_remembered_sets(self):
+        result = MemoryProtocol(d=1, k=2).allocate(250, 100, seed=4, record_trace=True)
+        assert result.trace is not None
+        # Stages of n balls: 250 balls into 100 bins = 2 full + 1 partial.
+        assert len(result.trace) == 3
+        assert [r.balls_placed for r in result.trace] == [100, 100, 50]
+        assert [r.probes for r in result.trace] == [100, 100, 50]
+        for record in result.trace:
+            assert record.max_load >= record.min_load
+            assert record.remembered is not None
+            assert 1 <= len(record.remembered) <= 2
+            assert len(set(record.remembered)) == len(record.remembered)
+
+    def test_trace_off_by_default(self):
+        assert MemoryProtocol().allocate(50, 10, seed=1).trace is None
+
+    def test_stepped_trace_matches_one_shot(self):
+        one_shot = MemoryProtocol(d=1, k=1).allocate(
+            230, 40, seed=9, record_trace=True
+        )
+        session = MemoryProtocol(d=1, k=1).begin(230, 40, seed=9, record_trace=True)
+        session.place(7)
+        session.place(150)
+        stepped = session.result()
+        assert np.array_equal(stepped.loads, one_shot.loads)
+        assert len(stepped.trace) == len(one_shot.trace)
+        for a, b in zip(stepped.trace, one_shot.trace):
+            assert a == b

@@ -30,6 +30,8 @@ class TestRegistry:
             "weighted-adaptive",
             "weighted-threshold",
             "weighted-greedy",
+            "weighted-left",
+            "weighted-memory",
         }
         assert {row["weight_dist"] for row in rows} == {
             "pareto",

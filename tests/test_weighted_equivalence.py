@@ -20,9 +20,13 @@ from repro.core.adaptive import AdaptiveProtocol
 from repro.core.weighted import (
     reference_weighted_adaptive,
     reference_weighted_greedy,
+    reference_weighted_left,
+    reference_weighted_memory,
     reference_weighted_threshold,
     run_weighted_adaptive,
     run_weighted_greedy,
+    run_weighted_left,
+    run_weighted_memory,
     run_weighted_threshold,
 )
 from repro.core.weighted_engine import default_weighted_chunk_size
@@ -268,3 +272,140 @@ class TestEngineHelpers:
     def test_default_chunk_size_validation(self):
         with pytest.raises(ConfigurationError):
             default_weighted_chunk_size(0, np.ones(4))
+
+
+class TestLeftReplay:
+    N_BINS_LEFT = 64  # divisible by every d below, as the replay contract needs
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("d", [1, 2, 4])
+    def test_bit_identical(self, family, d):
+        weights = weight_family(family, N_BALLS)
+        choices = choice_vector(N_BALLS, n_bins=self.N_BINS_LEFT)
+        engine = run_weighted_left(
+            weights,
+            self.N_BINS_LEFT,
+            d=d,
+            probe_stream=FixedProbeStream(self.N_BINS_LEFT, choices),
+        )
+        reference = reference_weighted_left(
+            weights,
+            self.N_BINS_LEFT,
+            d=d,
+            probe_stream=FixedProbeStream(self.N_BINS_LEFT, choices),
+        )
+        assert_identical(engine, reference)
+
+    def test_seeded_run_bit_identical_any_groups(self):
+        """Seeded runs use the float-offset sampling, so unequal groups work."""
+        weights = weight_family("pareto", N_BALLS)
+        engine = run_weighted_left(weights, 63, seed=7, d=3)
+        reference = reference_weighted_left(weights, 63, seed=7, d=3)
+        assert_identical(engine, reference)
+
+    @pytest.mark.parametrize("chunk_size", [1, 9, 450])
+    def test_chunk_size_invariance(self, chunk_size):
+        weights = weight_family("bimodal", N_BALLS)
+        choices = choice_vector(N_BALLS, n_bins=self.N_BINS_LEFT)
+        baseline = run_weighted_left(
+            weights,
+            self.N_BINS_LEFT,
+            probe_stream=FixedProbeStream(self.N_BINS_LEFT, choices),
+        )
+        chunked = run_weighted_left(
+            weights,
+            self.N_BINS_LEFT,
+            probe_stream=FixedProbeStream(self.N_BINS_LEFT, choices),
+            chunk_size=chunk_size,
+        )
+        assert_identical(chunked, baseline)
+
+    def test_all_equal_weights_reproduce_unit_left_exactly(self):
+        from repro.baselines.left import LeftProtocol
+
+        weights = np.full(N_BALLS, 1.0)
+        choices = choice_vector(N_BALLS, n_bins=self.N_BINS_LEFT)
+        weighted = run_weighted_left(
+            weights,
+            self.N_BINS_LEFT,
+            d=2,
+            probe_stream=FixedProbeStream(self.N_BINS_LEFT, choices),
+        )
+        unit = LeftProtocol(d=2).allocate(
+            N_BALLS,
+            self.N_BINS_LEFT,
+            probe_stream=FixedProbeStream(self.N_BINS_LEFT, choices),
+        )
+        assert np.array_equal(weighted.counts, unit.loads)
+        assert np.array_equal(
+            weighted.weighted_loads, unit.loads.astype(np.float64)
+        )
+        assert weighted.allocation_time == unit.allocation_time
+
+    def test_unequal_groups_rejected_on_replay(self):
+        weights = weight_family("uniform", 10)
+        with pytest.raises(ConfigurationError):
+            run_weighted_left(
+                weights,
+                63,
+                d=2,
+                probe_stream=FixedProbeStream(63, np.zeros(40, dtype=np.int64)),
+            )
+
+
+class TestMemoryReplay:
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("d,k", [(1, 1), (2, 1), (1, 0), (2, 3)])
+    def test_bit_identical(self, family, d, k):
+        weights = weight_family(family, N_BALLS)
+        choices = choice_vector(N_BALLS)
+        engine = run_weighted_memory(
+            weights, N_BINS, d=d, k=k, probe_stream=FixedProbeStream(N_BINS, choices)
+        )
+        reference = reference_weighted_memory(
+            weights, N_BINS, d=d, k=k, probe_stream=FixedProbeStream(N_BINS, choices)
+        )
+        assert_identical(engine, reference)
+
+    @pytest.mark.parametrize("chunk_size", [1, 17, 5000])
+    def test_chunk_size_invariance(self, chunk_size):
+        weights = weight_family("pareto-extreme", N_BALLS)
+        choices = choice_vector(N_BALLS)
+        baseline = run_weighted_memory(
+            weights, N_BINS, probe_stream=FixedProbeStream(N_BINS, choices)
+        )
+        chunked = run_weighted_memory(
+            weights,
+            N_BINS,
+            probe_stream=FixedProbeStream(N_BINS, choices),
+            chunk_size=chunk_size,
+        )
+        assert_identical(chunked, baseline)
+
+    def test_all_equal_weights_reproduce_unit_memory_exactly(self):
+        from repro.baselines.memory import MemoryProtocol
+
+        weights = np.full(N_BALLS, 1.0)
+        choices = choice_vector(N_BALLS)
+        weighted = run_weighted_memory(
+            weights, N_BINS, d=1, k=1, probe_stream=FixedProbeStream(N_BINS, choices)
+        )
+        unit = MemoryProtocol(d=1, k=1).allocate(
+            N_BALLS, N_BINS, probe_stream=FixedProbeStream(N_BINS, choices)
+        )
+        assert np.array_equal(weighted.counts, unit.loads)
+        assert np.array_equal(
+            weighted.weighted_loads, unit.loads.astype(np.float64)
+        )
+        assert weighted.allocation_time == unit.allocation_time
+
+    def test_heavily_loaded_case(self):
+        weights = weight_family("exponential", 4_000)
+        choices = choice_vector(4_000, n_bins=8)
+        engine = run_weighted_memory(
+            weights, 8, probe_stream=FixedProbeStream(8, choices)
+        )
+        reference = reference_weighted_memory(
+            weights, 8, probe_stream=FixedProbeStream(8, choices)
+        )
+        assert_identical(engine, reference)
