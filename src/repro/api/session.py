@@ -238,7 +238,10 @@ def simulate(
       :class:`~repro.core.result.RunResult`, bit-identical to the
       corresponding legacy ``run_*`` entry point for the same seed.
     * :class:`SimulationSpec` with ``trials > 1`` → a list of results, one
-      per trial, seeded exactly as ``repro.experiments.run_trials``.
+      per trial, seeded exactly as ``repro.experiments.run_trials`` (which
+      executes the batch — through the trial-axis batched engines for
+      protocols that support them, bit-identical to trial-by-trial
+      ``Simulation`` runs either way).
     * :class:`DispatchSpec` (with a workload) → a
       :class:`~repro.scheduler.dispatcher.DispatchResult`, bit-identical to
       constructing the :class:`~repro.scheduler.Dispatcher` by hand.
@@ -246,7 +249,10 @@ def simulate(
     if isinstance(spec, SimulationSpec):
         if spec.trials == 1:
             return Simulation(spec).run()
-        return [Simulation(spec, trial=i).run() for i in range(spec.trials)]
+        # Deferred import: the runner module imports this one at load time.
+        from repro.experiments.runner import run_trials
+
+        return run_trials(spec)
     if isinstance(spec, DispatchSpec):
         if spec.workload is None:
             raise ConfigurationError(

@@ -52,6 +52,7 @@ __all__ = [
     "default_chunk_size",
     "commit_chunk",
     "chunked_argmin_commit",
+    "batched_argmin_commit",
     "chunked_move_sweep",
     "matrix_source",
 ]
@@ -208,6 +209,89 @@ def chunked_argmin_commit(
             assignments=assignments,
             base=done,
             weights=None if weights is None else weights[done : done + count],
+        )
+        done += count
+
+
+def batched_argmin_commit(
+    loads: np.ndarray,
+    sources: "list[Callable[[int, int], np.ndarray]]",
+    n_balls: int,
+    d: int,
+    *,
+    priorities: "list[np.ndarray] | None" = None,
+    chunk_size: int | None = None,
+    weights: "list[np.ndarray] | None" = None,
+) -> None:
+    """Place ``n_balls`` d-choice balls for every trial of a batch at once.
+
+    The trial-axis counterpart of :func:`chunked_argmin_commit`, built on the
+    *combined-instance* embedding: trial ``t``'s candidate bins are offset by
+    ``t * n_bins`` into one flat ``(trials * n_bins)``-bin load vector, and
+    each chunk's per-trial candidate rows are interleaved **ball-major**
+    (ball 0 of every trial, then ball 1, …) into a single ``(count * trials,
+    d)`` matrix committed by the ordinary :func:`commit_chunk` — no second
+    commit engine.  Bins of different trials never collide, so the sequential
+    semantics of the combined instance restricted to trial ``t``'s rows *is*
+    trial ``t``'s sequential process: per-trial loads (and weighted float
+    accumulation order) are bit-identical to single-trial runs, which the
+    test-suite certifies.
+
+    Parameters
+    ----------
+    loads:
+        ``(trials, n_bins)`` load matrix, modified in place (float when
+        ``weights`` is given, exactly as in the single-trial engine).
+    sources:
+        One chunk source per trial; ``sources[t](start, count)`` returns the
+        ``(count, d)`` candidate rows of balls ``start … start+count-1`` of
+        trial ``t`` (a per-trial ``take_matrix`` draw or matrix slice, so
+        each trial's probe consumption order is unchanged).
+    priorities / weights:
+        Optional per-trial lists of the full ``(n_balls, d)`` tie-break /
+        ``(n_balls,)`` weight arrays, drawn up front per trial exactly as
+        the single-trial implementations draw them.
+    """
+    if n_balls < 0:
+        raise ConfigurationError(f"n_balls must be non-negative, got {n_balls}")
+    if chunk_size is not None and chunk_size < 1:
+        raise ConfigurationError(f"chunk_size must be positive, got {chunk_size}")
+    loads = np.asarray(loads)
+    if loads.ndim != 2 or loads.size == 0:
+        raise ConfigurationError("loads must be a non-empty 2-D (trials x bins) array")
+    if not loads.flags.c_contiguous:
+        raise ConfigurationError("loads must be C-contiguous")
+    n_trials, n_bins = loads.shape
+    if len(sources) != n_trials:
+        raise ConfigurationError(
+            f"got {len(sources)} chunk sources for {n_trials} trial rows"
+        )
+    flat_loads = loads.reshape(-1)
+    offsets = (np.arange(n_trials, dtype=np.int64) * n_bins)[:, None, None]
+    chunk = chunk_size or default_chunk_size(n_bins, d)
+    done = 0
+    while done < n_balls:
+        count = min(chunk, n_balls - done)
+        stacked = np.stack(
+            [np.asarray(source(done, count)) for source in sources]
+        )
+        combined = (stacked + offsets).swapaxes(0, 1).reshape(count * n_trials, d)
+        big_priorities = None
+        if priorities is not None:
+            big_priorities = (
+                np.stack([p[done : done + count] for p in priorities])
+                .swapaxes(0, 1)
+                .reshape(count * n_trials, d)
+            )
+        big_weights = None
+        if weights is not None:
+            big_weights = (
+                np.stack([w[done : done + count] for w in weights])
+                .swapaxes(0, 1)
+                .reshape(count * n_trials)
+            )
+        commit_chunk(
+            flat_loads, combined, priorities=big_priorities, weights=big_weights
         )
         done += count
 

@@ -35,8 +35,12 @@ from typing import Any
 
 import numpy as np
 
-from repro.baselines.engine import chunked_argmin_commit
-from repro.core.protocol import AllocationProtocol, register_protocol
+from repro.baselines.engine import batched_argmin_commit, chunked_argmin_commit
+from repro.core.protocol import (
+    AllocationProtocol,
+    batch_streams,
+    register_protocol,
+)
 from repro.core.result import AllocationResult
 from repro.core.session import ProtocolSession
 from repro.errors import ConfigurationError
@@ -147,6 +151,7 @@ class GreedyProtocol(AllocationProtocol):
 
     name = "greedy"
     streaming = True
+    batches = True
 
     def __init__(self, d: int = 2, tie_break: str = "random") -> None:
         if d < 1:
@@ -228,6 +233,50 @@ class GreedyProtocol(AllocationProtocol):
             costs=CostModel(probes=probes),
             params=self.params(),
         )
+
+    def allocate_batch(
+        self,
+        n_balls: int,
+        n_bins: int,
+        seeds=None,
+        *,
+        probe_streams=None,
+        record_trace: bool = False,
+    ) -> "list[AllocationResult]":
+        self.validate_size(n_balls, n_bins)
+        batch = batch_streams(n_bins, seeds, probe_streams)
+        loads = np.zeros((batch.trials, n_bins), dtype=np.int64)
+        if n_balls:
+            priorities = None
+            if self.tie_break == "random":
+                # One up-front matrix per trial from that trial's auxiliary
+                # generator — the same single call (same spawn order) the
+                # single-trial run makes on its own stream.
+                seed_list = seeds if seeds is not None else [None] * batch.trials
+                priorities = [
+                    child.derive_generator(seed).random(size=(n_balls, self.d))
+                    for child, seed in zip(batch.children, seed_list)
+                ]
+            sources = [
+                lambda start, count, child=child: child.take_matrix(count, self.d)
+                for child in batch.children
+            ]
+            batched_argmin_commit(
+                loads, sources, n_balls, self.d, priorities=priorities
+            )
+        probes = n_balls * self.d
+        return [
+            AllocationResult(
+                protocol=self.name,
+                n_balls=n_balls,
+                n_bins=n_bins,
+                loads=loads[t].copy(),
+                allocation_time=probes,
+                costs=CostModel(probes=probes),
+                params=self.params(),
+            )
+            for t in range(batch.trials)
+        ]
 
 
 def run_greedy(

@@ -34,9 +34,17 @@ from typing import Any
 
 import numpy as np
 
-from repro.baselines.engine import chunked_argmin_commit, matrix_source
+from repro.baselines.engine import (
+    batched_argmin_commit,
+    chunked_argmin_commit,
+    matrix_source,
+)
 from repro.baselines.greedy import DChoiceSession
-from repro.core.protocol import AllocationProtocol, register_protocol
+from repro.core.protocol import (
+    AllocationProtocol,
+    batch_streams,
+    register_protocol,
+)
 from repro.core.result import AllocationResult
 from repro.errors import ConfigurationError
 from repro.runtime.costs import CostModel
@@ -121,6 +129,7 @@ class LeftProtocol(AllocationProtocol):
 
     name = "left"
     streaming = True
+    batches = True
 
     def __init__(self, d: int = 2) -> None:
         if d < 1:
@@ -205,6 +214,53 @@ class LeftProtocol(AllocationProtocol):
             costs=CostModel(probes=probes),
             params=self.params(),
         )
+
+    def allocate_batch(
+        self,
+        n_balls: int,
+        n_bins: int,
+        seeds=None,
+        *,
+        probe_streams=None,
+        record_trace: bool = False,
+    ) -> "list[AllocationResult]":
+        self.validate_size(n_balls, n_bins)
+        batch = batch_streams(n_bins, seeds, probe_streams)
+        loads = np.zeros((batch.trials, n_bins), dtype=np.int64)
+        if probe_streams is not None:
+            # Replay mode: each trial maps its own uniform probes onto equal
+            # groups, exactly as the single-trial run does.
+            group_base, size = replay_group_map(n_bins, self.d)
+            sources = [
+                lambda start, count, child=child: group_base
+                + child.take_matrix(count, self.d) % size
+                for child in batch.children
+            ]
+        else:
+            group_boundaries(n_bins, self.d)  # validates d against n_bins
+            # Seeded mode: each trial's full in-group offset matrix is drawn
+            # up front from its own generator, identical to the one-shot run.
+            sources = [
+                matrix_source(
+                    seeded_group_choices(n_bins, self.d, n_balls, child.generator)
+                )
+                for child in batch.children
+            ]
+        if n_balls:
+            batched_argmin_commit(loads, sources, n_balls, self.d)
+        probes = n_balls * self.d
+        return [
+            AllocationResult(
+                protocol=self.name,
+                n_balls=n_balls,
+                n_bins=n_bins,
+                loads=loads[t].copy(),
+                allocation_time=probes,
+                costs=CostModel(probes=probes),
+                params=self.params(),
+            )
+            for t in range(batch.trials)
+        ]
 
 
 def run_left(

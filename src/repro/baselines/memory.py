@@ -76,6 +76,15 @@ class MemoryProtocol(AllocationProtocol):
         Number of fresh uniform choices per ball.
     k:
         Number of bins remembered from the previous ball.
+
+    Notes
+    -----
+    ``batches`` stays ``False``: each ball's remembered bins chain through
+    every previous placement (a sequential data dependence the provisional
+    engine resolves per trial, and the d>1/k>=2 regimes are deliberately
+    scalar per the roadmap), so multi-trial batches honestly run through the
+    base-class per-trial :meth:`~repro.core.protocol.AllocationProtocol.allocate_batch`
+    loop rather than a second trial-axis engine.
     """
 
     name = "memory"

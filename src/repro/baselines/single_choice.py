@@ -14,7 +14,11 @@ from typing import Any
 
 import numpy as np
 
-from repro.core.protocol import AllocationProtocol, register_protocol
+from repro.core.protocol import (
+    AllocationProtocol,
+    batch_streams,
+    register_protocol,
+)
 from repro.core.result import AllocationResult
 from repro.core.session import ProtocolSession
 from repro.errors import ConfigurationError
@@ -31,6 +35,7 @@ class SingleChoiceProtocol(AllocationProtocol):
 
     name = "single-choice"
     streaming = True
+    batches = True
 
     def __init__(self) -> None:
         # No parameters; keep an explicit __init__ so the registry-based
@@ -80,6 +85,44 @@ class SingleChoiceProtocol(AllocationProtocol):
             costs=costs,
             params=self.params(),
         )
+
+
+    def allocate_batch(
+        self,
+        n_balls: int,
+        n_bins: int,
+        seeds=None,
+        *,
+        probe_streams=None,
+        record_trace: bool = False,
+    ) -> "list[AllocationResult]":
+        self.validate_size(n_balls, n_bins)
+        batch = batch_streams(n_bins, seeds, probe_streams)
+        n_trials = batch.trials
+        loads = np.zeros((n_trials, n_bins), dtype=np.int64)
+        flat = loads.reshape(-1)
+        offsets = (np.arange(n_trials, dtype=np.int64) * n_bins)[:, None]
+        indices = np.arange(n_trials, dtype=np.int64)
+        # Bound the transient block to ~32 MB of int64 regardless of trials.
+        chunk = max(1, (1 << 22) // n_trials)
+        done = 0
+        while done < n_balls:
+            count = min(chunk, n_balls - done)
+            block = batch.take_batch(indices, count) + offsets
+            flat += np.bincount(block.reshape(-1), minlength=flat.size)
+            done += count
+        return [
+            AllocationResult(
+                protocol=self.name,
+                n_balls=n_balls,
+                n_bins=n_bins,
+                loads=loads[t].copy(),
+                allocation_time=n_balls,
+                costs=CostModel(probes=n_balls),
+                params=self.params(),
+            )
+            for t in range(n_trials)
+        ]
 
 
 class _SingleChoiceSession(ProtocolSession):

@@ -25,9 +25,13 @@ from repro.core.potentials import (
     exponential_potential,
     quadratic_potential,
 )
-from repro.core.protocol import AllocationProtocol, register_protocol
+from repro.core.protocol import (
+    AllocationProtocol,
+    batch_streams,
+    register_protocol,
+)
 from repro.core.result import AllocationResult
-from repro.core.session import StagedWindowSession
+from repro.core.session import StagedWindowSession, run_staged_batch
 from repro.core.thresholds import acceptance_limit, stage_windows
 from repro.core.window import fill_window
 from repro.errors import ConfigurationError
@@ -58,6 +62,7 @@ class AdaptiveProtocol(AllocationProtocol):
 
     name = "adaptive"
     streaming = True
+    batches = True
 
     def __init__(self, offset: int = 1, block_size: int | None = None) -> None:
         if offset < 0:
@@ -148,6 +153,40 @@ class AdaptiveProtocol(AllocationProtocol):
             costs=costs,
             trace=trace,
             params=self.params(),
+        )
+
+    def allocate_batch(
+        self,
+        n_balls: int,
+        n_bins: int,
+        seeds=None,
+        *,
+        probe_streams=None,
+        record_trace: bool = False,
+    ) -> list[AllocationResult]:
+        if record_trace:
+            # Traced runs are for analysis, not throughput; the per-trial
+            # loop already records exact per-stage trajectories.
+            return super().allocate_batch(
+                n_balls,
+                n_bins,
+                seeds,
+                probe_streams=probe_streams,
+                record_trace=True,
+            )
+        self.validate_size(n_balls, n_bins)
+        batch = batch_streams(n_bins, seeds, probe_streams)
+        return run_staged_batch(
+            self,
+            n_balls,
+            n_bins,
+            batch,
+            (
+                (window.acceptance_limit, window.n_balls)
+                for window in stage_windows(n_balls, n_bins, self.offset)
+            ),
+            block_size=self.block_size,
+            checkpoint_stages=True,
         )
 
 

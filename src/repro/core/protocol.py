@@ -11,23 +11,63 @@ serialisable.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Any, Iterable
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from repro.core.result import AllocationResult
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.session import ProtocolSession
 from repro.errors import ConfigurationError
-from repro.runtime.probes import ProbeStream
+from repro.runtime.probes import BatchedProbeStream, ProbeStream
 from repro.runtime.rng import SeedLike
 
 __all__ = [
     "AllocationProtocol",
+    "batch_streams",
     "register_protocol",
     "get_protocol",
     "available_protocols",
     "make_protocol",
 ]
+
+
+def _normalize_batch_args(
+    seeds: Sequence[SeedLike] | None,
+    probe_streams: Sequence[ProbeStream] | None,
+) -> tuple[Sequence[SeedLike] | None, int]:
+    """Shared validation for ``allocate_batch``: one of seeds/streams, its length."""
+    if (seeds is None) == (probe_streams is None):
+        raise ConfigurationError(
+            "allocate_batch needs exactly one of seeds or probe_streams"
+        )
+    source = seeds if seeds is not None else probe_streams
+    trials = len(source)  # type: ignore[arg-type]
+    if trials < 1:
+        raise ConfigurationError("allocate_batch needs at least one trial")
+    return seeds, trials
+
+
+def batch_streams(
+    n_bins: int,
+    seeds: Sequence[SeedLike] | None,
+    probe_streams: Sequence[ProbeStream] | None,
+) -> BatchedProbeStream:
+    """Build the per-trial stream bundle for a batched allocate call.
+
+    Child ``i`` is exactly the stream trial ``i``'s single-trial run would
+    use: a fresh :class:`~repro.runtime.probes.RandomProbeStream` seeded
+    with ``seeds[i]``, or the caller's explicit ``probe_streams[i]``
+    (replay/testing).  Shared by every ``batches = True`` protocol.
+    """
+    _normalize_batch_args(seeds, probe_streams)
+    if probe_streams is not None:
+        for stream in probe_streams:
+            if stream.n_bins != n_bins:
+                raise ConfigurationError(
+                    "probe_stream.n_bins does not match the requested n_bins"
+                )
+        return BatchedProbeStream(list(probe_streams))
+    return BatchedProbeStream.from_seeds(n_bins, list(seeds))
 
 
 class AllocationProtocol(ABC):
@@ -81,6 +121,56 @@ class AllocationProtocol(ABC):
 
     #: Whether :meth:`begin` is implemented (sequential per-ball placement).
     streaming: bool = False
+
+    #: Whether :meth:`allocate_batch` runs trials as one 2-D computation.
+    #: ``False`` means the base-class per-trial loop — protocols whose
+    #: placement is inherently data-dependent across probes (the remembered
+    #: -bin chain of the memory protocols, the weighted commit regimes) stay
+    #: on it honestly rather than growing a second engine.
+    batches: bool = False
+
+    def allocate_batch(
+        self,
+        n_balls: int,
+        n_bins: int,
+        seeds: Sequence[SeedLike] | None = None,
+        *,
+        probe_streams: Sequence[ProbeStream] | None = None,
+        record_trace: bool = False,
+    ) -> list[AllocationResult]:
+        """Run one independent trial per seed, all on the same problem size.
+
+        Entry ``i`` of the returned list is **bit-identical** (same loads,
+        same probe counts, same cost checkpoints) to
+        ``allocate(n_balls, n_bins, seeds[i])`` — certified by the
+        test-suite for every protocol.  Protocols with ``batches = True``
+        override this with a trial-axis vectorised engine; this default
+        simply loops ``allocate`` per trial, so every protocol exposes the
+        same batch API regardless of whether batching pays off for it.
+
+        Parameters
+        ----------
+        seeds:
+            One seed per trial (typically the table from
+            :func:`repro.runtime.rng.trial_seed_table`).
+        probe_streams:
+            Optional explicit per-trial probe streams (replay/testing);
+            mutually exclusive with ``seeds``.
+        record_trace:
+            Forwarded to each trial's run.
+        """
+        self.validate_size(n_balls, n_bins)
+        seeds, trials = _normalize_batch_args(seeds, probe_streams)
+        return [
+            self.allocate(
+                n_balls,
+                n_bins,
+                None if seeds is None else seeds[i],
+                probe_stream=None if probe_streams is None else probe_streams[i],
+                record_trace=record_trace,
+            )
+            for i in range(trials)
+        ]
 
     def begin(
         self,

@@ -37,13 +37,69 @@ from repro.core.potentials import (
     quadratic_potential,
 )
 from repro.core.result import RunResult
-from repro.core.window import fill_window
+from repro.core.window import fill_window, fill_window_batch
 from repro.errors import ConfigurationError, ProtocolError
 from repro.runtime.costs import CostModel
-from repro.runtime.probes import ProbeStream
+from repro.runtime.probes import BatchedProbeStream, ProbeStream
 from repro.runtime.trace import StageRecord, Trace
 
-__all__ = ["ProtocolSession", "StagedWindowSession"]
+__all__ = ["ProtocolSession", "StagedWindowSession", "run_staged_batch"]
+
+
+def run_staged_batch(
+    protocol,
+    n_balls: int,
+    n_bins: int,
+    batch: BatchedProbeStream,
+    windows,
+    *,
+    block_size: int | None,
+    checkpoint_stages: bool,
+) -> list[RunResult]:
+    """Run every trial of a constant-limit-window protocol as one 2-D batch.
+
+    Shared by the batched ADAPTIVE and THRESHOLD paths: ``windows`` yields
+    ``(acceptance_limit, count)`` pairs — the same stage decomposition as
+    the one-shot single-trial run, which depends only on the ball index, so
+    all trials share it — and each window is filled for all trials at once
+    with :func:`~repro.core.window.fill_window_batch`.  Per-trial cost models
+    are rebuilt exactly as the one-shot implementations build them: one
+    ``add_probes`` + checkpoint per stage when ``checkpoint_stages``
+    (ADAPTIVE), one flat ``add_probes`` with no checkpoints otherwise
+    (non-traced THRESHOLD).  Trial ``t`` of the returned list is
+    bit-identical to the single-trial run on ``batch.children[t]``.
+    """
+    n_trials = batch.trials
+    loads = np.zeros((n_trials, n_bins), dtype=np.int64)
+    window_probes: list[np.ndarray] = []
+    for limit, count in windows:
+        window_probes.append(
+            fill_window_batch(loads, limit, count, batch, block_size=block_size)
+        )
+    results = []
+    for t in range(n_trials):
+        costs = CostModel()
+        if checkpoint_stages:
+            for probes in window_probes:
+                costs.add_probes(int(probes[t]))
+                costs.log_probe_checkpoint()
+        else:
+            total = sum(int(probes[t]) for probes in window_probes)
+            if total:
+                costs.add_probes(total)
+        results.append(
+            RunResult(
+                protocol=protocol.name,
+                n_balls=n_balls,
+                n_bins=n_bins,
+                loads=loads[t].copy(),
+                allocation_time=costs.probes,
+                costs=costs,
+                trace=None,
+                params=protocol.params(),
+            )
+        )
+    return results
 
 
 class ProtocolSession(ABC):

@@ -25,9 +25,13 @@ from repro.core.potentials import (
     exponential_potential,
     quadratic_potential,
 )
-from repro.core.protocol import AllocationProtocol, register_protocol
+from repro.core.protocol import (
+    AllocationProtocol,
+    batch_streams,
+    register_protocol,
+)
 from repro.core.result import AllocationResult
-from repro.core.session import StagedWindowSession
+from repro.core.session import StagedWindowSession, run_staged_batch
 from repro.core.thresholds import acceptance_limit
 from repro.core.window import fill_window
 from repro.errors import ConfigurationError
@@ -54,6 +58,7 @@ class ThresholdProtocol(AllocationProtocol):
 
     name = "threshold"
     streaming = True
+    batches = True
 
     def __init__(self, offset: int = 1, block_size: int | None = None) -> None:
         if offset < 1:
@@ -159,6 +164,44 @@ class ThresholdProtocol(AllocationProtocol):
             costs=costs,
             trace=trace,
             params=self.params(),
+        )
+
+    def allocate_batch(
+        self,
+        n_balls: int,
+        n_bins: int,
+        seeds=None,
+        *,
+        probe_streams=None,
+        record_trace: bool = False,
+    ) -> list[AllocationResult]:
+        if record_trace:
+            # Traced runs chunk by stage and record potentials per trial;
+            # the per-trial loop stays the exact, honest path for them.
+            return super().allocate_batch(
+                n_balls,
+                n_bins,
+                seeds,
+                probe_streams=probe_streams,
+                record_trace=True,
+            )
+        self.validate_size(n_balls, n_bins)
+        batch = batch_streams(n_bins, seeds, probe_streams)
+        windows = (
+            [(acceptance_limit(n_balls, n_bins, self.offset), n_balls)]
+            if n_balls
+            else []
+        )
+        return run_staged_batch(
+            self,
+            n_balls,
+            n_bins,
+            batch,
+            windows,
+            block_size=self.block_size,
+            # The one-shot non-traced run is a single window with one flat
+            # add_probes call and no checkpoints; mirror that cost model.
+            checkpoint_stages=False,
         )
 
 

@@ -696,6 +696,14 @@ class _WeightedProtocolBase(AllocationProtocol):
     a pure function of ``(seed, weight_dist, dist params)`` for seeded
     streams and replay-deterministic for fixed streams — the same contract
     as the greedy tie-break noise.
+
+    ``batches`` stays ``False`` for the whole weighted family: the weighted
+    ADAPTIVE/THRESHOLD engine's probe consumption is data-dependent on the
+    evolving *float* loads (no rank shortcut), and the weighted commit
+    regimes are deliberately scalar per the roadmap's standing constraints —
+    so multi-trial batches honestly run through the base-class per-trial
+    :meth:`~repro.core.protocol.AllocationProtocol.allocate_batch` loop
+    rather than a second trial-axis engine.
     """
 
     def __init__(

@@ -35,6 +35,10 @@ from repro.reporting.tables import format_markdown_table, write_csv
 
 __all__ = ["build_parser", "main"]
 
+#: Experiments whose runners accept the execution-mode flags
+#: (``--workers`` / ``--no-batch-trials`` / ``--trial-block``).
+_EXECUTION_MODE_EXPERIMENTS = frozenset({"table1", "figure3a", "figure3b"})
+
 
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed separately for testing)."""
@@ -62,6 +66,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--trials", type=int, default=None, help="override the number of trials"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for trial execution (table1 / figure3 "
+            "experiments; default 1)"
+        ),
+    )
+    parser.add_argument(
+        "--no-batch-trials",
+        action="store_true",
+        help=(
+            "run trials through the legacy per-trial loop instead of the "
+            "batched trial-axis engines (bit-identical results, slower)"
+        ),
+    )
+    parser.add_argument(
+        "--trial-block",
+        type=int,
+        default=None,
+        help=(
+            "trials per batched block (default: auto-sized from the "
+            "problem's memory footprint)"
+        ),
     )
     parser.add_argument(
         "--output",
@@ -140,6 +170,20 @@ def main(argv: Sequence[str] | None = None) -> int:
     kwargs: dict[str, Any] = {}
     if args.trials is not None:
         kwargs["trials"] = args.trials
+    if args.experiment in _EXECUTION_MODE_EXPERIMENTS:
+        # Only the trial-runner experiments understand execution-mode knobs;
+        # other runners forward stray kwargs to protocol constructors.
+        if args.workers is not None:
+            kwargs["workers"] = args.workers
+        if args.no_batch_trials:
+            kwargs["batch_trials"] = False
+        if args.trial_block is not None:
+            kwargs["trial_block"] = args.trial_block
+    elif args.workers is not None or args.no_batch_trials or args.trial_block is not None:
+        parser.error(
+            "--workers/--no-batch-trials/--trial-block apply only to: "
+            + ", ".join(sorted(_EXECUTION_MODE_EXPERIMENTS))
+        )
     result = run_experiment(args.experiment, scale=args.scale, **kwargs)
 
     if args.json:

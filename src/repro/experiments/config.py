@@ -88,6 +88,11 @@ class SweepConfig:
     trials: int = 10
     seed: int = 0
     params: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: Execution mode (per-trial results are bit-identical across all three
+    #: knobs; see :func:`repro.experiments.runner.run_trials`).
+    batch_trials: bool = True
+    trial_block: int | None = None
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if not self.protocols:
@@ -100,6 +105,14 @@ class SweepConfig:
             raise ConfigurationError("ball_grid entries must be non-negative")
         if self.trials < 1:
             raise ConfigurationError(f"trials must be at least 1, got {self.trials}")
+        if self.trial_block is not None and self.trial_block < 1:
+            raise ConfigurationError(
+                f"trial_block must be at least 1, got {self.trial_block}"
+            )
+        if self.workers < 1:
+            raise ConfigurationError(
+                f"workers must be at least 1, got {self.workers}"
+            )
 
     def trial_configs(self) -> list["TrialConfig"]:
         """Expand the sweep into one :class:`TrialConfig` per (protocol, m)."""

@@ -36,17 +36,25 @@ PAPER_POTENTIAL_SCALE: float = 1.0 / 5000.0
 
 
 def figure3_series(
-    sweep: SweepConfig = FIGURE3_DEFAULT, *, workers: int = 1
+    sweep: SweepConfig = FIGURE3_DEFAULT,
+    *,
+    workers: int | None = None,
+    batch_trials: bool | None = None,
+    trial_block: int | None = None,
 ) -> list[dict[str, Any]]:
     """Run the Figure 3 sweep and return one row per (protocol, m) point.
 
     Rows contain the mean allocation time and mean quadratic potential (with
-    confidence bounds), which back both panels of the figure.
+    confidence bounds), which back both panels of the figure.  Execution-mode
+    arguments default to the sweep config's own fields; per-trial results
+    are bit-identical across all modes.
     """
     return run_sweep(
         sweep,
         metrics=("allocation_time", "probes_per_ball", "quadratic_potential", "gap"),
         workers=workers,
+        batch_trials=batch_trials,
+        trial_block=trial_block,
     )
 
 
@@ -75,7 +83,7 @@ def runtime_curve(
     rows: list[dict[str, Any]] | None = None,
     sweep: SweepConfig = FIGURE3_DEFAULT,
     *,
-    workers: int = 1,
+    workers: int | None = None,
 ) -> tuple[list[int], dict[str, list[float]]]:
     """Figure 3(a): mean allocation time per protocol as a function of ``m``."""
     if rows is None:
@@ -87,7 +95,7 @@ def potential_curve(
     rows: list[dict[str, Any]] | None = None,
     sweep: SweepConfig = FIGURE3_DEFAULT,
     *,
-    workers: int = 1,
+    workers: int | None = None,
 ) -> tuple[list[int], dict[str, list[float]]]:
     """Figure 3(b): mean final quadratic potential per protocol vs ``m``."""
     if rows is None:
@@ -96,7 +104,7 @@ def potential_curve(
 
 
 def figure3_report(
-    sweep: SweepConfig = FIGURE3_DEFAULT, *, workers: int = 1
+    sweep: SweepConfig = FIGURE3_DEFAULT, *, workers: int | None = None
 ) -> dict[str, Any]:
     """Run the sweep once and return rows plus ASCII renderings of both panels."""
     rows = figure3_series(sweep, workers=workers)

@@ -5,9 +5,23 @@ The runner is the single place that turns a declarative
 protocol runs.  The legacy :class:`~repro.experiments.config.TrialConfig` is
 accepted everywhere a spec is (it is converted on the way in), and the
 derived per-trial seeds are identical either way — and identical to what
-:func:`repro.simulate` derives for multi-trial specs.  Trials may run
-sequentially (default — the protocols are already numpy-fast) or in a
-process pool for the paper-scale Figure 3 sweep.
+:func:`repro.simulate` derives for multi-trial specs.
+
+Execution modes (all bit-identical per trial, certified by the test-suite):
+
+* **batched** (default): trials run through the protocol's
+  :meth:`~repro.core.protocol.AllocationProtocol.allocate_batch` — one 2-D
+  trial-axis computation for the protocols that batch natively, the exact
+  per-trial loop for those that honestly don't — in memory-bounded blocks of
+  ``trial_block`` trials;
+* **per-trial** (``batch_trials=False``): the legacy one-``Simulation``-per
+  -trial loop;
+* **process pool** (``workers > 1``): trial blocks (batched) or single
+  trials (per-trial) fan out across worker processes.
+
+All modes derive per-trial seeds from the single-homed
+:func:`repro.runtime.rng.trial_seed_table`, so composing them can never
+double-derive or skew seeds.
 """
 
 from __future__ import annotations
@@ -20,10 +34,45 @@ from repro.api.spec import SimulationSpec
 from repro.core.result import RunResult
 from repro.errors import ConfigurationError
 from repro.experiments.config import SweepConfig, TrialConfig
-from repro.runtime.rng import trial_seed
+from repro.runtime.rng import trial_seed, trial_seed_table
 from repro.stats.summary import TrialSummary, summarize_records
 
-__all__ = ["run_trial", "run_trials", "summarize_trials", "run_sweep", "as_spec"]
+__all__ = [
+    "run_trial",
+    "run_trials",
+    "summarize_trials",
+    "run_sweep",
+    "as_spec",
+    "default_trial_block",
+]
+
+#: Target resident size of one batched trial block (bytes).  Deliberately a
+#: small fraction of the container's memory: the batched engines' speedup
+#: saturates at a few hundred trials per block, so larger blocks only cost
+#: RSS (the regression test in ``tests/test_batched_trials.py`` holds a
+#: 10k-trial sweep to a stated budget).
+_TRIAL_BLOCK_MEMORY_BUDGET = 256 << 20
+
+
+def default_trial_block(n_balls: int, n_bins: int, trials: int | None = None) -> int:
+    """Trials per batched block, auto-sized from the problem's footprint.
+
+    A batched trial holds a handful of ``n_bins``-long int64 rows (loads,
+    capacities, seen counts plus engine transients) and — for the d-choice
+    protocols — up-front candidate/priority matrices of a few ``n_balls``
+    entries, so the per-trial footprint is estimated as
+    ``8 * (8 * n_bins + 4 * n_balls)`` bytes and the block sized to keep a
+    block under :data:`_TRIAL_BLOCK_MEMORY_BUDGET`, capped at ``trials``.
+    """
+    if n_bins <= 0:
+        raise ConfigurationError(f"n_bins must be positive, got {n_bins}")
+    if n_balls < 0:
+        raise ConfigurationError(f"n_balls must be non-negative, got {n_balls}")
+    per_trial = 8 * (8 * n_bins + 4 * n_balls)
+    block = max(1, _TRIAL_BLOCK_MEMORY_BUDGET // max(per_trial, 1))
+    if trials is not None:
+        block = min(block, max(1, trials))
+    return int(block)
 
 #: Metrics aggregated by default when summarising trials.
 DEFAULT_METRICS: tuple[str, ...] = (
@@ -66,11 +115,42 @@ def _run_trial_result_for_pool(args: tuple[SimulationSpec, int]) -> RunResult:
     return run_trial(spec, index)
 
 
+def _run_trial_block(
+    spec: SimulationSpec, start: int, stop: int
+) -> list[RunResult]:
+    """Run trials ``start … stop-1`` of ``spec`` as one batched block.
+
+    Seeds are a slice of the single-homed per-trial table, so a block's
+    trial ``i`` sees exactly the seed the looped runner (and any worker
+    process handling a different block) derives for trial ``i``.
+    """
+    protocol = spec.build_protocol()
+    seeds = trial_seed_table(spec.seed, spec.trials)[start:stop]
+    return protocol.allocate_batch(
+        spec.n_balls, spec.n_bins, seeds, record_trace=spec.record_trace
+    )
+
+
+def _run_block_for_pool(
+    args: tuple[SimulationSpec, int, int],
+) -> list[RunResult]:
+    spec, start, stop = args
+    return _run_trial_block(spec, start, stop)
+
+
+def _run_block_records_for_pool(
+    args: tuple[SimulationSpec, int, int],
+) -> list[dict[str, Any]]:
+    return [result.as_record() for result in _run_block_for_pool(args)]
+
+
 def run_trials(
     config: SimulationSpec | TrialConfig,
     *,
     workers: int = 1,
     as_records: bool = False,
+    batch_trials: bool = True,
+    trial_block: int | None = None,
 ) -> list[RunResult] | list[dict[str, Any]]:
     """Run every trial of ``config``.
 
@@ -88,20 +168,59 @@ def run_trials(
         pickle the full results back to the parent when ``as_records`` is
         false (record dictionaries are the cheaper wire format, so
         summarising callers should pass ``as_records=True``).
+    batch_trials:
+        When true (default), trials run through the protocol's
+        :meth:`~repro.core.protocol.AllocationProtocol.allocate_batch` in
+        memory-bounded blocks — the trial-axis 2-D engines for protocols
+        that batch natively, the exact per-trial loop otherwise.  Results
+        are bit-identical to ``batch_trials=False`` either way.
+    trial_block:
+        Trials per batched block (default: auto-sized from the problem's
+        memory footprint, see :func:`default_trial_block`).  Results are
+        independent of the block size.
     """
     spec = as_spec(config)
     if workers < 1:
         raise ConfigurationError(f"workers must be at least 1, got {workers}")
+    if trial_block is not None and trial_block < 1:
+        raise ConfigurationError(
+            f"trial_block must be at least 1, got {trial_block}"
+        )
+    if not batch_trials:
+        if workers == 1:
+            results = [run_trial(spec, i) for i in range(spec.trials)]
+            if as_records:
+                return [r.as_record() for r in results]
+            return results
+        worker_fn = (
+            _run_trial_for_pool if as_records else _run_trial_result_for_pool
+        )
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(
+                pool.map(worker_fn, [(spec, i) for i in range(spec.trials)])
+            )
+
+    block = trial_block or default_trial_block(
+        spec.n_balls, spec.n_bins, spec.trials
+    )
+    blocks = [
+        (spec, start, min(start + block, spec.trials))
+        for start in range(0, spec.trials, block)
+    ]
     if workers == 1:
-        results = [run_trial(spec, i) for i in range(spec.trials)]
+        results = []
+        for args in blocks:
+            results.extend(_run_block_for_pool(args))
         if as_records:
             return [r.as_record() for r in results]
         return results
-    worker_fn = _run_trial_for_pool if as_records else _run_trial_result_for_pool
+    worker_fn = (
+        _run_block_records_for_pool if as_records else _run_block_for_pool
+    )
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(
-            pool.map(worker_fn, [(spec, i) for i in range(spec.trials)])
-        )
+        return [
+            item for chunk in pool.map(worker_fn, blocks) for item in chunk
+        ]
 
 
 def summarize_trials(
@@ -109,9 +228,17 @@ def summarize_trials(
     *,
     metrics: Sequence[str] = DEFAULT_METRICS,
     workers: int = 1,
+    batch_trials: bool = True,
+    trial_block: int | None = None,
 ) -> dict[str, TrialSummary]:
     """Run ``config`` and summarise the requested metrics across trials."""
-    records = run_trials(config, workers=workers, as_records=True)
+    records = run_trials(
+        config,
+        workers=workers,
+        as_records=True,
+        batch_trials=batch_trials,
+        trial_block=trial_block,
+    )
     return summarize_records(records, metrics)
 
 
@@ -119,17 +246,29 @@ def run_sweep(
     sweep: SweepConfig,
     *,
     metrics: Sequence[str] = DEFAULT_METRICS,
-    workers: int = 1,
+    workers: int | None = None,
+    batch_trials: bool | None = None,
+    trial_block: int | None = None,
 ) -> list[dict[str, Any]]:
     """Run a full sweep and return one summary row per (protocol, m) point.
 
     Each row contains the protocol name, the problem size, and for every
     metric ``k`` the keys ``k_mean``, ``k_std``, ``k_ci_low`` and
-    ``k_ci_high``.
+    ``k_ci_high``.  Execution-mode arguments default to the sweep config's
+    own ``workers`` / ``batch_trials`` / ``trial_block`` fields.
     """
     rows: list[dict[str, Any]] = []
+    workers = sweep.workers if workers is None else workers
+    batch_trials = sweep.batch_trials if batch_trials is None else batch_trials
+    trial_block = sweep.trial_block if trial_block is None else trial_block
     for spec in sweep.specs():
-        summaries = summarize_trials(spec, metrics=metrics, workers=workers)
+        summaries = summarize_trials(
+            spec,
+            metrics=metrics,
+            workers=workers,
+            batch_trials=batch_trials,
+            trial_block=trial_block,
+        )
         row: dict[str, Any] = {
             "protocol": spec.protocol,
             "n_balls": spec.n_balls,

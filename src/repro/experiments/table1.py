@@ -39,11 +39,16 @@ def table1_measured(
     seed: int = 2013,
     protocols: Sequence[tuple[str, dict[str, Any]]] = TABLE1_PROTOCOLS,
     workers: int = 1,
+    batch_trials: bool = True,
+    trial_block: int | None = None,
 ) -> list[dict[str, Any]]:
     """Measure every protocol of Table 1 on one problem size.
 
     Returns one row per protocol with measured means (allocation time, probes
     per ball, max load, gap) and the corresponding theoretical leading term.
+    The execution-mode knobs are forwarded to
+    :func:`~repro.experiments.runner.run_trials`; per-trial results (and
+    therefore the table) are bit-identical across all of them.
     """
     if trials < 1:
         raise ConfigurationError(f"trials must be at least 1, got {trials}")
@@ -59,7 +64,12 @@ def table1_measured(
             trials=trials,
             params=dict(params),
         )
-        summaries = summarize_trials(spec, workers=workers)
+        summaries = summarize_trials(
+            spec,
+            workers=workers,
+            batch_trials=batch_trials,
+            trial_block=trial_block,
+        )
         rows.append(
             {
                 "protocol": name,

@@ -33,7 +33,13 @@ import numpy as np
 from repro.errors import ConfigurationError, ProtocolError
 from repro.runtime.rng import SeedLike, as_generator
 
-__all__ = ["ProbeStream", "RandomProbeStream", "FixedProbeStream", "AUX_SEED"]
+__all__ = [
+    "ProbeStream",
+    "RandomProbeStream",
+    "FixedProbeStream",
+    "BatchedProbeStream",
+    "AUX_SEED",
+]
 
 #: Fallback seed for :meth:`ProbeStream.derive_generator` on replay streams
 #: when the caller supplies no seed.  Fixed (and documented) so that replaying
@@ -86,6 +92,24 @@ class ProbeStream(ABC):
         self.consumed += count
         return block.astype(np.int64, copy=False)
 
+    def take_into(self, out: np.ndarray) -> None:
+        """Consume ``out.size`` probes directly into a caller-owned buffer.
+
+        Semantically identical to ``out[:] = self.take(out.size)`` (pending
+        values first, then fresh draws) but skips the intermediate block the
+        hot batched path would immediately copy again.
+        """
+        count = out.size
+        if count == 0:
+            return
+        served = min(self._pending.size, count)
+        if served:
+            out[:served] = self._pending[:served]
+            self._pending = self._pending[served:]
+        if served < count:
+            out[served:] = self._draw(count - served)
+        self.consumed += count
+
     def take_one(self) -> int:
         """Consume and return a single probe."""
         return int(self.take(1)[0])
@@ -113,6 +137,29 @@ class ProbeStream(ABC):
         a finite replay stream can serve.
         """
         return None
+
+    def prefetch(self, count: int) -> None:
+        """Pre-draw probes into the pending buffer (a pure optimisation).
+
+        Ensures at least ``count`` probe values are buffered so the next
+        :meth:`take` calls are served by cheap slicing instead of one
+        generator call each.  Fresh draws are appended to the *back* of the
+        buffer, which :meth:`take` serves strictly before drawing again, so
+        the logical probe sequence is exactly the one a non-prefetching
+        consumer would see (the same prefix-stability of block draws the
+        give-back contract relies on).  No-op on finite replay streams,
+        whose exhaustion errors must keep reflecting real consumption.
+        """
+        if count < 0:
+            raise ConfigurationError(f"count must be non-negative, got {count}")
+        if self.available is not None:
+            return
+        deficit = int(count) - self._pending.size
+        if deficit > 0:
+            if self._pending.size:
+                self._pending = np.concatenate([self._pending, self._draw(deficit)])
+            else:
+                self._pending = self._draw(deficit)
 
     def give_back(self, values: np.ndarray) -> None:
         """Return unconsumed probe *values* to the front of the stream.
@@ -226,3 +273,95 @@ class FixedProbeStream(ProbeStream):
     @property
     def available(self) -> int | None:
         return self.remaining
+
+
+class BatchedProbeStream:
+    """A bundle of per-trial probe streams drawn together, one row per trial.
+
+    The trial-axis batched engines run ``T`` independent trials as one 2-D
+    computation; each trial still consumes its *own* probe sequence (the same
+    one the single-trial engine with the same seed would consume, which is
+    what makes batched runs bit-identical per trial).  This class holds the
+    ``T`` child streams and serves a ``(rows, count)`` block per engine pass:
+    row ``j`` of :meth:`take_batch` is the next ``count`` probes of the
+    ``j``-th *requested* trial.  Unused row tails go back to the owning child
+    via :meth:`give_back`, so — exactly as for a single stream — results are
+    independent of how the engine partitions its draws into blocks.
+
+    The children are ordinary :class:`ProbeStream` objects and remain fully
+    usable individually (``children[i].consumed`` is trial ``i``'s allocation
+    time; ``children[i].derive_generator`` supplies trial ``i``'s auxiliary
+    randomness under the same contract as a single-trial run).
+    """
+
+    def __init__(self, children: "list[ProbeStream] | tuple[ProbeStream, ...]") -> None:
+        children = list(children)
+        if not children:
+            raise ConfigurationError("need at least one child probe stream")
+        n_bins = children[0].n_bins
+        if any(child.n_bins != n_bins for child in children):
+            raise ConfigurationError(
+                "all child probe streams must sample from the same n_bins"
+            )
+        self.children = children
+        self.n_bins = n_bins
+
+    @classmethod
+    def from_seeds(
+        cls, n_bins: int, seeds: "list[SeedLike] | tuple[SeedLike, ...]"
+    ) -> "BatchedProbeStream":
+        """One :class:`RandomProbeStream` child per seed — the seeded path.
+
+        Child ``i`` is exactly the stream a single-trial run with
+        ``seeds[i]`` would construct, so seed derivation is unchanged by
+        batching.
+        """
+        return cls([RandomProbeStream(n_bins, seed) for seed in seeds])
+
+    @property
+    def trials(self) -> int:
+        return len(self.children)
+
+    def take_batch(self, indices: np.ndarray, count: int) -> np.ndarray:
+        """Consume ``count`` probes from each requested child.
+
+        Returns a ``(len(indices), count)`` int64 matrix whose row ``j``
+        holds the next ``count`` probes of child ``indices[j]``.  One cheap
+        C-level draw per child; everything downstream is 2-D.
+        """
+        indices = np.asarray(indices, dtype=np.int64).ravel()
+        if count < 0:
+            raise ConfigurationError(f"count must be non-negative, got {count}")
+        out = np.empty((indices.size, count), dtype=np.int64)
+        children = self.children
+        for j, i in enumerate(indices):
+            children[i].take_into(out[j])
+        return out
+
+    def give_back(self, index: int, values: np.ndarray) -> None:
+        """Return an unread row tail to child ``index`` (see ProbeStream)."""
+        self.children[index].give_back(values)
+
+    def prefetch(self, indices: np.ndarray, count: int) -> None:
+        """Buffer ``count`` probes ahead in each requested child (perf only).
+
+        Engines call this once per window with the expected total draw so
+        each child serves the window's passes from one bulk generator call;
+        see :meth:`ProbeStream.prefetch` for why the probe sequence is
+        unaffected.
+        """
+        for i in np.asarray(indices, dtype=np.int64).ravel():
+            self.children[int(i)].prefetch(count)
+
+    def min_available(self, indices: np.ndarray) -> int | None:
+        """Smallest ``available`` among the requested children (None = unbounded)."""
+        bounds = [
+            self.children[int(i)].available
+            for i in np.asarray(indices, dtype=np.int64).ravel()
+        ]
+        finite = [b for b in bounds if b is not None]
+        return min(finite) if finite else None
+
+    def consumed(self) -> np.ndarray:
+        """Per-child consumed counters as an int64 array (per-trial probes)."""
+        return np.array([child.consumed for child in self.children], dtype=np.int64)

@@ -29,6 +29,7 @@ __all__ = [
     "spawn_seeds",
     "derive_generator",
     "trial_seed",
+    "trial_seed_table",
 ]
 
 #: Type accepted anywhere the library needs randomness.
@@ -100,6 +101,24 @@ def trial_seed(
     if seed is None or isinstance(seed, (int, np.integer)):
         return np.random.SeedSequence(seed, spawn_key=(trial_index,))
     return spawn_seeds(seed, trials)[trial_index]
+
+
+def trial_seed_table(seed: SeedLike, trials: int) -> list[np.random.SeedSequence]:
+    """The full per-trial seed table of a ``trials``-trial batch.
+
+    Single home of multi-trial seed derivation: entry ``i`` equals
+    :func:`trial_seed(seed, i, trials) <trial_seed>` exactly, so the looped
+    runner, the batched engines and the process-pool workers — each of which
+    may derive seeds independently — cannot drift apart.  The identity is
+    asserted by the test-suite.
+    """
+    if trials < 1:
+        raise ConfigurationError(f"trials must be at least 1, got {trials}")
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return [
+            np.random.SeedSequence(seed, spawn_key=(i,)) for i in range(trials)
+        ]
+    return spawn_seeds(seed, trials)
 
 
 def spawn_generators(seed: SeedLike, count: int) -> list[np.random.Generator]:

@@ -16,7 +16,13 @@ from scipy import stats
 
 from repro.errors import ConfigurationError
 
-__all__ = ["TrialSummary", "summarize", "summarize_records", "relative_spread"]
+__all__ = [
+    "TrialSummary",
+    "summarize",
+    "summarize_columns",
+    "summarize_records",
+    "relative_spread",
+]
 
 
 @dataclass(frozen=True)
@@ -77,6 +83,51 @@ def summarize(values: Sequence[float] | np.ndarray, confidence: float = 0.95) ->
     )
 
 
+def summarize_columns(
+    matrix: np.ndarray, confidence: float = 0.95
+) -> list[TrialSummary]:
+    """Summarise every column of an ``(n_trials, n_metrics)`` matrix at once.
+
+    One vectorised axis reduction per statistic replaces ``n_metrics``
+    separate :func:`summarize` calls; the property tests in
+    ``tests/test_stats_summary.py`` certify the two paths agree.
+    """
+    arr = np.asarray(matrix, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[0] == 0:
+        raise ConfigurationError(
+            "matrix must be a non-empty 2-D (n_trials, n_metrics) array"
+        )
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError(f"confidence must be in (0, 1), got {confidence}")
+    n, n_metrics = arr.shape
+    # Transpose to one contiguous row per metric so every axis reduction
+    # sums the same contiguous layout the 1-D scalar path sums.
+    data = np.ascontiguousarray(arr.T)
+    means = data.mean(axis=1)
+    if n > 1:
+        stds = data.std(axis=1, ddof=1)
+        stderrs = stds / np.sqrt(n)
+        t_crit = float(stats.t.ppf(0.5 + confidence / 2.0, df=n - 1))
+        halves = np.where(stderrs > 0, t_crit * stderrs, 0.0)
+    else:
+        stds = stderrs = halves = np.zeros(n_metrics)
+    minima = data.min(axis=1)
+    maxima = data.max(axis=1)
+    return [
+        TrialSummary(
+            n_trials=n,
+            mean=float(means[j]),
+            std=float(stds[j]),
+            stderr=float(stderrs[j]),
+            ci_low=float(means[j] - halves[j]),
+            ci_high=float(means[j] + halves[j]),
+            minimum=float(minima[j]),
+            maximum=float(maxima[j]),
+        )
+        for j in range(n_metrics)
+    ]
+
+
 def summarize_records(
     records: Iterable[Mapping[str, float]],
     keys: Sequence[str],
@@ -85,19 +136,26 @@ def summarize_records(
     """Summarise several metrics at once from a list of per-trial records.
 
     ``records`` is typically a list of ``AllocationResult.as_record()``
-    dictionaries; ``keys`` selects the numeric fields to aggregate.
+    dictionaries; ``keys`` selects the numeric fields to aggregate.  The
+    values are gathered into one ``(n_trials, n_metrics)`` matrix and
+    reduced by :func:`summarize_columns` in a handful of vectorised passes.
     """
     materialised = list(records)
     if not materialised:
         raise ConfigurationError("records must be non-empty")
-    out: dict[str, TrialSummary] = {}
-    for key in keys:
-        try:
-            values = [float(rec[key]) for rec in materialised]
-        except KeyError:
-            raise ConfigurationError(f"record is missing key {key!r}") from None
-        out[key] = summarize(values, confidence)
-    return out
+    keys = list(keys)
+    if not keys:
+        return {}
+    try:
+        matrix = np.array(
+            [[float(rec[key]) for key in keys] for rec in materialised],
+            dtype=np.float64,
+        )
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"record is missing key {exc.args[0]!r}"
+        ) from None
+    return dict(zip(keys, summarize_columns(matrix, confidence)))
 
 
 def relative_spread(values: Sequence[float] | np.ndarray) -> float:

@@ -5,8 +5,16 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
 from repro.errors import ConfigurationError
-from repro.stats.summary import relative_spread, summarize, summarize_records
+from repro.stats.summary import (
+    relative_spread,
+    summarize,
+    summarize_columns,
+    summarize_records,
+)
 
 
 class TestSummarize:
@@ -72,6 +80,72 @@ class TestSummarizeRecords:
     def test_empty_records_raise(self):
         with pytest.raises(ConfigurationError):
             summarize_records([], ["a"])
+
+
+class TestSummarizeColumns:
+    """The vectorised column path must agree with the scalar path."""
+
+    def test_matches_scalar_summarize(self):
+        rng = np.random.default_rng(7)
+        matrix = rng.normal(size=(20, 4))
+        columns = summarize_columns(matrix)
+        for j, vectorised in enumerate(columns):
+            scalar = summarize(matrix[:, j])
+            assert vectorised.n_trials == scalar.n_trials
+            assert vectorised.minimum == scalar.minimum
+            assert vectorised.maximum == scalar.maximum
+            for field in ("mean", "std", "stderr", "ci_low", "ci_high"):
+                assert getattr(vectorised, field) == pytest.approx(
+                    getattr(scalar, field), rel=1e-12, abs=1e-12
+                )
+
+    def test_single_trial_degenerate(self):
+        (summary,) = summarize_columns(np.array([[3.5]]))
+        assert summary.std == 0.0
+        assert summary.ci_low == summary.ci_high == 3.5
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            summarize_columns(np.zeros(3))
+        with pytest.raises(ConfigurationError):
+            summarize_columns(np.zeros((0, 2)))
+        with pytest.raises(ConfigurationError):
+            summarize_columns(np.zeros((2, 2)), confidence=1.5)
+
+    @pytest.mark.slow
+    @settings(max_examples=40, deadline=None)
+    @given(
+        matrix=st.integers(1, 30).flatmap(
+            lambda n: st.integers(1, 6).flatmap(
+                lambda k: arrays(
+                    np.float64,
+                    (n, k),
+                    elements=st.floats(
+                        -1e6, 1e6, allow_nan=False, allow_infinity=False
+                    ),
+                )
+            )
+        ),
+        confidence=st.floats(0.5, 0.999),
+    )
+    def test_property_vectorised_equals_scalar(self, matrix, confidence):
+        columns = summarize_columns(matrix, confidence)
+        for j, vectorised in enumerate(columns):
+            scalar = summarize(matrix[:, j], confidence)
+            assert vectorised.n_trials == scalar.n_trials
+            assert vectorised.minimum == scalar.minimum
+            assert vectorised.maximum == scalar.maximum
+            for field in ("mean", "std", "stderr", "ci_low", "ci_high"):
+                a = getattr(vectorised, field)
+                b = getattr(scalar, field)
+                assert a == pytest.approx(b, rel=1e-9, abs=1e-9)
+
+    def test_records_path_uses_columns(self):
+        records = [{"a": float(i), "b": float(i * i)} for i in range(10)]
+        out = summarize_records(records, ["a", "b"])
+        assert out["a"].mean == pytest.approx(4.5)
+        assert out["b"].maximum == 81.0
+        assert summarize_records(records, []) == {}
 
 
 class TestRelativeSpread:
