@@ -33,6 +33,7 @@ from repro.baselines import (
     reference_rebalancing,
 )
 from repro.baselines.memory_engine import chunked_memory_hand_off
+from repro.core.backend import describe_backends, use_backend
 from repro.runtime.probes import RandomProbeStream
 
 from conftest import BENCH_SEED, write_bench_json
@@ -95,6 +96,50 @@ def _hand_off_loop(m: int, n: int) -> None:
         RandomProbeStream(n, BENCH_SEED), counts, [], m, 1, 1
     )
     np.asarray(counts, dtype=np.int64)
+
+
+def measure_backend_scenarios(n_balls: int, n_bins: int) -> list[dict]:
+    """Report-only: the deliberately-scalar memory(2,2) regime per backend.
+
+    This is the regime the ROADMAP kept scalar because every vectorised
+    treatment measured slower; the numba backend JIT-compiles exactly that
+    loop.  No regression floor — the numbers land in the JSON (and the
+    printed table) so the scalar-vs-numba gap is tracked wherever numba is
+    installed, and the scenario degrades to a skip note where it is not.
+    """
+    entries = []
+    for record in describe_backends():
+        name = record["name"]
+        if name == "numpy":
+            continue  # memory(2,2) on numpy *is* the scalar fallback path
+        label = f"memory(2,2)[{name}]"
+        if not record["available"]:
+            print(f"{label}: skipped — {record['note']}")
+            continue
+        with use_backend(name):
+            # Warm-up outside the timed region (numba JIT-compiles on first
+            # use; the scalar backend is unaffected).
+            MemoryProtocol(d=2, k=2).allocate(
+                min(n_balls, 2000), n_bins, seed=BENCH_SEED
+            )
+            start = time.perf_counter()
+            MemoryProtocol(d=2, k=2).allocate(n_balls, n_bins, seed=BENCH_SEED)
+            seconds = time.perf_counter() - start
+        entries.append(
+            {
+                "label": label,
+                "ops_per_second": n_balls / seconds,
+                "backend": name,
+                "n_balls": n_balls,
+                "n_bins": n_bins,
+                "seconds": seconds,
+                "balls_per_second": n_balls / seconds,
+            }
+        )
+        print(
+            f"{label:<18} {seconds:>9.3f}s {n_balls / seconds:>12,.0f} balls/s"
+        )
+    return entries
 
 
 def measure_speedup(name: str, n_balls: int, n_bins: int) -> dict[str, float]:
@@ -209,6 +254,8 @@ def main() -> None:
             f"{stats['speedup']:>8.1f}x "
             f"{stats['balls_per_second']:>12,.0f}"
         )
+    print("\nbackend scenarios (report-only; d>1/k>=2 memory regime):")
+    entries.extend(measure_backend_scenarios(n_balls, n_bins))
     path = write_bench_json("baseline_throughput", entries)
     print(f"\nwrote {path}")
     worst = min(acceptance["greedy[2]"], acceptance["left[2]"])

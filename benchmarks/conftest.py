@@ -16,6 +16,8 @@ from pathlib import Path
 
 import pytest
 
+from repro.core.backend import active_backend
+
 #: Problem size used by the Table 1 benchmarks (paper-scale is unspecified;
 #: DESIGN.md fixes n = 2_000, m = 8n for the measured table).
 TABLE1_BALLS = 16_000
@@ -77,6 +79,9 @@ def write_bench_json(name: str, entries: list[dict]) -> Path:
     payload = {
         "benchmark": name,
         "git_sha": git_sha(),
+        # Ambient kernel backend the run was measured under; individual
+        # entries may override it (e.g. the per-backend memory scenarios).
+        "backend": active_backend().name,
         "entries": entries,
     }
     path = BENCH_OUTPUT_DIR / f"BENCH_{name}.json"

@@ -82,6 +82,8 @@ from repro.core import (
     AllocationResult,
     RunResult,
     ThresholdProtocol,
+    active_backend,
+    available_backends,
     available_protocols,
     exponential_potential,
     get_protocol,
@@ -89,6 +91,7 @@ from repro.core import (
     make_protocol,
     max_final_load,
     quadratic_potential,
+    use_backend,
 )
 from repro.core import adaptive as _adaptive_module
 from repro.core import threshold as _threshold_module
@@ -133,6 +136,10 @@ __all__ = [
     "quadratic_potential",
     "exponential_potential",
     "load_gap",
+    # Kernel backends (execution strategy; results are backend-independent).
+    "use_backend",
+    "active_backend",
+    "available_backends",
     # Errors.
     "ReproError",
     "ConfigurationError",

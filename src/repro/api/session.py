@@ -20,11 +20,13 @@ running its workload and returning a
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.api.spec import DispatchSpec, SimulationSpec
+from repro.core.backend import get_backend, use_backend
 from repro.core.potentials import load_gap, quadratic_potential
 from repro.core.result import RunResult
 from repro.errors import ConfigurationError, ProtocolError
@@ -128,6 +130,9 @@ class Simulation:
             )
         self.spec = spec
         self.protocol = spec.build_protocol()
+        # Resolve eagerly so an unavailable backend (e.g. "numba" without the
+        # optional dependency) fails at construction, not mid-run.
+        self._backend = None if spec.backend is None else get_backend(spec.backend)
         self._probe_stream = probe_stream
         if seed is not None:
             if trial != 0:
@@ -149,6 +154,16 @@ class Simulation:
         self._session = None
         self._result: RunResult | None = None
 
+    def _backend_scope(self):
+        """Kernel-backend scope for this run's engine work.
+
+        A spec without ``backend`` leaves the ambient selection in effect
+        (so ``use_backend(...)`` around a driver still governs it).
+        """
+        if self._backend is None:
+            return contextlib.nullcontext()
+        return use_backend(self._backend)
+
     # ------------------------------------------------------------------ #
     # Streaming
     # ------------------------------------------------------------------ #
@@ -161,15 +176,16 @@ class Simulation:
         """
         if self._result is not None:
             raise ProtocolError("simulation already finished; results() is ready")
-        if self._session is None:
-            self._session = self.protocol.begin(
-                self.spec.n_balls,
-                self.spec.n_bins,
-                self._seed,
-                probe_stream=self._probe_stream,
-                record_trace=self.spec.record_trace,
-            )
-        self._session.place(k)
+        with self._backend_scope():
+            if self._session is None:
+                self._session = self.protocol.begin(
+                    self.spec.n_balls,
+                    self.spec.n_bins,
+                    self._seed,
+                    probe_stream=self._probe_stream,
+                    record_trace=self.spec.record_trace,
+                )
+            self._session.place(k)
         return self.state
 
     @property
@@ -211,17 +227,18 @@ class Simulation:
     def run(self) -> RunResult:
         """Finish the run (placing any remaining balls) and return its record."""
         if self._result is None:
-            if self._session is None:
-                # Exact legacy path: one-shot allocate with the raw seed.
-                self._result = self.protocol.allocate(
-                    self.spec.n_balls,
-                    self.spec.n_bins,
-                    self._seed,
-                    probe_stream=self._probe_stream,
-                    record_trace=self.spec.record_trace,
-                )
-            else:
-                self._result = self._session.result()
+            with self._backend_scope():
+                if self._session is None:
+                    # Exact legacy path: one-shot allocate with the raw seed.
+                    self._result = self.protocol.allocate(
+                        self.spec.n_balls,
+                        self.spec.n_bins,
+                        self._seed,
+                        probe_stream=self._probe_stream,
+                        record_trace=self.spec.record_trace,
+                    )
+                else:
+                    self._result = self._session.result()
         return self._result
 
     def results(self) -> RunResult:

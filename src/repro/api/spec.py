@@ -74,6 +74,17 @@ def _check_params(params: Any, field_name: str) -> dict[str, Any]:
     return out
 
 
+def _check_backend(backend: Any) -> None:
+    """Spec-level backend validation: registered name or ``None``.
+
+    Availability is checked when a driver resolves the backend to run, so a
+    spec naming ``"numba"`` still round-trips on machines without numba.
+    """
+    from repro.core.backend import validate_backend_name
+
+    validate_backend_name(backend)
+
+
 def _from_dict(cls, data: Mapping[str, Any], kind: str, nested=None):
     """Shared ``from_dict``: check keys, strip ``kind``, build the dataclass."""
     if not isinstance(data, Mapping):
@@ -126,6 +137,12 @@ class SimulationSpec:
         Keyword arguments for the protocol constructor — including
         ``weight_dist`` and distribution parameters for the weighted
         protocols, validated against the live registries.
+    backend:
+        Kernel backend to execute on (``"numpy"``, ``"scalar"``,
+        ``"numba"``; see :mod:`repro.core.backend`).  ``None`` (default)
+        keeps the ambient selection — the ``"numpy"`` kernels unless a
+        driver chose otherwise.  Purely an execution strategy: every
+        backend produces bit-identical results.
 
     Examples
     --------
@@ -141,6 +158,7 @@ class SimulationSpec:
     trials: int = 1
     record_trace: bool = False
     params: dict[str, Any] = field(default_factory=dict)
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         _require(isinstance(self.protocol, str), "protocol", "must be a string")
@@ -171,6 +189,7 @@ class SimulationSpec:
             f"must be a bool, got {type(self.record_trace).__name__}",
         )
         object.__setattr__(self, "params", _check_params(self.params, "params"))
+        _check_backend(self.backend)
         # Validate protocol name and params against the live registry (this
         # also covers weight_dist and distribution parameters, which the
         # weighted protocol constructors check against WEIGHT_DISTRIBUTIONS).
@@ -201,6 +220,7 @@ class SimulationSpec:
             "trials": self.trials,
             "record_trace": self.record_trace,
             "params": dict(self.params),
+            "backend": self.backend,
         }
 
     @classmethod
@@ -311,6 +331,7 @@ class DispatchSpec:
     params: dict[str, Any] = field(default_factory=dict)
     block_size: int | None = None
     small_burst: int | None = None
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         _require(isinstance(self.policy, str), "policy", "must be a string")
@@ -339,6 +360,7 @@ class DispatchSpec:
                 raise ConfigurationError(
                     f"{name}: must be an int or None, got {type(value).__name__}"
                 )
+        _check_backend(self.backend)
         allowed = {"d", "k", "w_max"}
         unknown = set(self.params) - allowed
         if unknown:
@@ -404,6 +426,7 @@ class DispatchSpec:
             "params": dict(self.params),
             "block_size": self.block_size,
             "small_burst": self.small_burst,
+            "backend": self.backend,
         }
 
     @classmethod

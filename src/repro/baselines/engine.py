@@ -45,7 +45,8 @@ from typing import Callable
 
 import numpy as np
 
-from repro.core.window import conflict_free_rows
+from repro.core.backend import active_backend
+from repro.core.window import _conflict_free_rows_numpy
 from repro.errors import ConfigurationError
 
 __all__ = [
@@ -108,7 +109,30 @@ def commit_chunk(
         (conflict-free balls sharing a bin commit in sequence, and
         ``np.add.at`` applies element by element), so the float accumulation
         is bit-identical to the sequential loop's.
+
+    The commit runs on the active kernel backend (see
+    :mod:`repro.core.backend`); :func:`_commit_chunk_numpy` is the default
+    conflict-free sub-phase engine described above.
     """
+    active_backend().commit_chunk(
+        loads,
+        rows,
+        priorities=priorities,
+        assignments=assignments,
+        base=base,
+        weights=weights,
+    )
+
+
+def _commit_chunk_numpy(
+    loads: np.ndarray,
+    rows: np.ndarray,
+    priorities: np.ndarray | None = None,
+    assignments: np.ndarray | None = None,
+    base: int = 0,
+    weights: np.ndarray | None = None,
+) -> None:
+    """The conflict-free sub-phase commit engine (see :func:`commit_chunk`)."""
     n_bins = loads.size
     block = rows
     pblock = priorities
@@ -117,7 +141,7 @@ def commit_chunk(
     # gather on the first sub-phase, which handles ~all of the chunk).
     indices: np.ndarray | None = None
     while block.shape[0]:
-        free = conflict_free_rows(block, n_bins)
+        free = _conflict_free_rows_numpy(block, n_bins)
         sub = block[free]
         if pblock is None:
             if sub.shape[1] == 1:
@@ -290,7 +314,10 @@ def batched_argmin_commit(
                 .swapaxes(0, 1)
                 .reshape(count * n_trials)
             )
-        commit_chunk(
+        # The combined-instance embedding is itself a vectorisation strategy,
+        # so it always runs the NumPy commit kernel directly (drivers route
+        # non-batching backends to the per-trial engines instead).
+        _commit_chunk_numpy(
             flat_loads, combined, priorities=big_priorities, weights=big_weights
         )
         done += count
@@ -312,8 +339,21 @@ def chunked_move_sweep(
     current bin is one of them), and every earlier uncommitted ball writes
     only within its own candidate row, so conflict-free balls decide and move
     together.  Returns the number of moves; ``loads`` and ``placement`` are
-    updated in place.
+    updated in place.  The sweep runs on the active kernel backend
+    (:func:`_move_sweep_numpy` is the default).
     """
+    return active_backend().move_sweep(
+        loads, choices, placement, chunk_size=chunk_size
+    )
+
+
+def _move_sweep_numpy(
+    loads: np.ndarray,
+    choices: np.ndarray,
+    placement: np.ndarray,
+    chunk_size: int | None = None,
+) -> int:
+    """The conflict-free chunked move sweep (see :func:`chunked_move_sweep`)."""
     n_balls, d = choices.shape
     chunk = chunk_size or default_chunk_size(loads.size, d)
     moved = 0
@@ -321,7 +361,7 @@ def chunked_move_sweep(
         rows = choices[start : start + chunk]
         pending = np.arange(rows.shape[0])
         while pending.size:
-            free = conflict_free_rows(rows[pending], loads.size)
+            free = _conflict_free_rows_numpy(rows[pending], loads.size)
             ready = pending[free]
             sub = rows[ready]
             candidate_loads = loads[sub]

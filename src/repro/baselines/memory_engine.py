@@ -65,6 +65,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines.engine import chunked_argmin_commit
+from repro.core.backend import (  # noqa: F401  (re-exported scalar rules)
+    active_backend,
+    chunked_memory_hand_off,
+    memory_hand_off,
+    weighted_memory_hand_off,
+)
 from repro.errors import ConfigurationError
 from repro.runtime.probes import ProbeStream
 
@@ -77,10 +83,6 @@ __all__ = [
     "default_memory_chunk_size",
 ]
 
-#: Balls per bulk fresh-choice draw on the scalar paths; the hand-off is
-#: sequential either way, so the chunk only bounds each ``take_matrix`` call.
-_FRESH_CHUNK = 4096
-
 #: Fixpoint iterations per k=1 chunk.  Each round certifies a strictly
 #: longer exact prefix, so the cap only bounds how much of a chunk may
 #: resolve vectorised before the certified prefix is committed and the
@@ -91,114 +93,9 @@ _MAX_ROUNDS = 30
 
 
 # --------------------------------------------------------------------- #
-# The literal scalar rules (unit-weight and weighted)
+# The scalar-rule commit drivers (the literal rules themselves live in
+# repro.core.backend, single-homed across every execution strategy)
 # --------------------------------------------------------------------- #
-def memory_hand_off(
-    counts,
-    fresh_rows: list[list[int]],
-    memory: list[int],
-    k: int,
-    assignments: list[int] | None = None,
-) -> list[int]:
-    """Run the sequential (d,k)-memory hand-off over one chunk of balls.
-
-    ``counts`` (per-bin loads, mutated in place — a plain list or a NumPy
-    vector, accessed element-wise) and the returned memory are the
-    protocol's exact sequential state.  Candidates are the fresh row
-    followed by the remembered bins; the first least-loaded candidate wins,
-    and the ``k`` least loaded *distinct* candidate bins (stable order:
-    candidate order breaks load ties) are remembered for the next ball.
-    This is the spill rule of :func:`chunked_memory_commit` and the scalar
-    small-burst path of the dispatcher's ``memory`` policy, so every
-    execution strategy shares one implementation of the literal rule.
-    """
-    for row in fresh_rows:
-        candidates = row + memory
-        best = candidates[0]
-        best_load = counts[best]
-        for bin_index in candidates[1:]:
-            load = counts[bin_index]
-            if load < best_load:
-                best, best_load = bin_index, load
-        counts[best] = best_load + 1
-        if assignments is not None:
-            assignments.append(best)
-        if k:
-            seen: set[int] = set()
-            unique = [
-                b for b in candidates if not (b in seen or seen.add(b))
-            ]
-            unique.sort(key=counts.__getitem__)  # stable: ties keep cand order
-            memory = unique[:k]
-    return memory
-
-
-def chunked_memory_hand_off(
-    stream: ProbeStream,
-    counts: list[int],
-    memory: list[int],
-    n_balls: int,
-    d: int,
-    k: int,
-    assignments: list[int] | None = None,
-) -> list[int]:
-    """Drive :func:`memory_hand_off` over ``n_balls`` chunked fresh draws.
-
-    Each chunk's ``d`` fresh choices come from one bulk
-    :meth:`~repro.runtime.probes.ProbeStream.take_matrix` call (consumption
-    order identical to a per-ball loop).  This is the scalar fallback of
-    :func:`chunked_memory_commit` (``k >= 2`` and untabulatable chunks) and
-    the speedup baseline of ``bench_baseline_throughput.py``.  Returns the
-    new remembered set; ``counts`` (and ``assignments``) are mutated in
-    place.
-    """
-    placed = 0
-    while placed < n_balls:
-        count = min(_FRESH_CHUNK, n_balls - placed)
-        fresh = stream.take_matrix(count, d).tolist()
-        memory = memory_hand_off(counts, fresh, memory, k, assignments=assignments)
-        placed += count
-    return memory
-
-
-def weighted_memory_hand_off(
-    loads,
-    fresh_rows: list[list[int]],
-    memory: list[int],
-    k: int,
-    weights: list[float],
-    assignments: list[int] | None = None,
-) -> list[int]:
-    """The (d,k)-memory rule on weighted balls: float loads, weight increments.
-
-    Identical structure to :func:`memory_hand_off` — first least
-    weighted-loaded candidate wins, the ``k`` least loaded distinct
-    candidate bins are remembered (stable sort, candidate order breaks
-    ties) — except each placement adds the ball's weight instead of 1.
-    ``loads`` is a plain list of floats (or any element-wise container);
-    mutated in place.
-    """
-    for row, weight in zip(fresh_rows, weights):
-        candidates = row + memory
-        best = candidates[0]
-        best_load = loads[best]
-        for bin_index in candidates[1:]:
-            load = loads[bin_index]
-            if load < best_load:
-                best, best_load = bin_index, load
-        loads[best] = best_load + weight
-        if assignments is not None:
-            assignments.append(best)
-        if k:
-            seen: set[int] = set()
-            unique = [
-                b for b in candidates if not (b in seen or seen.add(b))
-            ]
-            unique.sort(key=loads.__getitem__)
-            memory = unique[:k]
-    return memory
-
-
 def chunked_weighted_memory_commit(
     stream: ProbeStream,
     weighted_loads: np.ndarray,
@@ -214,10 +111,11 @@ def chunked_weighted_memory_commit(
     ``weighted_loads`` (float64 per-bin total weight) is updated in place;
     the remembered set is returned.  The float loads make the rule's
     sequential dependency continuous-valued, so the commits run through the
-    chunk-drawn scalar rule (:func:`weighted_memory_hand_off`) over plain
-    Python floats — bulk fresh draws keep the probe consumption identical
+    active backend's ``weighted_memory_fallback`` — the chunk-drawn scalar
+    rule (:func:`weighted_memory_hand_off`) by default, a JIT loop on the
+    numba backend.  Bulk fresh draws keep the probe consumption identical
     to a per-ball loop, and any split into calls is bit-identical because
-    the scalar state (loads, remembered set) is exact at every boundary.
+    the sequential state (loads, remembered set) is exact at every boundary.
     """
     n_balls = int(weights.size)
     if d < 1:
@@ -229,27 +127,16 @@ def chunked_weighted_memory_commit(
     memory = [int(b) for b in memory]
     if not n_balls:
         return memory
-    chunk = int(chunk_size) if chunk_size else _FRESH_CHUNK
-    loads_list = weighted_loads.tolist()
-    weight_list = weights.tolist()
-    out: list[int] | None = [] if assignments is not None else None
-    placed = 0
-    while placed < n_balls:
-        count = min(chunk, n_balls - placed)
-        fresh = stream.take_matrix(count, d).tolist()
-        memory = weighted_memory_hand_off(
-            loads_list,
-            fresh,
-            memory,
-            k,
-            weight_list[placed : placed + count],
-            assignments=out,
-        )
-        placed += count
-    weighted_loads[:] = loads_list
-    if assignments is not None:
-        assignments[:n_balls] = out
-    return memory
+    return active_backend().weighted_memory_fallback(
+        stream,
+        weighted_loads,
+        memory,
+        weights,
+        d,
+        k,
+        assignments=assignments,
+        chunk_size=chunk_size,
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -749,11 +636,13 @@ def chunked_memory_commit(
         any value yields bit-identical results.
 
     The ``d == 1, k == 1`` fast path runs the fixpoint of
-    :func:`_resolve_chunk_d1`; ``k == 0`` delegates to the conflict-free
-    d-choice engine; every other configuration (heavy remembered-set churn
-    or ``d > 1`` candidate deduplication, where the scalar loop measures
-    faster than any vectorised treatment tried) runs the chunk-drawn
-    scalar hand-off.
+    :func:`_resolve_chunk_d1` (on backends supporting provisional memory);
+    ``k == 0`` delegates to the conflict-free d-choice engine; every other
+    configuration (heavy remembered-set churn or ``d > 1`` candidate
+    deduplication, where the scalar loop measures faster than any
+    vectorised treatment tried) runs the active backend's
+    ``memory_fallback`` — the chunk-drawn scalar hand-off by default, a
+    JIT loop on the numba backend.
     """
     if n_balls < 0:
         raise ConfigurationError(f"n_balls must be non-negative, got {n_balls}")
@@ -778,16 +667,18 @@ def chunked_memory_commit(
         )
         return []
 
-    if k >= 2 or d > 1:
-        counts = loads.tolist()
-        out: list[int] | None = [] if assignments is not None else None
-        memory = chunked_memory_hand_off(
-            stream, counts, memory, n_balls, d, k, assignments=out
+    backend = active_backend()
+    if k >= 2 or d > 1 or not backend.provisional_memory:
+        return backend.memory_fallback(
+            stream,
+            loads,
+            memory,
+            n_balls,
+            d,
+            k,
+            assignments=assignments,
+            chunk_size=chunk_size,
         )
-        loads[:] = counts
-        if assignments is not None:
-            assignments[:n_balls] = out
-        return memory
 
     chunk = int(chunk_size) if chunk_size else default_memory_chunk_size(loads.size)
     placed = 0

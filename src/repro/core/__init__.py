@@ -12,10 +12,24 @@ machinery shared by every allocation scheme:
 * :mod:`repro.core.potentials` — the smoothness potentials ``Ψ`` and ``Φ``,
 * :mod:`repro.core.thresholds` — exact integer acceptance-limit arithmetic,
 * :mod:`repro.core.protocol` / :mod:`repro.core.result` — the protocol
-  interface, registry and result records.
+  interface, registry and result records,
+* :mod:`repro.core.backend` — pluggable kernel backends (numpy / scalar /
+  numba) behind the engines' primitive kernels.
 """
 
 from repro.core.adaptive import AdaptiveProtocol, run_adaptive
+from repro.core.backend import (
+    DEFAULT_BACKEND,
+    KernelBackend,
+    active_backend,
+    available_backends,
+    backend_names,
+    describe_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    use_backend,
+)
 from repro.core.potentials import (
     DEFAULT_EPSILON,
     exponential_potential,
@@ -113,4 +127,14 @@ __all__ = [
     "chunked_weighted_assign",
     "default_weighted_chunk_size",
     "fixed_weighted_threshold",
+    "DEFAULT_BACKEND",
+    "KernelBackend",
+    "active_backend",
+    "available_backends",
+    "backend_names",
+    "describe_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+    "use_backend",
 ]

@@ -1,0 +1,143 @@
+"""``@njit`` kernels for the deliberately-scalar (d,k)-memory regimes.
+
+Importing this module requires numba (the ``accel`` extra); the
+:class:`~repro.core.backend.NumbaBackend` gates on that import and reports
+the install hint when it fails, so the rest of the package never needs
+numba.
+
+Each kernel replays the literal sequential hand-off rule of
+:func:`repro.core.backend.memory_hand_off` /
+:func:`~repro.core.backend.weighted_memory_hand_off` over one chunk of
+fresh draws, operating directly on the engine's int64/float64 state:
+
+* the first strictly-least-loaded candidate (fresh row, then remembered
+  bins) wins — a strict ``<`` scan keeps the first minimum, exactly like
+  the Python loop;
+* the ``k`` least loaded *distinct* candidates are remembered, in stable
+  order — duplicates are dropped first-occurrence-first and the insertion
+  sort below shifts only on strictly greater loads, which is precisely the
+  stability of ``list.sort``;
+* integer loads add 1, weighted loads add the ball's float64 weight with
+  the same single IEEE ``+`` the scalar rule performs.
+
+Results are therefore bit-identical to the scalar loops for every input,
+which the cross-backend suite certifies under replay.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+__all__ = ["memory_chunk", "weighted_memory_chunk"]
+
+
+@njit(cache=True)
+def memory_chunk(counts, fresh, memory, mem_len, k, assignments, base, record):
+    """One chunk of the unit-weight (d,k)-memory hand-off.
+
+    ``counts`` (int64 per-bin loads) and ``memory`` (int64 buffer holding
+    ``mem_len`` remembered bins) are mutated in place; returns the new
+    ``mem_len``.  ``fresh`` is the chunk's ``(count, d)`` fresh-draw matrix;
+    ball ``i`` writes its bin to ``assignments[base + i]`` when ``record``.
+    """
+    count, d = fresh.shape
+    uniq = np.empty(d + max(k, mem_len), dtype=np.int64)
+    for i in range(count):
+        best = fresh[i, 0]
+        best_load = counts[best]
+        for c in range(1, d):
+            cand = fresh[i, c]
+            load = counts[cand]
+            if load < best_load:
+                best = cand
+                best_load = load
+        for c in range(mem_len):
+            cand = memory[c]
+            load = counts[cand]
+            if load < best_load:
+                best = cand
+                best_load = load
+        counts[best] = best_load + 1
+        if record:
+            assignments[base + i] = best
+        if k > 0:
+            u = 0
+            for c in range(d + mem_len):
+                cand = fresh[i, c] if c < d else memory[c - d]
+                dup = False
+                for j in range(u):
+                    if uniq[j] == cand:
+                        dup = True
+                        break
+                if not dup:
+                    uniq[u] = cand
+                    u += 1
+            for a in range(1, u):
+                cand = uniq[a]
+                key = counts[cand]
+                j = a - 1
+                while j >= 0 and counts[uniq[j]] > key:
+                    uniq[j + 1] = uniq[j]
+                    j -= 1
+                uniq[j + 1] = cand
+            mem_len = min(k, u)
+            for j in range(mem_len):
+                memory[j] = uniq[j]
+    return mem_len
+
+
+@njit(cache=True)
+def weighted_memory_chunk(
+    loads, fresh, memory, mem_len, k, weights, assignments, base, record
+):
+    """One chunk of the weighted (d,k)-memory hand-off (float64 loads).
+
+    Same structure as :func:`memory_chunk`; ``weights`` holds this chunk's
+    ball weights (aligned with the rows of ``fresh``) and each placement
+    adds its ball's weight instead of 1.  Returns the new ``mem_len``.
+    """
+    count, d = fresh.shape
+    uniq = np.empty(d + max(k, mem_len), dtype=np.int64)
+    for i in range(count):
+        best = fresh[i, 0]
+        best_load = loads[best]
+        for c in range(1, d):
+            cand = fresh[i, c]
+            load = loads[cand]
+            if load < best_load:
+                best = cand
+                best_load = load
+        for c in range(mem_len):
+            cand = memory[c]
+            load = loads[cand]
+            if load < best_load:
+                best = cand
+                best_load = load
+        loads[best] = best_load + weights[i]
+        if record:
+            assignments[base + i] = best
+        if k > 0:
+            u = 0
+            for c in range(d + mem_len):
+                cand = fresh[i, c] if c < d else memory[c - d]
+                dup = False
+                for j in range(u):
+                    if uniq[j] == cand:
+                        dup = True
+                        break
+                if not dup:
+                    uniq[u] = cand
+                    u += 1
+            for a in range(1, u):
+                cand = uniq[a]
+                key = loads[cand]
+                j = a - 1
+                while j >= 0 and loads[uniq[j]] > key:
+                    uniq[j + 1] = uniq[j]
+                    j -= 1
+                uniq[j + 1] = cand
+            mem_len = min(k, u)
+            for j in range(mem_len):
+                memory[j] = uniq[j]
+    return mem_len

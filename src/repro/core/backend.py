@@ -1,0 +1,879 @@
+"""Pluggable kernel backends: one algorithmic contract, swappable kernels.
+
+Every chunked engine in the package dispatches on a small set of primitive
+kernels — the occurrence-rank / conflict-free-row folds, the window-filling
+exact-cutoff pass, the chunk commit, the weighted verify/fixpoint pass, the
+(d,k)-memory hand-off and the rebalancing move sweep.  This module separates
+those *implementations* from the *algorithms* that call them, the same
+algorithm/execution-substrate split that lets one protocol contract run on
+different execution models: a :class:`KernelBackend` implements the kernels,
+a registry names the implementations, and a context variable selects which
+one the engines see.
+
+Three backends ship:
+
+* ``"numpy"`` (default) — the chunked vectorised kernels the engines have
+  always used, unchanged; the only backend supporting the trial-axis batched
+  engines and the provisional (1,1)-memory fixpoint.
+* ``"scalar"`` — the literal per-ball loops, single-homed here.  This is the
+  one copy of the scalar rules that used to be duplicated between engines
+  and the d>1 / k>=2 fallbacks (the per-ball *reference oracles* in
+  :mod:`repro.baselines.reference` stay deliberately independent).
+* ``"numba"`` — optional ``@njit`` kernels targeting exactly the regimes the
+  NumPy engines deliberately leave scalar ((d,k)-memory with ``d > 1`` or
+  ``k >= 2``, and the weighted-memory commit).  Degrades gracefully: when
+  numba is not installed the backend stays registered but unavailable, and
+  selecting it raises :class:`~repro.errors.ConfigurationError` with the
+  install hint.
+
+Every backend produces **bit-identical** results on every kernel — same
+loads, same assignments, same probe consumption — which the cross-backend
+suite (``tests/test_backends.py``) certifies under shared
+:class:`~repro.runtime.probes.FixedProbeStream` replay.  Backends are an
+execution strategy, never a semantic choice.
+
+Selection is ambient: drivers (:class:`repro.api.Simulation`, the
+:class:`repro.scheduler.dispatcher.Dispatcher`, :func:`repro.experiments.runner.run_trials`,
+the CLI) resolve a spec's ``backend=`` field once and wrap their engine
+calls in :func:`use_backend`; engine entry points read
+:func:`active_backend` so protocol logic never threads a backend argument.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+from typing import TYPE_CHECKING, Any, Iterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.probes import ProbeStream
+
+__all__ = [
+    "KernelBackend",
+    "NumpyBackend",
+    "ScalarBackend",
+    "NumbaBackend",
+    "DEFAULT_BACKEND",
+    "register_backend",
+    "get_backend",
+    "resolve_backend",
+    "active_backend",
+    "use_backend",
+    "backend_names",
+    "available_backends",
+    "describe_backends",
+    "validate_backend_name",
+    "memory_hand_off",
+    "chunked_memory_hand_off",
+    "weighted_memory_hand_off",
+]
+
+#: Balls per bulk fresh-choice draw on the scalar memory paths; the hand-off
+#: is sequential either way, so the chunk only bounds each ``take_matrix``
+#: call (results are independent of it).
+_FRESH_CHUNK = 4096
+
+
+# --------------------------------------------------------------------- #
+# The literal scalar memory rules (single-homed: every execution strategy
+# that needs the sequential (d,k)-memory rule calls these)
+# --------------------------------------------------------------------- #
+def memory_hand_off(
+    counts,
+    fresh_rows: list[list[int]],
+    memory: list[int],
+    k: int,
+    assignments: list[int] | None = None,
+) -> list[int]:
+    """Run the sequential (d,k)-memory hand-off over one chunk of balls.
+
+    ``counts`` (per-bin loads, mutated in place — a plain list or a NumPy
+    vector, accessed element-wise) and the returned memory are the
+    protocol's exact sequential state.  Candidates are the fresh row
+    followed by the remembered bins; the first least-loaded candidate wins,
+    and the ``k`` least loaded *distinct* candidate bins (stable order:
+    candidate order breaks load ties) are remembered for the next ball.
+    This is the spill rule of
+    :func:`repro.baselines.memory_engine.chunked_memory_commit` and the
+    scalar small-burst path of the dispatcher's ``memory`` policy, so every
+    execution strategy shares one implementation of the literal rule.
+    """
+    for row in fresh_rows:
+        candidates = row + memory
+        best = candidates[0]
+        best_load = counts[best]
+        for bin_index in candidates[1:]:
+            load = counts[bin_index]
+            if load < best_load:
+                best, best_load = bin_index, load
+        counts[best] = best_load + 1
+        if assignments is not None:
+            assignments.append(best)
+        if k:
+            seen: set[int] = set()
+            unique = [
+                b for b in candidates if not (b in seen or seen.add(b))
+            ]
+            unique.sort(key=counts.__getitem__)  # stable: ties keep cand order
+            memory = unique[:k]
+    return memory
+
+
+def chunked_memory_hand_off(
+    stream: "ProbeStream",
+    counts: list[int],
+    memory: list[int],
+    n_balls: int,
+    d: int,
+    k: int,
+    assignments: list[int] | None = None,
+) -> list[int]:
+    """Drive :func:`memory_hand_off` over ``n_balls`` chunked fresh draws.
+
+    Each chunk's ``d`` fresh choices come from one bulk
+    :meth:`~repro.runtime.probes.ProbeStream.take_matrix` call (consumption
+    order identical to a per-ball loop).  This is the scalar fallback of
+    :func:`repro.baselines.memory_engine.chunked_memory_commit` (``k >= 2``
+    and untabulatable chunks) and the speedup baseline of
+    ``bench_baseline_throughput.py``.  Returns the new remembered set;
+    ``counts`` (and ``assignments``) are mutated in place.
+    """
+    placed = 0
+    while placed < n_balls:
+        count = min(_FRESH_CHUNK, n_balls - placed)
+        fresh = stream.take_matrix(count, d).tolist()
+        memory = memory_hand_off(counts, fresh, memory, k, assignments=assignments)
+        placed += count
+    return memory
+
+
+def weighted_memory_hand_off(
+    loads,
+    fresh_rows: list[list[int]],
+    memory: list[int],
+    k: int,
+    weights: list[float],
+    assignments: list[int] | None = None,
+) -> list[int]:
+    """The (d,k)-memory rule on weighted balls: float loads, weight increments.
+
+    Identical structure to :func:`memory_hand_off` — first least
+    weighted-loaded candidate wins, the ``k`` least loaded distinct
+    candidate bins are remembered (stable sort, candidate order breaks
+    ties) — except each placement adds the ball's weight instead of 1.
+    ``loads`` is a plain list of floats (or any element-wise container);
+    mutated in place.
+    """
+    for row, weight in zip(fresh_rows, weights):
+        candidates = row + memory
+        best = candidates[0]
+        best_load = loads[best]
+        for bin_index in candidates[1:]:
+            load = loads[bin_index]
+            if load < best_load:
+                best, best_load = bin_index, load
+        loads[best] = best_load + weight
+        if assignments is not None:
+            assignments.append(best)
+        if k:
+            seen: set[int] = set()
+            unique = [
+                b for b in candidates if not (b in seen or seen.add(b))
+            ]
+            unique.sort(key=loads.__getitem__)
+            memory = unique[:k]
+    return memory
+
+
+# --------------------------------------------------------------------- #
+# Scalar kernels for the engine primitives (the "scalar" backend)
+# --------------------------------------------------------------------- #
+def _occurrence_ranks_scalar(values: np.ndarray) -> np.ndarray:
+    """Per-element count of earlier equal elements, one dict pass."""
+    out = np.empty(values.size, dtype=np.int64)
+    seen: dict[int, int] = {}
+    for i, v in enumerate(values.tolist()):
+        rank = seen.get(v, 0)
+        out[i] = rank
+        seen[v] = rank + 1
+    return out
+
+
+def _conflict_free_rows_scalar(
+    candidates: np.ndarray, n_bins: int | None = None
+) -> np.ndarray:
+    """Row-by-row first-holder scan; same contract as the scatter version."""
+    rows = candidates.tolist()
+    first: dict[int, int] = {}
+    for i, row in enumerate(rows):
+        for v in row:
+            if v not in first:
+                first[v] = i
+    out = np.empty(len(rows), dtype=bool)
+    for i, row in enumerate(rows):
+        out[i] = all(first[v] >= i for v in row)
+    return out
+
+
+def _run_window_scalar(
+    loads: np.ndarray,
+    acceptance_limit: int,
+    n_balls: int,
+    stream: "ProbeStream",
+    block_size: int | None,
+    collect: bool,
+) -> tuple[int, list[np.ndarray]]:
+    """The ball-by-ball window rule: probe until the bin is under the limit.
+
+    Consumes the exact probe sequence of the sequential process (one
+    :meth:`~repro.runtime.probes.ProbeStream.take_one` per probe, which the
+    give-back contract makes indistinguishable from block draws), so loads
+    and probe counts match the vectorised window bit for bit.
+    ``block_size`` is accepted for interface parity; it cannot affect a
+    per-probe loop.
+    """
+    counts = loads.tolist()
+    limit = int(acceptance_limit)
+    accepted: list[int] = []
+    placed = 0
+    probes = 0
+    while placed < n_balls:
+        j = stream.take_one()
+        probes += 1
+        if counts[j] <= limit:
+            counts[j] += 1
+            placed += 1
+            if collect:
+                accepted.append(j)
+    loads[:] = counts
+    chunks = [np.asarray(accepted, dtype=np.int64)] if accepted else []
+    return probes, chunks
+
+
+def _commit_chunk_scalar(
+    loads: np.ndarray,
+    rows: np.ndarray,
+    priorities: np.ndarray | None = None,
+    assignments: np.ndarray | None = None,
+    base: int = 0,
+    weights: np.ndarray | None = None,
+) -> None:
+    """The per-ball argmin commit: first least-loaded candidate wins.
+
+    With ``priorities``, the smallest priority among the least-loaded
+    positions wins (first position on a priority tie) — the same selection
+    the masked-argmin pass of the vectorised commit makes.  Weighted commits
+    add each ball's weight with one scalar ``+`` in ball order, the same
+    IEEE operation sequence as the engine's element-wise ``np.add.at``.
+    """
+    counts = loads.tolist()
+    row_list = rows.tolist()
+    pri_list = priorities.tolist() if priorities is not None else None
+    weight_list = weights.tolist() if weights is not None else None
+    for i, row in enumerate(row_list):
+        best = row[0]
+        best_load = counts[best]
+        if pri_list is None:
+            for cand in row[1:]:
+                load = counts[cand]
+                if load < best_load:
+                    best, best_load = cand, load
+        else:
+            prow = pri_list[i]
+            best_pri = prow[0]
+            for pos in range(1, len(row)):
+                cand = row[pos]
+                load = counts[cand]
+                if load < best_load or (load == best_load and prow[pos] < best_pri):
+                    best, best_load, best_pri = cand, load, prow[pos]
+        counts[best] = best_load + (1 if weight_list is None else weight_list[i])
+        if assignments is not None:
+            assignments[base + i] = best
+    loads[:] = counts
+
+
+def _move_sweep_scalar(
+    loads: np.ndarray,
+    choices: np.ndarray,
+    placement: np.ndarray,
+    chunk_size: int | None = None,
+) -> int:
+    """The sequential CRS-style move rule, ball by ball in ball order."""
+    counts = loads.tolist()
+    placed = placement.tolist()
+    moved = 0
+    for i, row in enumerate(choices.tolist()):
+        best = row[0]
+        best_load = counts[best]
+        for cand in row[1:]:
+            load = counts[cand]
+            if load < best_load:
+                best, best_load = cand, load
+        current = placed[i]
+        if best_load + 2 <= counts[current]:
+            counts[current] -= 1
+            counts[best] += 1
+            placed[i] = best
+            moved += 1
+    loads[:] = counts
+    placement[:] = placed
+    return moved
+
+
+def _simulate_weighted_block_scalar(
+    block: np.ndarray,
+    bin_loads: np.ndarray,
+    weights: np.ndarray,
+    thresholds: np.ndarray,
+    ball_base: int,
+    last_ball: int,
+) -> tuple[np.ndarray, int]:
+    """Exact sequential replay of one weighted probe block.
+
+    Walks the probes in order, maintaining each touched bin's running load
+    in a dict seeded from the snapshot ``bin_loads``; every outcome is the
+    sequential process's own decision, so the whole block is verified
+    (``verified_until == size``) and the caller's margin machinery never
+    engages.  Probes past the chunk's last acceptance are left unmarked —
+    the caller's remaining-balls cutoff gives them back untouched.
+    """
+    size = block.size
+    accepted = np.zeros(size, dtype=bool)
+    bins = block.tolist()
+    start_loads = bin_loads.tolist()
+    current: dict[int, float] = {}
+    ball = ball_base
+    for p in range(size):
+        if ball > last_ball:
+            break
+        j = bins[p]
+        load = current.get(j)
+        if load is None:
+            load = start_loads[p]
+        if load < thresholds[ball]:
+            accepted[p] = True
+            current[j] = load + weights[ball]
+            ball += 1
+    return accepted, size
+
+
+# --------------------------------------------------------------------- #
+# The backend interface
+# --------------------------------------------------------------------- #
+class KernelBackend:
+    """One implementation of the primitive kernels the engines dispatch on.
+
+    Subclasses implement the kernel methods; the base class carries the
+    single-homed scalar memory rules (shared verbatim by the numpy and
+    scalar backends — the NumPy engines deliberately keep those regimes
+    scalar, see the ROADMAP standing constraint) and the capability flags
+    the drivers consult.
+
+    Every kernel must be **bit-identical** to the reference semantics —
+    same loads, same assignments, same probe consumption.  Backends are an
+    execution strategy, never a semantic choice.
+    """
+
+    #: Registry name; subclasses override.
+    name: str = "abstract"
+
+    #: Whether the trial-axis batched engines (``fill_window_batch``,
+    #: ``batched_argmin_commit``) may run under this backend.  Drivers fall
+    #: back to the per-trial loop when false (results are identical either
+    #: way; batching is itself just an execution strategy).
+    trial_batching: bool = False
+
+    #: Whether the provisional (1,1)-memory fixpoint engine may run under
+    #: this backend; when false the d=1,k=1 configuration routes through
+    #: :meth:`memory_fallback` instead.
+    provisional_memory: bool = False
+
+    def available(self) -> bool:
+        """Whether this backend can run in the current environment."""
+        return True
+
+    def unavailable_reason(self) -> str | None:
+        """Why :meth:`available` is false (``None`` when available)."""
+        return None
+
+    # -- engine kernels (subclasses implement) -------------------------- #
+    def occurrence_ranks(self, values: np.ndarray) -> np.ndarray:
+        """Per-element count of earlier equal elements (validated 1-D input)."""
+        raise NotImplementedError
+
+    def conflict_free_rows(
+        self, candidates: np.ndarray, n_bins: int | None = None
+    ) -> np.ndarray:
+        """Rows of a candidate matrix no earlier row can disturb."""
+        raise NotImplementedError
+
+    def run_window(
+        self,
+        loads: np.ndarray,
+        acceptance_limit: int,
+        n_balls: int,
+        stream: "ProbeStream",
+        block_size: int | None,
+        collect: bool,
+    ) -> tuple[int, list[np.ndarray]]:
+        """Fill one constant-limit window (validated, capacity-checked input)."""
+        raise NotImplementedError
+
+    def commit_chunk(
+        self,
+        loads: np.ndarray,
+        rows: np.ndarray,
+        priorities: np.ndarray | None = None,
+        assignments: np.ndarray | None = None,
+        base: int = 0,
+        weights: np.ndarray | None = None,
+    ) -> None:
+        """Commit one chunk of d-choice balls in sequential ball order."""
+        raise NotImplementedError
+
+    def move_sweep(
+        self,
+        loads: np.ndarray,
+        choices: np.ndarray,
+        placement: np.ndarray,
+        chunk_size: int | None = None,
+    ) -> int:
+        """One self-balancing sweep over all balls; returns the move count."""
+        raise NotImplementedError
+
+    def simulate_weighted_block(
+        self,
+        block: np.ndarray,
+        bin_loads: np.ndarray,
+        weights: np.ndarray,
+        thresholds: np.ndarray,
+        ball_base: int,
+        last_ball: int,
+    ) -> tuple[np.ndarray, int]:
+        """Resolve one weighted probe block; returns (accepted, verified_until)."""
+        raise NotImplementedError
+
+    # -- the scalar memory rules (shared defaults) ----------------------- #
+    def memory_hand_off(
+        self,
+        counts,
+        fresh_rows: list[list[int]],
+        memory: list[int],
+        k: int,
+        assignments: list[int] | None = None,
+    ) -> list[int]:
+        """One chunk of the sequential (d,k)-memory rule (see module fn)."""
+        return memory_hand_off(counts, fresh_rows, memory, k, assignments=assignments)
+
+    def weighted_memory_hand_off(
+        self,
+        loads,
+        fresh_rows: list[list[int]],
+        memory: list[int],
+        k: int,
+        weights: list[float],
+        assignments: list[int] | None = None,
+    ) -> list[int]:
+        """One chunk of the weighted (d,k)-memory rule (see module fn)."""
+        return weighted_memory_hand_off(
+            loads, fresh_rows, memory, k, weights, assignments=assignments
+        )
+
+    def memory_fallback(
+        self,
+        stream: "ProbeStream",
+        loads: np.ndarray,
+        memory: list[int],
+        n_balls: int,
+        d: int,
+        k: int,
+        assignments: np.ndarray | None = None,
+        chunk_size: int | None = None,
+    ) -> list[int]:
+        """Place ``n_balls`` (d,k)-memory balls with the sequential rule.
+
+        The fallback regime of
+        :func:`repro.baselines.memory_engine.chunked_memory_commit` (``d > 1``
+        or ``k >= 2``, where every NumPy decomposition measured slower than
+        the loop).  ``loads`` is int64, updated in place; returns the new
+        remembered set.  ``chunk_size`` only bounds the bulk fresh draws and
+        cannot affect results.
+        """
+        counts = loads.tolist()
+        out: list[int] | None = [] if assignments is not None else None
+        memory = chunked_memory_hand_off(
+            stream, counts, memory, n_balls, d, k, assignments=out
+        )
+        loads[:] = counts
+        if assignments is not None:
+            assignments[:n_balls] = out
+        return memory
+
+    def weighted_memory_fallback(
+        self,
+        stream: "ProbeStream",
+        weighted_loads: np.ndarray,
+        memory: list[int],
+        weights: np.ndarray,
+        d: int,
+        k: int,
+        assignments: np.ndarray | None = None,
+        chunk_size: int | None = None,
+    ) -> list[int]:
+        """Place all ``weights`` under the weighted (d,k)-memory rule.
+
+        The commit path of
+        :func:`repro.baselines.memory_engine.chunked_weighted_memory_commit`:
+        float loads make the rule's sequential dependency continuous-valued,
+        so the base implementation runs the chunk-drawn scalar rule over
+        plain Python floats.  ``weighted_loads`` (float64) is updated in
+        place; returns the new remembered set.
+        """
+        n_balls = int(weights.size)
+        chunk = int(chunk_size) if chunk_size else _FRESH_CHUNK
+        loads_list = weighted_loads.tolist()
+        weight_list = weights.tolist()
+        out: list[int] | None = [] if assignments is not None else None
+        placed = 0
+        while placed < n_balls:
+            count = min(chunk, n_balls - placed)
+            fresh = stream.take_matrix(count, d).tolist()
+            memory = weighted_memory_hand_off(
+                loads_list,
+                fresh,
+                memory,
+                k,
+                weight_list[placed : placed + count],
+                assignments=out,
+            )
+            placed += count
+        weighted_loads[:] = loads_list
+        if assignments is not None:
+            assignments[:n_balls] = out
+        return memory
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class NumpyBackend(KernelBackend):
+    """The chunked vectorised kernels — today's engines, moved not rewritten.
+
+    The kernel bodies live next to their engines (``_*_numpy`` functions in
+    :mod:`repro.core.window`, :mod:`repro.baselines.engine`,
+    :mod:`repro.core.weighted_engine`); this class binds them behind the
+    backend interface.  The imports are function-local because those engine
+    modules import this one for dispatch.
+    """
+
+    name = "numpy"
+    trial_batching = True
+    provisional_memory = True
+
+    def occurrence_ranks(self, values):
+        from repro.core.window import _occurrence_ranks_numpy
+
+        return _occurrence_ranks_numpy(values)
+
+    def conflict_free_rows(self, candidates, n_bins=None):
+        from repro.core.window import _conflict_free_rows_numpy
+
+        return _conflict_free_rows_numpy(candidates, n_bins)
+
+    def run_window(self, loads, acceptance_limit, n_balls, stream, block_size, collect):
+        from repro.core.window import _run_window_numpy
+
+        return _run_window_numpy(
+            loads, acceptance_limit, n_balls, stream, block_size, collect
+        )
+
+    def commit_chunk(
+        self, loads, rows, priorities=None, assignments=None, base=0, weights=None
+    ):
+        from repro.baselines.engine import _commit_chunk_numpy
+
+        _commit_chunk_numpy(
+            loads,
+            rows,
+            priorities=priorities,
+            assignments=assignments,
+            base=base,
+            weights=weights,
+        )
+
+    def move_sweep(self, loads, choices, placement, chunk_size=None):
+        from repro.baselines.engine import _move_sweep_numpy
+
+        return _move_sweep_numpy(loads, choices, placement, chunk_size=chunk_size)
+
+    def simulate_weighted_block(
+        self, block, bin_loads, weights, thresholds, ball_base, last_ball
+    ):
+        from repro.core.weighted_engine import _simulate_block
+
+        return _simulate_block(
+            block, bin_loads, weights, thresholds, ball_base, last_ball
+        )
+
+
+class ScalarBackend(KernelBackend):
+    """The literal per-ball loops, one shared home for every scalar rule.
+
+    Useful as a cross-check oracle for the vectorised kernels (independent
+    of the per-ball references in :mod:`repro.baselines.reference`, which
+    implement whole protocols rather than kernels) and as the measured
+    baseline the numba backend must beat.
+    """
+
+    name = "scalar"
+
+    def occurrence_ranks(self, values):
+        return _occurrence_ranks_scalar(values)
+
+    def conflict_free_rows(self, candidates, n_bins=None):
+        return _conflict_free_rows_scalar(candidates, n_bins)
+
+    def run_window(self, loads, acceptance_limit, n_balls, stream, block_size, collect):
+        return _run_window_scalar(
+            loads, acceptance_limit, n_balls, stream, block_size, collect
+        )
+
+    def commit_chunk(
+        self, loads, rows, priorities=None, assignments=None, base=0, weights=None
+    ):
+        _commit_chunk_scalar(
+            loads,
+            rows,
+            priorities=priorities,
+            assignments=assignments,
+            base=base,
+            weights=weights,
+        )
+
+    def move_sweep(self, loads, choices, placement, chunk_size=None):
+        return _move_sweep_scalar(loads, choices, placement, chunk_size=chunk_size)
+
+    def simulate_weighted_block(
+        self, block, bin_loads, weights, thresholds, ball_base, last_ball
+    ):
+        return _simulate_weighted_block_scalar(
+            block, bin_loads, weights, thresholds, ball_base, last_ball
+        )
+
+
+class NumbaBackend(NumpyBackend):
+    """NumPy kernels everywhere, ``@njit`` loops on the scalar regimes.
+
+    The only regimes the NumPy engines leave scalar — the (d,k)-memory
+    hand-off for ``d > 1`` / ``k >= 2`` and the weighted-memory commit —
+    are exactly where a JIT-compiled per-ball loop wins (ROADMAP item 4
+    left this as the one sanctioned route to beat them).  Everything else
+    inherits the vectorised kernels unchanged.
+
+    The jitted kernels live in :mod:`repro.core._numba_kernels`; importing
+    that module is what requires numba, so this backend stays registered
+    (and honestly reports why it cannot run) when the ``accel`` extra is
+    not installed.
+    """
+
+    name = "numba"
+
+    _kernels_module: Any = None
+    _import_error: str | None = None
+
+    @classmethod
+    def _kernels(cls) -> Any:
+        if cls._kernels_module is None and cls._import_error is None:
+            try:
+                from repro.core import _numba_kernels
+
+                cls._kernels_module = _numba_kernels
+            except ImportError as exc:
+                cls._import_error = str(exc)
+        return cls._kernels_module
+
+    def available(self) -> bool:
+        return self._kernels() is not None
+
+    def unavailable_reason(self) -> str | None:
+        if self.available():
+            return None
+        return (
+            "backend 'numba' requires the optional numba dependency "
+            f"(import failed: {self._import_error}); install it with "
+            "`pip install 'repro-balls-into-bins[accel]'` or `pip install numba`"
+        )
+
+    def memory_fallback(
+        self,
+        stream,
+        loads,
+        memory,
+        n_balls,
+        d,
+        k,
+        assignments=None,
+        chunk_size=None,
+    ):
+        kernels = self._kernels()
+        mem_len = len(memory)
+        buf = np.empty(max(k, mem_len, 1), dtype=np.int64)
+        buf[:mem_len] = memory
+        record = assignments is not None
+        out = assignments if record else np.empty(1, dtype=np.int64)
+        placed = 0
+        while placed < n_balls:
+            count = min(_FRESH_CHUNK, n_balls - placed)
+            fresh = stream.take_matrix(count, d)
+            mem_len = kernels.memory_chunk(
+                loads, fresh, buf, mem_len, k, out, placed, record
+            )
+            placed += count
+        return [int(b) for b in buf[:mem_len]]
+
+    def weighted_memory_fallback(
+        self,
+        stream,
+        weighted_loads,
+        memory,
+        weights,
+        d,
+        k,
+        assignments=None,
+        chunk_size=None,
+    ):
+        kernels = self._kernels()
+        n_balls = int(weights.size)
+        chunk = int(chunk_size) if chunk_size else _FRESH_CHUNK
+        mem_len = len(memory)
+        buf = np.empty(max(k, mem_len, 1), dtype=np.int64)
+        buf[:mem_len] = memory
+        record = assignments is not None
+        out = assignments if record else np.empty(1, dtype=np.int64)
+        weights = np.ascontiguousarray(weights, dtype=np.float64)
+        placed = 0
+        while placed < n_balls:
+            count = min(chunk, n_balls - placed)
+            fresh = stream.take_matrix(count, d)
+            mem_len = kernels.weighted_memory_chunk(
+                weighted_loads, fresh, buf, mem_len, k,
+                weights[placed : placed + count], out, placed, record,
+            )
+            placed += count
+        return [int(b) for b in buf[:mem_len]]
+
+
+# --------------------------------------------------------------------- #
+# Registry and ambient selection
+# --------------------------------------------------------------------- #
+_REGISTRY: dict[str, KernelBackend] = {}
+
+DEFAULT_BACKEND = "numpy"
+
+_ACTIVE: contextvars.ContextVar[KernelBackend | None] = contextvars.ContextVar(
+    "active_kernel_backend", default=None
+)
+
+
+def register_backend(backend: KernelBackend) -> KernelBackend:
+    """Add a backend instance to the registry under its ``name``."""
+    name = backend.name
+    if not name or name == "abstract":
+        raise ConfigurationError("registered backends must define a unique name")
+    if name in _REGISTRY and type(_REGISTRY[name]) is not type(backend):
+        raise ConfigurationError(f"backend name {name!r} is already registered")
+    _REGISTRY[name] = backend
+    return backend
+
+
+def backend_names() -> list[str]:
+    """Names of all registered backends (available or not), sorted."""
+    return sorted(_REGISTRY)
+
+
+def available_backends() -> list[str]:
+    """Names of the registered backends that can run here, sorted."""
+    return [name for name in sorted(_REGISTRY) if _REGISTRY[name].available()]
+
+
+def describe_backends() -> list[dict[str, Any]]:
+    """One record per registered backend: name, availability, note."""
+    records = []
+    for name in sorted(_REGISTRY):
+        backend = _REGISTRY[name]
+        ok = backend.available()
+        records.append(
+            {
+                "name": name,
+                "available": ok,
+                "note": "" if ok else (backend.unavailable_reason() or ""),
+                "default": name == DEFAULT_BACKEND,
+            }
+        )
+    return records
+
+
+def validate_backend_name(name: Any) -> None:
+    """Spec-level validation: the name must be registered (``None`` = default).
+
+    Availability is deliberately *not* required here — a spec naming the
+    numba backend must round-trip on a machine without numba; resolving the
+    backend to actually run (:func:`get_backend`) is where unavailability
+    errors with the install hint.
+    """
+    if name is None:
+        return
+    if not isinstance(name, str):
+        raise ConfigurationError(f"backend must be a string, got {name!r}")
+    if name not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown backend {name!r}; available: {backend_names()}"
+        )
+
+
+def get_backend(name: str) -> KernelBackend:
+    """Return the backend registered under ``name``, checking availability."""
+    validate_backend_name(name)
+    backend = _REGISTRY[name]
+    if not backend.available():
+        raise ConfigurationError(backend.unavailable_reason())
+    return backend
+
+
+def resolve_backend(backend: "str | KernelBackend | None") -> KernelBackend:
+    """Coerce a spec field / kwarg to a backend instance (``None`` = default)."""
+    if backend is None:
+        return _REGISTRY[DEFAULT_BACKEND]
+    if isinstance(backend, KernelBackend):
+        return backend
+    return get_backend(backend)
+
+
+def active_backend() -> KernelBackend:
+    """The backend the engines currently dispatch to (default ``"numpy"``)."""
+    backend = _ACTIVE.get()
+    return _REGISTRY[DEFAULT_BACKEND] if backend is None else backend
+
+
+@contextlib.contextmanager
+def use_backend(backend: "str | KernelBackend | None") -> Iterator[KernelBackend]:
+    """Select the ambient kernel backend for the duration of the block.
+
+    Context-variable based, so concurrent sessions (threads, async tasks)
+    each see their own selection.  ``None`` selects the default.
+    """
+    resolved = resolve_backend(backend)
+    token = _ACTIVE.set(resolved)
+    try:
+        yield resolved
+    finally:
+        _ACTIVE.reset(token)
+
+
+register_backend(NumpyBackend())
+register_backend(ScalarBackend())
+register_backend(NumbaBackend())

@@ -65,6 +65,7 @@ import math
 
 import numpy as np
 
+from repro.core.backend import active_backend
 from repro.errors import ConfigurationError, SimulationError
 from repro.runtime.probes import ProbeStream
 
@@ -425,6 +426,7 @@ def _place_chunk(
     max_probes: int,
 ) -> int:
     """Place balls ``start … end-1`` of one chunk; return probes consumed."""
+    backend = active_backend()
     probes = 0
     i = start  # next unplaced ball
     carry = 0  # probes the front ball already burned in earlier blocks
@@ -435,7 +437,7 @@ def _place_chunk(
             size = max(1, min(size, stream.available))
         block = stream.take(size)
         bin_loads = loads[block]
-        accepted, first_amb = _simulate_block(
+        accepted, first_amb = backend.simulate_weighted_block(
             block, bin_loads, weights, thresholds, i, end - 1
         )
 

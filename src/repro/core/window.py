@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.backend import active_backend
 from repro.errors import ConfigurationError, ProtocolError
 from repro.runtime.probes import BatchedProbeStream, ProbeStream
 
@@ -79,15 +80,21 @@ def occurrence_ranks(values: np.ndarray) -> np.ndarray:
 
     ``occurrence_ranks([3, 5, 3, 3, 5]) == [0, 0, 1, 2, 1]``.
 
-    Implemented with a stable argsort so it is O(k log k) and fully
-    vectorised; this is the core of the window-filling trick.
+    This is the core of the window-filling trick; the computation runs on
+    the active kernel backend (see :mod:`repro.core.backend`), with the
+    default NumPy kernel in :func:`_occurrence_ranks_numpy`.
     """
     values = np.asarray(values)
     if values.ndim != 1:
         raise ConfigurationError("values must be a 1-D array")
-    k = values.size
-    if k == 0:
+    if values.size == 0:
         return np.empty(0, dtype=np.int64)
+    return active_backend().occurrence_ranks(values)
+
+
+def _occurrence_ranks_numpy(values: np.ndarray) -> np.ndarray:
+    """Occurrence ranks with a stable argsort: O(k log k), fully vectorised."""
+    k = values.size
     order = np.argsort(values, kind="stable")
     sorted_vals = values[order]
     new_group = np.empty(k, dtype=bool)
@@ -124,7 +131,8 @@ def conflict_free_rows(candidates: np.ndarray, n_bins: int | None = None) -> np.
     (later assignments overwrite, so reversing makes the earliest win), and
     an element conflicts iff its bin's first holder is a strictly earlier
     row.  ``n_bins`` sizes the scatter table; it defaults to
-    ``candidates.max() + 1``.
+    ``candidates.max() + 1``.  The fold runs on the active kernel backend
+    (:func:`_conflict_free_rows_numpy` is the default).
     """
     candidates = np.asarray(candidates)
     if candidates.ndim != 2:
@@ -132,6 +140,14 @@ def conflict_free_rows(candidates: np.ndarray, n_bins: int | None = None) -> np.
     k, d = candidates.shape
     if k == 0 or d == 0:
         return np.ones(k, dtype=bool)
+    return active_backend().conflict_free_rows(candidates, n_bins)
+
+
+def _conflict_free_rows_numpy(
+    candidates: np.ndarray, n_bins: int | None = None
+) -> np.ndarray:
+    """Conflict-free rows via the reversed first-holder scatter (see above)."""
+    k, d = candidates.shape
     flat = candidates.ravel()
     rows = np.repeat(np.arange(k, dtype=np.int64), d)
     size = int(flat.max()) + 1 if n_bins is None else int(n_bins)
@@ -163,7 +179,9 @@ def _run_window(
 ) -> tuple[int, list[np.ndarray]]:
     """Shared engine behind :func:`fill_window` and :func:`assign_window`.
 
-    Returns ``(probes, accepted_chunks)`` where ``accepted_chunks`` holds the
+    Validates the window (the capacity check keeps every backend's loop
+    terminating) and dispatches to the active kernel backend.  Returns
+    ``(probes, accepted_chunks)`` where ``accepted_chunks`` holds the
     accepted bins of each pass in probe order (empty unless ``collect``).
     """
     if n_balls < 0:
@@ -179,13 +197,27 @@ def _run_window(
     if n_balls == 0:
         return 0, []
 
-    capacities = np.maximum(acceptance_limit + 1 - loads, 0).astype(np.int64)
-    total_capacity = int(capacities.sum())
+    total_capacity = int(np.maximum(acceptance_limit + 1 - loads, 0).sum())
     if total_capacity < n_balls:
         raise ProtocolError(
             f"window capacity {total_capacity} is smaller than the {n_balls} "
             "balls to place; the protocol cannot terminate"
         )
+    return active_backend().run_window(
+        loads, acceptance_limit, n_balls, stream, block_size, collect
+    )
+
+
+def _run_window_numpy(
+    loads: np.ndarray,
+    acceptance_limit: int,
+    n_balls: int,
+    stream: ProbeStream,
+    block_size: int | None,
+    collect: bool,
+) -> tuple[int, list[np.ndarray]]:
+    """The vectorised rank-and-cutoff window engine (validated input)."""
+    capacities = np.maximum(acceptance_limit + 1 - loads, 0).astype(np.int64)
 
     # Number of probes already seen per bin within this window.  A probe into
     # bin j is accepted iff seen[j] (at probe time) < capacities[j].
@@ -204,7 +236,7 @@ def _run_window(
             # (requesting at least one keeps the exhaustion error meaningful).
             size = max(1, min(size, stream.available))
         block = stream.take(size)
-        ranks = occurrence_ranks(block)
+        ranks = _occurrence_ranks_numpy(block)
         accepted = seen[block] + ranks < capacities[block]
         cumulative = np.cumsum(accepted)
         if cumulative.size and cumulative[-1] >= remaining:

@@ -27,9 +27,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from contextlib import nullcontext
 from pathlib import Path
 from typing import Any, Sequence
 
+from repro.core.backend import describe_backends, get_backend, use_backend
+from repro.errors import ConfigurationError
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.reporting.tables import format_markdown_table, write_csv
 
@@ -112,6 +115,22 @@ def build_parser() -> argparse.ArgumentParser:
             "DispatchSpec) instead of a named experiment; '-' reads stdin"
         ),
     )
+    parser.add_argument(
+        "--backend",
+        type=str,
+        default=None,
+        metavar="NAME",
+        help=(
+            "kernel backend for the run (see --list-backends); results are "
+            "bit-identical across backends, this only picks the execution "
+            "strategy.  Specs with their own 'backend' field keep it."
+        ),
+    )
+    parser.add_argument(
+        "--list-backends",
+        action="store_true",
+        help="list registered kernel backends (with availability) and exit",
+    )
     return parser
 
 
@@ -143,8 +162,21 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
+    if args.list_backends:
+        print(format_markdown_table(describe_backends()))
+        return 0
+
+    if args.backend is not None:
+        try:
+            backend_scope = use_backend(get_backend(args.backend))
+        except ConfigurationError as exc:
+            parser.error(str(exc))
+    else:
+        backend_scope = nullcontext()
+
     if args.spec is not None:
-        rows = _run_spec(args.spec)
+        with backend_scope:
+            rows = _run_spec(args.spec)
         if args.json:
             print(json.dumps(rows, default=str, indent=2))
         elif args.output is not None:
@@ -184,7 +216,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             "--workers/--no-batch-trials/--trial-block apply only to: "
             + ", ".join(sorted(_EXECUTION_MODE_EXPERIMENTS))
         )
-    result = run_experiment(args.experiment, scale=args.scale, **kwargs)
+    with backend_scope:
+        result = run_experiment(args.experiment, scale=args.scale, **kwargs)
 
     if args.json:
         print(json.dumps(result, default=str, indent=2))

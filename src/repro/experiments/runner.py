@@ -28,9 +28,11 @@ from __future__ import annotations
 
 from typing import Any, Sequence
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
 
 from repro.api.session import Simulation
 from repro.api.spec import SimulationSpec
+from repro.core.backend import active_backend, get_backend, use_backend
 from repro.core.result import RunResult
 from repro.errors import ConfigurationError
 from repro.experiments.config import SweepConfig, TrialConfig
@@ -126,9 +128,15 @@ def _run_trial_block(
     """
     protocol = spec.build_protocol()
     seeds = trial_seed_table(spec.seed, spec.trials)[start:stop]
-    return protocol.allocate_batch(
-        spec.n_balls, spec.n_bins, seeds, record_trace=spec.record_trace
+    scope = (
+        nullcontext()
+        if spec.backend is None
+        else use_backend(get_backend(spec.backend))
     )
+    with scope:
+        return protocol.allocate_batch(
+            spec.n_balls, spec.n_bins, seeds, record_trace=spec.record_trace
+        )
 
 
 def _run_block_for_pool(
@@ -186,6 +194,13 @@ def run_trials(
         raise ConfigurationError(
             f"trial_block must be at least 1, got {trial_block}"
         )
+    # Backends without trial-axis kernels (e.g. "scalar") run the exact
+    # per-trial loop instead — the two modes are bit-identical anyway.
+    backend = (
+        active_backend() if spec.backend is None else get_backend(spec.backend)
+    )
+    if not backend.trial_batching:
+        batch_trials = False
     if not batch_trials:
         if workers == 1:
             results = [run_trial(spec, i) for i in range(spec.trials)]

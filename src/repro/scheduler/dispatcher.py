@@ -62,6 +62,7 @@ Two entry points are exposed:
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -70,6 +71,7 @@ from repro._compat import deprecated_names
 from repro.baselines.engine import chunked_argmin_commit
 from repro.baselines.left import replay_group_map
 from repro.baselines.memory_engine import chunked_memory_commit, memory_hand_off
+from repro.core.backend import resolve_backend, use_backend
 from repro.core.result import RunResult
 from repro.core.thresholds import acceptance_limit
 from repro.core.weighted_engine import (
@@ -198,6 +200,11 @@ class Dispatcher:
         assignments, probe consumption and per-server state are
         bit-identical either way (certified by the test-suite), so this is
         purely a throughput knob for tiny-burst streaming.
+    backend:
+        Kernel backend for the vectorised dispatch engines (a registered
+        name or a :class:`~repro.core.backend.KernelBackend`); ``None``
+        (default) keeps the ambient selection.  Every backend produces
+        bit-identical assignments — this is purely an execution strategy.
 
     The dispatcher is stateful: ``job_counts``, ``work``, ``probes`` (and the
     remembered servers of the ``"memory"`` policy) accumulate across
@@ -217,6 +224,7 @@ class Dispatcher:
         probe_stream: ProbeStream | None = None,
         block_size: int | None = None,
         small_burst: int | None = None,
+        backend: str | None = None,
     ) -> None:
         if n_servers <= 0:
             raise ConfigurationError(f"n_servers must be positive, got {n_servers}")
@@ -246,6 +254,8 @@ class Dispatcher:
         self.w_max = None if w_max is None else float(w_max)
         self.block_size = block_size
         self.small_burst = None if small_burst is None else int(small_burst)
+        # Resolved eagerly so an unavailable backend fails at construction.
+        self._backend = None if backend is None else resolve_backend(backend)
         if probe_stream is not None:
             if probe_stream.n_bins != n_servers:
                 raise ConfigurationError(
@@ -278,6 +288,17 @@ class Dispatcher:
         aggregates, which is what the metrics need.
         """
         return self._result(np.empty(0, dtype=np.int64))
+
+    def _backend_scope(self):
+        """Kernel-backend scope for this dispatcher's engine work.
+
+        ``backend=None`` leaves the ambient selection in effect, so wrapping
+        a call site in :func:`~repro.core.backend.use_backend` still governs
+        backend-less dispatchers.
+        """
+        if self._backend is None:
+            return nullcontext()
+        return use_backend(self._backend)
 
     def _result(self, assignments: np.ndarray) -> DispatchResult:
         return DispatchResult(
@@ -327,7 +348,8 @@ class Dispatcher:
             job-by-job with the same probe sequence.
         """
         sizes = np.asarray(sizes, dtype=np.float64).ravel()
-        assignments = self._assign_batch(sizes, total_jobs)
+        with self._backend_scope():
+            assignments = self._assign_batch(sizes, total_jobs)
         if assignments.size and self.policy not in ("weighted", "weighted-left"):
             if assignments.size * 16 < self.n_servers:
                 # O(k log k) instead of O(n_servers): per-server partial sums
@@ -749,8 +771,11 @@ class Dispatcher:
         n_jobs = len(workload)
         sizes = workload.sizes()
         assignments = np.empty(n_jobs, dtype=np.int64)
-        for _, start, stop in workload.arrival_batches():
-            assignments[start:stop] = self._assign_batch(sizes[start:stop], n_jobs)
+        with self._backend_scope():
+            for _, start, stop in workload.arrival_batches():
+                assignments[start:stop] = self._assign_batch(
+                    sizes[start:stop], n_jobs
+                )
         if self.policy not in ("weighted", "weighted-left"):
             # Bin the work in a single pass over all jobs: per-server additions
             # then happen in job order, making the totals bit-identical to the
@@ -785,5 +810,6 @@ class Dispatcher:
             probe_stream=probe_stream,
             block_size=spec.block_size,
             small_burst=spec.small_burst,
+            backend=spec.backend,
             **spec.params,
         )

@@ -1,0 +1,466 @@
+"""Cross-backend equivalence and registry tests for the kernel backends.
+
+Every registered :class:`~repro.core.backend.KernelBackend` must produce
+*bit-identical* results: the backends are execution strategies for the same
+algorithms, so loads, probe counts, stream consumption, weighted loads and
+assignments may not differ by a single ulp between ``"numpy"``, ``"scalar"``
+and (when installed) ``"numba"``.  The replay matrices mirror the existing
+per-engine equivalence suites (baseline / weighted / memory), driven once
+per backend; the numba backend auto-skips when the optional dependency is
+missing.  Further groups certify the spec-level ``backend=`` field
+(round-trip, validation, legacy documents) and the driver threading
+(Simulation, run_trials, Dispatcher, CLI).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.api import DispatchSpec, Simulation, SimulationSpec, WorkloadSpec, simulate
+from repro.baselines.engine import chunked_argmin_commit, matrix_source
+from repro.baselines.memory_engine import (
+    chunked_memory_commit,
+    chunked_weighted_memory_commit,
+)
+from repro.core.backend import (
+    DEFAULT_BACKEND,
+    KernelBackend,
+    active_backend,
+    available_backends,
+    backend_names,
+    describe_backends,
+    get_backend,
+    resolve_backend,
+    use_backend,
+    validate_backend_name,
+)
+from repro.errors import ConfigurationError
+from repro.experiments.runner import run_trials
+from repro.runtime.probes import FixedProbeStream
+from repro.scheduler.dispatcher import Dispatcher
+
+#: (n_balls, n_bins) grid shared with the per-engine equivalence suites:
+#: tiny, square, heavily loaded (m >> n), sparse (n > m), empty.
+SIZES = [(0, 6), (1, 4), (24, 24), (400, 12), (2000, 8), (60, 240), (500, 100)]
+
+ALL_BACKENDS = backend_names()
+
+
+def backend_or_skip(name: str) -> KernelBackend:
+    try:
+        return get_backend(name)
+    except ConfigurationError as exc:
+        pytest.skip(str(exc))
+
+
+def choice_vector(m: int, n: int, d: int, seed: int = 99) -> np.ndarray:
+    return np.random.default_rng(seed).integers(
+        0, n, size=max(m, 1) * d, dtype=np.int64
+    )
+
+
+#: Protocols whose probe consumption is fixed at ``m * d`` — these replay a
+#: shared FixedProbeStream choice vector through every backend.
+REPLAY_PROTOCOLS = [
+    ("greedy", {"d": 2}, 2),
+    ("greedy", {"d": 1}, 1),
+    ("left", {"d": 2}, 2),
+    ("memory", {"d": 1, "k": 1}, 1),
+    ("memory", {"d": 2, "k": 2}, 2),
+    ("memory", {"d": 1, "k": 3}, 1),
+    ("memory", {"d": 3, "k": 1}, 3),
+    ("rebalancing", {"d": 2}, 2),
+    ("single-choice", {}, 1),
+    ("weighted-greedy", {"d": 2, "weight_dist": "uniform"}, 2),
+    ("weighted-left", {"d": 2, "weight_dist": "pareto"}, 2),
+    ("weighted-memory", {"d": 2, "k": 2, "weight_dist": "uniform"}, 2),
+    ("weighted-memory", {"d": 1, "k": 1, "weight_dist": "pareto"}, 1),
+]
+
+#: Protocols with data-dependent probe consumption — these run seeded (the
+#: bit-identity claim covers the probe sequence, so seeded runs must agree).
+SEEDED_PROTOCOLS = [
+    ("adaptive", {}),
+    ("threshold", {}),
+    ("weighted-adaptive", {"weight_dist": "uniform"}),
+    ("weighted-threshold", {"weight_dist": "pareto"}),
+]
+
+
+def assert_results_identical(reference, candidate):
+    assert np.array_equal(reference.loads, candidate.loads)
+    assert reference.allocation_time == candidate.allocation_time
+    ref_weighted = getattr(reference, "weighted_loads", None)
+    cand_weighted = getattr(candidate, "weighted_loads", None)
+    if ref_weighted is None:
+        assert cand_weighted is None
+    else:
+        assert np.array_equal(ref_weighted, cand_weighted)
+
+
+# --------------------------------------------------------------------------- #
+# Registry and context
+# --------------------------------------------------------------------------- #
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert {"numpy", "scalar", "numba"} <= set(backend_names())
+
+    def test_default_is_numpy(self):
+        assert DEFAULT_BACKEND == "numpy"
+        assert active_backend().name == "numpy"
+
+    def test_numpy_and_scalar_always_available(self):
+        assert {"numpy", "scalar"} <= set(available_backends())
+
+    def test_describe_backends_shape(self):
+        records = describe_backends()
+        assert sorted(r["name"] for r in records) == backend_names()
+        by_name = {r["name"]: r for r in records}
+        assert by_name["numpy"]["default"] is True
+        assert by_name["numpy"]["available"] is True
+        unavailable = [r for r in records if not r["available"]]
+        for record in unavailable:
+            assert record["note"]  # install hint, not a silent failure
+
+    def test_unknown_backend_names_available(self):
+        with pytest.raises(ConfigurationError, match="unknown backend 'bogus'"):
+            get_backend("bogus")
+        with pytest.raises(ConfigurationError, match="numpy"):
+            get_backend("bogus")
+
+    def test_validate_accepts_registered_unavailable_name(self):
+        # A spec naming numba must validate on machines without numba.
+        validate_backend_name("numba")
+        validate_backend_name(None)
+        with pytest.raises(ConfigurationError, match="must be a string"):
+            validate_backend_name(3)
+
+    def test_get_backend_unavailable_mentions_install_hint(self):
+        if "numba" in available_backends():
+            pytest.skip("numba installed here; unavailability path not reachable")
+        with pytest.raises(ConfigurationError, match="pip install"):
+            get_backend("numba")
+
+    def test_use_backend_nests_and_restores(self):
+        assert active_backend().name == DEFAULT_BACKEND
+        with use_backend("scalar") as outer:
+            assert outer.name == "scalar"
+            assert active_backend().name == "scalar"
+            with use_backend("numpy"):
+                assert active_backend().name == "numpy"
+            assert active_backend().name == "scalar"
+        assert active_backend().name == DEFAULT_BACKEND
+
+    def test_resolve_backend_passthrough(self):
+        scalar = get_backend("scalar")
+        assert resolve_backend(scalar) is scalar
+        assert resolve_backend(None).name == DEFAULT_BACKEND
+
+
+# --------------------------------------------------------------------------- #
+# Spec field
+# --------------------------------------------------------------------------- #
+class TestSpecBackendField:
+    def test_simulation_spec_round_trip(self):
+        spec = SimulationSpec(
+            "adaptive", n_balls=1000, n_bins=100, seed=1, backend="scalar"
+        )
+        data = json.loads(json.dumps(spec.to_dict()))
+        assert data["backend"] == "scalar"
+        assert SimulationSpec.from_dict(data) == spec
+
+    def test_unavailable_backend_round_trips(self):
+        # The spec layer validates the *name*; availability is checked when a
+        # driver resolves the backend to run.
+        spec = SimulationSpec(
+            "adaptive", n_balls=10, n_bins=5, seed=1, backend="numba"
+        )
+        assert SimulationSpec.from_dict(spec.to_dict()) == spec
+
+    def test_legacy_document_without_backend(self):
+        spec = SimulationSpec("adaptive", n_balls=1000, n_bins=100, seed=1)
+        data = spec.to_dict()
+        del data["backend"]
+        restored = SimulationSpec.from_dict(data)
+        assert restored.backend is None
+        assert restored == spec
+
+    def test_unknown_backend_rejected_with_names(self):
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            SimulationSpec("adaptive", n_balls=10, n_bins=5, backend="bogus")
+        with pytest.raises(ConfigurationError, match="numba"):
+            SimulationSpec("adaptive", n_balls=10, n_bins=5, backend="bogus")
+
+    def test_dispatch_spec_round_trip_and_legacy(self):
+        spec = DispatchSpec(
+            "greedy", n_servers=32, seed=2, params={"d": 2}, backend="scalar"
+        )
+        data = json.loads(json.dumps(spec.to_dict()))
+        assert DispatchSpec.from_dict(data) == spec
+        del data["backend"]
+        assert DispatchSpec.from_dict(data).backend is None
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            DispatchSpec("greedy", n_servers=32, backend="bogus")
+
+
+# --------------------------------------------------------------------------- #
+# Cross-backend bit-identity
+# --------------------------------------------------------------------------- #
+class TestCrossBackendEquivalence:
+    @pytest.mark.parametrize("backend_name", ALL_BACKENDS)
+    @pytest.mark.parametrize("size", SIZES)
+    @pytest.mark.parametrize(
+        "protocol,params,d", REPLAY_PROTOCOLS, ids=lambda v: str(v)
+    )
+    def test_replay_bit_identical(self, backend_name, size, protocol, params, d):
+        backend_or_skip(backend_name)
+        m, n = size
+        if protocol == "left" and n % d:
+            pytest.skip("replay needs equal groups")
+        choices = choice_vector(m, n, d)
+        base_spec = SimulationSpec(protocol, n_balls=m, n_bins=n, seed=7, params=params)
+        ref_stream = FixedProbeStream(n, choices)
+        reference = Simulation(base_spec, probe_stream=ref_stream).run()
+        cand_stream = FixedProbeStream(n, choices)
+        candidate = Simulation(
+            SimulationSpec(
+                protocol,
+                n_balls=m,
+                n_bins=n,
+                seed=7,
+                params=params,
+                backend=backend_name,
+            ),
+            probe_stream=cand_stream,
+        ).run()
+        assert_results_identical(reference, candidate)
+        assert ref_stream.consumed == cand_stream.consumed
+
+    @pytest.mark.parametrize("backend_name", ALL_BACKENDS)
+    @pytest.mark.parametrize("size", SIZES)
+    @pytest.mark.parametrize("protocol,params", SEEDED_PROTOCOLS, ids=lambda v: str(v))
+    def test_seeded_bit_identical(self, backend_name, size, protocol, params):
+        backend_or_skip(backend_name)
+        m, n = size
+        reference = simulate(
+            SimulationSpec(protocol, n_balls=m, n_bins=n, seed=11, params=params)
+        )
+        candidate = simulate(
+            SimulationSpec(
+                protocol,
+                n_balls=m,
+                n_bins=n,
+                seed=11,
+                params=params,
+                backend=backend_name,
+            )
+        )
+        assert_results_identical(reference, candidate)
+
+    @pytest.mark.parametrize("backend_name", ALL_BACKENDS)
+    def test_step_split_matches_one_shot(self, backend_name):
+        backend_or_skip(backend_name)
+        spec = SimulationSpec(
+            "memory",
+            n_balls=1200,
+            n_bins=60,
+            seed=3,
+            params={"d": 2, "k": 2},
+            backend=backend_name,
+        )
+        one_shot = Simulation(spec).run()
+        stepped = Simulation(spec)
+        while not stepped.state.done:
+            stepped.step(170)
+        assert_results_identical(one_shot, stepped.results())
+
+
+# --------------------------------------------------------------------------- #
+# Chunk-size invariance per backend
+# --------------------------------------------------------------------------- #
+class TestChunkInvariancePerBackend:
+    @pytest.mark.parametrize("backend_name", ALL_BACKENDS)
+    @settings(max_examples=20, deadline=None)
+    @given(chunk_size=st.integers(1, 700), seed=st.integers(0, 2**31))
+    def test_argmin_commit_chunk_invariance(self, backend_name, chunk_size, seed):
+        backend_or_skip(backend_name)
+        m, n, d = 600, 25, 2
+        choices = np.random.default_rng(seed).integers(
+            0, n, size=(m, d), dtype=np.int64
+        )
+        with use_backend(backend_name):
+            states = []
+            for chunk in (chunk_size, None):
+                loads = np.zeros(n, dtype=np.int64)
+                assignments = np.empty(m, dtype=np.int64)
+                chunked_argmin_commit(
+                    loads,
+                    matrix_source(choices),
+                    m,
+                    d,
+                    chunk_size=chunk,
+                    assignments=assignments,
+                )
+                states.append((loads, assignments))
+        assert np.array_equal(states[0][0], states[1][0])
+        assert np.array_equal(states[0][1], states[1][1])
+
+    @pytest.mark.parametrize("backend_name", ALL_BACKENDS)
+    @settings(max_examples=20, deadline=None)
+    @given(chunk_size=st.integers(1, 500), seed=st.integers(0, 2**31))
+    def test_memory_commit_chunk_invariance(self, backend_name, chunk_size, seed):
+        backend_or_skip(backend_name)
+        m, n, d, k = 400, 16, 2, 2
+        choices = np.random.default_rng(seed).integers(
+            0, n, size=m * d, dtype=np.int64
+        )
+        with use_backend(backend_name):
+            states = []
+            for chunk in (chunk_size, None):
+                loads = np.zeros(n, dtype=np.int64)
+                memory = chunked_memory_commit(
+                    FixedProbeStream(n, choices), loads, [], m, d, k,
+                    chunk_size=chunk,
+                )
+                states.append((loads, memory))
+        assert np.array_equal(states[0][0], states[1][0])
+        assert states[0][1] == states[1][1]
+
+    @pytest.mark.parametrize("backend_name", ALL_BACKENDS)
+    @settings(max_examples=20, deadline=None)
+    @given(chunk_size=st.integers(1, 500), seed=st.integers(0, 2**31))
+    def test_weighted_memory_chunk_invariance(self, backend_name, chunk_size, seed):
+        backend_or_skip(backend_name)
+        m, n, d, k = 300, 12, 2, 2
+        rng = np.random.default_rng(seed)
+        choices = rng.integers(0, n, size=m * d, dtype=np.int64)
+        weights = rng.uniform(0.1, 3.0, size=m)
+        with use_backend(backend_name):
+            states = []
+            for chunk in (chunk_size, None):
+                loads = np.zeros(n, dtype=np.float64)
+                memory = chunked_weighted_memory_commit(
+                    FixedProbeStream(n, choices), loads, [], weights, d, k,
+                    chunk_size=chunk,
+                )
+                states.append((loads, memory))
+        assert np.array_equal(states[0][0], states[1][0])
+        assert states[0][1] == states[1][1]
+
+
+# --------------------------------------------------------------------------- #
+# Driver threading
+# --------------------------------------------------------------------------- #
+class TestDriverThreading:
+    def test_simulation_rejects_unavailable_backend_at_construction(self):
+        if "numba" in available_backends():
+            pytest.skip("numba installed here; unavailability path not reachable")
+        spec = SimulationSpec("adaptive", n_balls=10, n_bins=5, seed=1, backend="numba")
+        with pytest.raises(ConfigurationError, match="numba"):
+            Simulation(spec)
+
+    @pytest.mark.parametrize("backend_name", ALL_BACKENDS)
+    def test_run_trials_bit_identical(self, backend_name):
+        backend_or_skip(backend_name)
+        base = SimulationSpec(
+            "greedy", n_balls=1500, n_bins=150, seed=9, trials=3, params={"d": 2}
+        )
+        reference = run_trials(base)
+        candidate = run_trials(
+            SimulationSpec(
+                "greedy",
+                n_balls=1500,
+                n_bins=150,
+                seed=9,
+                trials=3,
+                params={"d": 2},
+                backend=backend_name,
+            )
+        )
+        assert len(reference) == len(candidate) == 3
+        for ref, cand in zip(reference, candidate):
+            assert_results_identical(ref, cand)
+
+    def test_run_trials_ambient_backend(self):
+        spec = SimulationSpec(
+            "adaptive", n_balls=800, n_bins=80, seed=5, trials=2
+        )
+        reference = run_trials(spec)
+        with use_backend("scalar"):
+            candidate = run_trials(spec)
+        for ref, cand in zip(reference, candidate):
+            assert_results_identical(ref, cand)
+
+    @pytest.mark.parametrize("backend_name", ALL_BACKENDS)
+    @pytest.mark.parametrize(
+        "policy,params",
+        [
+            ("greedy", {"d": 2}),
+            ("left", {"d": 2}),
+            ("memory", {"d": 2, "k": 2}),
+            ("adaptive", {}),
+            ("weighted", {}),
+            ("weighted-left", {"d": 2}),
+        ],
+    )
+    def test_dispatcher_bit_identical(self, backend_name, policy, params):
+        backend_or_skip(backend_name)
+        workload = WorkloadSpec("heavy-tailed", n_jobs=2000, seed=31)
+        reference = simulate(
+            DispatchSpec(policy, n_servers=64, seed=17, params=params,
+                         workload=workload)
+        )
+        candidate = simulate(
+            DispatchSpec(policy, n_servers=64, seed=17, params=params,
+                         workload=workload, backend=backend_name)
+        )
+        assert np.array_equal(reference.loads, candidate.loads)
+        assert np.array_equal(reference.assignments, candidate.assignments)
+        assert np.array_equal(reference.work, candidate.work)
+        assert reference.allocation_time == candidate.allocation_time
+
+    def test_dispatcher_streaming_backend(self):
+        sizes = np.random.default_rng(4).uniform(0.5, 2.0, size=900)
+        reference = Dispatcher(50, policy="greedy", d=2, seed=23)
+        candidate = Dispatcher(50, policy="greedy", d=2, seed=23, backend="scalar")
+        for start in range(0, 900, 300):
+            ref_assign = reference.dispatch_batch(sizes[start:start + 300])
+            cand_assign = candidate.dispatch_batch(sizes[start:start + 300])
+            assert np.array_equal(ref_assign, cand_assign)
+        assert np.array_equal(reference.job_counts, candidate.job_counts)
+        assert reference.probes == candidate.probes
+
+    def test_dispatcher_rejects_unknown_backend(self):
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            Dispatcher(10, policy="greedy", backend="bogus")
+
+    def test_cli_list_backends(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["--list-backends"]) == 0
+        out = capsys.readouterr().out
+        for name in backend_names():
+            assert name in out
+
+    def test_cli_backend_flag_runs_spec(self, capsys, tmp_path):
+        from repro.experiments.cli import main
+
+        spec = SimulationSpec("adaptive", n_balls=2000, n_bins=200, seed=1)
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        assert main(["--spec", str(path), "--json"]) == 0
+        reference = json.loads(capsys.readouterr().out)
+        assert main(["--spec", str(path), "--json", "--backend", "scalar"]) == 0
+        candidate = json.loads(capsys.readouterr().out)
+        assert reference == candidate
+
+    def test_cli_rejects_unknown_backend(self, capsys):
+        from repro.experiments.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["--list", "--backend", "bogus"])
+        assert "unknown backend" in capsys.readouterr().err
