@@ -12,7 +12,8 @@ Run it with ``python examples/parallel_allocation.py``.
 
 from __future__ import annotations
 
-from repro import run_adaptive, run_threshold
+from repro.core.adaptive import run_adaptive
+from repro.core.threshold import run_threshold
 from repro.parallel import CollisionProtocol, ParallelGreedyProtocol
 from repro.reporting import format_markdown_table
 

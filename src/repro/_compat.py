@@ -6,6 +6,13 @@ keep working unchanged but emit a single :class:`DeprecationWarning` per
 process the first time they are touched.  The warning is emitted exactly
 once per name — not once per call site — so long-running services and test
 suites are not flooded, and CI can assert the "exactly once" contract.
+
+Every warning names the release that removes the shim
+(:data:`REMOVAL_RELEASE`), closing the deprecation cycle started in PR 4:
+callers see exactly when ``DispatchOutcome`` and the top-level
+``run_adaptive``/``run_threshold`` free functions disappear.  Internal code
+(the summarize/sweep paths, the registries, the engines) never imports
+through these shims, so library use stays warning-free.
 """
 
 from __future__ import annotations
@@ -13,19 +20,26 @@ from __future__ import annotations
 import warnings
 from typing import Any, Callable
 
-__all__ = ["warn_deprecated", "deprecated_names"]
+__all__ = ["REMOVAL_RELEASE", "warn_deprecated", "deprecated_names"]
+
+#: The release in which the deprecated aliases are removed.  Named in every
+#: warning message so callers can plan the migration.
+REMOVAL_RELEASE = "2.0"
 
 #: Names that have already warned in this process.
 _WARNED: set[str] = set()
 
 
-def warn_deprecated(name: str, replacement: str) -> None:
+def warn_deprecated(
+    name: str, replacement: str, removal: str = REMOVAL_RELEASE
+) -> None:
     """Emit the deprecation warning for ``name`` once per process."""
     if name in _WARNED:
         return
     _WARNED.add(name)
     warnings.warn(
-        f"{name} is deprecated; use {replacement} instead",
+        f"{name} is deprecated and will be removed in repro {removal}; "
+        f"use {replacement} instead",
         DeprecationWarning,
         stacklevel=3,
     )

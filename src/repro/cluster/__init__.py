@@ -1,0 +1,53 @@
+"""Distributed sweep execution: shard fan-out with termination detection.
+
+``repro.cluster`` shards a sweep's :class:`~repro.api.SimulationSpec`
+stream over N worker processes and streams schema-v1 record rows back as
+JSONL.  The moving parts:
+
+* :mod:`~repro.cluster.coordinator` — the asyncio coordinator:
+  counter-based termination detection (``active``/``finished`` instead of
+  joins), shard retry on worker death, dedup of double-completed shards,
+  and the :func:`~repro.cluster.coordinator.run_cluster_sweep` synchronous
+  facade (``workers=0`` = in-process reference path);
+* :mod:`~repro.cluster.worker` — the shard executor and blocking worker
+  loop (shared by the in-process path, so rows are bit-identical);
+* :mod:`~repro.cluster.transport` — the :class:`Transport` seam (JSON
+  bytes, not pickles; :class:`MultiprocessingTransport` today, TCP
+  tomorrow without touching the coordinator);
+* :mod:`~repro.cluster.stream` — JSONL streaming plus the ``--resume``
+  scan that keeps complete shards and re-runs partial ones.
+
+Entry points: ``repro sweep --workers N --out results.jsonl [--resume]``
+on the command line, :func:`run_cluster_sweep` from Python, or
+``run_sweep(..., cluster=True)`` for summary rows.
+"""
+
+from repro.cluster.coordinator import (
+    ClusterCoordinator,
+    Shard,
+    WorkCounters,
+    run_cluster_sweep,
+)
+from repro.cluster.stream import JsonlWriter, iter_jsonl, resume_scan
+from repro.cluster.transport import (
+    MultiprocessingTransport,
+    Transport,
+    WorkerHandle,
+    WorkerLost,
+)
+from repro.cluster.worker import run_shard
+
+__all__ = [
+    "ClusterCoordinator",
+    "Shard",
+    "WorkCounters",
+    "run_cluster_sweep",
+    "run_shard",
+    "JsonlWriter",
+    "iter_jsonl",
+    "resume_scan",
+    "Transport",
+    "WorkerHandle",
+    "WorkerLost",
+    "MultiprocessingTransport",
+]

@@ -1,0 +1,445 @@
+"""Async shard coordinator with counter-based termination detection.
+
+The coordinator turns a sweep — a list of :class:`~repro.api.SimulationSpec`
+shards — into a fan-out over N workers: every worker runs one shard at a
+time, streams the shard's schema-v1 record rows back, and immediately takes
+the next pending shard, so a slow cell never staples the fast ones to a
+barrier.
+
+Termination is detected the way the chaotic-relaxation SSSP engines do it —
+two monotone counters instead of joins:
+
+* ``active`` — shards currently in flight (incremented at dispatch,
+  decremented when the dispatch *resolves*: a reply arrived or the worker
+  died);
+* ``finished`` — distinct shards completed.
+
+The sweep is done exactly when ``finished == total`` and ``active == 0``;
+whichever worker-driver observes that state broadcasts stop sentinels to
+the rest.  A ``join()`` would hang on a killed worker; the counters instead
+convert worker death into "the in-flight shard is lost": it is requeued
+(bounded by ``max_shard_retries``, then
+:class:`~repro.errors.ClusterError`), the worker is respawned, and because
+shards are deterministic functions of their spec the retry regenerates
+bit-identical rows.  Completions are deduplicated by shard id, so a
+transport that redelivers (or a retry racing a slow original) can never
+emit a shard's rows twice.
+
+Inside the single-threaded asyncio loop the counters need no atomics — the
+fetch-and-add of the HPX exemplar degenerates to plain increments — but the
+protocol is the same, which is what lets a future TCP transport (or several
+coordinators sharing a work queue) keep the termination argument.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.api.spec import SimulationSpec
+from repro.cluster.stream import JsonlWriter, resume_scan, rewrite_jsonl
+from repro.cluster.transport import (
+    MultiprocessingTransport,
+    WorkerLost,
+    check_transport,
+)
+from repro.cluster.worker import run_shard
+from repro.errors import ClusterError, ConfigurationError
+from repro.experiments.config import SweepConfig
+
+__all__ = ["Shard", "WorkCounters", "ClusterCoordinator", "run_cluster_sweep"]
+
+#: Default retry budget per shard (worker deaths only; deterministic shard
+#: failures abort immediately).
+DEFAULT_MAX_SHARD_RETRIES = 3
+
+#: Queue sentinel telling a worker driver to shut down.
+_STOP = object()
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One unit of distributable work: a spec plus its stable id.
+
+    The id doubles as the dedup/retry/resume key, and equals the spec's
+    index in the sweep's ``specs()`` stream, so it is reproducible across
+    runs of the same sweep.
+    """
+
+    shard_id: int
+    spec: SimulationSpec
+
+    @property
+    def expected_rows(self) -> int:
+        return self.spec.trials
+
+    def payload(self) -> dict[str, Any]:
+        return {
+            "type": "shard",
+            "shard_id": self.shard_id,
+            "spec": self.spec.to_dict(),
+        }
+
+
+@dataclass
+class WorkCounters:
+    """The ``active`` / ``finished`` pair driving termination detection."""
+
+    active: int = 0
+    finished: int = 0
+
+    def dispatched(self) -> None:
+        self.active += 1
+
+    def resolved(self) -> None:
+        if self.active <= 0:  # pragma: no cover - invariant guard
+            raise ClusterError("termination counters corrupt: active < 0")
+        self.active -= 1
+
+    def completed(self) -> None:
+        self.finished += 1
+
+    def quiescent(self, total: int) -> bool:
+        """True exactly when the sweep is done: no flight, nothing missing."""
+        return self.finished >= total and self.active == 0
+
+
+class ClusterCoordinator:
+    """Fan a shard stream over N workers and collect every row exactly once.
+
+    Parameters
+    ----------
+    specs:
+        The shard stream — one :class:`~repro.api.SimulationSpec` per shard.
+    workers:
+        Number of workers to spawn (>= 1; the in-process ``workers=0`` path
+        lives in :func:`run_cluster_sweep`).
+    transport:
+        A :class:`~repro.cluster.transport.Transport`; defaults to
+        :class:`~repro.cluster.transport.MultiprocessingTransport`.
+    max_shard_retries:
+        How many times a shard may be lost to worker death before the sweep
+        aborts with :class:`~repro.errors.ClusterError`.
+    on_record:
+        Optional callback invoked with every row as its shard completes
+        (the JSONL streaming hook).
+    completed_shards:
+        Shard ids already done (the ``--resume`` prefix); they are skipped
+        entirely and their rows are *not* re-emitted.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[SimulationSpec],
+        *,
+        workers: int,
+        transport: Any | None = None,
+        max_shard_retries: int = DEFAULT_MAX_SHARD_RETRIES,
+        on_record: Callable[[dict[str, Any]], None] | None = None,
+        completed_shards: Iterable[int] = (),
+    ) -> None:
+        specs = list(specs)
+        for index, spec in enumerate(specs):
+            if not isinstance(spec, SimulationSpec):
+                raise ConfigurationError(
+                    f"specs[{index}]: expected a SimulationSpec, "
+                    f"got {type(spec).__name__}"
+                )
+        if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
+            raise ConfigurationError(
+                f"workers: must be an int >= 1, got {workers!r}"
+            )
+        if max_shard_retries < 0:
+            raise ConfigurationError(
+                f"max_shard_retries: must be non-negative, got {max_shard_retries}"
+            )
+        self.shards = [Shard(i, spec) for i, spec in enumerate(specs)]
+        self.workers = workers
+        self.transport = check_transport(
+            transport if transport is not None else MultiprocessingTransport()
+        )
+        self.max_shard_retries = max_shard_retries
+        self.on_record = on_record
+        self.counters = WorkCounters()
+        self.stats: dict[str, int] = {
+            "shards_run": 0,
+            "worker_deaths": 0,
+            "retries": 0,
+            "duplicate_results": 0,
+        }
+        self._resumed = set(int(s) for s in completed_shards)
+        unknown = self._resumed - {shard.shard_id for shard in self.shards}
+        if unknown:
+            raise ConfigurationError(
+                f"completed_shards: unknown shard id {sorted(unknown)[0]}"
+            )
+        self._completed: set[int] = set(self._resumed)
+        # Resumed shards count as finished from the start — quiescence
+        # compares ``finished`` against the *total* shard count.
+        self.counters.finished = len(self._resumed)
+        self._attempts: dict[int, int] = {}
+        self._records: list[dict[str, Any]] = []
+        self._handles: dict[int, Any] = {}
+        self._error: BaseException | None = None
+        self._stopped = False
+
+    # ------------------------------------------------------------------ #
+    def worker_pids(self) -> dict[int, int | None]:
+        """Live worker ids → OS pids (fault-injection/test hook)."""
+        return {wid: handle.pid for wid, handle in self._handles.items()}
+
+    # ------------------------------------------------------------------ #
+    async def run(self) -> list[dict[str, Any]]:
+        """Execute every pending shard; return the newly computed rows."""
+        pending = [s for s in self.shards if s.shard_id not in self._resumed]
+        self._total = len(self.shards)
+        if not pending:
+            return []
+        self._queue: asyncio.Queue = asyncio.Queue()
+        for shard in pending:
+            self._queue.put_nowait(shard)
+        loop = asyncio.get_running_loop()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers + 1, thread_name_prefix="repro-cluster"
+        )
+        try:
+            drivers = [
+                loop.create_task(self._drive(wid)) for wid in range(self.workers)
+            ]
+            results = await asyncio.gather(*drivers, return_exceptions=True)
+            for outcome in results:
+                if isinstance(outcome, BaseException) and self._error is None:
+                    self._error = outcome
+            if self._error is not None:
+                raise self._error
+            if not self.counters.quiescent(self._total):  # pragma: no cover
+                raise ClusterError(
+                    "coordinator stopped non-quiescent: "
+                    f"finished={self.counters.finished}/{self._total}, "
+                    f"active={self.counters.active}"
+                )
+            return self._records
+        finally:
+            for handle in list(self._handles.values()):
+                try:
+                    handle.kill() if self._error is not None else handle.close()
+                except Exception:  # pragma: no cover - best-effort cleanup
+                    pass
+            self._handles.clear()
+            self.transport.shutdown()
+            self._executor.shutdown(wait=False)
+
+    # ------------------------------------------------------------------ #
+    async def _call(self, fn, *args):
+        return await asyncio.get_running_loop().run_in_executor(
+            self._executor, fn, *args
+        )
+
+    def _abort(self, exc: BaseException) -> None:
+        if self._error is None:
+            self._error = exc
+        self._broadcast_stop()
+
+    def _broadcast_stop(self) -> None:
+        if not self._stopped:
+            self._stopped = True
+            for _ in range(self.workers):
+                self._queue.put_nowait(_STOP)
+
+    def _check_done(self) -> None:
+        if self.counters.quiescent(self._total):
+            self._broadcast_stop()
+
+    def _complete(self, shard_id: int, records: list[dict[str, Any]]) -> None:
+        """Record a shard completion; duplicates are counted and dropped."""
+        if shard_id in self._completed:
+            self.stats["duplicate_results"] += 1
+            return
+        self._completed.add(shard_id)
+        self.counters.completed()
+        self.stats["shards_run"] += 1
+        for record in records:
+            self._records.append(record)
+            if self.on_record is not None:
+                self.on_record(record)
+
+    def _requeue(self, shard: Shard) -> None:
+        """Put a lost shard back on the queue, enforcing the retry budget."""
+        if shard.shard_id in self._completed:
+            return  # a stale completion beat the retry; nothing to redo
+        attempts = self._attempts.get(shard.shard_id, 0) + 1
+        self._attempts[shard.shard_id] = attempts
+        self.stats["retries"] += 1
+        if attempts > self.max_shard_retries:
+            raise ClusterError(
+                f"shard {shard.shard_id} ({shard.spec.protocol}, "
+                f"m={shard.spec.n_balls}, n={shard.spec.n_bins}) lost to "
+                f"worker death {attempts} times "
+                f"(max_shard_retries={self.max_shard_retries})"
+            )
+        self._queue.put_nowait(shard)
+
+    async def _drive(self, worker_id: int) -> None:
+        """One worker's driver: spawn it, feed it shards, absorb its death."""
+        handle = await self._call(self.transport.spawn, worker_id)
+        self._handles[worker_id] = handle
+        while True:
+            shard = await self._queue.get()
+            if shard is _STOP or self._error is not None:
+                return
+            if shard.shard_id in self._completed:
+                self._check_done()
+                continue
+            self.counters.dispatched()
+            try:
+                await self._call(handle.send, shard.payload())
+                while True:
+                    reply = await self._call(handle.recv)
+                    if reply.get("type") == "error":
+                        self.counters.resolved()
+                        exc = ClusterError(
+                            f"shard {reply.get('shard_id')} failed "
+                            f"deterministically on worker {worker_id}: "
+                            f"{reply.get('error')} (not retried — the same "
+                            "spec would fail the same way)"
+                        )
+                        self._abort(exc)
+                        raise exc
+                    self._complete(
+                        int(reply["shard_id"]), list(reply.get("records", []))
+                    )
+                    if int(reply["shard_id"]) == shard.shard_id:
+                        break
+                    # Otherwise: a stale/duplicate delivery for some other
+                    # shard — already handled by _complete, keep waiting
+                    # for our own reply.
+            except WorkerLost:
+                self.counters.resolved()
+                self.stats["worker_deaths"] += 1
+                try:
+                    self._requeue(shard)
+                except ClusterError as exc:
+                    self._abort(exc)
+                    raise
+                self._check_done()
+                try:
+                    handle.close()
+                except Exception:  # pragma: no cover - already dead
+                    pass
+                handle = await self._call(self.transport.spawn, worker_id)
+                self._handles[worker_id] = handle
+                continue
+            self.counters.resolved()
+            self._check_done()
+
+
+# --------------------------------------------------------------------- #
+# Synchronous facade
+# --------------------------------------------------------------------- #
+def _as_specs(sweep: SweepConfig | Sequence[SimulationSpec]) -> list[SimulationSpec]:
+    if isinstance(sweep, SweepConfig):
+        return sweep.specs()
+    return list(sweep)
+
+
+def run_cluster_sweep(
+    sweep: SweepConfig | Sequence[SimulationSpec],
+    *,
+    workers: int = 0,
+    out: str | None = None,
+    resume: bool = False,
+    transport: Any | None = None,
+    max_shard_retries: int = DEFAULT_MAX_SHARD_RETRIES,
+    on_record: Callable[[dict[str, Any]], None] | None = None,
+    stats: dict[str, int] | None = None,
+) -> list[dict[str, Any]]:
+    """Run a sweep's shard stream, optionally fanned out over workers.
+
+    Parameters
+    ----------
+    sweep:
+        A :class:`~repro.experiments.config.SweepConfig` or an explicit
+        list of :class:`~repro.api.SimulationSpec` shards.
+    workers:
+        ``0`` (default) runs every shard in-process — the single-process
+        reference the distributed row multiset is certified against;
+        ``N >= 1`` spawns N transport workers behind the async coordinator.
+    out:
+        Optional JSONL path; rows stream to it as shards complete.
+    resume:
+        Scan an existing ``out`` file first: shards whose full row set is
+        already present are skipped (their rows are kept verbatim), partial
+        tail shards are discarded and re-run.  Requires ``out``.
+    transport, max_shard_retries, on_record:
+        Forwarded to :class:`ClusterCoordinator`.
+    stats:
+        Optional dict that receives the coordinator's counters
+        (``shards_run``, ``worker_deaths``, ``retries``,
+        ``duplicate_results``, plus ``shards_resumed``).
+
+    Returns
+    -------
+    list of dict
+        Every row of the sweep (resumed rows first, then new rows in shard
+        completion order).  The row *multiset* is bit-identical for any
+        ``workers`` count and any interleaving of retries; only the order
+        varies.
+    """
+    specs = _as_specs(sweep)
+    if not isinstance(workers, int) or isinstance(workers, bool) or workers < 0:
+        raise ConfigurationError(f"workers: must be an int >= 0, got {workers!r}")
+    if resume and out is None:
+        raise ConfigurationError("resume: requires an output file (out=...)")
+    shards = [Shard(i, spec) for i, spec in enumerate(specs)]
+
+    completed: set[int] = set()
+    kept: list[dict[str, Any]] = []
+    import os
+
+    if resume and out is not None and os.path.exists(out):
+        state = resume_scan(out, shards)
+        completed, kept = state.completed, state.records
+        # Drop partial-shard rows so the re-run cannot duplicate them.
+        rewrite_jsonl(out, kept)
+
+    with JsonlWriter(out, append=bool(completed or kept)) as writer:
+
+        def emit(record: dict[str, Any]) -> None:
+            writer.write(record)
+            writer.flush()
+            if on_record is not None:
+                on_record(record)
+
+        if workers == 0:
+            run_stats = {
+                "shards_run": 0,
+                "worker_deaths": 0,
+                "retries": 0,
+                "duplicate_results": 0,
+            }
+            new_records: list[dict[str, Any]] = []
+            for shard in shards:
+                if shard.shard_id in completed:
+                    continue
+                for record in run_shard(shard.spec, shard.shard_id):
+                    new_records.append(record)
+                    emit(record)
+                run_stats["shards_run"] += 1
+        else:
+            coordinator = ClusterCoordinator(
+                specs,
+                workers=workers,
+                transport=transport,
+                max_shard_retries=max_shard_retries,
+                on_record=emit,
+                completed_shards=completed,
+            )
+            new_records = asyncio.run(coordinator.run())
+            run_stats = coordinator.stats
+
+    if stats is not None:
+        stats.update(run_stats)
+        stats["shards_resumed"] = len(completed)
+    return kept + new_records

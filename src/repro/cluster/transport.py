@@ -1,0 +1,211 @@
+"""Worker transports for the cluster coordinator.
+
+The coordinator talks to workers through a deliberately small seam — a
+:class:`Transport` spawns :class:`WorkerHandle`\\ s, and a handle exchanges
+JSON-serialisable dict messages with one worker — so the process-backed
+default can later be joined by a TCP/socket transport without touching the
+coordinator: the wire format is already JSON bytes, not pickles.
+
+Loss semantics are part of the contract: :meth:`WorkerHandle.send` and
+:meth:`WorkerHandle.recv` raise :class:`WorkerLost` when the worker is gone
+(killed, crashed, connection severed).  The coordinator treats that as
+"the in-flight shard is lost, requeue it and respawn the worker" — it is a
+signal, not a user-facing error, so it derives from plain ``Exception``
+rather than the :mod:`repro.errors` hierarchy.
+
+:class:`MultiprocessingTransport` is the default implementation: one
+``multiprocessing.Process`` per worker, a duplex pipe per process, and the
+:func:`repro.cluster.worker.worker_main` loop on the far side.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import multiprocessing.connection
+import threading
+from typing import Any, Protocol, runtime_checkable
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "WorkerLost",
+    "WorkerHandle",
+    "Transport",
+    "MultiprocessingTransport",
+    "check_transport",
+]
+
+
+class WorkerLost(Exception):
+    """The worker died (or its connection broke) before replying.
+
+    Raised by :meth:`WorkerHandle.send` / :meth:`WorkerHandle.recv`; the
+    coordinator converts it into a shard retry.  Not part of the public
+    error hierarchy — it never escapes the cluster layer (exhausted retries
+    surface as :class:`~repro.errors.ClusterError`).
+    """
+
+
+@runtime_checkable
+class WorkerHandle(Protocol):
+    """One live worker: send dict messages, receive dict replies."""
+
+    worker_id: int
+
+    def send(self, message: dict[str, Any]) -> None:
+        """Deliver ``message``; raises :class:`WorkerLost` if the worker died."""
+        ...
+
+    def recv(self) -> dict[str, Any]:
+        """Block for the next reply; raises :class:`WorkerLost` on death."""
+        ...
+
+    def close(self) -> None:
+        """Stop the worker gracefully and release its resources."""
+        ...
+
+    def kill(self) -> None:
+        """Hard-kill the worker (fault injection / abort paths)."""
+        ...
+
+    @property
+    def pid(self) -> int | None:
+        """OS pid when the transport is process-backed, else ``None``."""
+        ...
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """Factory of :class:`WorkerHandle`\\ s."""
+
+    def spawn(self, worker_id: int) -> WorkerHandle:
+        """Start worker ``worker_id`` and return its handle."""
+        ...
+
+    def shutdown(self) -> None:
+        """Release any transport-wide resources (idempotent)."""
+        ...
+
+
+def check_transport(transport: Any) -> Any:
+    """Validate a user-supplied transport object (duck-typed).
+
+    Raises :class:`~repro.errors.ConfigurationError` naming the missing
+    method, so a mis-wired transport fails before any worker is spawned.
+    """
+    for method in ("spawn", "shutdown"):
+        if not callable(getattr(transport, method, None)):
+            raise ConfigurationError(
+                f"transport: {type(transport).__name__} has no callable "
+                f"{method}() — expected a repro.cluster.Transport"
+            )
+    return transport
+
+
+def _encode(message: dict[str, Any]) -> bytes:
+    return json.dumps(message).encode("utf-8")
+
+
+def _decode(data: bytes) -> dict[str, Any]:
+    return json.loads(data.decode("utf-8"))
+
+
+class _ProcessWorkerHandle:
+    """A ``multiprocessing.Process`` worker behind a duplex pipe."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        process: multiprocessing.process.BaseProcess,
+        conn: multiprocessing.connection.Connection,
+    ) -> None:
+        self.worker_id = worker_id
+        self._process = process
+        self._conn = conn
+
+    @property
+    def pid(self) -> int | None:
+        return self._process.pid
+
+    def send(self, message: dict[str, Any]) -> None:
+        try:
+            self._conn.send_bytes(_encode(message))
+        except (BrokenPipeError, ConnectionError, EOFError, OSError) as exc:
+            raise WorkerLost(
+                f"worker {self.worker_id} (pid {self.pid}) is gone: {exc}"
+            ) from exc
+
+    def recv(self) -> dict[str, Any]:
+        try:
+            data = self._conn.recv_bytes()
+        except (EOFError, ConnectionError, OSError) as exc:
+            raise WorkerLost(
+                f"worker {self.worker_id} (pid {self.pid}) died mid-shard: {exc}"
+            ) from exc
+        return _decode(data)
+
+    def close(self) -> None:
+        try:
+            self._conn.send_bytes(_encode({"type": "stop"}))
+        except (BrokenPipeError, ConnectionError, EOFError, OSError):
+            pass  # already dead — nothing to stop
+        self._process.join(timeout=5.0)
+        if self._process.is_alive():  # pragma: no cover - defensive
+            self._process.terminate()
+            self._process.join(timeout=5.0)
+        self._conn.close()
+
+    def kill(self) -> None:
+        self._process.kill()
+        self._process.join(timeout=5.0)
+        self._conn.close()
+
+
+class MultiprocessingTransport:
+    """Default transport: one OS process per worker, JSON over a pipe.
+
+    Parameters
+    ----------
+    start_method:
+        ``multiprocessing`` start method.  Defaults to ``"fork"`` where
+        available (workers inherit the already-imported NumPy stack, so
+        respawning a dead worker costs milliseconds) and ``"spawn"``
+        elsewhere.
+    """
+
+    def __init__(self, start_method: str | None = None) -> None:
+        available = multiprocessing.get_all_start_methods()
+        if start_method is None:
+            start_method = "fork" if "fork" in available else "spawn"
+        if start_method not in available:
+            raise ConfigurationError(
+                f"start_method: {start_method!r} not supported here "
+                f"(available: {available})"
+            )
+        self._ctx = multiprocessing.get_context(start_method)
+        self._spawn_lock = threading.Lock()
+
+    def spawn(self, worker_id: int) -> _ProcessWorkerHandle:
+        from repro.cluster.worker import worker_main
+
+        # The lock serialises the Pipe()..child_conn.close() window across
+        # the coordinator's concurrent spawn calls.  Without it, a fork for
+        # worker B can land while worker A's child-end fd is still open in
+        # this process; B then holds a copy of A's write end forever, and
+        # if A dies the coordinator's recv never sees EOF — the lost-shard
+        # retry would hang instead of firing.
+        with self._spawn_lock:
+            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+            process = self._ctx.Process(
+                target=worker_main,
+                args=(child_conn, worker_id),
+                name=f"repro-cluster-worker-{worker_id}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+        return _ProcessWorkerHandle(worker_id, process, parent_conn)
+
+    def shutdown(self) -> None:
+        """Nothing transport-wide to release (handles own their processes)."""

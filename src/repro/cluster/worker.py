@@ -1,0 +1,93 @@
+"""Cluster worker: run shards of a sweep and stream records back.
+
+A shard is one :class:`~repro.api.SimulationSpec` of a sweep — a (protocol,
+problem-size) cell whose ``trials`` independent runs the worker executes
+through the ordinary :func:`repro.experiments.runner.run_trials` machinery.
+Because the spec travels losslessly as JSON and the per-trial seed table is
+single-homed in :mod:`repro.runtime.rng`, a shard computes *bit-identical*
+rows no matter which process (or how many retries) it runs on; the PR-7
+``backend=`` spec field rides along unchanged, so per-shard backend
+selection needs no extra wiring.
+
+Wire protocol (JSON dicts, see :mod:`repro.cluster.transport`):
+
+* coordinator → worker: ``{"type": "shard", "shard_id": int, "spec": {...}}``
+  or ``{"type": "stop"}``;
+* worker → coordinator: ``{"type": "result", "shard_id": int,
+  "records": [...]}`` on success, ``{"type": "error", "shard_id": int,
+  "error": "..."}`` when the spec itself fails deterministically (the
+  coordinator aborts instead of retrying — rerunning the same spec would
+  fail the same way).
+
+Each record row is the full schema-v1 document of
+:meth:`~repro.core.result.RunResult.as_record` plus two provenance keys:
+``shard`` (the shard id) and ``trial`` (the trial index within the shard),
+which ``--resume`` uses to tell complete shards from truncated ones.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.api.spec import SimulationSpec
+from repro.errors import ReproError
+
+__all__ = ["run_shard", "worker_main"]
+
+
+def run_shard(spec: SimulationSpec, shard_id: int) -> list[dict[str, Any]]:
+    """Run one shard in-process and return its provenance-tagged rows.
+
+    The single home of shard execution: the in-process (``workers=0``)
+    sweep path and every cluster worker call exactly this function, which
+    is why the distributed row multiset is bit-identical to the
+    single-process sweep.
+    """
+    from repro.experiments.runner import run_trials
+
+    records = run_trials(spec, as_records=True)
+    for trial_index, record in enumerate(records):
+        record["shard"] = int(shard_id)
+        record["trial"] = int(trial_index)
+    return records
+
+
+def worker_main(conn, worker_id: int) -> None:
+    """Blocking worker loop: receive shard messages, reply with records.
+
+    Runs in the worker process (see
+    :class:`~repro.cluster.transport.MultiprocessingTransport`).  A
+    deterministic failure inside a shard is caught and reported as an
+    ``"error"`` message rather than killing the worker, so the coordinator
+    can distinguish "this spec cannot run" (abort) from "this worker died"
+    (retry the shard elsewhere).
+    """
+    while True:
+        try:
+            data = conn.recv_bytes()
+        except (EOFError, ConnectionError, OSError):
+            return  # coordinator went away; nothing useful left to do
+        message = json.loads(data.decode("utf-8"))
+        if message.get("type") == "stop":
+            return
+        shard_id = int(message["shard_id"])
+        try:
+            spec = SimulationSpec.from_dict(message["spec"])
+            reply: dict[str, Any] = {
+                "type": "result",
+                "shard_id": shard_id,
+                "worker_id": worker_id,
+                "records": run_shard(spec, shard_id),
+            }
+        except ReproError as exc:
+            reply = {
+                "type": "error",
+                "shard_id": shard_id,
+                "worker_id": worker_id,
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+        try:
+            conn.send_bytes(json.dumps(reply).encode("utf-8"))
+        except (BrokenPipeError, ConnectionError, EOFError, OSError):
+            return

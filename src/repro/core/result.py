@@ -8,12 +8,50 @@ dispatcher (:class:`~repro.scheduler.dispatcher.DispatchResult`) — returns a
 summaries, the experiment harness) handle every run the same way.
 ``AllocationResult`` is kept as a thin alias of :class:`RunResult` for
 backwards compatibility.
+
+Record schema (version 1)
+-------------------------
+:meth:`RunResult.as_record` flattens a result into a plain dict of
+JSON-serialisable values — the wire format of the :mod:`repro.cluster`
+JSONL streams, the rows the experiment runner summarises, and the unit of
+``--resume``.  The schema is frozen and versioned so streamed output stays
+stable across releases:
+
+* ``schema_version`` — the integer :data:`RECORD_SCHEMA_VERSION`;
+* ``kind`` — which result class produced the record (``"simulation"``,
+  ``"weighted"``, ``"dispatch"``), routing :meth:`RunResult.from_record`;
+* the identity fields ``protocol``, ``n_balls``, ``n_bins``,
+  ``allocation_time`` and the full ``loads`` vector (a list of ints);
+* derived summary statistics (``probes_per_ball``, ``max_load``,
+  ``min_load``, ``gap``, ``quadratic_potential``) — redundant given
+  ``loads`` but kept flat for tables and summaries;
+* the cost breakdown as ``cost_<name>`` ints plus the
+  ``cost_probe_checkpoints`` list;
+* protocol parameters as ``param_<name>`` entries (JSON-safe by spec
+  construction).
+
+Subclasses extend the schema with their own fields (see
+:meth:`~repro.core.weighted.WeightedRunResult.as_record` and
+:meth:`~repro.scheduler.dispatcher.DispatchResult.as_record`) and register
+their ``kind`` via :func:`register_record_kind`, so
+``RunResult.from_record`` reconstructs the right class from any record.
+The round trip ``RunResult.from_record(r.as_record()).as_record() ==
+r.as_record()`` is exact — including across a JSON dump/load, since JSON
+round-trips Python ints and floats losslessly — and is certified by
+hypothesis for every subclass in ``tests/test_record_schema.py``.
+
+Two views exist: ``as_record()`` (the full schema above) and
+``as_record(arrays=False)`` — a compact summary without the array-valued
+fields, for human-facing tables.  Only the full view is round-trippable;
+``from_record`` rejects summaries with a clear message.  Traces are never
+serialised: a ``record_trace`` run round-trips everything except its
+``trace`` attribute.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -24,11 +62,45 @@ from repro.core.potentials import (
     quadratic_potential,
     smoothness_summary,
 )
-from repro.errors import ProtocolError
+from repro.errors import ConfigurationError, ProtocolError
 from repro.runtime.costs import CostModel
 from repro.runtime.trace import Trace
 
-__all__ = ["RunResult", "AllocationResult"]
+__all__ = [
+    "RECORD_SCHEMA_VERSION",
+    "RunResult",
+    "AllocationResult",
+    "register_record_kind",
+]
+
+#: Version stamped into every record; bumped only with a documented
+#: migration when the schema changes incompatibly.
+RECORD_SCHEMA_VERSION = 1
+
+#: Registry mapping a record's ``kind`` tag to the result class that
+#: reconstructs it (populated by :func:`register_record_kind`).
+_RECORD_KINDS: dict[str, type["RunResult"]] = {}
+
+
+def register_record_kind(kind: str, cls: type["RunResult"]) -> None:
+    """Register ``cls`` as the reconstructor of records tagged ``kind``."""
+    existing = _RECORD_KINDS.get(kind)
+    if existing is not None and existing is not cls:
+        raise ConfigurationError(
+            f"record kind {kind!r} is already registered to {existing.__name__}"
+        )
+    _RECORD_KINDS[kind] = cls
+
+
+def _record_field(record: Mapping[str, Any], key: str) -> Any:
+    try:
+        return record[key]
+    except KeyError:
+        raise ConfigurationError(
+            f"record.{key}: missing — not a full schema-v{RECORD_SCHEMA_VERSION} "
+            "record (note that as_record(arrays=False) summaries are not "
+            "round-trippable)"
+        ) from None
 
 
 @dataclass
@@ -125,24 +197,114 @@ class RunResult:
         """All smoothness statistics of the final load vector."""
         return smoothness_summary(self.loads, self.n_balls)
 
-    def as_record(self) -> dict[str, Any]:
-        """Flatten the result into a plain dict for tables/CSV export."""
+    #: Tag stamped into records (see the module docstring); subclasses
+    #: override it and register themselves via :func:`register_record_kind`.
+    record_kind = "simulation"
+
+    def as_record(self, arrays: bool = True) -> dict[str, Any]:
+        """Flatten the result into the frozen, versioned record schema.
+
+        With ``arrays=True`` (default) the record is the full schema-v1
+        document — JSON-serialisable, exactly invertible by
+        :meth:`from_record`.  ``arrays=False`` returns the compact summary
+        view (no ``loads`` / ``cost_probe_checkpoints`` / subclass array
+        fields) for human-facing tables; it is **not** round-trippable.
+        """
         record: dict[str, Any] = {
+            "schema_version": RECORD_SCHEMA_VERSION,
+            "kind": type(self).record_kind,
             "protocol": self.protocol,
-            "n_balls": self.n_balls,
-            "n_bins": self.n_bins,
-            "allocation_time": self.allocation_time,
-            "probes_per_ball": self.probes_per_ball,
-            "max_load": self.max_load,
-            "min_load": self.min_load,
-            "gap": self.gap,
-            "quadratic_potential": self.quadratic_potential(),
+            "n_balls": int(self.n_balls),
+            "n_bins": int(self.n_bins),
+            "allocation_time": int(self.allocation_time),
+            "probes_per_ball": float(self.probes_per_ball),
+            "max_load": int(self.max_load),
+            "min_load": int(self.min_load),
+            "gap": int(self.gap),
+            "quadratic_potential": float(self.quadratic_potential()),
         }
-        record.update({f"cost_{k}": v for k, v in self.costs.as_dict().items()})
+        record.update(
+            {f"cost_{k}": int(v) for k, v in self.costs.as_dict().items()}
+        )
+        if arrays:
+            record["loads"] = self.loads.tolist()
+            record["cost_probe_checkpoints"] = [
+                int(c) for c in self.costs.probe_checkpoints
+            ]
         record.update({f"param_{k}": v for k, v in self.params.items()})
         return record
+
+    @classmethod
+    def _record_kwargs(cls, record: Mapping[str, Any]) -> dict[str, Any]:
+        """Constructor kwargs recovered from a full record.
+
+        Subclasses extend the returned dict with their own fields.  Derived
+        statistics (``max_load``, ``gap``, …) are recomputed from ``loads``
+        on construction, so they are ignored here.
+        """
+        costs = CostModel(
+            probes=int(_record_field(record, "cost_probes")),
+            reallocations=int(_record_field(record, "cost_reallocations")),
+            messages=int(_record_field(record, "cost_messages")),
+            rounds=int(_record_field(record, "cost_rounds")),
+        )
+        for checkpoint in _record_field(record, "cost_probe_checkpoints"):
+            costs._probe_log.append(int(checkpoint))
+        return {
+            "protocol": _record_field(record, "protocol"),
+            "n_balls": int(_record_field(record, "n_balls")),
+            "n_bins": int(_record_field(record, "n_bins")),
+            "loads": np.asarray(_record_field(record, "loads"), dtype=np.int64),
+            "allocation_time": int(_record_field(record, "allocation_time")),
+            "costs": costs,
+            "params": {
+                key[len("param_"):]: value
+                for key, value in record.items()
+                if key.startswith("param_")
+            },
+        }
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "RunResult":
+        """Reconstruct a result from its :meth:`as_record` document.
+
+        Called on :class:`RunResult` it routes to the subclass named by the
+        record's ``kind`` tag; called on a subclass it additionally insists
+        the record is of that kind.  Unknown extra keys (e.g. the ``shard``
+        / ``trial`` provenance the cluster layer appends) are ignored, so
+        streamed JSONL rows feed straight back in.  Raises
+        :class:`~repro.errors.ConfigurationError` for malformed records:
+        wrong ``schema_version``, unknown ``kind``, or missing fields.
+        """
+        if not isinstance(record, Mapping):
+            raise ConfigurationError(
+                f"record: expected a mapping, got {type(record).__name__}"
+            )
+        version = _record_field(record, "schema_version")
+        if version != RECORD_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"record.schema_version: expected {RECORD_SCHEMA_VERSION}, "
+                f"got {version!r}"
+            )
+        kind = _record_field(record, "kind")
+        try:
+            target = _RECORD_KINDS[kind]
+        except KeyError:
+            raise ConfigurationError(
+                f"record.kind: unknown kind {kind!r}; "
+                f"registered: {sorted(_RECORD_KINDS)}"
+            ) from None
+        if cls is not RunResult and target is not cls:
+            raise ConfigurationError(
+                f"record.kind: {kind!r} records reconstruct as "
+                f"{target.__name__}, not {cls.__name__} "
+                "(call RunResult.from_record to route by kind)"
+            )
+        return target(**target._record_kwargs(record))
 
 
 #: Backwards-compatible alias: the base of the unified result hierarchy used
 #: to be called ``AllocationResult``.
 AllocationResult = RunResult
+
+register_record_kind(RunResult.record_kind, RunResult)

@@ -46,7 +46,7 @@ experiment configurations stay serialisable and replay-deterministic.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -55,7 +55,7 @@ from repro.baselines.greedy import DChoiceSession
 from repro.baselines.left import replay_group_map, seeded_group_choices
 from repro.baselines.memory_engine import chunked_weighted_memory_commit
 from repro.core.protocol import AllocationProtocol, register_protocol
-from repro.core.result import RunResult
+from repro.core.result import RunResult, register_record_kind
 from repro.core.session import ProtocolSession
 from repro.core.weighted_engine import (
     adaptive_weighted_thresholds,
@@ -142,13 +142,50 @@ class WeightedRunResult(RunResult):
             return 0.0
         return float(self.weighted_loads.max() - self.weighted_loads.min())
 
-    def as_record(self) -> dict[str, Any]:
-        record = super().as_record()
-        record["total_weight"] = self.total_weight
-        record["weighted_max_load"] = self.weighted_max_load
-        record["weighted_gap"] = self.weighted_gap
+    record_kind = "weighted"
+
+    def as_record(self, arrays: bool = True) -> dict[str, Any]:
+        record = super().as_record(arrays=arrays)
+        record["total_weight"] = float(self.total_weight)
+        record["weighted_max_load"] = float(self.weighted_max_load)
+        record["weighted_gap"] = float(self.weighted_gap)
+        record["w_max_used"] = (
+            None if self.w_max_used is None else float(self.w_max_used)
+        )
+        if arrays:
+            record["weights"] = (
+                None
+                if self.weights is None
+                else np.asarray(self.weights, dtype=np.float64).tolist()
+            )
+            record["weighted_loads"] = (
+                None
+                if self.weighted_loads is None
+                else np.asarray(self.weighted_loads, dtype=np.float64).tolist()
+            )
         return record
 
+    @classmethod
+    def _record_kwargs(cls, record: Mapping[str, Any]) -> dict[str, Any]:
+        from repro.core.result import _record_field
+
+        kwargs = super()._record_kwargs(record)
+        weights = _record_field(record, "weights")
+        weighted_loads = _record_field(record, "weighted_loads")
+        w_max_used = _record_field(record, "w_max_used")
+        kwargs["weights"] = (
+            None if weights is None else np.asarray(weights, dtype=np.float64)
+        )
+        kwargs["weighted_loads"] = (
+            None
+            if weighted_loads is None
+            else np.asarray(weighted_loads, dtype=np.float64)
+        )
+        kwargs["w_max_used"] = None if w_max_used is None else float(w_max_used)
+        return kwargs
+
+
+register_record_kind(WeightedRunResult.record_kind, WeightedRunResult)
 
 #: Backwards-compatible alias: the weighted runners used to return a separate
 #: ``WeightedAllocationResult`` record; they now return the unified

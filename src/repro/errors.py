@@ -14,6 +14,7 @@ __all__ = [
     "ProtocolError",
     "CapacityExceededError",
     "SimulationError",
+    "ClusterError",
     "ExperimentError",
 ]
 
@@ -54,6 +55,18 @@ class SimulationError(ProtocolError):
     ever probes saturated bins): the weighted engines cap the number of
     probes any single ball may consume and raise this error instead of
     spinning forever.
+    """
+
+
+class ClusterError(SimulationError):
+    """Raised when a distributed sweep cannot be completed.
+
+    The :mod:`repro.cluster` coordinator retries shards lost to worker
+    death; this error is raised when a shard exhausts its retry budget, or
+    when a worker reports a deterministic failure (re-dispatching the same
+    spec would fail the same way).  Configuration problems of the cluster
+    layer itself (a non-positive worker count, an unusable transport) raise
+    :class:`ConfigurationError` instead.
     """
 
 

@@ -1,25 +1,32 @@
-"""Command-line entry point: ``repro-experiment``.
+"""Command-line entry point: ``repro`` (alias ``repro-experiment``).
 
 Examples
 --------
 List the available experiments::
 
-    repro-experiment --list
+    repro --list
 
 Run a scaled-down Table 1 and print it as markdown::
 
-    repro-experiment table1 --scale 0.1
+    repro table1 --scale 0.1
 
 Run the Figure 3(a) sweep at 5% scale and write the rows to CSV::
 
-    repro-experiment figure3a --scale 0.05 --output out/figure3a.csv
+    repro figure3a --scale 0.05 --output out/figure3a.csv
 
 Run an arbitrary declarative spec (simulation or dispatch; see
 :mod:`repro.api`) straight from a JSON file — ``-`` reads stdin::
 
-    repro-experiment --spec runs/adaptive_1m.json
+    repro --spec runs/adaptive_1m.json
     echo '{"protocol": "adaptive", "n_balls": 100000, "n_bins": 10000,
-           "seed": 1}' | repro-experiment --spec -
+           "seed": 1}' | repro --spec -
+
+Fan a sweep out over 4 cluster workers, streaming per-trial record rows to
+JSONL (``--resume`` continues a truncated file; see :mod:`repro.cluster`)::
+
+    repro sweep --workers 4 --out results.jsonl
+    repro sweep --workers 4 --out results.jsonl --resume
+    repro sweep --preset table1 --scale 0.05 --workers 2 --out smoke.jsonl
 """
 
 from __future__ import annotations
@@ -36,7 +43,7 @@ from repro.errors import ConfigurationError
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.reporting.tables import format_markdown_table, write_csv
 
-__all__ = ["build_parser", "main"]
+__all__ = ["build_parser", "build_sweep_parser", "main"]
 
 #: Experiments whose runners accept the execution-mode flags
 #: (``--workers`` / ``--no-batch-trials`` / ``--trial-block``).
@@ -134,6 +141,188 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_sweep_parser() -> argparse.ArgumentParser:
+    """Argument parser for the ``repro sweep`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro sweep",
+        description=(
+            "Run a sweep's (protocol, problem-size) cells as shards — "
+            "optionally fanned out over worker processes with retry on "
+            "worker death — streaming per-trial record rows to JSONL."
+        ),
+    )
+    parser.add_argument(
+        "--preset",
+        choices=("figure3", "table1"),
+        default="figure3",
+        help=(
+            "base sweep: the Figure 3 (adaptive vs threshold) grid or the "
+            "Table 1 cell (default: figure3)"
+        ),
+    )
+    parser.add_argument(
+        "--protocols",
+        type=str,
+        default=None,
+        metavar="A,B,...",
+        help="override the preset's protocols (comma-separated registry names)",
+    )
+    parser.add_argument(
+        "--n-bins", type=int, default=None, help="override the preset's bin count"
+    )
+    parser.add_argument(
+        "--balls",
+        type=str,
+        default=None,
+        metavar="M1,M2,...",
+        help="override the preset's ball-count grid (comma-separated)",
+    )
+    parser.add_argument(
+        "--trials", type=int, default=None, help="override trials per cell"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the master seed"
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.01,
+        help=(
+            "problem-size scale factor in (0, 1]; 1.0 is paper scale "
+            "(default 0.01 — the CLI default sweep should finish in seconds)"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help=(
+            "cluster worker processes (one shard in flight per worker); "
+            "0 (default) runs the shards in-process — same rows, no fan-out"
+        ),
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="FILE.jsonl",
+        help="stream per-trial record rows to this JSONL file as shards finish",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "scan --out first and skip shards whose rows are already "
+            "complete (partial tail shards are dropped and re-run)"
+        ),
+    )
+    parser.add_argument(
+        "--backend",
+        type=str,
+        default=None,
+        metavar="NAME",
+        help="kernel backend for every shard (rides on each shard's spec)",
+    )
+    parser.add_argument(
+        "--max-shard-retries",
+        type=int,
+        default=3,
+        help="worker deaths tolerated per shard before aborting (default 3)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the summary rows as JSON instead of a markdown table",
+    )
+    return parser
+
+
+def _sweep_config(args: argparse.Namespace):
+    """Materialise the SweepConfig a ``repro sweep`` invocation describes."""
+    from dataclasses import replace
+
+    from repro.experiments.config import (
+        FIGURE3_DEFAULT,
+        TABLE1_DEFAULT,
+        SweepConfig,
+    )
+
+    if args.preset == "figure3":
+        sweep = FIGURE3_DEFAULT
+    else:
+        cell = TABLE1_DEFAULT
+        sweep = SweepConfig(
+            protocols=(cell.protocol,),
+            n_bins=cell.n_bins,
+            ball_grid=(cell.n_balls,),
+            trials=cell.trials,
+            seed=cell.seed,
+            params={cell.protocol: dict(cell.params)},
+        )
+    if args.protocols is not None:
+        names = tuple(p.strip() for p in args.protocols.split(",") if p.strip())
+        sweep = replace(sweep, protocols=names)
+    if args.n_bins is not None:
+        sweep = replace(sweep, n_bins=args.n_bins)
+    if args.balls is not None:
+        grid = tuple(int(m) for m in args.balls.split(",") if m.strip())
+        sweep = replace(sweep, ball_grid=grid)
+    if args.trials is not None:
+        sweep = replace(sweep, trials=args.trials)
+    if args.seed is not None:
+        sweep = replace(sweep, seed=args.seed)
+    if args.backend is not None:
+        sweep = replace(sweep, backend=args.backend)
+    if args.scale != 1.0:
+        sweep = sweep.scaled(args.scale)
+    return sweep
+
+
+def _main_sweep(argv: Sequence[str]) -> int:
+    """``repro sweep ...`` — cluster-sharded sweep with JSONL streaming."""
+    from repro.cluster import run_cluster_sweep
+    from repro.errors import ClusterError
+    from repro.experiments.runner import summarize_shard_records
+
+    parser = build_sweep_parser()
+    args = parser.parse_args(argv)
+    if args.resume and args.out is None:
+        parser.error("--resume requires --out")
+    try:
+        sweep = _sweep_config(args)
+        specs = sweep.specs()
+        stats: dict[str, int] = {}
+        records = run_cluster_sweep(
+            specs,
+            workers=args.workers,
+            out=None if args.out is None else str(args.out),
+            resume=args.resume,
+            max_shard_retries=args.max_shard_retries,
+            stats=stats,
+        )
+        rows = summarize_shard_records(specs, records)
+    except ConfigurationError as exc:
+        parser.error(str(exc))
+    except ClusterError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.json:
+        print(json.dumps(rows, default=str, indent=2))
+    else:
+        print(format_markdown_table(rows))
+    summary = (
+        f"{len(records)} rows from {len(specs)} shards "
+        f"({stats.get('shards_resumed', 0)} resumed, "
+        f"{stats.get('retries', 0)} retried, "
+        f"{stats.get('worker_deaths', 0)} worker deaths)"
+    )
+    if args.out is not None:
+        summary += f" -> {args.out}"
+    print(summary, file=sys.stderr)
+    return 0
+
+
 def _flatten_result(result: Any) -> list[dict[str, Any]]:
     """Best-effort conversion of an experiment result into table rows."""
     if isinstance(result, list) and result and isinstance(result[0], dict):
@@ -152,13 +341,19 @@ def _run_spec(path: str) -> Any:
     else:
         text = Path(path).read_text()
     result = simulate(spec_from_json(text))
+    # Summary view (arrays=False): tables and CSV want the flat scalars,
+    # not a 10^4-entry loads column.
     if isinstance(result, list):
-        return [r.as_record() for r in result]
-    return [result.as_record()]
+        return [r.as_record(arrays=False) for r in result]
+    return [result.as_record(arrays=False)]
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "sweep":
+        return _main_sweep(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
 

@@ -32,6 +32,10 @@ class TrialConfig:
         Master seed; per-trial seeds are spawned from it.
     params:
         Extra keyword arguments for the protocol constructor.
+    backend:
+        Kernel backend for the trials (``None`` keeps the ambient
+        selection); forwarded to the spec's ``backend`` field, so it rides
+        along when shards ship to cluster workers.
     """
 
     protocol: str
@@ -40,6 +44,7 @@ class TrialConfig:
     trials: int = 10
     seed: int = 0
     params: dict[str, Any] = field(default_factory=dict)
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.n_bins <= 0:
@@ -48,6 +53,9 @@ class TrialConfig:
             raise ConfigurationError(f"n_balls must be non-negative, got {self.n_balls}")
         if self.trials < 1:
             raise ConfigurationError(f"trials must be at least 1, got {self.trials}")
+        from repro.core.backend import validate_backend_name
+
+        validate_backend_name(self.backend)
 
     def with_size(self, n_balls: int | None = None, n_bins: int | None = None) -> "TrialConfig":
         """Return a copy with a different problem size."""
@@ -72,6 +80,7 @@ class TrialConfig:
             seed=self.seed,
             trials=self.trials,
             params=dict(self.params),
+            backend=self.backend,
         )
 
 
@@ -93,6 +102,9 @@ class SweepConfig:
     batch_trials: bool = True
     trial_block: int | None = None
     workers: int = 1
+    #: Kernel backend for every cell (``None`` keeps the ambient selection).
+    #: Travels on each expanded spec, so cluster shards honour it per-shard.
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if not self.protocols:
@@ -113,6 +125,9 @@ class SweepConfig:
             raise ConfigurationError(
                 f"workers must be at least 1, got {self.workers}"
             )
+        from repro.core.backend import validate_backend_name
+
+        validate_backend_name(self.backend)
 
     def trial_configs(self) -> list["TrialConfig"]:
         """Expand the sweep into one :class:`TrialConfig` per (protocol, m)."""
@@ -127,6 +142,7 @@ class SweepConfig:
                         trials=self.trials,
                         seed=self.seed,
                         params=dict(self.params.get(protocol, {})),
+                        backend=self.backend,
                     )
                 )
         return configs

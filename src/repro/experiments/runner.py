@@ -44,6 +44,7 @@ __all__ = [
     "run_trials",
     "summarize_trials",
     "run_sweep",
+    "summarize_shard_records",
     "as_spec",
     "default_trial_block",
 ]
@@ -264,6 +265,9 @@ def run_sweep(
     workers: int | None = None,
     batch_trials: bool | None = None,
     trial_block: int | None = None,
+    cluster: bool = False,
+    out: str | None = None,
+    resume: bool = False,
 ) -> list[dict[str, Any]]:
     """Run a full sweep and return one summary row per (protocol, m) point.
 
@@ -271,7 +275,28 @@ def run_sweep(
     metric ``k`` the keys ``k_mean``, ``k_std``, ``k_ci_low`` and
     ``k_ci_high``.  Execution-mode arguments default to the sweep config's
     own ``workers`` / ``batch_trials`` / ``trial_block`` fields.
+
+    With ``cluster=True`` the sweep's spec stream is instead sharded over
+    the :mod:`repro.cluster` coordinator — ``workers`` then counts
+    *coordinator workers* (one shard in flight per worker; ``0`` = run the
+    shards in-process), ``out`` streams the per-trial record rows to JSONL
+    as shards complete, and ``resume`` continues a truncated ``out`` file
+    without re-running finished shards.  The summary rows are identical to
+    the non-cluster path for the same sweep (per-trial rows are
+    bit-identical; summaries aggregate per shard in spec order).
     """
+    if cluster:
+        return _run_sweep_cluster(
+            sweep,
+            metrics=metrics,
+            workers=sweep.workers if workers is None else workers,
+            out=out,
+            resume=resume,
+        )
+    if out is not None or resume:
+        raise ConfigurationError(
+            "out/resume: JSONL streaming requires cluster=True"
+        )
     rows: list[dict[str, Any]] = []
     workers = sweep.workers if workers is None else workers
     batch_trials = sweep.batch_trials if batch_trials is None else batch_trials
@@ -297,3 +322,52 @@ def run_sweep(
             row[f"{key}_ci_high"] = summary.ci_high
         rows.append(row)
     return rows
+
+
+def summarize_shard_records(
+    specs: Sequence[SimulationSpec],
+    records: Sequence[dict[str, Any]],
+    metrics: Sequence[str] = DEFAULT_METRICS,
+) -> list[dict[str, Any]]:
+    """Fold cluster record rows into :func:`run_sweep`-shaped summary rows.
+
+    ``records`` are provenance-tagged schema-v1 rows (each carries the
+    ``shard`` id of the spec that produced it); the output is one row per
+    spec in spec order, identical to what the non-cluster ``run_sweep``
+    produces for the same sweep.
+    """
+    by_shard: dict[int, list[dict[str, Any]]] = {}
+    for record in records:
+        by_shard.setdefault(int(record["shard"]), []).append(record)
+    rows: list[dict[str, Any]] = []
+    for shard_id, spec in enumerate(specs):
+        summaries = summarize_records(by_shard.get(shard_id, []), metrics)
+        row: dict[str, Any] = {
+            "protocol": spec.protocol,
+            "n_balls": spec.n_balls,
+            "n_bins": spec.n_bins,
+            "trials": spec.trials,
+        }
+        for key, summary in summaries.items():
+            row[f"{key}_mean"] = summary.mean
+            row[f"{key}_std"] = summary.std
+            row[f"{key}_ci_low"] = summary.ci_low
+            row[f"{key}_ci_high"] = summary.ci_high
+        rows.append(row)
+    return rows
+
+
+def _run_sweep_cluster(
+    sweep: SweepConfig,
+    *,
+    metrics: Sequence[str],
+    workers: int,
+    out: str | None,
+    resume: bool,
+) -> list[dict[str, Any]]:
+    """Cluster-sharded :func:`run_sweep`: fan out, then summarise per shard."""
+    from repro.cluster import run_cluster_sweep
+
+    specs = sweep.specs()
+    records = run_cluster_sweep(specs, workers=workers, out=out, resume=resume)
+    return summarize_shard_records(specs, records, metrics)

@@ -72,7 +72,7 @@ from repro.baselines.engine import chunked_argmin_commit
 from repro.baselines.left import replay_group_map
 from repro.baselines.memory_engine import chunked_memory_commit, memory_hand_off
 from repro.core.backend import resolve_backend, use_backend
-from repro.core.result import RunResult
+from repro.core.result import RunResult, register_record_kind
 from repro.core.thresholds import acceptance_limit
 from repro.core.weighted_engine import (
     chunked_weighted_assign,
@@ -146,13 +146,33 @@ class DispatchResult(RunResult):
     def probes(self) -> int:
         return self.allocation_time
 
-    def as_record(self) -> dict:
-        record = super().as_record()
+    record_kind = "dispatch"
+
+    def as_record(self, arrays: bool = True) -> dict:
+        record = super().as_record(arrays=arrays)
         record.update(
-            {f"metric_{k}": v for k, v in self.metrics.as_dict().items()}
+            {f"metric_{k}": float(v) for k, v in self.metrics.as_dict().items()}
         )
+        if arrays:
+            record["assignments"] = self.assignments.tolist()
+            record["work"] = self.work.tolist()
         return record
 
+    @classmethod
+    def _record_kwargs(cls, record) -> dict:
+        from repro.core.result import _record_field
+
+        kwargs = super()._record_kwargs(record)
+        kwargs["assignments"] = np.asarray(
+            _record_field(record, "assignments"), dtype=np.int64
+        )
+        kwargs["work"] = np.asarray(
+            _record_field(record, "work"), dtype=np.float64
+        )
+        return kwargs
+
+
+register_record_kind(DispatchResult.record_kind, DispatchResult)
 
 __getattr__ = deprecated_names(
     __name__,

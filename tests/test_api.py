@@ -451,6 +451,9 @@ assert len(messages) == 3, messages
 assert sum("run_adaptive" in m for m in messages) == 1, messages
 assert sum("run_threshold" in m for m in messages) == 1, messages
 assert sum("DispatchOutcome" in m for m in messages) == 1, messages
+# The deprecation cycle names its end: every message states the
+# removal release (see repro._compat.REMOVAL_RELEASE).
+assert all("will be removed in repro 2.0" in m for m in messages), messages
 print("OK")
 """
         proc = subprocess.run(

@@ -1,0 +1,537 @@
+"""Tests for repro.cluster: coordinator, transports, fault tolerance, resume.
+
+The contract under test: for any worker count, any transport interleaving,
+and any number of injected worker deaths or duplicate deliveries, a cluster
+sweep emits exactly the row multiset of the single-process sweep — every
+shard exactly once, bit-identical rows, termination guaranteed by the
+active/finished counters rather than process joins.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+
+import pytest
+
+from repro.cluster import (
+    ClusterCoordinator,
+    MultiprocessingTransport,
+    Shard,
+    WorkCounters,
+    iter_jsonl,
+    run_cluster_sweep,
+    run_shard,
+)
+from repro.cluster.stream import resume_scan, rewrite_jsonl
+from repro.cluster.transport import WorkerLost, check_transport
+from repro.errors import ClusterError, ConfigurationError
+from repro.experiments.config import SweepConfig
+from repro.experiments.runner import run_sweep, run_trials
+
+#: Small but multi-shard sweep: 2 protocols x 2 sizes = 4 shards, 3 trials.
+SWEEP = SweepConfig(
+    protocols=("adaptive", "threshold"),
+    n_bins=50,
+    ball_grid=(100, 200),
+    trials=3,
+    seed=7,
+)
+
+
+def row_key(row):
+    return (row["shard"], row["trial"])
+
+
+def assert_same_rows(actual, expected):
+    """Exact multiset equality of record rows (order-independent)."""
+    assert sorted(actual, key=row_key) == sorted(expected, key=row_key)
+
+
+@pytest.fixture(scope="module")
+def reference_rows():
+    """The single-process reference row set every mode must reproduce."""
+    return run_cluster_sweep(SWEEP, workers=0)
+
+
+# --------------------------------------------------------------------- #
+# Termination counters
+# --------------------------------------------------------------------- #
+class TestWorkCounters:
+    def test_lifecycle(self):
+        counters = WorkCounters()
+        assert not counters.quiescent(1)
+        counters.dispatched()
+        assert counters.active == 1 and not counters.quiescent(1)
+        counters.completed()
+        # Finished but still in flight: not quiescent yet.
+        assert not counters.quiescent(1)
+        counters.resolved()
+        assert counters.quiescent(1)
+
+    def test_lost_shard_keeps_sweep_live(self):
+        counters = WorkCounters()
+        counters.dispatched()
+        counters.resolved()  # WorkerLost: resolved without completing
+        assert counters.active == 0 and counters.finished == 0
+        assert not counters.quiescent(1)
+
+    def test_resolve_underflow_is_an_invariant_violation(self):
+        with pytest.raises(ClusterError, match="counters corrupt"):
+            WorkCounters().resolved()
+
+
+# --------------------------------------------------------------------- #
+# Shard execution (shared by in-process and worker paths)
+# --------------------------------------------------------------------- #
+class TestRunShard:
+    def test_rows_match_run_trials_and_carry_provenance(self):
+        spec = SWEEP.specs()[0]
+        rows = run_shard(spec, 5)
+        plain = run_trials(spec, as_records=True)
+        assert [r["trial"] for r in rows] == list(range(spec.trials))
+        assert all(r["shard"] == 5 for r in rows)
+        stripped = [
+            {k: v for k, v in r.items() if k not in ("shard", "trial")}
+            for r in rows
+        ]
+        assert stripped == plain
+
+
+# --------------------------------------------------------------------- #
+# Equivalence: cluster rows == single-process rows, bit-identical
+# --------------------------------------------------------------------- #
+class TestEquivalence:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_cluster_matches_in_process(self, workers, reference_rows, tmp_path):
+        out = tmp_path / "rows.jsonl"
+        stats = {}
+        rows = run_cluster_sweep(SWEEP, workers=workers, out=str(out), stats=stats)
+        assert_same_rows(rows, reference_rows)
+        # The streamed JSONL holds the same multiset, JSON-round-tripped.
+        assert_same_rows(list(iter_jsonl(out)), reference_rows)
+        assert stats["shards_run"] == len(SWEEP.specs())
+        assert stats["worker_deaths"] == 0
+
+    def test_rows_are_full_schema_records(self, reference_rows):
+        from repro.core.result import RunResult
+
+        result = RunResult.from_record(reference_rows[0])
+        assert result.protocol == SWEEP.protocols[0]
+        assert result.loads.sum() == reference_rows[0]["n_balls"]
+
+    def test_per_shard_backend_rides_the_spec(self, tmp_path):
+        # A sweep pinned to the scalar backend produces the same rows
+        # (backends are bit-identical) while exercising per-shard selection.
+        import dataclasses
+
+        scalar = dataclasses.replace(SWEEP, backend="scalar")
+        assert all(s.backend == "scalar" for s in scalar.specs())
+        rows = run_cluster_sweep(scalar, workers=2)
+        assert_same_rows(rows, run_cluster_sweep(SWEEP, workers=0))
+
+    def test_run_sweep_cluster_summaries_match(self):
+        direct = run_sweep(SWEEP)
+        clustered = run_sweep(SWEEP, cluster=True, workers=2)
+        assert clustered == direct
+
+    def test_run_sweep_rejects_streaming_without_cluster(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cluster=True"):
+            run_sweep(SWEEP, out=str(tmp_path / "x.jsonl"))
+
+
+# --------------------------------------------------------------------- #
+# Fault injection: worker death, duplicates, retry exhaustion
+# --------------------------------------------------------------------- #
+class KillingTransport(MultiprocessingTransport):
+    """SIGKILLs worker 0 immediately after its first shard dispatch.
+
+    Deterministic: the kill happens synchronously inside ``send``, so the
+    coordinator is guaranteed to observe ``WorkerLost`` on the recv and must
+    retry that exact shard.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.killed_shard = None
+
+    def spawn(self, worker_id):
+        handle = super().spawn(worker_id)
+        if worker_id == 0 and self.killed_shard is None:
+            transport = self
+            orig_send = handle.send
+
+            def send(message):
+                orig_send(message)
+                if transport.killed_shard is None and message.get("type") == "shard":
+                    transport.killed_shard = message["shard_id"]
+                    os.kill(handle.pid, signal.SIGKILL)
+
+            handle.send = send
+        return handle
+
+
+class FakeHandle:
+    """In-thread fake worker; optionally delivers every reply twice."""
+
+    def __init__(self, worker_id, duplicate=False):
+        self.worker_id = worker_id
+        self._duplicate = duplicate
+        self._pending = []
+        self._ready = threading.Semaphore(0)
+        self.pid = None
+
+    def send(self, message):
+        reply = {
+            "type": "result",
+            "shard_id": message["shard_id"],
+            "worker_id": self.worker_id,
+            "records": run_shard(
+                __import__("repro.api.spec", fromlist=["SimulationSpec"])
+                .SimulationSpec.from_dict(message["spec"]),
+                message["shard_id"],
+            ),
+        }
+        repeats = 2 if self._duplicate else 1
+        for _ in range(repeats):
+            self._pending.append(json.loads(json.dumps(reply)))
+            self._ready.release()
+
+    def recv(self):
+        self._ready.acquire()
+        return self._pending.pop(0)
+
+    def close(self):
+        pass
+
+    def kill(self):
+        pass
+
+
+class DuplicatingTransport:
+    """Every shard's result is delivered twice — dedup must absorb it."""
+
+    def spawn(self, worker_id):
+        return FakeHandle(worker_id, duplicate=True)
+
+    def shutdown(self):
+        pass
+
+
+class AlwaysLostTransport:
+    """Workers that die on every dispatch: retries must exhaust cleanly."""
+
+    class _Handle:
+        worker_id = 0
+        pid = None
+
+        def send(self, message):
+            raise WorkerLost("dead on arrival")
+
+        def recv(self):  # pragma: no cover - send already raised
+            raise WorkerLost("dead")
+
+        def close(self):
+            pass
+
+        def kill(self):
+            pass
+
+    def spawn(self, worker_id):
+        return self._Handle()
+
+    def shutdown(self):
+        pass
+
+
+class TestFaultTolerance:
+    def test_sigkilled_worker_shard_is_retried_exactly_once_in_rows(
+        self, reference_rows, tmp_path
+    ):
+        out = tmp_path / "rows.jsonl"
+        transport = KillingTransport()
+        stats = {}
+        rows = run_cluster_sweep(
+            SWEEP, workers=2, transport=transport, out=str(out), stats=stats
+        )
+        assert transport.killed_shard is not None
+        assert stats["worker_deaths"] >= 1
+        assert stats["retries"] >= 1
+        # The lost shard's rows appear exactly once and bit-identically.
+        assert_same_rows(rows, reference_rows)
+        assert_same_rows(list(iter_jsonl(out)), reference_rows)
+
+    def test_kill_mid_stream_from_record_callback(self, reference_rows):
+        # Stochastic variant: SIGKILL whichever worker is alive after the
+        # first shard lands, from the coordinator's own emission callback.
+        transport = MultiprocessingTransport()
+        coordinator_box = {}
+        killed = []
+
+        def on_record(record):
+            if not killed:
+                pids = [
+                    p
+                    for p in coordinator_box["c"].worker_pids().values()
+                    if p is not None
+                ]
+                if pids:
+                    os.kill(pids[-1], signal.SIGKILL)
+                    killed.append(pids[-1])
+
+        coordinator = ClusterCoordinator(
+            SWEEP.specs(), workers=2, transport=transport, on_record=on_record
+        )
+        coordinator_box["c"] = coordinator
+        import asyncio
+
+        rows = asyncio.run(coordinator.run())
+        assert killed, "kill hook never fired"
+        assert_same_rows(rows, reference_rows)
+
+    def test_duplicate_deliveries_are_deduplicated(self, reference_rows):
+        stats = {}
+        rows = run_cluster_sweep(
+            SWEEP, workers=2, transport=DuplicatingTransport(), stats=stats
+        )
+        assert stats["duplicate_results"] > 0
+        assert_same_rows(rows, reference_rows)
+
+    def test_retry_exhaustion_raises_cluster_error(self):
+        with pytest.raises(ClusterError, match="worker death"):
+            run_cluster_sweep(
+                SWEEP,
+                workers=1,
+                transport=AlwaysLostTransport(),
+                max_shard_retries=2,
+            )
+
+    def test_deterministic_shard_failure_aborts_without_retry(self, monkeypatch):
+        # A spec the worker cannot run reports an "error" reply; the
+        # coordinator must abort (retrying would fail identically).
+        class ErrorHandle(FakeHandle):
+            def send(self, message):
+                self._pending.append(
+                    {
+                        "type": "error",
+                        "shard_id": message["shard_id"],
+                        "worker_id": self.worker_id,
+                        "error": "ConfigurationError: boom",
+                    }
+                )
+                self._ready.release()
+
+        class ErrorTransport:
+            def spawn(self, worker_id):
+                return ErrorHandle(worker_id)
+
+            def shutdown(self):
+                pass
+
+        with pytest.raises(ClusterError, match="deterministically"):
+            run_cluster_sweep(SWEEP, workers=1, transport=ErrorTransport())
+
+
+# --------------------------------------------------------------------- #
+# Configuration errors (uniform error surface)
+# --------------------------------------------------------------------- #
+class TestConfigurationErrors:
+    @pytest.mark.parametrize("workers", [-1, 1.5, "two", True])
+    def test_bad_worker_counts(self, workers):
+        with pytest.raises(ConfigurationError, match="workers"):
+            run_cluster_sweep(SWEEP, workers=workers)
+
+    def test_coordinator_requires_at_least_one_worker(self):
+        with pytest.raises(ConfigurationError, match="workers"):
+            ClusterCoordinator(SWEEP.specs(), workers=0)
+
+    def test_transport_is_duck_type_checked(self):
+        with pytest.raises(ConfigurationError, match="spawn"):
+            check_transport(object())
+        with pytest.raises(ConfigurationError, match="spawn"):
+            run_cluster_sweep(SWEEP, workers=1, transport=object())
+
+    def test_bad_start_method(self):
+        with pytest.raises(ConfigurationError, match="start_method"):
+            MultiprocessingTransport(start_method="teleport")
+
+    def test_resume_requires_out(self):
+        with pytest.raises(ConfigurationError, match="resume"):
+            run_cluster_sweep(SWEEP, workers=0, resume=True)
+
+    def test_specs_are_validated(self):
+        with pytest.raises(ConfigurationError, match="SimulationSpec"):
+            ClusterCoordinator(["nope"], workers=1)
+
+    def test_cluster_error_is_a_simulation_error(self):
+        from repro.errors import ReproError, SimulationError
+
+        assert issubclass(ClusterError, SimulationError)
+        assert issubclass(ClusterError, ReproError)
+
+
+# --------------------------------------------------------------------- #
+# Resume
+# --------------------------------------------------------------------- #
+class TestResume:
+    def _write(self, path, rows):
+        with open(path, "w") as handle:
+            for row in rows:
+                handle.write(json.dumps(row) + "\n")
+
+    def test_resume_skips_complete_shards(self, reference_rows, tmp_path):
+        out = tmp_path / "rows.jsonl"
+        full = sorted(reference_rows, key=row_key)
+        trials = SWEEP.trials
+        # Keep shard 0 complete, shard 1 partial (2 of 3 trials), torn tail.
+        with open(out, "w") as handle:
+            for row in full[:trials]:
+                handle.write(json.dumps(row) + "\n")
+            for row in full[trials : trials + 2]:
+                handle.write(json.dumps(row) + "\n")
+            handle.write(json.dumps(full[trials + 2])[:25])  # torn line
+        stats = {}
+        rows = run_cluster_sweep(
+            SWEEP, workers=0, out=str(out), resume=True, stats=stats
+        )
+        assert stats["shards_resumed"] == 1
+        assert stats["shards_run"] == len(SWEEP.specs()) - 1
+        assert_same_rows(rows, reference_rows)
+        file_rows = list(iter_jsonl(out))
+        assert_same_rows(file_rows, reference_rows)
+        # No duplicated (shard, trial) pairs in the file.
+        assert len({row_key(r) for r in file_rows}) == len(file_rows)
+
+    def test_resume_with_workers(self, reference_rows, tmp_path):
+        out = tmp_path / "rows.jsonl"
+        full = sorted(reference_rows, key=row_key)
+        self._write(out, full[: SWEEP.trials])  # shard 0 complete
+        rows = run_cluster_sweep(SWEEP, workers=2, out=str(out), resume=True)
+        assert_same_rows(rows, reference_rows)
+        assert_same_rows(list(iter_jsonl(out)), reference_rows)
+
+    def test_resume_of_complete_file_runs_nothing(self, reference_rows, tmp_path):
+        out = tmp_path / "rows.jsonl"
+        self._write(out, reference_rows)
+        stats = {}
+        rows = run_cluster_sweep(
+            SWEEP, workers=0, out=str(out), resume=True, stats=stats
+        )
+        assert stats["shards_run"] == 0
+        assert stats["shards_resumed"] == len(SWEEP.specs())
+        assert_same_rows(rows, reference_rows)
+
+    def test_resume_rejects_foreign_results_file(self, reference_rows, tmp_path):
+        out = tmp_path / "rows.jsonl"
+        alien = dict(reference_rows[0])
+        alien["n_bins"] = 999  # disagrees with the sweep's spec
+        self._write(out, [alien])
+        with pytest.raises(ConfigurationError, match="different sweep"):
+            run_cluster_sweep(SWEEP, workers=0, out=str(out), resume=True)
+
+    def test_mid_file_corruption_is_an_error(self, reference_rows, tmp_path):
+        out = tmp_path / "rows.jsonl"
+        with open(out, "w") as handle:
+            handle.write("not json\n")
+            handle.write(json.dumps(reference_rows[0]) + "\n")
+        with pytest.raises(ConfigurationError, match="line 1"):
+            run_cluster_sweep(SWEEP, workers=0, out=str(out), resume=True)
+
+    def test_resume_scan_drops_partial_and_rewrite_is_atomic(
+        self, reference_rows, tmp_path
+    ):
+        out = tmp_path / "rows.jsonl"
+        full = sorted(reference_rows, key=row_key)
+        self._write(out, full[: SWEEP.trials + 1])  # shard 0 + 1 stray row
+        shards = [Shard(i, s) for i, s in enumerate(SWEEP.specs())]
+        state = resume_scan(out, shards)
+        assert state.completed == {0}
+        assert state.dropped_rows == 1
+        rewrite_jsonl(out, state.records)
+        assert list(iter_jsonl(out)) == full[: SWEEP.trials]
+
+
+# --------------------------------------------------------------------- #
+# CLI: repro sweep
+# --------------------------------------------------------------------- #
+class TestSweepCli:
+    def run_cli(self, args):
+        from repro.experiments.cli import main
+
+        return main(["sweep"] + args)
+
+    def test_sweep_writes_jsonl_and_summary(self, tmp_path, capsys):
+        out = tmp_path / "rows.jsonl"
+        code = self.run_cli(
+            [
+                "--preset",
+                "table1",
+                "--scale",
+                "0.05",
+                "--workers",
+                "2",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        rows = list(iter_jsonl(out))
+        assert len(rows) == 20  # table1 cell: 20 trials
+        captured = capsys.readouterr()
+        assert "adaptive" in captured.out
+        assert "worker deaths" in captured.err
+
+    def test_cli_matches_in_process_rows(self, tmp_path):
+        out0 = tmp_path / "w0.jsonl"
+        out2 = tmp_path / "w2.jsonl"
+        base = ["--preset", "table1", "--scale", "0.05"]
+        assert self.run_cli(base + ["--workers", "0", "--out", str(out0)]) == 0
+        assert self.run_cli(base + ["--workers", "2", "--out", str(out2)]) == 0
+        assert_same_rows(list(iter_jsonl(out2)), list(iter_jsonl(out0)))
+
+    def test_cli_resume(self, tmp_path):
+        out = tmp_path / "rows.jsonl"
+        base = ["--preset", "table1", "--scale", "0.05", "--out", str(out)]
+        assert self.run_cli(base) == 0
+        full = list(iter_jsonl(out))
+        with open(out, "w") as handle:  # truncate mid-shard
+            for row in full[:7]:
+                handle.write(json.dumps(row) + "\n")
+        assert self.run_cli(base + ["--resume"]) == 0
+        assert_same_rows(list(iter_jsonl(out)), full)
+
+    def test_cli_resume_requires_out(self):
+        with pytest.raises(SystemExit):
+            self.run_cli(["--resume"])
+
+    def test_cli_rejects_bad_backend(self, capsys):
+        with pytest.raises(SystemExit):
+            self.run_cli(["--backend", "nope"])
+
+    def test_cli_overrides_build_the_sweep(self, tmp_path):
+        out = tmp_path / "rows.jsonl"
+        code = self.run_cli(
+            [
+                "--protocols",
+                "greedy",
+                "--n-bins",
+                "40",
+                "--balls",
+                "80,120",
+                "--trials",
+                "2",
+                "--seed",
+                "3",
+                "--scale",
+                "1.0",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        rows = list(iter_jsonl(out))
+        assert len(rows) == 4
+        assert {r["protocol"] for r in rows} == {"greedy"}
+        assert {r["n_bins"] for r in rows} == {40}

@@ -1,0 +1,266 @@
+"""Hypothesis certification of the versioned record schema (schema v1).
+
+The contract: ``as_record()`` (the full view) is a lossless, JSON-safe
+flattening of every result class, and ``RunResult.from_record`` is its
+exact inverse — ``from_record(r.as_record()).as_record() == r.as_record()``
+for :class:`RunResult`, :class:`WeightedRunResult` and
+:class:`DispatchResult`, including through a ``json.dumps``/``loads`` round
+trip (JSON preserves Python ints and floats exactly).  The summary view
+(``arrays=False``) is deliberately *not* invertible and must say so.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.result import (
+    RECORD_SCHEMA_VERSION,
+    RunResult,
+    register_record_kind,
+)
+from repro.core.weighted import WeightedRunResult
+from repro.errors import ConfigurationError
+from repro.runtime.costs import CostModel
+from repro.scheduler.dispatcher import DispatchResult
+
+# --------------------------------------------------------------------- #
+# Strategies: synthetic results covering the schema's full surface
+# --------------------------------------------------------------------- #
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**6), max_value=10**6),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=8),
+)
+
+param_dicts = st.dictionaries(
+    keys=st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True),
+    values=json_scalars,
+    max_size=3,
+)
+
+
+@st.composite
+def cost_models(draw):
+    costs = CostModel(
+        probes=draw(st.integers(0, 10**6)),
+        reallocations=draw(st.integers(0, 10**4)),
+        messages=draw(st.integers(0, 10**4)),
+        rounds=draw(st.integers(0, 100)),
+    )
+    for checkpoint in draw(st.lists(st.integers(0, 10**6), max_size=4)):
+        costs._probe_log.append(checkpoint)
+    return costs
+
+
+@st.composite
+def base_fields(draw):
+    n_bins = draw(st.integers(1, 6))
+    loads = draw(
+        st.lists(st.integers(0, 4), min_size=n_bins, max_size=n_bins)
+    )
+    return {
+        "protocol": draw(st.sampled_from(["adaptive", "threshold", "test"])),
+        "n_balls": sum(loads),
+        "n_bins": n_bins,
+        "loads": np.asarray(loads, dtype=np.int64),
+        "allocation_time": draw(st.integers(0, 10**6)),
+        "costs": draw(cost_models()),
+        "params": draw(param_dicts),
+    }
+
+
+@st.composite
+def run_results(draw):
+    return RunResult(**draw(base_fields()))
+
+
+positive_floats = st.floats(
+    min_value=1e-3, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def weighted_results(draw):
+    fields = draw(base_fields())
+    n_balls, n_bins = fields["n_balls"], fields["n_bins"]
+    if draw(st.booleans()):
+        weights = np.asarray(
+            draw(
+                st.lists(
+                    positive_floats, min_size=n_balls, max_size=n_balls
+                )
+            ),
+            dtype=np.float64,
+        )
+        weighted_loads = np.zeros(n_bins, dtype=np.float64)
+        # Any weighted load vector is schema-legal; use a consistent one.
+        for index, weight in enumerate(weights):
+            weighted_loads[index % n_bins] += weight
+    else:
+        weights = None
+        weighted_loads = None
+    w_max_used = draw(st.none() | positive_floats)
+    return WeightedRunResult(
+        **fields,
+        weights=weights,
+        weighted_loads=weighted_loads,
+        w_max_used=w_max_used,
+    )
+
+
+@st.composite
+def dispatch_results(draw):
+    fields = draw(base_fields())
+    n_balls, n_bins = fields["n_balls"], fields["n_bins"]
+    assignments = np.asarray(
+        draw(
+            st.lists(
+                st.integers(0, n_bins - 1), min_size=n_balls, max_size=n_balls
+            )
+        ),
+        dtype=np.int64,
+    )
+    work = np.asarray(
+        draw(
+            st.lists(
+                st.floats(
+                    min_value=0, max_value=1e6,
+                    allow_nan=False, allow_infinity=False,
+                ),
+                min_size=n_bins,
+                max_size=n_bins,
+            )
+        ),
+        dtype=np.float64,
+    )
+    return DispatchResult(**fields, assignments=assignments, work=work)
+
+
+def assert_round_trips(result):
+    record = result.as_record()
+    # Exact inverse, routed through the base class by the kind tag.
+    clone = RunResult.from_record(record)
+    assert type(clone) is type(result)
+    assert clone.as_record() == record
+    # And through an actual JSON wire trip (the cluster JSONL format).
+    wired = json.loads(json.dumps(record))
+    assert RunResult.from_record(wired).as_record() == record
+    # Subclass entry point accepts its own kind too.
+    assert type(result).from_record(record).as_record() == record
+
+
+# --------------------------------------------------------------------- #
+# Round trips
+# --------------------------------------------------------------------- #
+@settings(max_examples=60, deadline=None)
+@given(run_results())
+def test_run_result_round_trips(result):
+    assert_round_trips(result)
+
+
+@settings(max_examples=60, deadline=None)
+@given(weighted_results())
+def test_weighted_result_round_trips(result):
+    assert_round_trips(result)
+
+
+@settings(max_examples=60, deadline=None)
+@given(dispatch_results())
+def test_dispatch_result_round_trips(result):
+    assert_round_trips(result)
+
+
+def test_real_runs_round_trip():
+    """End-to-end: records produced by actual protocol runs invert exactly."""
+    from repro.api import SimulationSpec, simulate
+
+    for protocol in ("adaptive", "threshold", "weighted-greedy"):
+        result = simulate(
+            SimulationSpec(protocol, n_balls=500, n_bins=100, seed=11)
+        )
+        assert_round_trips(result)
+
+
+def test_provenance_keys_are_ignored():
+    """Cluster JSONL rows (with shard/trial tags) feed straight back in."""
+    result = RunResult("test", 3, 2, np.array([2, 1]), allocation_time=3)
+    record = result.as_record()
+    record["shard"] = 4
+    record["trial"] = 1
+    assert RunResult.from_record(record).as_record() == result.as_record()
+
+
+# --------------------------------------------------------------------- #
+# Schema errors
+# --------------------------------------------------------------------- #
+def make_record(**overrides):
+    record = RunResult(
+        "test", 3, 2, np.array([2, 1]), allocation_time=3
+    ).as_record()
+    record.update(overrides)
+    return record
+
+
+class TestSchemaErrors:
+    def test_version_is_stamped(self):
+        assert make_record()["schema_version"] == RECORD_SCHEMA_VERSION == 1
+
+    def test_wrong_schema_version(self):
+        with pytest.raises(ConfigurationError, match="schema_version"):
+            RunResult.from_record(make_record(schema_version=99))
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError, match="unknown kind"):
+            RunResult.from_record(make_record(kind="martian"))
+
+    def test_kind_mismatch_on_subclass_entry(self):
+        with pytest.raises(ConfigurationError, match="route by kind"):
+            DispatchResult.from_record(make_record())
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ConfigurationError, match="mapping"):
+            RunResult.from_record([1, 2, 3])
+
+    def test_summary_view_is_not_round_trippable(self):
+        result = RunResult("test", 3, 2, np.array([2, 1]), allocation_time=3)
+        summary = result.as_record(arrays=False)
+        assert "loads" not in summary
+        with pytest.raises(ConfigurationError, match="arrays=False"):
+            RunResult.from_record(summary)
+
+    def test_missing_field_is_named(self):
+        record = make_record()
+        del record["cost_probes"]
+        with pytest.raises(ConfigurationError, match="cost_probes"):
+            RunResult.from_record(record)
+
+    def test_conflicting_kind_registration_rejected(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_record_kind("simulation", DispatchResult)
+
+    def test_reregistering_same_class_is_idempotent(self):
+        register_record_kind("simulation", RunResult)
+
+
+def test_weighted_summary_view_is_flat():
+    result = WeightedRunResult(
+        "test",
+        3,
+        2,
+        np.array([2, 1]),
+        allocation_time=3,
+        weights=np.array([1.0, 2.0, 0.5]),
+        weighted_loads=np.array([3.0, 0.5]),
+    )
+    summary = result.as_record(arrays=False)
+    assert "weights" not in summary and "weighted_loads" not in summary
+    assert summary["total_weight"] == 3.5
+    full = result.as_record()
+    assert full["weights"] == [1.0, 2.0, 0.5]

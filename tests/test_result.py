@@ -80,6 +80,22 @@ class TestAsRecord:
         assert record["cost_probes"] == 12
         assert record["param_offset"] == 1
 
-    def test_record_is_flat(self):
-        record = make_result().as_record()
+    def test_summary_record_is_flat(self):
+        # arrays=False is the display/summary view: scalars only.
+        record = make_result().as_record(arrays=False)
         assert all(not isinstance(v, (dict, list, np.ndarray)) for v in record.values())
+
+    def test_full_record_carries_arrays_and_schema(self):
+        from repro.core.result import RECORD_SCHEMA_VERSION
+
+        record = make_result().as_record()
+        assert record["schema_version"] == RECORD_SCHEMA_VERSION
+        assert record["kind"] == "simulation"
+        assert isinstance(record["loads"], list)
+
+    def test_from_record_round_trips(self):
+        result = make_result(params={"offset": 1})
+        clone = type(result).from_record(result.as_record())
+        assert np.array_equal(clone.loads, result.loads)
+        assert clone.params == result.params
+        assert clone.costs.probes == result.costs.probes
