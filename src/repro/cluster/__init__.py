@@ -31,6 +31,7 @@ from repro.cluster.coordinator import (
 from repro.cluster.stream import JsonlWriter, iter_jsonl, resume_scan
 from repro.cluster.transport import (
     MultiprocessingTransport,
+    TcpTransport,
     Transport,
     WorkerHandle,
     WorkerLost,
@@ -50,4 +51,5 @@ __all__ = [
     "WorkerHandle",
     "WorkerLost",
     "MultiprocessingTransport",
+    "TcpTransport",
 ]

@@ -16,6 +16,11 @@ rather than the :mod:`repro.errors` hierarchy.
 :class:`MultiprocessingTransport` is the default implementation: one
 ``multiprocessing.Process`` per worker, a duplex pipe per process, and the
 :func:`repro.cluster.worker.worker_main` loop on the far side.
+:class:`TcpTransport` runs the same worker processes over real sockets —
+newline-delimited JSON frames shared with the live service
+(:mod:`repro.service.framing`) — exercising the socket path end-to-end on
+one machine, ready to split across machines when the spawn step grows a
+remote launcher.
 """
 
 from __future__ import annotations
@@ -23,16 +28,18 @@ from __future__ import annotations
 import json
 import multiprocessing
 import multiprocessing.connection
+import socket
 import threading
 from typing import Any, Protocol, runtime_checkable
 
-from repro.errors import ConfigurationError
+from repro.errors import ClusterError, ConfigurationError
 
 __all__ = [
     "WorkerLost",
     "WorkerHandle",
     "Transport",
     "MultiprocessingTransport",
+    "TcpTransport",
     "check_transport",
 ]
 
@@ -209,3 +216,152 @@ class MultiprocessingTransport:
 
     def shutdown(self) -> None:
         """Nothing transport-wide to release (handles own their processes)."""
+
+
+class _TcpWorkerHandle:
+    """A worker process reached over a framed TCP connection."""
+
+    def __init__(self, worker_id: int, process, conn) -> None:
+        self.worker_id = worker_id
+        self._process = process
+        self._conn = conn
+
+    @property
+    def pid(self) -> int | None:
+        return self._process.pid
+
+    def send(self, message: dict[str, Any]) -> None:
+        try:
+            self._conn.send(message)
+        except (ConnectionError, EOFError, OSError) as exc:
+            raise WorkerLost(
+                f"worker {self.worker_id} (pid {self.pid}) is gone: {exc}"
+            ) from exc
+
+    def recv(self) -> dict[str, Any]:
+        from repro.service.framing import FramingError
+
+        try:
+            return self._conn.recv()
+        except (ConnectionError, EOFError, OSError, FramingError) as exc:
+            # A torn or corrupt frame means the worker died mid-write; the
+            # coordinator's answer is the same either way: retry the shard.
+            raise WorkerLost(
+                f"worker {self.worker_id} (pid {self.pid}) died mid-shard: {exc}"
+            ) from exc
+
+    def close(self) -> None:
+        try:
+            self._conn.send({"type": "stop"})
+        except (ConnectionError, EOFError, OSError):
+            pass  # already dead — nothing to stop
+        self._process.join(timeout=5.0)
+        if self._process.is_alive():  # pragma: no cover - defensive
+            self._process.terminate()
+            self._process.join(timeout=5.0)
+        self._conn.close()
+
+    def kill(self) -> None:
+        self._process.kill()
+        self._process.join(timeout=5.0)
+        self._conn.close()
+
+
+class TcpTransport:
+    """Socket-backed transport: workers connect back over framed TCP.
+
+    The transport owns one listening socket.  :meth:`spawn` starts a worker
+    process running :func:`repro.cluster.worker.tcp_worker_main`, accepts
+    its connection, and matches it by the worker's ``hello`` frame — all
+    under a lock, so concurrent spawns cannot cross their connections.
+    Everything after the spawn is plain sockets speaking the shared
+    newline-delimited JSON framing; running the workers on another machine
+    is a matter of replacing the local process launch.
+
+    Parameters
+    ----------
+    host:
+        Interface to listen on (and the address workers dial back to).
+    start_method:
+        ``multiprocessing`` start method for the local worker processes;
+        same default as :class:`MultiprocessingTransport`.
+    accept_timeout:
+        Seconds to wait for a spawned worker to dial back before declaring
+        the spawn failed.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        start_method: str | None = None,
+        accept_timeout: float = 30.0,
+    ) -> None:
+        available = multiprocessing.get_all_start_methods()
+        if start_method is None:
+            start_method = "fork" if "fork" in available else "spawn"
+        if start_method not in available:
+            raise ConfigurationError(
+                f"start_method: {start_method!r} not supported here "
+                f"(available: {available})"
+            )
+        self._ctx = multiprocessing.get_context(start_method)
+        self._spawn_lock = threading.Lock()
+        self._listener = socket.create_server((host, 0))
+        self._listener.settimeout(accept_timeout)
+        self._host = host
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The ``(host, port)`` workers dial back to."""
+        bound = self._listener.getsockname()
+        return (self._host, bound[1])
+
+    def spawn(self, worker_id: int) -> _TcpWorkerHandle:
+        from repro.cluster.worker import tcp_worker_main
+        from repro.service.framing import FrameConnection
+
+        host, port = self.address
+        # The lock serialises start()..accept(): each spawned worker has
+        # connected (and said hello) before the next spawn begins, so an
+        # accepted connection always belongs to the worker just started.
+        with self._spawn_lock:
+            process = self._ctx.Process(
+                target=tcp_worker_main,
+                args=(host, port, worker_id),
+                name=f"repro-tcp-worker-{worker_id}",
+                daemon=True,
+            )
+            process.start()
+            try:
+                sock, _ = self._listener.accept()
+            except (TimeoutError, OSError) as exc:
+                process.kill()
+                process.join(timeout=5.0)
+                raise ClusterError(
+                    f"worker {worker_id} never connected back "
+                    f"(accept on {host}:{port} failed: {exc})"
+                ) from exc
+            conn = FrameConnection(sock)
+            try:
+                hello = conn.recv()
+            except (ConnectionError, OSError) as exc:
+                conn.close()
+                process.kill()
+                process.join(timeout=5.0)
+                raise ClusterError(
+                    f"worker {worker_id} connected but died before hello: {exc}"
+                ) from exc
+            if hello.get("type") != "hello" or hello.get("worker_id") != worker_id:
+                conn.close()
+                process.kill()
+                process.join(timeout=5.0)
+                raise ClusterError(
+                    f"worker {worker_id}: unexpected hello frame {hello!r}"
+                )
+        return _TcpWorkerHandle(worker_id, process, conn)
+
+    def shutdown(self) -> None:
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - already closed
+            pass

@@ -28,12 +28,13 @@ which ``--resume`` uses to tell complete shards from truncated ones.
 from __future__ import annotations
 
 import json
+import socket
 from typing import Any
 
 from repro.api.spec import SimulationSpec
 from repro.errors import ReproError
 
-__all__ = ["run_shard", "worker_main"]
+__all__ = ["run_shard", "handle_shard_message", "worker_main", "tcp_worker_main"]
 
 
 def run_shard(spec: SimulationSpec, shard_id: int) -> list[dict[str, Any]]:
@@ -53,6 +54,37 @@ def run_shard(spec: SimulationSpec, shard_id: int) -> list[dict[str, Any]]:
     return records
 
 
+def handle_shard_message(
+    message: dict[str, Any], worker_id: int
+) -> dict[str, Any] | None:
+    """Process one coordinator message; ``None`` means "stop the loop".
+
+    The transport-independent half of the worker: both the pipe-backed
+    :func:`worker_main` and the socket-backed :func:`tcp_worker_main` feed
+    their decoded messages through here, so shard semantics (run, tag,
+    report deterministic failures as ``"error"`` replies) cannot drift
+    between transports.
+    """
+    if message.get("type") == "stop":
+        return None
+    shard_id = int(message["shard_id"])
+    try:
+        spec = SimulationSpec.from_dict(message["spec"])
+        return {
+            "type": "result",
+            "shard_id": shard_id,
+            "worker_id": worker_id,
+            "records": run_shard(spec, shard_id),
+        }
+    except ReproError as exc:
+        return {
+            "type": "error",
+            "shard_id": shard_id,
+            "worker_id": worker_id,
+            "error": f"{type(exc).__name__}: {exc}",
+        }
+
+
 def worker_main(conn, worker_id: int) -> None:
     """Blocking worker loop: receive shard messages, reply with records.
 
@@ -68,26 +100,43 @@ def worker_main(conn, worker_id: int) -> None:
             data = conn.recv_bytes()
         except (EOFError, ConnectionError, OSError):
             return  # coordinator went away; nothing useful left to do
-        message = json.loads(data.decode("utf-8"))
-        if message.get("type") == "stop":
+        reply = handle_shard_message(json.loads(data.decode("utf-8")), worker_id)
+        if reply is None:
             return
-        shard_id = int(message["shard_id"])
-        try:
-            spec = SimulationSpec.from_dict(message["spec"])
-            reply: dict[str, Any] = {
-                "type": "result",
-                "shard_id": shard_id,
-                "worker_id": worker_id,
-                "records": run_shard(spec, shard_id),
-            }
-        except ReproError as exc:
-            reply = {
-                "type": "error",
-                "shard_id": shard_id,
-                "worker_id": worker_id,
-                "error": f"{type(exc).__name__}: {exc}",
-            }
         try:
             conn.send_bytes(json.dumps(reply).encode("utf-8"))
         except (BrokenPipeError, ConnectionError, EOFError, OSError):
             return
+
+
+def tcp_worker_main(host: str, port: int, worker_id: int) -> None:
+    """Worker loop over a TCP connection back to the coordinator.
+
+    Spawned by :class:`~repro.cluster.transport.TcpTransport`: connects to
+    the transport's listening socket, identifies itself with a ``hello``
+    frame (newline-delimited JSON, shared with the service protocol via
+    :mod:`repro.service.framing`), then serves shards exactly like
+    :func:`worker_main`.
+    """
+    from repro.service.framing import FrameConnection
+
+    try:
+        conn = FrameConnection(socket.create_connection((host, port), timeout=30.0))
+    except OSError:
+        return  # coordinator's listener is gone; nothing to serve
+    try:
+        conn.send({"type": "hello", "worker_id": int(worker_id)})
+        while True:
+            try:
+                message = conn.recv()
+            except (ConnectionError, OSError):
+                return
+            reply = handle_shard_message(message, worker_id)
+            if reply is None:
+                return
+            try:
+                conn.send(reply)
+            except (ConnectionError, OSError):
+                return
+    finally:
+        conn.close()

@@ -27,6 +27,12 @@ JSONL (``--resume`` continues a truncated file; see :mod:`repro.cluster`)::
     repro sweep --workers 4 --out results.jsonl
     repro sweep --workers 4 --out results.jsonl --resume
     repro sweep --preset table1 --scale 0.05 --workers 2 --out smoke.jsonl
+
+Run the live dispatch service (newline-delimited JSON over TCP; see
+:mod:`repro.service`), checkpointing to a file and restoring from it::
+
+    repro serve --policy adaptive --n-servers 10000 --seed 7 --port 7077
+    repro serve --restore state.json --checkpoint state.json --port 7077
 """
 
 from __future__ import annotations
@@ -43,7 +49,18 @@ from repro.errors import ConfigurationError
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.reporting.tables import format_markdown_table, write_csv
 
-__all__ = ["build_parser", "build_sweep_parser", "main"]
+__all__ = ["build_parser", "build_sweep_parser", "build_serve_parser", "main"]
+
+
+def _add_version_flag(parser: argparse.ArgumentParser) -> None:
+    """``--version`` on every entry point (main parser and subcommands)."""
+    from repro._version import __version__
+
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
+    )
 
 #: Experiments whose runners accept the execution-mode flags
 #: (``--workers`` / ``--no-batch-trials`` / ``--trial-block``).
@@ -59,6 +76,7 @@ def build_parser() -> argparse.ArgumentParser:
             "Optimal Load Distribution' (SPAA 2013)."
         ),
     )
+    _add_version_flag(parser)
     parser.add_argument(
         "experiment",
         nargs="?",
@@ -151,6 +169,7 @@ def build_sweep_parser() -> argparse.ArgumentParser:
             "worker death — streaming per-trial record rows to JSONL."
         ),
     )
+    _add_version_flag(parser)
     parser.add_argument(
         "--preset",
         choices=("figure3", "table1"),
@@ -235,6 +254,147 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         help="print the summary rows as JSON instead of a markdown table",
     )
     return parser
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    """Argument parser for the ``repro serve`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Run the live dispatch service: a TCP server speaking "
+            "newline-delimited JSON (submit / stats / checkpoint / drain / "
+            "shutdown) around one stateful dispatcher, micro-batching "
+            "submissions per event-loop tick.  See repro.service."
+        ),
+    )
+    _add_version_flag(parser)
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="interface to listen on"
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (0 binds an ephemeral port and prints it)",
+    )
+    parser.add_argument(
+        "--policy",
+        default="adaptive",
+        help="dispatch policy (default adaptive; see repro.scheduler)",
+    )
+    parser.add_argument(
+        "--n-servers", type=int, default=1000, help="server count (default 1000)"
+    )
+    parser.add_argument(
+        "--d", type=int, default=2, help="probes per round (default 2)"
+    )
+    parser.add_argument(
+        "--k", type=int, default=1, help="adaptive accept slack (default 1)"
+    )
+    parser.add_argument(
+        "--w-max",
+        type=float,
+        default=None,
+        help="maximum job size (weighted policies)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="probe-stream seed"
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="kernel backend for the dispatch engines (see repro --list-backends)",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=100_000,
+        help="backpressure bound on queued jobs (default 100000)",
+    )
+    parser.add_argument(
+        "--overflow",
+        choices=("block", "shed"),
+        default="block",
+        help="queue-full behaviour: block submitters or shed submissions",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        type=Path,
+        default=None,
+        metavar="FILE.json",
+        help="write dispatcher state here on every checkpoint request",
+    )
+    parser.add_argument(
+        "--restore",
+        type=Path,
+        default=None,
+        metavar="FILE.json",
+        help=(
+            "resume from this checkpoint file (bit-identical continuation; "
+            "construction flags like --policy are taken from the checkpoint)"
+        ),
+    )
+    return parser
+
+
+def _main_serve(argv: Sequence[str]) -> int:
+    """``repro serve ...`` — run the live dispatch service until shutdown."""
+    import asyncio
+
+    from repro.scheduler.dispatcher import Dispatcher
+    from repro.service import DispatchService
+
+    parser = build_serve_parser()
+    args = parser.parse_args(argv)
+    checkpoint_path = None if args.checkpoint is None else str(args.checkpoint)
+    try:
+        if args.restore is not None:
+            kwargs: dict[str, Any] = {}
+            if checkpoint_path is not None:
+                kwargs["checkpoint_path"] = checkpoint_path
+            service = DispatchService.from_checkpoint(
+                str(args.restore),
+                max_queue_jobs=args.max_queue,
+                overflow=args.overflow,
+                **kwargs,
+            )
+        else:
+            dispatcher = Dispatcher(
+                args.n_servers,
+                policy=args.policy,
+                d=args.d,
+                k=args.k,
+                w_max=args.w_max,
+                seed=args.seed,
+                backend=args.backend,
+            )
+            service = DispatchService(
+                dispatcher,
+                max_queue_jobs=args.max_queue,
+                overflow=args.overflow,
+                checkpoint_path=checkpoint_path,
+            )
+    except ConfigurationError as exc:
+        parser.error(str(exc))
+
+    async def _serve() -> None:
+        host, port = await service.serve(args.host, args.port)
+        dispatcher = service.dispatcher
+        print(
+            f"repro service listening on {host}:{port} "
+            f"(policy={dispatcher.policy}, n_servers={dispatcher.n_servers}, "
+            f"jobs_dispatched={dispatcher.jobs_dispatched})",
+            file=sys.stderr,
+            flush=True,
+        )
+        await service.wait_closed()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        return 130
+    return 0
 
 
 def _sweep_config(args: argparse.Namespace):
@@ -354,6 +514,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "sweep":
         return _main_sweep(list(argv[1:]))
+    if argv and argv[0] == "serve":
+        return _main_serve(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
 

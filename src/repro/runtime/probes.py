@@ -38,6 +38,7 @@ __all__ = [
     "RandomProbeStream",
     "FixedProbeStream",
     "BatchedProbeStream",
+    "probe_stream_from_state",
     "AUX_SEED",
 ]
 
@@ -181,6 +182,37 @@ class ProbeStream(ABC):
         self.consumed -= int(arr.size)
         self._pending = np.concatenate([arr, self._pending])
 
+    # ------------------------------------------------------------------ #
+    # Checkpoint/restore
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        """JSON-serialisable snapshot of the stream's exact position.
+
+        The snapshot captures everything that determines the *future* probe
+        sequence — the underlying source position plus the pending buffer of
+        given-back values — so a stream rebuilt via
+        :func:`probe_stream_from_state` emits bit-identically the probes
+        this stream would have emitted.  This is what lets a checkpointed
+        dispatcher resume mid-stream without perturbing a single assignment
+        (see :meth:`repro.scheduler.Dispatcher.state_dict`).
+        """
+        state = self._source_state()
+        state["n_bins"] = self.n_bins
+        state["consumed"] = int(self.consumed)
+        state["pending"] = self._pending.tolist()
+        return state
+
+    def _source_state(self) -> dict:
+        """Subclass hook: snapshot the underlying probe source."""
+        raise ConfigurationError(
+            f"{type(self).__name__} does not support checkpointing"
+        )
+
+    def _restore_base(self, state: dict) -> None:
+        """Restore the base-class position fields from a snapshot."""
+        self.consumed = int(state["consumed"])
+        self._pending = np.asarray(state["pending"], dtype=np.int64)
+
     def derive_generator(self, seed: SeedLike = None) -> np.random.Generator:
         """Deterministic auxiliary generator for protocol-internal randomness.
 
@@ -211,6 +243,29 @@ class RandomProbeStream(ProbeStream):
 
     def _draw(self, count: int) -> np.ndarray:
         return self._rng.integers(0, self.n_bins, size=count, dtype=np.int64)
+
+    def _source_state(self) -> dict:
+        """The bit generator's exact position (a JSON-serialisable dict).
+
+        This pins the future *probe* sequence exactly.  It deliberately does
+        not capture the seed-sequence spawn counter behind
+        :meth:`derive_generator` — none of the dispatcher policies draw
+        auxiliary randomness mid-stream, which is what the checkpoint
+        machinery serves; protocols that do (the greedy tie-break) document
+        their own derivation contract.
+        """
+        return {
+            "stream": "random",
+            "bit_generator": self._rng.bit_generator.state,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "RandomProbeStream":
+        """Rebuild a stream at the exact position captured by ``state_dict``."""
+        stream = cls(int(state["n_bins"]))
+        stream._rng.bit_generator.state = state["bit_generator"]
+        stream._restore_base(state)
+        return stream
 
     @property
     def generator(self) -> np.random.Generator:
@@ -273,6 +328,48 @@ class FixedProbeStream(ProbeStream):
     @property
     def available(self) -> int | None:
         return self.remaining
+
+    def _source_state(self) -> dict:
+        """The unconsumed tail of the choice vector (tests replay these)."""
+        return {
+            "stream": "fixed",
+            "choices": self._choices[self._cursor :].tolist(),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "FixedProbeStream":
+        """Rebuild a replay stream at the exact position of ``state_dict``."""
+        stream = cls(
+            int(state["n_bins"]), np.asarray(state["choices"], dtype=np.int64)
+        )
+        stream._restore_base(state)
+        return stream
+
+
+def probe_stream_from_state(state: dict) -> ProbeStream:
+    """Rebuild a probe stream from a :meth:`ProbeStream.state_dict` snapshot.
+
+    Routed by the snapshot's ``"stream"`` key; the restored stream emits the
+    exact probe sequence the checkpointed one would have emitted (pending
+    give-backs included), which the checkpoint/restore tests certify
+    end-to-end through the dispatcher.
+    """
+    if not isinstance(state, dict):
+        raise ConfigurationError(
+            f"probe stream state must be a dict, got {type(state).__name__}"
+        )
+    kinds = {
+        "random": RandomProbeStream.from_state_dict,
+        "fixed": FixedProbeStream.from_state_dict,
+    }
+    kind = state.get("stream")
+    try:
+        build = kinds[kind]
+    except (KeyError, TypeError):
+        raise ConfigurationError(
+            f"unknown probe stream kind {kind!r}; available: {sorted(kinds)}"
+        ) from None
+    return build(state)
 
 
 class BatchedProbeStream:

@@ -38,6 +38,12 @@ class ScheduleMetrics:
     probes_per_job:
         Average number of server probes per dispatched job (allocation time
         per ball).
+    work_p50, work_p99:
+        Percentiles of the per-server work distribution (linear
+        interpolation, :func:`numpy.percentile`).  ``work_p99`` against
+        ``makespan`` separates "one hot server" from "a hot tail"; the live
+        service gauges and the batch reports read them from this one
+        metrics path.
     """
 
     makespan: float
@@ -46,6 +52,8 @@ class ScheduleMetrics:
     min_jobs: int
     job_imbalance: int
     probes_per_job: float
+    work_p50: float
+    work_p99: float
 
     @property
     def work_imbalance_ratio(self) -> float:
@@ -63,6 +71,8 @@ class ScheduleMetrics:
             "min_jobs": float(self.min_jobs),
             "job_imbalance": float(self.job_imbalance),
             "probes_per_job": self.probes_per_job,
+            "work_p50": self.work_p50,
+            "work_p99": self.work_p99,
         }
 
 
@@ -79,6 +89,7 @@ def compute_metrics(
     if probes < 0:
         raise ConfigurationError(f"probes must be non-negative, got {probes}")
     total_jobs = int(job_counts.sum())
+    work_p50, work_p99 = np.percentile(work, (50.0, 99.0))
     return ScheduleMetrics(
         makespan=float(work.max()),
         avg_work=float(work.mean()),
@@ -86,4 +97,6 @@ def compute_metrics(
         min_jobs=int(job_counts.min()),
         job_imbalance=int(job_counts.max() - job_counts.min()),
         probes_per_job=probes / total_jobs if total_jobs else 0.0,
+        work_p50=float(work_p50),
+        work_p99=float(work_p99),
     )

@@ -1,0 +1,47 @@
+"""Live dispatcher service: async micro-batching server, clients, telemetry.
+
+The :mod:`repro.service` package turns the one-shot batch dispatcher into a
+long-running system: a newline-delimited-JSON TCP protocol
+(:mod:`~repro.service.framing`), a backpressure-aware micro-batcher
+(:mod:`~repro.service.batcher`), rolling latency/throughput telemetry with
+live schedule gauges (:mod:`~repro.service.telemetry`), and the asyncio
+service + synchronous clients (:mod:`~repro.service.server`), including
+checkpoint/restore that resumes an interrupted stream bit-identically.
+"""
+
+from repro.service.batcher import DEFAULT_MAX_QUEUE_JOBS, MicroBatcher, QueueOverflow
+from repro.service.framing import (
+    MAX_FRAME_BYTES,
+    FrameConnection,
+    FramingError,
+    decode_frame,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+from repro.service.server import (
+    DispatchService,
+    ServiceClient,
+    ServiceError,
+    ServiceThread,
+)
+from repro.service.telemetry import RollingWindow, ServiceTelemetry
+
+__all__ = [
+    "DEFAULT_MAX_QUEUE_JOBS",
+    "MAX_FRAME_BYTES",
+    "DispatchService",
+    "FrameConnection",
+    "FramingError",
+    "MicroBatcher",
+    "QueueOverflow",
+    "RollingWindow",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceTelemetry",
+    "ServiceThread",
+    "decode_frame",
+    "encode_frame",
+    "read_frame",
+    "write_frame",
+]

@@ -1,0 +1,288 @@
+"""Backpressure-aware micro-batching between submitters and the dispatcher.
+
+The live service accepts jobs asynchronously but dispatches them through
+:meth:`~repro.scheduler.Dispatcher.dispatch_batch`, whose vectorised engines
+want *bulk*.  The :class:`MicroBatcher` reconciles the two: submissions
+enqueue jobs and park on a future; a single flush task drains **everything
+queued at that moment** into one ``dispatch_batch`` call per event-loop
+tick, then yields so new submissions (including those that arrived while
+the engine ran) form the next tick's batch.  Under light traffic a batch is
+one job and the dispatcher's measured ``small_burst`` crossover routes it
+down the scalar fast path; under heavy traffic batches grow to thousands of
+jobs and ride the vectorised engines — the same adaptivity, per tick, that
+the PR-4/5 crossovers give per call, with bit-identical assignments either
+way.
+
+Backpressure is a bounded job count: when producers outrun the engine the
+queue refuses to grow past ``max_queue_jobs`` and either **blocks** the
+submitter (``overflow="block"``, the lossless default) or **sheds** the
+submission (``overflow="shed"``, raising :class:`QueueOverflow`, which the
+server reports as an error reply so the client can retry).
+
+Ordering is strict FIFO over submissions, so a stream of submits produces
+exactly the job order (and therefore the bit-identical assignments) of
+feeding the same batches to a bare dispatcher.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ReproError
+from repro.service.telemetry import ServiceTelemetry
+
+__all__ = ["QueueOverflow", "MicroBatcher"]
+
+#: Default bound on queued (not yet dispatched) jobs.
+DEFAULT_MAX_QUEUE_JOBS = 100_000
+
+_OVERFLOW_POLICIES = ("block", "shed")
+
+
+class QueueOverflow(ReproError):
+    """A submission was shed because the bounded queue is full.
+
+    Raised only under ``overflow="shed"``; the ``"block"`` policy suspends
+    the submitter instead.  Carries no partial state — none of the shed
+    submission's jobs were enqueued.
+    """
+
+
+@dataclass
+class _Submission:
+    """One queued submit call: its job sizes, arrival time, and reply future."""
+
+    sizes: np.ndarray
+    enqueued_at: float
+    future: asyncio.Future
+
+
+class MicroBatcher:
+    """Queue + flush loop turning async submissions into dispatch batches.
+
+    Parameters
+    ----------
+    dispatcher:
+        The :class:`~repro.scheduler.Dispatcher` to drive.  The batcher is
+        its only writer while running.
+    max_queue_jobs:
+        Bound on jobs queued and not yet dispatched (backpressure knob).
+    overflow:
+        ``"block"`` (default) suspends submitters until the queue drains;
+        ``"shed"`` fails the submission with :class:`QueueOverflow`.
+    max_batch_jobs:
+        Optional cap on jobs per ``dispatch_batch`` call; a longer queue is
+        flushed as several consecutive batches (bit-identical — batch splits
+        never change assignments).  ``None`` flushes the whole queue per
+        tick.
+    total_jobs:
+        Forwarded to ``dispatch_batch`` (the ``"threshold"`` policy needs
+        the stream length up front; other policies ignore it).
+    telemetry:
+        A :class:`~repro.service.telemetry.ServiceTelemetry`; one is created
+        when omitted.
+    """
+
+    def __init__(
+        self,
+        dispatcher: Any,
+        *,
+        max_queue_jobs: int = DEFAULT_MAX_QUEUE_JOBS,
+        overflow: str = "block",
+        max_batch_jobs: int | None = None,
+        total_jobs: int | None = None,
+        telemetry: ServiceTelemetry | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        if max_queue_jobs < 1:
+            raise ConfigurationError(
+                f"max_queue_jobs must be at least 1, got {max_queue_jobs}"
+            )
+        if overflow not in _OVERFLOW_POLICIES:
+            raise ConfigurationError(
+                f"overflow must be one of {_OVERFLOW_POLICIES}, got {overflow!r}"
+            )
+        if max_batch_jobs is not None and max_batch_jobs < 1:
+            raise ConfigurationError(
+                f"max_batch_jobs must be positive when given, got {max_batch_jobs}"
+            )
+        self.dispatcher = dispatcher
+        self.max_queue_jobs = int(max_queue_jobs)
+        self.overflow = overflow
+        self.max_batch_jobs = None if max_batch_jobs is None else int(max_batch_jobs)
+        self.total_jobs = total_jobs
+        self.telemetry = telemetry if telemetry is not None else ServiceTelemetry()
+        self._clock = clock
+        self._queue: list[_Submission] = []
+        self._queued_jobs = 0
+        self._running = False
+        self._stopping = False
+        self._task: asyncio.Task | None = None
+        self._wake: asyncio.Event | None = None
+        self._changed: asyncio.Condition | None = None
+        # Serialises flush ticks against checkpoint quiescing: whoever holds
+        # this lock sees the dispatcher exactly between two batches.
+        self.flush_lock: asyncio.Lock = asyncio.Lock()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def queue_depth(self) -> int:
+        """Jobs queued and not yet handed to the dispatcher."""
+        return self._queued_jobs
+
+    def start(self) -> None:
+        """Start the flush task on the running event loop."""
+        if self._running:
+            raise ConfigurationError("batcher is already running")
+        self._wake = asyncio.Event()
+        self._changed = asyncio.Condition()
+        self._running = True
+        self._stopping = False
+        self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def stop(self) -> None:
+        """Flush whatever is queued, then stop the flush task."""
+        if not self._running:
+            return
+        self._stopping = True
+        self._wake.set()
+        async with self._changed:
+            # Wake producers parked on backpressure so they fail cleanly
+            # instead of waiting for room that will never be made.
+            self._changed.notify_all()
+        await self._task
+        self._running = False
+        self._task = None
+
+    async def drain(self) -> None:
+        """Wait until every queued job has been dispatched and replied to."""
+        if not self._running:
+            return
+        async with self._changed:
+            await self._changed.wait_for(lambda: self._queued_jobs == 0)
+        # One lock round ensures an in-flight flush (which already popped
+        # the queue) has also resolved its futures.
+        async with self.flush_lock:
+            pass
+
+    # ------------------------------------------------------------------ #
+    async def submit(self, sizes) -> np.ndarray:
+        """Queue one submission and wait for its server assignments.
+
+        Returns the per-job server indices, in the submission's job order —
+        exactly the array ``dispatch_batch`` would have returned for this
+        group given the stream position at dispatch time.
+        """
+        if not self._running or self._stopping:
+            raise ConfigurationError("batcher is not accepting submissions")
+        sizes = np.asarray(sizes, dtype=np.float64).ravel()
+        if sizes.size == 0:
+            return np.empty(0, dtype=np.int64)
+        if self._queued_jobs + sizes.size > self.max_queue_jobs:
+            if self.overflow == "shed":
+                self.telemetry.record_shed(sizes.size)
+                raise QueueOverflow(
+                    f"queue full ({self._queued_jobs}/{self.max_queue_jobs} "
+                    f"jobs): shed a {sizes.size}-job submission"
+                )
+            # Block until there is room.  The queue-count reservation happens
+            # under the condition lock, so concurrently parked producers
+            # cannot all wake on the same slot and overfill the bound.  An
+            # oversized submission is admitted alone on an empty queue
+            # rather than deadlocking on room that can never exist.
+            async with self._changed:
+                await self._changed.wait_for(
+                    lambda: self._stopping
+                    or self._queued_jobs + sizes.size <= self.max_queue_jobs
+                    or (self._queued_jobs == 0 and sizes.size > self.max_queue_jobs)
+                )
+                if self._stopping:
+                    raise ConfigurationError(
+                        "batcher stopped while blocked on backpressure"
+                    )
+                submission = self._enqueue(sizes)
+        else:
+            submission = self._enqueue(sizes)
+        return await submission.future
+
+    def _enqueue(self, sizes: np.ndarray) -> _Submission:
+        """Append one reserved submission and wake the flush task (no awaits)."""
+        submission = _Submission(
+            sizes=sizes,
+            enqueued_at=self._clock(),
+            future=asyncio.get_running_loop().create_future(),
+        )
+        self._queue.append(submission)
+        self._queued_jobs += int(sizes.size)
+        self._wake.set()
+        return submission
+
+    # ------------------------------------------------------------------ #
+    async def _run(self) -> None:
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            while self._queue:
+                async with self.flush_lock:
+                    await self._flush_once()
+                # Yield one loop tick so submissions that arrived while the
+                # engine ran (readers, parked producers) join the next batch.
+                await asyncio.sleep(0)
+            if self._stopping:
+                return
+
+    async def _flush_once(self) -> None:
+        """Dispatch one micro-batch: everything queued, up to the batch cap."""
+        batch: list[_Submission] = []
+        jobs = 0
+        while self._queue:
+            if (
+                self.max_batch_jobs is not None
+                and batch
+                and jobs + self._queue[0].sizes.size > self.max_batch_jobs
+            ):
+                break
+            submission = self._queue.pop(0)
+            batch.append(submission)
+            jobs += submission.sizes.size
+        if not batch:
+            return
+        sizes = (
+            batch[0].sizes
+            if len(batch) == 1
+            else np.concatenate([s.sizes for s in batch])
+        )
+        started = self._clock()
+        try:
+            assignments = self.dispatcher.dispatch_batch(
+                sizes, total_jobs=self.total_jobs
+            )
+        except Exception as exc:
+            # A bad submission (e.g. a non-positive weighted job size) fails
+            # its whole batch deterministically; submitters see the error.
+            for submission in batch:
+                if not submission.future.done():
+                    submission.future.set_exception(exc)
+            return
+        finally:
+            self._queued_jobs -= jobs
+            async with self._changed:
+                self._changed.notify_all()
+        finished = self._clock()
+        offset = 0
+        for submission in batch:
+            end = offset + submission.sizes.size
+            if not submission.future.cancelled():
+                submission.future.set_result(assignments[offset:end])
+            offset = end
+        self.telemetry.record_batch(
+            finished - np.array([s.enqueued_at for s in batch]).repeat(
+                [s.sizes.size for s in batch]
+            ),
+            finished - started,
+        )

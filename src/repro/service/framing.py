@@ -1,0 +1,137 @@
+"""Newline-delimited JSON framing shared by the service and TCP transport.
+
+One frame is one JSON document on one line, UTF-8 encoded and terminated by
+``\\n``.  JSON string escaping guarantees the payload itself can never
+contain a raw newline, so the framing needs no length prefix and a frame
+stream can be inspected (or hand-fed) with ordinary line tools.  The live
+dispatcher service (:mod:`repro.service.server`) and the cluster's TCP
+transport (:class:`repro.cluster.transport.TcpTransport`) speak exactly this
+format, which is also the JSONL record format of :mod:`repro.cluster.stream`
+— a service conversation captured to a file *is* a JSONL document.
+
+Three consumer shapes are supported:
+
+* :func:`encode_frame` / :func:`decode_frame` — pure bytes-level codec;
+* :func:`read_frame` / :func:`write_frame` — asyncio stream helpers for the
+  service's event loop;
+* :class:`FrameConnection` — a blocking socket wrapper for synchronous
+  peers (the cluster's TCP worker handles, the :class:`ServiceClient`).
+
+Malformed input raises :class:`FramingError` (a
+:class:`~repro.errors.ReproError`), so peers can distinguish "the other
+side speaks garbage" from "the other side went away" (plain
+``ConnectionError`` / ``EOFError``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from typing import Any
+
+from repro.errors import ReproError
+
+__all__ = [
+    "FramingError",
+    "MAX_FRAME_BYTES",
+    "encode_frame",
+    "decode_frame",
+    "read_frame",
+    "write_frame",
+    "FrameConnection",
+]
+
+#: Upper bound on one frame's wire size.  Large enough for a checkpoint of a
+#: million-server dispatcher or a 10^6-job submit batch, small enough that a
+#: corrupt peer cannot make a reader buffer unbounded garbage.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+class FramingError(ReproError):
+    """A peer sent bytes that are not a valid newline-delimited JSON frame."""
+
+
+def encode_frame(message: dict[str, Any]) -> bytes:
+    """Serialise one message dict to its wire form (JSON line + newline)."""
+    if not isinstance(message, dict):
+        raise FramingError(
+            f"frame payload must be a dict, got {type(message).__name__}"
+        )
+    try:
+        text = json.dumps(message, separators=(",", ":"), allow_nan=False)
+    except (TypeError, ValueError) as exc:
+        raise FramingError(f"frame payload is not JSON-serialisable: {exc}") from exc
+    return text.encode("utf-8") + b"\n"
+
+
+def decode_frame(line: bytes) -> dict[str, Any]:
+    """Parse one wire line back into a message dict."""
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FramingError(f"malformed frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise FramingError(
+            f"frame must decode to a dict, got {type(message).__name__}"
+        )
+    return message
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict[str, Any] | None:
+    """Read the next frame from an asyncio stream; ``None`` on clean EOF."""
+    try:
+        line = await reader.readline()
+    except (ConnectionError, OSError):
+        return None
+    if not line:
+        return None
+    if not line.endswith(b"\n"):
+        # readline returned a partial tail: the peer died mid-frame.
+        return None
+    if len(line) > MAX_FRAME_BYTES:
+        raise FramingError(
+            f"frame of {len(line)} bytes exceeds MAX_FRAME_BYTES"
+        )
+    return decode_frame(line)
+
+
+async def write_frame(writer: asyncio.StreamWriter, message: dict[str, Any]) -> None:
+    """Write one frame to an asyncio stream and drain the transport buffer."""
+    writer.write(encode_frame(message))
+    await writer.drain()
+
+
+class FrameConnection:
+    """Blocking frame exchange over a connected socket.
+
+    Owns the socket: :meth:`close` shuts it down.  ``recv`` raises
+    ``ConnectionError`` when the peer is gone (EOF or a torn final line), so
+    callers that need softer loss semantics (the cluster transport's
+    :class:`~repro.cluster.transport.WorkerLost`) can translate uniformly.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        # Buffered reader so a recv does one readline, not byte-wise recv(1).
+        self._rfile = sock.makefile("rb")
+
+    def send(self, message: dict[str, Any]) -> None:
+        self._sock.sendall(encode_frame(message))
+
+    def recv(self) -> dict[str, Any]:
+        line = self._rfile.readline(MAX_FRAME_BYTES + 1)
+        if not line or not line.endswith(b"\n"):
+            raise ConnectionError("frame connection closed by peer")
+        if len(line) > MAX_FRAME_BYTES:
+            raise FramingError(
+                f"frame of {len(line)} bytes exceeds MAX_FRAME_BYTES"
+            )
+        return decode_frame(line)
+
+    def close(self) -> None:
+        for closer in (self._rfile.close, self._sock.close):
+            try:
+                closer()
+            except OSError:  # pragma: no cover - best-effort teardown
+                pass

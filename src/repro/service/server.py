@@ -1,0 +1,512 @@
+"""The live dispatcher service: asyncio TCP server + clients.
+
+:class:`DispatchService` wraps a :class:`~repro.scheduler.Dispatcher` in a
+long-running asyncio loop: job submissions arrive asynchronously (over TCP
+or in-process), are micro-batched per event-loop tick by the
+:class:`~repro.service.batcher.MicroBatcher`, and liveness is a matter of
+counters and futures — there is no join anywhere, mirroring the
+message-driven design of the cluster coordinator.
+
+Wire protocol — one newline-delimited JSON frame per message (see
+:mod:`repro.service.framing`), requests carrying a client-chosen ``id``
+that the reply echoes (so clients may pipeline):
+
+=============  =====================================  =========================
+request        fields                                 reply
+=============  =====================================  =========================
+``submit``     ``sizes`` (list of positive floats)    ``result`` with
+                                                      ``assignments``
+``stats``      —                                      ``stats`` with the
+                                                      telemetry snapshot
+``checkpoint`` —                                      ``checkpoint`` with the
+                                                      dispatcher ``state`` (and
+                                                      ``path`` when configured)
+``drain``      —                                      ``drained`` with
+                                                      ``jobs_dispatched``
+``shutdown``   —                                      ``stopped`` (then the
+                                                      server closes)
+=============  =====================================  =========================
+
+Failures (shed submissions under ``overflow="shed"``, malformed requests,
+bad job sizes) come back as ``{"type": "error", "error": "...", "id": ...}``
+— the connection stays usable.
+
+A ``checkpoint`` quiesces the batcher (takes its flush lock, so the
+dispatcher sits exactly between two micro-batches), snapshots
+:meth:`Dispatcher.state_dict`, and optionally writes it atomically to
+``checkpoint_path``.  A killed service restarted via
+:meth:`DispatchService.from_checkpoint` resumes the stream bit-identically
+(certified policy-by-policy in the test-suite).
+
+Synchronous peers use :class:`ServiceClient` (blocking socket, pipelining
+support) or :class:`ServiceThread`, which runs a whole service on a
+background thread and hands out connected clients — the test-suite,
+examples and the soak benchmark all drive it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import socket
+import threading
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ReproError
+from repro.scheduler.dispatcher import Dispatcher
+from repro.service.batcher import MicroBatcher, QueueOverflow
+from repro.service.framing import (
+    FrameConnection,
+    FramingError,
+    read_frame,
+    write_frame,
+)
+from repro.service.telemetry import ServiceTelemetry
+
+__all__ = ["ServiceError", "DispatchService", "ServiceClient", "ServiceThread"]
+
+
+class ServiceError(ReproError):
+    """The service replied with an error frame (shed, bad request, …)."""
+
+
+class DispatchService:
+    """Long-running async dispatch service around one stateful dispatcher.
+
+    Parameters
+    ----------
+    dispatcher:
+        The :class:`~repro.scheduler.Dispatcher` to serve.  The service owns
+        it while running: all dispatch goes through the micro-batcher.
+    max_queue_jobs, overflow, max_batch_jobs, total_jobs:
+        Micro-batcher knobs; see :class:`~repro.service.batcher.MicroBatcher`.
+    checkpoint_path:
+        Where ``checkpoint`` requests persist the dispatcher state (written
+        atomically: temp file + rename).  ``None`` keeps checkpoints
+        reply-only.
+    telemetry:
+        Optional :class:`~repro.service.telemetry.ServiceTelemetry` override.
+    """
+
+    def __init__(
+        self,
+        dispatcher: Dispatcher,
+        *,
+        max_queue_jobs: int = 100_000,
+        overflow: str = "block",
+        max_batch_jobs: int | None = None,
+        total_jobs: int | None = None,
+        checkpoint_path: str | None = None,
+        telemetry: ServiceTelemetry | None = None,
+    ) -> None:
+        if not isinstance(dispatcher, Dispatcher):
+            raise ConfigurationError(
+                f"dispatcher must be a repro.scheduler.Dispatcher, "
+                f"got {type(dispatcher).__name__}"
+            )
+        self.dispatcher = dispatcher
+        self.telemetry = telemetry if telemetry is not None else ServiceTelemetry()
+        self.batcher = MicroBatcher(
+            dispatcher,
+            max_queue_jobs=max_queue_jobs,
+            overflow=overflow,
+            max_batch_jobs=max_batch_jobs,
+            total_jobs=total_jobs,
+            telemetry=self.telemetry,
+        )
+        self.checkpoint_path = checkpoint_path
+        self._server: asyncio.AbstractServer | None = None
+        self._closed: asyncio.Event | None = None
+        self.address: tuple[str, int] | None = None
+
+    @classmethod
+    def from_checkpoint(cls, checkpoint: "str | dict", **kwargs: Any) -> "DispatchService":
+        """Rebuild a service from a checkpoint file path (or state dict).
+
+        The restored dispatcher resumes the interrupted stream
+        bit-identically; service-level knobs (queue bound, overflow policy,
+        ``checkpoint_path``) are taken from ``kwargs`` as on a fresh start.
+        A ``checkpoint_path`` defaults to the file the checkpoint was read
+        from, so the resumed service keeps checkpointing to the same place.
+        """
+        if isinstance(checkpoint, str):
+            with open(checkpoint, "r", encoding="utf-8") as fh:
+                state = json.load(fh)
+            kwargs.setdefault("checkpoint_path", checkpoint)
+        else:
+            state = checkpoint
+        return cls(Dispatcher.from_state(state), **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Start the micro-batcher (required before any submit)."""
+        self._closed = asyncio.Event()
+        self.batcher.start()
+
+    async def serve(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Open the TCP endpoint; returns the bound ``(host, port)``.
+
+        ``port=0`` binds an ephemeral port (the test-suite's default).
+        """
+        if self._closed is None:
+            await self.start()
+        self._server = await asyncio.start_server(self._serve_connection, host, port)
+        bound = self._server.sockets[0].getsockname()
+        self.address = (bound[0], bound[1])
+        return self.address
+
+    async def stop(self) -> None:
+        """Flush the queue, close the TCP endpoint, stop the batcher."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.batcher.stop()
+        if self._closed is not None:
+            self._closed.set()
+
+    async def wait_closed(self) -> None:
+        """Block until the service is stopped (a ``shutdown`` or :meth:`stop`)."""
+        if self._closed is not None:
+            await self._closed.wait()
+
+    # ------------------------------------------------------------------ #
+    # In-process API (shared by the TCP handler)
+    # ------------------------------------------------------------------ #
+    async def submit(self, sizes) -> np.ndarray:
+        """Submit jobs in-process; resolves with their server assignments."""
+        return await self.batcher.submit(sizes)
+
+    def stats(self) -> dict[str, Any]:
+        """The live telemetry + gauge snapshot (the ``stats`` reply body)."""
+        return self.telemetry.snapshot(
+            self.dispatcher, queue_depth=self.batcher.queue_depth
+        )
+
+    async def checkpoint(self) -> dict[str, Any]:
+        """Quiesce the batcher and snapshot the dispatcher state.
+
+        Holding the batcher's flush lock guarantees the snapshot sits
+        exactly between two micro-batches: jobs still queued are *not* part
+        of the checkpoint and will be dispatched by whichever service
+        (this one, or a restored one re-fed by its clients) runs next.
+        """
+        async with self.batcher.flush_lock:
+            state = self.dispatcher.state_dict()
+        if self.checkpoint_path is not None:
+            tmp = f"{self.checkpoint_path}.tmp"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(state, fh)
+            os.replace(tmp, self.checkpoint_path)
+        return state
+
+    async def handle(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Process one protocol message and return the reply frame.
+
+        The single message-handling path: the TCP connection handler and
+        in-process clients (tests, :meth:`ServiceThread.request`) both call
+        exactly this, so the protocol cannot fork between transports.
+        """
+        reply_id = message.get("id") if isinstance(message, dict) else None
+        try:
+            if not isinstance(message, dict) or "type" not in message:
+                raise ServiceError("message must be a dict with a 'type' field")
+            kind = message["type"]
+            if kind == "submit":
+                sizes = message.get("sizes")
+                if not isinstance(sizes, list):
+                    raise ServiceError("submit needs a 'sizes' list")
+                assignments = await self.submit(np.asarray(sizes, dtype=np.float64))
+                return {
+                    "type": "result",
+                    "id": reply_id,
+                    "assignments": assignments.tolist(),
+                }
+            if kind == "stats":
+                return {"type": "stats", "id": reply_id, "stats": self.stats()}
+            if kind == "checkpoint":
+                state = await self.checkpoint()
+                return {
+                    "type": "checkpoint",
+                    "id": reply_id,
+                    "state": state,
+                    "path": self.checkpoint_path,
+                }
+            if kind == "drain":
+                await self.batcher.drain()
+                return {
+                    "type": "drained",
+                    "id": reply_id,
+                    "jobs_dispatched": int(self.dispatcher.jobs_dispatched),
+                }
+            if kind == "shutdown":
+                # Reply first; the connection handler closes after writing.
+                asyncio.get_running_loop().create_task(self.stop())
+                return {"type": "stopped", "id": reply_id}
+            raise ServiceError(f"unknown message type {kind!r}")
+        except (ServiceError, QueueOverflow, ReproError) as exc:
+            return {
+                "type": "error",
+                "id": reply_id,
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+
+    # ------------------------------------------------------------------ #
+    # TCP handler
+    # ------------------------------------------------------------------ #
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One client connection: frame in, task out, reply when resolved.
+
+        Each request runs as its own task so a pipelining client's submits
+        can sit in the same micro-batch; a per-connection lock serialises
+        reply writes.  Requests are *enqueued* in frame order (tasks start
+        FIFO and the batcher admits synchronously), so pipelined submits
+        keep their job order.
+        """
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+
+        async def respond(message: dict[str, Any]) -> None:
+            reply = await self.handle(message)
+            async with write_lock:
+                try:
+                    await write_frame(writer, reply)
+                except (ConnectionError, OSError):
+                    pass  # client went away; nothing to deliver to
+
+        try:
+            while True:
+                try:
+                    message = await read_frame(reader)
+                except FramingError as exc:
+                    await write_frame(
+                        writer, {"type": "error", "id": None, "error": str(exc)}
+                    )
+                    continue
+                if message is None:
+                    break
+                task = asyncio.get_running_loop().create_task(respond(message))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except asyncio.CancelledError:
+            pass  # service stopping mid-read; close the connection quietly
+        finally:
+            try:
+                if tasks:
+                    await asyncio.gather(*tasks, return_exceptions=True)
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass  # hard stop mid-cleanup; the loop closes the transport
+
+
+# --------------------------------------------------------------------- #
+# Synchronous peers
+# --------------------------------------------------------------------- #
+class ServiceClient:
+    """Blocking TCP client for the dispatch service.
+
+    One request/one reply by default; :meth:`submit_pipelined` writes a
+    burst of submit frames before reading any reply, which is how a single
+    client produces multi-submission micro-batches.  Error frames raise
+    :class:`ServiceError`.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float | None = 30.0) -> None:
+        self._conn = FrameConnection(
+            socket.create_connection((host, port), timeout=timeout)
+        )
+        self._next_id = 0
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    def _take_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    def _check(self, reply: dict[str, Any]) -> dict[str, Any]:
+        if reply.get("type") == "error":
+            raise ServiceError(reply.get("error", "unknown service error"))
+        return reply
+
+    def request(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Send one frame and block for its reply (matched by ``id``)."""
+        message = dict(message)
+        message.setdefault("id", self._take_id())
+        self._conn.send(message)
+        while True:
+            reply = self._conn.recv()
+            if reply.get("id") == message["id"]:
+                return self._check(reply)
+
+    # ------------------------------------------------------------------ #
+    def submit(self, sizes) -> np.ndarray:
+        """Dispatch one group of jobs; returns their server assignments."""
+        sizes = np.asarray(sizes, dtype=np.float64).ravel()
+        reply = self.request({"type": "submit", "sizes": sizes.tolist()})
+        return np.asarray(reply["assignments"], dtype=np.int64)
+
+    def submit_pipelined(self, batches) -> list[np.ndarray]:
+        """Submit many groups without waiting between them.
+
+        All frames are written before any reply is read, so the groups land
+        in the service queue together and the batcher can fuse them into
+        real micro-batches.  Returns the per-group assignments in
+        submission order.
+        """
+        ids = []
+        for sizes in batches:
+            sizes = np.asarray(sizes, dtype=np.float64).ravel()
+            request_id = self._take_id()
+            ids.append(request_id)
+            self._conn.send(
+                {"type": "submit", "sizes": sizes.tolist(), "id": request_id}
+            )
+        replies: dict[int, dict[str, Any]] = {}
+        for _ in ids:
+            reply = self._conn.recv()
+            replies[reply.get("id")] = reply
+        return [
+            np.asarray(self._check(replies[i])["assignments"], dtype=np.int64)
+            for i in ids
+        ]
+
+    def stats(self) -> dict[str, Any]:
+        return self.request({"type": "stats"})["stats"]
+
+    def checkpoint(self) -> dict[str, Any]:
+        """Ask the service to checkpoint; returns the state document."""
+        return self.request({"type": "checkpoint"})["state"]
+
+    def drain(self) -> int:
+        """Block until the service queue is empty; returns jobs dispatched."""
+        return int(self.request({"type": "drain"})["jobs_dispatched"])
+
+    def shutdown(self) -> None:
+        self.request({"type": "shutdown"})
+
+
+class ServiceThread:
+    """Run a :class:`DispatchService` on a dedicated event-loop thread.
+
+    The synchronous world's handle on a live service: the test-suite, the
+    examples and the soak benchmark start one, connect
+    :class:`ServiceClient`\\ s to ``thread.address``, and stop it (or kill
+    it hard, for the checkpoint/restore drills) when done.
+
+    Use as a context manager::
+
+        with ServiceThread(service) as thread:
+            client = thread.client()
+            assignments = client.submit([1.0, 2.0])
+    """
+
+    def __init__(
+        self,
+        service: DispatchService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        start_timeout: float = 10.0,
+    ) -> None:
+        self.service = service
+        self._host = host
+        self._port = port
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self.address: tuple[str, int] | None = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(start_timeout):  # pragma: no cover - defensive
+            raise ConfigurationError("service thread failed to start in time")
+        if self._startup_error is not None:
+            raise self._startup_error
+
+    def _run(self) -> None:
+        async def main() -> None:
+            try:
+                self.address = await self.service.serve(self._host, self._port)
+                self._loop = asyncio.get_running_loop()
+            except BaseException as exc:  # pragma: no cover - startup failure
+                self._startup_error = exc
+                self._ready.set()
+                raise
+            self._ready.set()
+            await self.service.wait_closed()
+
+        try:
+            asyncio.run(main())
+        except Exception:
+            if not self._ready.is_set():  # pragma: no cover - startup failure
+                self._ready.set()
+
+    # ------------------------------------------------------------------ #
+    def client(self, timeout: float | None = 30.0) -> ServiceClient:
+        """A new blocking client connected to this service."""
+        host, port = self.address
+        return ServiceClient(host, port, timeout=timeout)
+
+    def request(self, message: dict[str, Any]) -> dict[str, Any]:
+        """In-process request: run one protocol message on the service loop.
+
+        Bypasses TCP entirely (the framing tests cover the wire); useful
+        for driving the protocol handler directly from synchronous tests.
+        """
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.handle(dict(message)), self._loop
+        )
+        return future.result()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Graceful stop: flush the queue, close the endpoint, join."""
+        if self._thread.is_alive() and self._loop is not None:
+            asyncio.run_coroutine_threadsafe(
+                self.service.stop(), self._loop
+            ).result(timeout)
+        self._thread.join(timeout)
+
+    def kill(self, timeout: float = 30.0) -> None:
+        """Hard stop: drop the queue on the floor (crash simulation).
+
+        Unlike :meth:`stop` this does **not** drain — queued-but-undispatched
+        jobs are lost, exactly as in a process kill.  The checkpoint/restore
+        tests use this to simulate a mid-stream crash.
+        """
+        if self._thread.is_alive() and self._loop is not None:
+
+            def hard_stop() -> None:
+                # Close the endpoint and mark closed without flushing.
+                if self.service._server is not None:
+                    self.service._server.close()
+                self.service._closed.set()
+
+            self._loop.call_soon_threadsafe(hard_stop)
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ServiceThread":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def time(self):  # pragma: no cover - convenience
+        return time

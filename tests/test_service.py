@@ -1,0 +1,616 @@
+"""Tests for repro.service: framing, telemetry, micro-batching, the server.
+
+The contract under test: the live service is a *transparent* wrapper around
+the batch dispatcher — any stream of submissions produces exactly the
+assignments of feeding the same job groups to a bare
+:class:`~repro.scheduler.Dispatcher` in the same order, regardless of how
+the micro-batcher coalesces them; backpressure, telemetry and the TCP
+protocol never change a single assignment.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ReproError
+from repro.scheduler.dispatcher import Dispatcher
+from repro.scheduler.metrics import compute_metrics
+from repro.service import (
+    DispatchService,
+    FrameConnection,
+    FramingError,
+    MicroBatcher,
+    QueueOverflow,
+    RollingWindow,
+    ServiceClient,
+    ServiceError,
+    ServiceTelemetry,
+    ServiceThread,
+    decode_frame,
+    encode_frame,
+)
+
+
+def make_dispatcher(**kwargs) -> Dispatcher:
+    kwargs.setdefault("policy", "adaptive")
+    kwargs.setdefault("seed", 42)
+    return Dispatcher(kwargs.pop("n_servers", 100), **kwargs)
+
+
+# --------------------------------------------------------------------- #
+# Framing
+# --------------------------------------------------------------------- #
+class TestFraming:
+    def test_round_trip(self):
+        message = {"type": "submit", "sizes": [1.0, 2.5], "id": 7, "s": "a\nb"}
+        wire = encode_frame(message)
+        assert wire.endswith(b"\n")
+        # JSON escaping keeps the payload newline out of the wire line.
+        assert wire.count(b"\n") == 1
+        assert decode_frame(wire) == message
+
+    def test_non_dict_payload_rejected(self):
+        with pytest.raises(FramingError, match="dict"):
+            encode_frame([1, 2, 3])
+
+    def test_non_serialisable_payload_rejected(self):
+        with pytest.raises(FramingError, match="JSON"):
+            encode_frame({"x": float("nan")})  # allow_nan=False is strict
+        with pytest.raises(FramingError, match="JSON"):
+            encode_frame({"x": object()})
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(FramingError, match="malformed"):
+            decode_frame(b"not json\n")
+        with pytest.raises(FramingError, match="dict"):
+            decode_frame(b"[1,2]\n")
+
+    def test_frame_connection_round_trip(self):
+        a, b = socket.socketpair()
+        left, right = FrameConnection(a), FrameConnection(b)
+        left.send({"type": "hello", "worker_id": 3})
+        assert right.recv() == {"type": "hello", "worker_id": 3}
+        right.send({"ok": True})
+        assert left.recv() == {"ok": True}
+        left.close()
+        right.close()
+
+    def test_frame_connection_eof_raises_connection_error(self):
+        a, b = socket.socketpair()
+        right = FrameConnection(b)
+        a.sendall(b'{"type":"partial"')  # torn frame, then peer dies
+        a.close()
+        with pytest.raises(ConnectionError, match="closed by peer"):
+            right.recv()
+        right.close()
+
+    def test_framing_error_is_a_repro_error(self):
+        assert issubclass(FramingError, ReproError)
+
+
+# --------------------------------------------------------------------- #
+# Telemetry
+# --------------------------------------------------------------------- #
+class TestRollingWindow:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="capacity"):
+            RollingWindow(0)
+
+    def test_partial_fill(self):
+        window = RollingWindow(10)
+        window.add([1.0, 2.0, 3.0])
+        assert sorted(window.samples()) == [1.0, 2.0, 3.0]
+        assert window.count == 3
+
+    def test_wraparound_evicts_oldest(self):
+        window = RollingWindow(4)
+        for v in range(6):
+            window.add(float(v))
+        assert sorted(window.samples()) == [2.0, 3.0, 4.0, 5.0]
+        assert window.count == 6
+
+    def test_oversized_add_keeps_tail(self):
+        window = RollingWindow(3)
+        window.add(np.arange(10, dtype=float))
+        assert sorted(window.samples()) == [7.0, 8.0, 9.0]
+
+    def test_percentiles_match_numpy(self):
+        window = RollingWindow(100)
+        values = np.linspace(0.0, 1.0, 57)
+        window.add(values)
+        got = window.percentiles((50.0, 95.0, 99.0))
+        expected = np.percentile(values, (50.0, 95.0, 99.0))
+        assert np.allclose(got, expected)
+
+    def test_empty_percentiles_are_nan(self):
+        assert all(np.isnan(v) for v in RollingWindow(4).percentiles())
+
+
+class TestServiceTelemetry:
+    def test_counts_and_rate(self):
+        clock = iter(np.arange(0.0, 100.0, 0.5))
+        now = [0.0]
+
+        def fake_clock():
+            now[0] = next(clock)
+            return now[0]
+
+        telemetry = ServiceTelemetry(window=64, rate_horizon=1000.0, clock=fake_clock)
+        telemetry.record_batch(np.full(10, 0.001), 0.0005)
+        telemetry.record_batch(np.full(5, 0.002), 0.0004)
+        assert telemetry.jobs == 15
+        assert telemetry.batches == 2
+        assert telemetry.jobs_per_second() > 0
+
+    def test_snapshot_without_samples_is_json_clean(self):
+        snapshot = ServiceTelemetry().snapshot()
+        assert snapshot["jobs_dispatched"] == 0
+        assert snapshot["job_latency_p99"] is None
+        assert snapshot["mean_batch_jobs"] is None
+        json.dumps(snapshot, allow_nan=False)  # the wire format must accept it
+
+    def test_snapshot_gauges_match_compute_metrics(self):
+        dispatcher = make_dispatcher()
+        dispatcher.dispatch_batch(np.full(50, 1.0))
+        snapshot = ServiceTelemetry().snapshot(dispatcher, queue_depth=3)
+        metrics = compute_metrics(
+            dispatcher.work, dispatcher.job_counts, dispatcher.probes
+        )
+        assert snapshot["queue_depth"] == 3
+        for key, value in metrics.as_dict().items():
+            assert snapshot[f"gauge_{key}"] == float(value)
+
+    def test_record_shed(self):
+        telemetry = ServiceTelemetry()
+        telemetry.record_shed(7)
+        assert telemetry.snapshot()["jobs_shed"] == 7
+
+
+class TestWorkPercentileMetrics:
+    def test_metrics_carry_work_percentiles(self):
+        work = np.arange(100, dtype=float)
+        counts = np.ones(100, dtype=np.int64)
+        metrics = compute_metrics(work, counts, probes=100)
+        p50, p99 = np.percentile(work, (50.0, 99.0))
+        assert metrics.work_p50 == p50
+        assert metrics.work_p99 == p99
+        as_dict = metrics.as_dict()
+        assert as_dict["work_p50"] == p50
+        assert as_dict["work_p99"] == p99
+
+
+# --------------------------------------------------------------------- #
+# Micro-batcher
+# --------------------------------------------------------------------- #
+class TestMicroBatcher:
+    def test_config_validation(self):
+        dispatcher = make_dispatcher()
+        with pytest.raises(ConfigurationError, match="max_queue_jobs"):
+            MicroBatcher(dispatcher, max_queue_jobs=0)
+        with pytest.raises(ConfigurationError, match="overflow"):
+            MicroBatcher(dispatcher, overflow="panic")
+        with pytest.raises(ConfigurationError, match="max_batch_jobs"):
+            MicroBatcher(dispatcher, max_batch_jobs=0)
+
+    def test_submit_requires_running(self):
+        batcher = MicroBatcher(make_dispatcher())
+        with pytest.raises(ConfigurationError, match="not accepting"):
+            asyncio.run(batcher.submit([1.0]))
+
+    def test_sequential_submissions_are_bit_identical(self):
+        groups = [np.full(n, 1.0) for n in (3, 1, 7, 2, 120)]
+
+        async def scenario():
+            batcher = MicroBatcher(make_dispatcher())
+            batcher.start()
+            outs = [await batcher.submit(g) for g in groups]
+            await batcher.stop()
+            return outs
+
+        outs = asyncio.run(scenario())
+        reference = make_dispatcher()
+        for group, out in zip(groups, outs):
+            assert np.array_equal(out, reference.dispatch_batch(group))
+
+    def test_concurrent_submissions_coalesce_and_stay_ordered(self):
+        groups = [np.full(4, 1.0) for _ in range(25)]
+
+        async def scenario():
+            batcher = MicroBatcher(make_dispatcher())
+            batcher.start()
+            outs = await asyncio.gather(*(batcher.submit(g) for g in groups))
+            batches = batcher.telemetry.batches
+            await batcher.stop()
+            return outs, batches
+
+        outs, batches = asyncio.run(scenario())
+        # Coalescing happened: far fewer dispatch calls than submissions.
+        assert batches < len(groups)
+        # FIFO order: the concatenation equals one reference mega-batch.
+        reference = make_dispatcher()
+        expected = reference.dispatch_batch(np.concatenate(groups))
+        assert np.array_equal(np.concatenate(outs), expected)
+
+    def test_empty_submission_short_circuits(self):
+        async def scenario():
+            batcher = MicroBatcher(make_dispatcher())
+            batcher.start()
+            out = await batcher.submit([])
+            await batcher.stop()
+            return out
+
+        assert asyncio.run(scenario()).size == 0
+
+    def test_shed_overflow_raises_queue_overflow(self):
+        async def scenario():
+            batcher = MicroBatcher(
+                make_dispatcher(), max_queue_jobs=10, overflow="shed"
+            )
+            batcher.start()
+            async with batcher.flush_lock:  # hold the flush task off
+                first = asyncio.ensure_future(batcher.submit(np.full(10, 1.0)))
+                await asyncio.sleep(0)
+                with pytest.raises(QueueOverflow, match="queue full"):
+                    await batcher.submit(np.full(5, 1.0))
+                assert batcher.queue_depth == 10
+            out = await first
+            shed = batcher.telemetry.jobs_shed
+            await batcher.stop()
+            return out, shed
+
+        out, shed = asyncio.run(scenario())
+        assert out.size == 10
+        assert shed == 5
+
+    def test_block_overflow_parks_then_completes(self):
+        async def scenario():
+            batcher = MicroBatcher(
+                make_dispatcher(), max_queue_jobs=10, overflow="block"
+            )
+            batcher.start()
+            async with batcher.flush_lock:
+                first = asyncio.ensure_future(batcher.submit(np.full(10, 1.0)))
+                await asyncio.sleep(0)
+                second = asyncio.ensure_future(batcher.submit(np.full(5, 1.0)))
+                for _ in range(5):
+                    await asyncio.sleep(0)
+                assert not second.done()  # parked on backpressure
+                assert batcher.queue_depth == 10
+            outs = await asyncio.gather(first, second)
+            await batcher.stop()
+            return outs
+
+        first, second = asyncio.run(scenario())
+        reference = make_dispatcher()
+        assert np.array_equal(first, reference.dispatch_batch(np.full(10, 1.0)))
+        assert np.array_equal(second, reference.dispatch_batch(np.full(5, 1.0)))
+
+    def test_stop_releases_blocked_producers(self):
+        async def scenario():
+            batcher = MicroBatcher(
+                make_dispatcher(), max_queue_jobs=10, overflow="block"
+            )
+            batcher.start()
+            async with batcher.flush_lock:
+                first = asyncio.ensure_future(batcher.submit(np.full(10, 1.0)))
+                await asyncio.sleep(0)
+                second = asyncio.ensure_future(batcher.submit(np.full(5, 1.0)))
+                for _ in range(3):
+                    await asyncio.sleep(0)
+                stopper = asyncio.ensure_future(batcher.stop())
+                for _ in range(5):
+                    await asyncio.sleep(0)
+                # The parked producer failed cleanly before stop completed.
+                assert second.done()
+                with pytest.raises(ConfigurationError, match="stopped while"):
+                    second.result()
+            await stopper
+            return await first  # the final flush still dispatched it
+
+        assert asyncio.run(scenario()).size == 10
+
+    def test_oversized_submission_admitted_alone(self):
+        async def scenario():
+            batcher = MicroBatcher(
+                make_dispatcher(), max_queue_jobs=10, overflow="block"
+            )
+            batcher.start()
+            out = await batcher.submit(np.full(25, 1.0))
+            await batcher.stop()
+            return out
+
+        assert asyncio.run(scenario()).size == 25
+
+    def test_max_batch_jobs_splits_flushes_bit_identically(self):
+        groups = [np.full(6, 1.0) for _ in range(10)]
+
+        async def scenario():
+            batcher = MicroBatcher(make_dispatcher(), max_batch_jobs=13)
+            batcher.start()
+            outs = await asyncio.gather(*(batcher.submit(g) for g in groups))
+            batches = batcher.telemetry.batches
+            await batcher.stop()
+            return outs, batches
+
+        outs, batches = asyncio.run(scenario())
+        assert batches >= 5  # 60 jobs / 13-cap => at least 5 dispatch calls
+        reference = make_dispatcher()
+        expected = reference.dispatch_batch(np.concatenate(groups))
+        assert np.array_equal(np.concatenate(outs), expected)
+
+    def test_dispatch_failure_propagates_to_all_submitters(self):
+        async def scenario():
+            dispatcher = make_dispatcher(policy="weighted", w_max=1.0)
+            batcher = MicroBatcher(dispatcher)
+            batcher.start()
+            async with batcher.flush_lock:  # force both into one batch
+                good = asyncio.ensure_future(batcher.submit([0.5, 0.5]))
+                bad = asyncio.ensure_future(batcher.submit([2.0]))  # > w_max
+                await asyncio.sleep(0)
+            results = await asyncio.gather(good, bad, return_exceptions=True)
+            await batcher.stop()
+            return results
+
+        good, bad = asyncio.run(scenario())
+        assert isinstance(good, ReproError)
+        assert isinstance(bad, ReproError)
+
+    def test_drain_waits_for_queue(self):
+        async def scenario():
+            batcher = MicroBatcher(make_dispatcher())
+            batcher.start()
+            futures = [
+                asyncio.ensure_future(batcher.submit(np.full(3, 1.0)))
+                for _ in range(5)
+            ]
+            await asyncio.sleep(0)  # let the submissions enqueue first
+            await batcher.drain()
+            assert batcher.queue_depth == 0
+            # Everything queued has been dispatched; the submitter tasks
+            # resolve without further dispatcher work.
+            assert batcher.dispatcher.jobs_dispatched == 15
+            outs = await asyncio.gather(*futures)
+            assert sum(o.size for o in outs) == 15
+            await batcher.stop()
+
+        asyncio.run(scenario())
+
+
+# --------------------------------------------------------------------- #
+# The service protocol (in-process handler)
+# --------------------------------------------------------------------- #
+class TestDispatchServiceProtocol:
+    def run_messages(self, messages, **service_kwargs):
+        async def scenario():
+            service = DispatchService(make_dispatcher(), **service_kwargs)
+            await service.start()
+            replies = [await service.handle(m) for m in messages]
+            await service.stop()
+            return replies
+
+        return asyncio.run(scenario())
+
+    def test_requires_a_dispatcher(self):
+        with pytest.raises(ConfigurationError, match="Dispatcher"):
+            DispatchService(object())
+
+    def test_submit_reply_carries_assignments(self):
+        (reply,) = self.run_messages(
+            [{"type": "submit", "sizes": [1.0, 1.0, 1.0], "id": 9}]
+        )
+        assert reply["type"] == "result"
+        assert reply["id"] == 9
+        reference = make_dispatcher()
+        assert reply["assignments"] == reference.dispatch_batch(
+            np.full(3, 1.0)
+        ).tolist()
+
+    def test_stats_and_drain(self):
+        submit = {"type": "submit", "sizes": [1.0] * 10, "id": 1}
+        replies = self.run_messages(
+            [submit, {"type": "drain", "id": 2}, {"type": "stats", "id": 3}]
+        )
+        assert replies[1] == {"type": "drained", "id": 2, "jobs_dispatched": 10}
+        stats = replies[2]["stats"]
+        assert stats["jobs_dispatched"] == 10
+        assert stats["gauge_makespan"] > 0
+        assert "gauge_work_p99" in stats
+
+    def test_bad_messages_are_error_replies_not_crashes(self):
+        replies = self.run_messages(
+            [
+                {"type": "submit", "id": 1},  # no sizes
+                {"type": "teleport", "id": 2},
+                {"no_type": True},
+            ]
+        )
+        assert [r["type"] for r in replies] == ["error"] * 3
+        assert "sizes" in replies[0]["error"]
+        assert "teleport" in replies[1]["error"]
+        assert replies[0]["id"] == 1 and replies[1]["id"] == 2
+
+    def test_checkpoint_reply_and_file(self, tmp_path):
+        path = tmp_path / "state.json"
+        replies = self.run_messages(
+            [
+                {"type": "submit", "sizes": [1.0] * 8, "id": 1},
+                {"type": "checkpoint", "id": 2},
+            ],
+            checkpoint_path=str(path),
+        )
+        state = replies[1]["state"]
+        assert state["kind"] == "dispatcher-state"
+        assert state["jobs_dispatched"] == 8
+        assert replies[1]["path"] == str(path)
+        assert json.loads(path.read_text()) == state
+
+
+# --------------------------------------------------------------------- #
+# The TCP server end-to-end
+# --------------------------------------------------------------------- #
+class TestServiceOverTcp:
+    def test_full_conversation(self):
+        service = DispatchService(make_dispatcher())
+        with ServiceThread(service) as thread:
+            with thread.client() as client:
+                first = client.submit([1.0] * 10)
+                piped = client.submit_pipelined([[1.0] * 5] * 8)
+                stats = client.stats()
+                assert stats["jobs_dispatched"] == 50
+                assert stats["gauge_makespan"] > 0
+                assert client.drain() == 50
+                state = client.checkpoint()
+                assert state["jobs_dispatched"] == 50
+        # Bit-identity against a bare dispatcher fed the same groups in the
+        # same submission order (coalescing never changes assignments).
+        reference = make_dispatcher()
+        assert np.array_equal(first, reference.dispatch_batch(np.full(10, 1.0)))
+        expected = reference.dispatch_batch(np.full(40, 1.0))
+        assert np.array_equal(np.concatenate(piped), expected)
+
+    def test_pipelined_submissions_coalesce(self):
+        service = DispatchService(make_dispatcher())
+        with ServiceThread(service) as thread:
+            with thread.client() as client:
+                client.submit_pipelined([[1.0] * 2] * 40)
+                stats = client.stats()
+        # 40 groups arrived back-to-back: far fewer than 40 dispatch calls.
+        assert stats["batches_dispatched"] < 40
+        assert stats["jobs_dispatched"] == 80
+
+    def test_error_reply_raises_service_error(self):
+        service = DispatchService(
+            make_dispatcher(policy="weighted", w_max=1.0)
+        )
+        with ServiceThread(service) as thread:
+            with thread.client() as client:
+                with pytest.raises(ServiceError, match="w_max"):
+                    client.submit([5.0])
+                # The connection survives the error.
+                assert client.submit([0.5]).size == 1
+
+    def test_shed_overflow_is_an_error_reply(self):
+        service = DispatchService(
+            make_dispatcher(), max_queue_jobs=10, overflow="shed"
+        )
+        with ServiceThread(service) as thread:
+            with thread.client() as client:
+                # Pipeline enough back-to-back jobs that the bounded queue
+                # must shed at least one submission.
+                try:
+                    client.submit_pipelined([[1.0] * 9] * 30)
+                    shed = 0
+                except ServiceError as exc:
+                    assert "queue full" in str(exc)
+                    shed = 1
+                stats_shed = client.stats()["jobs_shed"]
+        assert shed == 0 or stats_shed > 0
+
+    def test_shutdown_message_stops_the_service(self):
+        service = DispatchService(make_dispatcher())
+        thread = ServiceThread(service)
+        client = thread.client()
+        client.submit([1.0])
+        client.shutdown()
+        thread._thread.join(timeout=10)
+        assert not thread._thread.is_alive()
+        client.close()
+
+    def test_concurrent_clients_all_get_their_own_assignments(self):
+        service = DispatchService(make_dispatcher(n_servers=500))
+        results: dict[int, list] = {}
+
+        def worker(idx, thread):
+            with thread.client() as client:
+                results[idx] = [client.submit([1.0] * 3) for _ in range(10)]
+
+        with ServiceThread(service) as thread:
+            threads = [
+                threading.Thread(target=worker, args=(i, thread)) for i in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            total = thread.request({"type": "drain"})["jobs_dispatched"]
+        assert total == 4 * 10 * 3
+        assert all(all(a.size == 3 for a in outs) for outs in results.values())
+        # Every job landed on a real server exactly once overall.
+        assert int(service.dispatcher.job_counts.sum()) == total
+
+
+# --------------------------------------------------------------------- #
+# CLI: repro serve / --version
+# --------------------------------------------------------------------- #
+class TestServeCli:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+        from repro.experiments.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_serve_parser_defaults(self):
+        from repro.experiments.cli import build_serve_parser
+
+        args = build_serve_parser().parse_args([])
+        assert args.policy == "adaptive"
+        assert args.overflow == "block"
+        assert args.port == 0
+
+    def test_serve_subprocess_end_to_end(self, tmp_path):
+        checkpoint = tmp_path / "state.json"
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.experiments.cli",
+                "serve",
+                "--n-servers",
+                "50",
+                "--seed",
+                "3",
+                "--port",
+                "0",
+                "--checkpoint",
+                str(checkpoint),
+            ],
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            banner = proc.stderr.readline()
+            assert "listening on" in banner
+            host_port = banner.split("listening on ")[1].split(" ")[0]
+            host, port = host_port.rsplit(":", 1)
+            deadline = time.monotonic() + 10
+            client = None
+            while client is None:
+                try:
+                    client = ServiceClient(host, int(port))
+                except OSError:  # pragma: no cover - startup race
+                    if time.monotonic() > deadline:
+                        raise
+                    time.sleep(0.05)
+            assignments = client.submit([1.0] * 6)
+            assert assignments.size == 6
+            client.checkpoint()
+            assert json.loads(checkpoint.read_text())["jobs_dispatched"] == 6
+            client.shutdown()
+            client.close()
+            assert proc.wait(timeout=10) == 0
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup on failure
+                proc.kill()
+                proc.wait()

@@ -1,0 +1,262 @@
+"""Checkpoint/restore certification: bit-identical resume for every policy.
+
+The contract under test: ``Dispatcher.state_dict()`` → JSON →
+``Dispatcher.from_state()`` taken anywhere mid-stream produces a dispatcher
+whose remaining assignments, per-server aggregates and probe counts are
+**bit-identical** to the uninterrupted run — for all eight policies,
+including the weighted ones (exact sequential work accumulation) and the
+memory policy (remembered-server set).  The same holds at the service
+level: kill a live service after a checkpoint, restore from the file, feed
+the remaining jobs, and the combined outcome equals the never-killed run.
+
+Both runs feed identical batch partitionings: assignments and job counts
+are partition-invariant, but float ``work`` accumulation is only ulp-exact
+when the batch boundaries match — the tests pin them.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.probes import FixedProbeStream, probe_stream_from_state
+from repro.scheduler.dispatcher import Dispatcher
+from repro.service import DispatchService, ServiceThread
+
+N_SERVERS = 200
+SEED = 42
+
+#: Every policy with the constructor extras it needs.  Weighted policies
+#: get a w_max matching the job-size range below.
+POLICIES: dict[str, dict] = {
+    "adaptive": {},
+    "threshold": {},
+    "greedy": {},
+    "left": {},
+    "memory": {},
+    "single": {},
+    "weighted": {"w_max": 1.0},
+    "weighted-left": {"w_max": 1.0},
+}
+
+
+def job_batches(n_batches: int = 5, jobs_per_batch: int = 60) -> list[np.ndarray]:
+    """Deterministic per-batch job sizes in (0, 1] (valid for w_max=1)."""
+    rng = np.random.default_rng(7)
+    return [
+        rng.uniform(0.1, 1.0, jobs_per_batch) for _ in range(n_batches)
+    ]
+
+
+def build(policy: str) -> Dispatcher:
+    return Dispatcher(N_SERVERS, policy=policy, seed=SEED, **POLICIES[policy])
+
+
+def total_jobs_of(batches) -> int:
+    return int(sum(b.size for b in batches))
+
+
+def roundtrip(state: dict) -> dict:
+    """A checkpoint's real life: through JSON text and back."""
+    return json.loads(json.dumps(state))
+
+
+# --------------------------------------------------------------------- #
+# Dispatcher-level matrix
+# --------------------------------------------------------------------- #
+class TestDispatcherCheckpoint:
+    @pytest.mark.parametrize("policy", sorted(POLICIES))
+    @pytest.mark.parametrize("split", [1, 3])
+    def test_restore_is_bit_identical(self, policy, split):
+        batches = job_batches()
+        total = total_jobs_of(batches)
+
+        reference = build(policy)
+        expected = [
+            reference.dispatch_batch(b, total_jobs=total) for b in batches
+        ]
+
+        interrupted = build(policy)
+        for i, b in enumerate(batches[:split]):
+            assert np.array_equal(
+                interrupted.dispatch_batch(b, total_jobs=total), expected[i]
+            )
+        restored = Dispatcher.from_state(roundtrip(interrupted.state_dict()))
+        for i in range(split, len(batches)):
+            got = restored.dispatch_batch(batches[i], total_jobs=total)
+            assert np.array_equal(got, expected[i]), (
+                f"{policy}: batch {i} diverged after restore at split {split}"
+            )
+        assert np.array_equal(restored.job_counts, reference.job_counts)
+        assert np.array_equal(restored.work, reference.work)
+        assert restored.probes == reference.probes
+        assert restored.jobs_dispatched == reference.jobs_dispatched
+
+    def test_state_survives_at_every_boundary(self):
+        # Adaptive policy, checkpoint after every single batch boundary.
+        batches = job_batches(n_batches=4)
+        reference = build("adaptive")
+        expected = [reference.dispatch_batch(b) for b in batches]
+        for split in range(len(batches) + 1):
+            run = build("adaptive")
+            for b in batches[:split]:
+                run.dispatch_batch(b)
+            restored = Dispatcher.from_state(roundtrip(run.state_dict()))
+            for i in range(split, len(batches)):
+                assert np.array_equal(
+                    restored.dispatch_batch(batches[i]), expected[i]
+                )
+
+    def test_state_dict_is_strict_json(self):
+        dispatcher = build("weighted")
+        dispatcher.dispatch_batch(job_batches(1)[0])
+        json.dumps(dispatcher.state_dict(), allow_nan=False)
+
+    def test_restored_config_round_trips(self):
+        dispatcher = Dispatcher(
+            50, policy="adaptive", d=3, k=2, seed=9, small_burst=17,
+            backend="scalar",
+        )
+        dispatcher.dispatch_batch(np.full(10, 1.0))
+        restored = Dispatcher.from_state(roundtrip(dispatcher.state_dict()))
+        assert restored.n_servers == 50
+        assert restored.d == 3 and restored.k == 2
+        assert restored._backend.name == "scalar"
+
+    def test_memory_policy_remembers_across_restore(self):
+        # The memory policy's remembered server must survive the round-trip:
+        # drop it from the state and the continuation diverges.
+        batches = job_batches()
+        reference = build("memory")
+        expected = [reference.dispatch_batch(b) for b in batches]
+        run = build("memory")
+        for b in batches[:2]:
+            run.dispatch_batch(b)
+        state = roundtrip(run.state_dict())
+        assert state["memory"] is not None
+        restored = Dispatcher.from_state(state)
+        assert np.array_equal(restored.dispatch_batch(batches[2]), expected[2])
+
+
+# --------------------------------------------------------------------- #
+# Probe-stream state
+# --------------------------------------------------------------------- #
+class TestProbeStreamState:
+    def test_fixed_stream_round_trip(self):
+        choices = np.arange(20) % 5
+        stream = FixedProbeStream(5, choices)
+        first = stream.take(8)
+        restored = probe_stream_from_state(roundtrip(stream.state_dict()))
+        assert np.array_equal(restored.take(12), choices[8:])
+        assert np.array_equal(first, choices[:8])
+
+    def test_unknown_stream_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown probe stream"):
+            probe_stream_from_state({"stream": "quantum", "n_bins": 4})
+
+    def test_dispatcher_with_fixed_stream_checkpoints(self):
+        # FixedProbeStream rides the dispatcher state like the RNG stream.
+        choices = np.tile(np.arange(10), 20)
+        reference = Dispatcher(
+            10, policy="greedy", probe_stream=FixedProbeStream(10, choices)
+        )
+        sizes = np.full(40, 1.0)
+        expected = [reference.dispatch_batch(sizes) for _ in range(2)]
+        run = Dispatcher(
+            10, policy="greedy", probe_stream=FixedProbeStream(10, choices)
+        )
+        run.dispatch_batch(sizes)
+        restored = Dispatcher.from_state(roundtrip(run.state_dict()))
+        assert np.array_equal(restored.dispatch_batch(sizes), expected[1])
+
+
+# --------------------------------------------------------------------- #
+# Error surface
+# --------------------------------------------------------------------- #
+class TestCheckpointErrors:
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="dispatcher-state"):
+            Dispatcher.from_state({"kind": "something-else"})
+        with pytest.raises(ConfigurationError, match="dispatcher-state"):
+            Dispatcher.from_state("not even a dict")
+
+    def test_wrong_version_rejected(self):
+        dispatcher = build("adaptive")
+        state = dispatcher.state_dict()
+        state["version"] = 999
+        with pytest.raises(ConfigurationError, match="version"):
+            Dispatcher.from_state(state)
+
+    def test_corrupt_arrays_rejected(self):
+        dispatcher = build("adaptive")
+        dispatcher.dispatch_batch(np.full(5, 1.0))
+        state = dispatcher.state_dict()
+        state["job_counts"] = state["job_counts"][:-1]  # wrong length
+        with pytest.raises(ConfigurationError, match="do not match n_servers"):
+            Dispatcher.from_state(state)
+
+
+# --------------------------------------------------------------------- #
+# Service-level kill + restore
+# --------------------------------------------------------------------- #
+class TestServiceKillRestore:
+    @pytest.mark.parametrize("policy", sorted(POLICIES))
+    def test_kill_restore_resumes_bit_identically(self, policy, tmp_path):
+        batches = job_batches(n_batches=4, jobs_per_batch=30)
+        total = total_jobs_of(batches)
+        # threshold needs the stream length up front; harmless elsewhere.
+        service_kwargs = {"total_jobs": total}
+
+        # Reference: the uninterrupted run, same batch partitioning.
+        reference = build(policy)
+        expected = [
+            reference.dispatch_batch(b, total_jobs=total) for b in batches
+        ]
+
+        checkpoint = tmp_path / f"{policy}.json"
+        first = DispatchService(
+            build(policy), checkpoint_path=str(checkpoint), **service_kwargs
+        )
+        thread = ServiceThread(first)
+        got: list[np.ndarray] = []
+        try:
+            with thread.client() as client:
+                for b in batches[:2]:
+                    got.append(client.submit(b))
+                client.checkpoint()
+        finally:
+            # Crash simulation: hard stop, no drain, queue dropped.
+            thread.kill()
+        assert checkpoint.exists()
+
+        second = DispatchService.from_checkpoint(str(checkpoint), **service_kwargs)
+        assert second.checkpoint_path == str(checkpoint)
+        with ServiceThread(second) as restored_thread:
+            with restored_thread.client() as client:
+                for b in batches[2:]:
+                    got.append(client.submit(b))
+
+        for i, (a, e) in enumerate(zip(got, expected)):
+            assert np.array_equal(a, e), f"{policy}: batch {i} diverged"
+        final = second.dispatcher
+        assert np.array_equal(final.job_counts, reference.job_counts)
+        assert np.array_equal(final.work, reference.work)
+        assert final.probes == reference.probes
+        assert final.jobs_dispatched == reference.jobs_dispatched
+
+    def test_checkpoint_excludes_queued_jobs(self, tmp_path):
+        # A checkpoint taken between micro-batches must not contain jobs
+        # still queued: the state's jobs_dispatched reflects dispatched work
+        # only, so re-feeding the lost tail after restore is correct.
+        checkpoint = tmp_path / "state.json"
+        service = DispatchService(build("adaptive"), checkpoint_path=str(checkpoint))
+        with ServiceThread(service) as thread:
+            with thread.client() as client:
+                client.submit(np.full(20, 1.0))
+                state = client.checkpoint()
+        assert state["jobs_dispatched"] == 20
+        restored = DispatchService.from_checkpoint(str(checkpoint))
+        assert restored.dispatcher.jobs_dispatched == 20
