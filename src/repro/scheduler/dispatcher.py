@@ -530,6 +530,28 @@ class Dispatcher:
         self.job_counts += np.bincount(assignments, minlength=self.n_servers)
         return assignments
 
+    def validate_sizes(self, sizes) -> None:
+        """Reject job sizes this dispatcher would refuse to dispatch.
+
+        Performs exactly the data-dependent admission checks of a dispatch
+        call — nothing more — without touching any dispatcher state, so
+        admission layers (the service micro-batcher) can reject one bad
+        submission on its own instead of failing whatever batch it was
+        coalesced into.  Policies that accept arbitrary sizes accept
+        everything here too.
+        """
+        if self.policy != "weighted":
+            return
+        sizes = np.asarray(sizes, dtype=np.float64).ravel()
+        if sizes.size and sizes.min() <= 0:
+            raise ConfigurationError(
+                "the weighted policy needs strictly positive job sizes"
+            )
+        if self.w_max is not None and sizes.size and sizes.max() > self.w_max:
+            raise ConfigurationError(
+                f"job size {sizes.max()} exceeds the declared w_max={self.w_max}"
+            )
+
     def _weighted_thresholds(self, sizes: np.ndarray) -> np.ndarray:
         """Per-job weighted acceptance thresholds; updates the running totals.
 
@@ -537,18 +559,12 @@ class Dispatcher:
         cumulative work (the batch cumsum is seeded with the stream's running
         total, so batch splits cannot perturb the float accumulation) and
         ``w_max_i`` either the fixed ``w_max`` parameter or the running
-        maximum of all sizes seen.
+        maximum of all sizes seen.  Validation precedes every state update,
+        so a rejected batch leaves the dispatcher untouched.
         """
-        if sizes.size and sizes.min() <= 0:
-            raise ConfigurationError(
-                "the weighted policy needs strictly positive job sizes"
-            )
+        self.validate_sizes(sizes)
         cumulative = np.cumsum(np.concatenate(([self.weight_dispatched], sizes)))[1:]
         if self.w_max is not None:
-            if sizes.size and sizes.max() > self.w_max:
-                raise ConfigurationError(
-                    f"job size {sizes.max()} exceeds the declared w_max={self.w_max}"
-                )
             bounds = np.full(sizes.size, self.w_max)
         else:
             bounds = np.maximum.accumulate(

@@ -13,6 +13,7 @@ from repro.service.batcher import DEFAULT_MAX_QUEUE_JOBS, MicroBatcher, QueueOve
 from repro.service.framing import (
     MAX_FRAME_BYTES,
     FrameConnection,
+    FrameTooLargeError,
     FramingError,
     decode_frame,
     encode_frame,
@@ -32,6 +33,7 @@ __all__ = [
     "MAX_FRAME_BYTES",
     "DispatchService",
     "FrameConnection",
+    "FrameTooLargeError",
     "FramingError",
     "MicroBatcher",
     "QueueOverflow",

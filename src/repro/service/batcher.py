@@ -19,15 +19,25 @@ submitter (``overflow="block"``, the lossless default) or **sheds** the
 submission (``overflow="shed"``, raising :class:`QueueOverflow`, which the
 server reports as an error reply so the client can retry).
 
-Ordering is strict FIFO over submissions, so a stream of submits produces
-exactly the job order (and therefore the bit-identical assignments) of
-feeding the same batches to a bare dispatcher.
+Ordering is strict FIFO over submissions — including under backpressure:
+once any producer is parked on a full queue, later submissions park behind
+it in arrival order rather than slipping into freed space, so a stream of
+submits always produces exactly the job order (and therefore the
+bit-identical assignments) of feeding the same groups to a bare dispatcher.
+
+A submission the dispatcher would reject (a non-positive or over-``w_max``
+job size under the weighted policy) is refused at submit time, alone, via
+:meth:`~repro.scheduler.Dispatcher.validate_sizes` — it never poisons the
+micro-batch it would have been coalesced into.  Should a fused batch fail
+anyway, the flush falls back to dispatching its submissions one by one so
+only the offender errors (batch splits never change assignments).
 """
 
 from __future__ import annotations
 
 import asyncio
 import time
+from collections import deque
 from dataclasses import dataclass
 from typing import Any
 
@@ -120,6 +130,10 @@ class MicroBatcher:
         self._clock = clock
         self._queue: list[_Submission] = []
         self._queued_jobs = 0
+        # Producers parked on backpressure, in arrival order: the head is
+        # the only one allowed to enqueue when room frees, so blocked
+        # submissions keep strict FIFO instead of being overtaken.
+        self._waiters: deque[object] = deque()
         self._running = False
         self._stopping = False
         self._task: asyncio.Task | None = None
@@ -176,39 +190,67 @@ class MicroBatcher:
 
         Returns the per-job server indices, in the submission's job order —
         exactly the array ``dispatch_batch`` would have returned for this
-        group given the stream position at dispatch time.
+        group given the stream position at dispatch time.  Sizes the
+        dispatcher would reject are refused here, before enqueueing, so a
+        bad submission fails alone and never taints a coalesced batch.
         """
         if not self._running or self._stopping:
             raise ConfigurationError("batcher is not accepting submissions")
         sizes = np.asarray(sizes, dtype=np.float64).ravel()
         if sizes.size == 0:
             return np.empty(0, dtype=np.int64)
-        if self._queued_jobs + sizes.size > self.max_queue_jobs:
-            if self.overflow == "shed":
-                self.telemetry.record_shed(sizes.size)
-                raise QueueOverflow(
-                    f"queue full ({self._queued_jobs}/{self.max_queue_jobs} "
-                    f"jobs): shed a {sizes.size}-job submission"
-                )
-            # Block until there is room.  The queue-count reservation happens
-            # under the condition lock, so concurrently parked producers
-            # cannot all wake on the same slot and overfill the bound.  An
-            # oversized submission is admitted alone on an empty queue
-            # rather than deadlocking on room that can never exist.
-            async with self._changed:
+        validate = getattr(self.dispatcher, "validate_sizes", None)
+        if validate is not None:
+            validate(sizes)
+        if not self._waiters and self._has_room(sizes.size):
+            submission = self._enqueue(sizes)
+        elif self.overflow == "shed":
+            self.telemetry.record_shed(sizes.size)
+            raise QueueOverflow(
+                f"queue full ({self._queued_jobs}/{self.max_queue_jobs} "
+                f"jobs): shed a {sizes.size}-job submission"
+            )
+        else:
+            submission = await self._submit_blocking(sizes)
+        return await submission.future
+
+    def _has_room(self, n_jobs: int) -> bool:
+        """Can an ``n_jobs`` submission be enqueued right now?
+
+        An oversized submission is admitted alone on an empty queue rather
+        than deadlocking on room that can never exist.
+        """
+        return self._queued_jobs + n_jobs <= self.max_queue_jobs or (
+            self._queued_jobs == 0 and n_jobs > self.max_queue_jobs
+        )
+
+    async def _submit_blocking(self, sizes: np.ndarray) -> _Submission:
+        """Park until this producer is head of the waiter line *and* fits.
+
+        The queue-count reservation happens under the condition lock, so
+        concurrently parked producers cannot all wake on the same slot and
+        overfill the bound; the head-of-line predicate keeps dispatch order
+        equal to submission order even when later submissions would fit the
+        freed space immediately.
+        """
+        token = object()
+        self._waiters.append(token)
+        async with self._changed:
+            try:
                 await self._changed.wait_for(
                     lambda: self._stopping
-                    or self._queued_jobs + sizes.size <= self.max_queue_jobs
-                    or (self._queued_jobs == 0 and sizes.size > self.max_queue_jobs)
+                    or (self._waiters[0] is token and self._has_room(sizes.size))
                 )
                 if self._stopping:
                     raise ConfigurationError(
                         "batcher stopped while blocked on backpressure"
                     )
-                submission = self._enqueue(sizes)
-        else:
-            submission = self._enqueue(sizes)
-        return await submission.future
+                return self._enqueue(sizes)
+            finally:
+                # On success, error, or cancellation alike: leave the line
+                # and let the next parked producer re-check its turn.
+                self._waiters.remove(token)
+                self._changed.notify_all()
 
     def _enqueue(self, sizes: np.ndarray) -> _Submission:
         """Append one reserved submission and wake the flush task (no awaits)."""
@@ -263,11 +305,17 @@ class MicroBatcher:
                 sizes, total_jobs=self.total_jobs
             )
         except Exception as exc:
-            # A bad submission (e.g. a non-positive weighted job size) fails
-            # its whole batch deterministically; submitters see the error.
-            for submission in batch:
-                if not submission.future.done():
-                    submission.future.set_exception(exc)
+            # The admission checks should have caught any bad submission at
+            # submit time; if one slipped through anyway, don't fail the
+            # innocent submissions fused into the same batch — re-dispatch
+            # them one by one so only the offender errors (batch splits
+            # never change assignments, and a rejected dispatch leaves the
+            # dispatcher untouched).
+            if len(batch) == 1:
+                if not batch[0].future.done():
+                    batch[0].future.set_exception(exc)
+            else:
+                self._dispatch_individually(batch)
             return
         finally:
             self._queued_jobs -= jobs
@@ -286,3 +334,28 @@ class MicroBatcher:
             ),
             finished - started,
         )
+
+    def _dispatch_individually(self, batch: list[_Submission]) -> None:
+        """Fallback after a failed fused batch: one dispatch per submission.
+
+        Each surviving submission gets exactly the assignments its group
+        would have received in the fused call; a failing one carries its
+        own exception to its own submitter and nobody else.
+        """
+        for submission in batch:
+            started = self._clock()
+            try:
+                assignments = self.dispatcher.dispatch_batch(
+                    submission.sizes, total_jobs=self.total_jobs
+                )
+            except Exception as exc:
+                if not submission.future.done():
+                    submission.future.set_exception(exc)
+                continue
+            finished = self._clock()
+            if not submission.future.cancelled():
+                submission.future.set_result(assignments)
+            self.telemetry.record_batch(
+                np.full(submission.sizes.size, finished - submission.enqueued_at),
+                finished - started,
+            )

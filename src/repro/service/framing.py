@@ -20,7 +20,10 @@ Three consumer shapes are supported:
 Malformed input raises :class:`FramingError` (a
 :class:`~repro.errors.ReproError`), so peers can distinguish "the other
 side speaks garbage" from "the other side went away" (plain
-``ConnectionError`` / ``EOFError``).
+``ConnectionError`` / ``EOFError``).  A frame that exceeds
+:data:`MAX_FRAME_BYTES` raises the :class:`FrameTooLargeError` subclass;
+since the oversized line is only partially consumed, the byte stream is
+desynchronised mid-frame and the connection must not be reused.
 """
 
 from __future__ import annotations
@@ -34,6 +37,7 @@ from repro.errors import ReproError
 
 __all__ = [
     "FramingError",
+    "FrameTooLargeError",
     "MAX_FRAME_BYTES",
     "encode_frame",
     "decode_frame",
@@ -50,6 +54,15 @@ MAX_FRAME_BYTES = 256 * 1024 * 1024
 
 class FramingError(ReproError):
     """A peer sent bytes that are not a valid newline-delimited JSON frame."""
+
+
+class FrameTooLargeError(FramingError):
+    """A peer's frame exceeds :data:`MAX_FRAME_BYTES`.
+
+    The oversized line is (in general) only partially consumed when this is
+    raised, leaving the byte stream desynchronised mid-frame — after
+    reporting the error the connection must be closed, never read again.
+    """
 
 
 def encode_frame(message: dict[str, Any]) -> bytes:
@@ -79,18 +92,31 @@ def decode_frame(line: bytes) -> dict[str, Any]:
 
 
 async def read_frame(reader: asyncio.StreamReader) -> dict[str, Any] | None:
-    """Read the next frame from an asyncio stream; ``None`` on clean EOF."""
+    """Read the next frame from an asyncio stream; ``None`` on clean EOF.
+
+    The reader's buffer limit must cover :data:`MAX_FRAME_BYTES` (the
+    service passes ``limit=MAX_FRAME_BYTES`` to ``asyncio.start_server``);
+    a line that overruns it raises :class:`FrameTooLargeError` — and since
+    ``readline`` consumed part of the oversized line, the stream is
+    desynchronised and the caller must close the connection after replying.
+    """
     try:
         line = await reader.readline()
     except (ConnectionError, OSError):
         return None
+    except (asyncio.LimitOverrunError, ValueError) as exc:
+        # StreamReader.readline raises ValueError (from LimitOverrunError)
+        # when a line exceeds the stream's buffer limit.
+        raise FrameTooLargeError(
+            f"frame exceeds the {MAX_FRAME_BYTES}-byte limit: {exc}"
+        ) from exc
     if not line:
         return None
     if not line.endswith(b"\n"):
         # readline returned a partial tail: the peer died mid-frame.
         return None
     if len(line) > MAX_FRAME_BYTES:
-        raise FramingError(
+        raise FrameTooLargeError(
             f"frame of {len(line)} bytes exceeds MAX_FRAME_BYTES"
         )
     return decode_frame(line)
@@ -109,6 +135,8 @@ class FrameConnection:
     ``ConnectionError`` when the peer is gone (EOF or a torn final line), so
     callers that need softer loss semantics (the cluster transport's
     :class:`~repro.cluster.transport.WorkerLost`) can translate uniformly.
+    An oversized frame raises :class:`FrameTooLargeError` and closes the
+    connection, since the partially-read line desynchronises the stream.
     """
 
     def __init__(self, sock: socket.socket) -> None:
@@ -121,11 +149,22 @@ class FrameConnection:
 
     def recv(self) -> dict[str, Any]:
         line = self._rfile.readline(MAX_FRAME_BYTES + 1)
-        if not line or not line.endswith(b"\n"):
+        if not line.endswith(b"\n"):
+            if len(line) > MAX_FRAME_BYTES:
+                # readline stopped at the size cap mid-line: the frame is
+                # oversized and the unread tail leaves the stream
+                # desynchronised, so the connection is closed here.
+                self.close()
+                raise FrameTooLargeError(
+                    f"frame exceeds MAX_FRAME_BYTES ({MAX_FRAME_BYTES} "
+                    f"bytes); connection closed"
+                )
             raise ConnectionError("frame connection closed by peer")
         if len(line) > MAX_FRAME_BYTES:
-            raise FramingError(
-                f"frame of {len(line)} bytes exceeds MAX_FRAME_BYTES"
+            self.close()
+            raise FrameTooLargeError(
+                f"frame of {len(line)} bytes exceeds MAX_FRAME_BYTES; "
+                f"connection closed"
             )
         return decode_frame(line)
 

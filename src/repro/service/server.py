@@ -58,10 +58,12 @@ import numpy as np
 
 from repro.errors import ConfigurationError, ReproError
 from repro.scheduler.dispatcher import Dispatcher
+from repro.service import framing
 from repro.service.batcher import MicroBatcher, QueueOverflow
 from repro.service.framing import (
     FrameConnection,
     FramingError,
+    FrameTooLargeError,
     read_frame,
     write_frame,
 )
@@ -156,7 +158,13 @@ class DispatchService:
         """
         if self._closed is None:
             await self.start()
-        self._server = await asyncio.start_server(self._serve_connection, host, port)
+        # limit= raises each connection's StreamReader buffer cap from the
+        # asyncio default of 64 KiB to the protocol's frame bound, so large
+        # (e.g. 10^6-job) submits are readable; read via the module so tests
+        # can shrink the bound.
+        self._server = await asyncio.start_server(
+            self._serve_connection, host, port, limit=framing.MAX_FRAME_BYTES
+        )
         bound = self._server.sockets[0].getsockname()
         self.address = (bound[0], bound[1])
         return self.address
@@ -222,7 +230,22 @@ class DispatchService:
                 sizes = message.get("sizes")
                 if not isinstance(sizes, list):
                     raise ServiceError("submit needs a 'sizes' list")
-                assignments = await self.submit(np.asarray(sizes, dtype=np.float64))
+                try:
+                    sizes_array = np.asarray(sizes, dtype=np.float64)
+                except (TypeError, ValueError) as exc:
+                    raise ServiceError(
+                        f"sizes must be a flat list of numbers: {exc}"
+                    ) from exc
+                if sizes_array.ndim != 1:
+                    raise ServiceError(
+                        f"sizes must be a flat list of numbers, got a "
+                        f"{sizes_array.ndim}-dimensional nested list"
+                    )
+                if sizes_array.size and not np.isfinite(sizes_array).all():
+                    # NaN/inf cannot round-trip the JSON wire format
+                    # (allow_nan=False) and would poison the work gauges.
+                    raise ServiceError("sizes must be finite numbers")
+                assignments = await self.submit(sizes_array)
                 return {
                     "type": "result",
                     "id": reply_id,
@@ -287,9 +310,17 @@ class DispatchService:
                 try:
                     message = await read_frame(reader)
                 except FramingError as exc:
-                    await write_frame(
-                        writer, {"type": "error", "id": None, "error": str(exc)}
-                    )
+                    try:
+                        await write_frame(
+                            writer, {"type": "error", "id": None, "error": str(exc)}
+                        )
+                    except (ConnectionError, OSError):
+                        break  # client gone; nothing to deliver to
+                    if isinstance(exc, FrameTooLargeError):
+                        # The overrun consumed part of the oversized line:
+                        # the stream is desynchronised mid-frame, so after
+                        # the error reply the connection cannot be reused.
+                        break
                     continue
                 if message is None:
                     break

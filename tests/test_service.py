@@ -27,6 +27,7 @@ from repro.scheduler.metrics import compute_metrics
 from repro.service import (
     DispatchService,
     FrameConnection,
+    FrameTooLargeError,
     FramingError,
     MicroBatcher,
     QueueOverflow,
@@ -95,6 +96,37 @@ class TestFraming:
 
     def test_framing_error_is_a_repro_error(self):
         assert issubclass(FramingError, ReproError)
+        assert issubclass(FrameTooLargeError, FramingError)
+
+    def test_frame_connection_oversize_raises_and_closes(self, monkeypatch):
+        from repro.service import framing
+
+        monkeypatch.setattr(framing, "MAX_FRAME_BYTES", 64)
+        a, b = socket.socketpair()
+        right = FrameConnection(b)
+        # A single >64-byte line with no newline inside the cap: readline
+        # stops mid-frame, which must be reported as oversize, not EOF.
+        a.sendall(b'{"padding":"' + b"x" * 200 + b'"}\n')
+        with pytest.raises(FrameTooLargeError, match="MAX_FRAME_BYTES"):
+            right.recv()
+        # The desynchronised connection was closed, not left readable.
+        with pytest.raises((ConnectionError, OSError, ValueError)):
+            right.recv()
+        a.close()
+
+    def test_async_read_frame_survives_default_limit(self):
+        # read_frame converts a StreamReader limit overrun into
+        # FrameTooLargeError instead of leaking bare ValueError.
+        async def scenario():
+            reader = asyncio.StreamReader(limit=64)
+            reader.feed_data(b'{"padding":"' + b"y" * 200 + b'"}\n')
+            reader.feed_eof()
+            from repro.service.framing import read_frame
+
+            with pytest.raises(FrameTooLargeError, match="limit"):
+                await read_frame(reader)
+
+        asyncio.run(scenario())
 
 
 # --------------------------------------------------------------------- #
@@ -347,22 +379,88 @@ class TestMicroBatcher:
         expected = reference.dispatch_batch(np.concatenate(groups))
         assert np.array_equal(np.concatenate(outs), expected)
 
-    def test_dispatch_failure_propagates_to_all_submitters(self):
+    def test_bad_submission_is_rejected_alone_at_admission(self):
+        # A submission the dispatcher would refuse (here: over w_max) fails
+        # at submit time, on its own — it never taints the micro-batch the
+        # concurrent good submissions are coalesced into.
         async def scenario():
             dispatcher = make_dispatcher(policy="weighted", w_max=1.0)
             batcher = MicroBatcher(dispatcher)
             batcher.start()
-            async with batcher.flush_lock:  # force both into one batch
+            async with batcher.flush_lock:  # force everything into one tick
                 good = asyncio.ensure_future(batcher.submit([0.5, 0.5]))
                 bad = asyncio.ensure_future(batcher.submit([2.0]))  # > w_max
+                late = asyncio.ensure_future(batcher.submit([0.25]))
                 await asyncio.sleep(0)
-            results = await asyncio.gather(good, bad, return_exceptions=True)
+            results = await asyncio.gather(good, bad, late, return_exceptions=True)
             await batcher.stop()
             return results
 
-        good, bad = asyncio.run(scenario())
-        assert isinstance(good, ReproError)
+        good, bad, late = asyncio.run(scenario())
         assert isinstance(bad, ReproError)
+        assert "w_max" in str(bad)
+        reference = make_dispatcher(policy="weighted", w_max=1.0)
+        assert np.array_equal(good, reference.dispatch_batch([0.5, 0.5]))
+        assert np.array_equal(late, reference.dispatch_batch([0.25]))
+
+    def test_flush_failure_falls_back_to_per_submission_dispatch(self):
+        # Defence in depth for failures admission cannot predict: under the
+        # threshold policy the fused 15-job batch overruns the declared
+        # 10-job stream and fails as a whole; the flush then re-dispatches
+        # one submission at a time, so only the group that actually
+        # overruns errors and the survivors get exactly the assignments of
+        # the equivalent un-fused stream.
+        async def scenario():
+            batcher = MicroBatcher(make_dispatcher(policy="threshold"), total_jobs=10)
+            batcher.start()
+            async with batcher.flush_lock:  # fuse all three into one batch
+                good = asyncio.ensure_future(batcher.submit(np.full(6, 1.0)))
+                bad = asyncio.ensure_future(batcher.submit(np.full(5, 1.0)))
+                late = asyncio.ensure_future(batcher.submit(np.full(4, 1.0)))
+                await asyncio.sleep(0)
+            results = await asyncio.gather(good, bad, late, return_exceptions=True)
+            await batcher.stop()
+            return results
+
+        good, bad, late = asyncio.run(scenario())
+        assert isinstance(bad, ReproError)
+        assert "total_jobs" in str(bad)
+        reference = make_dispatcher(policy="threshold")
+        assert np.array_equal(
+            good, reference.dispatch_batch(np.full(6, 1.0), total_jobs=10)
+        )
+        assert np.array_equal(
+            late, reference.dispatch_batch(np.full(4, 1.0), total_jobs=10)
+        )
+
+    def test_blocked_producer_is_not_overtaken(self):
+        # FIFO holds under backpressure: a submission that would fit the
+        # queue immediately still waits behind an earlier parked producer,
+        # so dispatch order always equals submission order.
+        async def scenario():
+            batcher = MicroBatcher(
+                make_dispatcher(), max_queue_jobs=10, overflow="block"
+            )
+            batcher.start()
+            async with batcher.flush_lock:
+                first = asyncio.ensure_future(batcher.submit(np.full(8, 1.0)))
+                await asyncio.sleep(0)
+                parked = asyncio.ensure_future(batcher.submit(np.full(5, 1.0)))
+                await asyncio.sleep(0)  # 8 + 5 > 10: parks on backpressure
+                small = asyncio.ensure_future(batcher.submit(np.full(2, 1.0)))
+                for _ in range(5):
+                    await asyncio.sleep(0)
+                # 8 + 2 <= 10 would fit, but FIFO parks it behind `parked`.
+                assert not parked.done() and not small.done()
+                assert batcher.queue_depth == 8
+            outs = await asyncio.gather(first, parked, small)
+            await batcher.stop()
+            return outs
+
+        outs = asyncio.run(scenario())
+        reference = make_dispatcher()
+        expected = reference.dispatch_batch(np.full(15, 1.0))
+        assert np.array_equal(np.concatenate(outs), expected)
 
     def test_drain_waits_for_queue(self):
         async def scenario():
@@ -438,6 +536,24 @@ class TestDispatchServiceProtocol:
         assert "teleport" in replies[1]["error"]
         assert replies[0]["id"] == 1 and replies[1]["id"] == 2
 
+    def test_non_numeric_or_nested_sizes_are_error_replies(self):
+        # np.asarray failures (non-numeric, ragged) and nested-but-regular
+        # lists must come back as error frames, not kill the respond task
+        # and leave the client waiting forever.
+        replies = self.run_messages(
+            [
+                {"type": "submit", "sizes": ["x"], "id": 1},
+                {"type": "submit", "sizes": [[1.0], [2.0, 3.0]], "id": 2},
+                {"type": "submit", "sizes": [[1.0, 2.0], [3.0, 4.0]], "id": 3},
+                {"type": "submit", "sizes": [None], "id": 4},
+                {"type": "submit", "sizes": [1.0, 2.0], "id": 5},
+            ]
+        )
+        assert [r["type"] for r in replies] == ["error"] * 4 + ["result"]
+        for reply in replies[:4]:
+            assert "sizes" in reply["error"]
+        assert len(replies[4]["assignments"]) == 2
+
     def test_checkpoint_reply_and_file(self, tmp_path):
         path = tmp_path / "state.json"
         replies = self.run_messages(
@@ -486,6 +602,50 @@ class TestServiceOverTcp:
         # 40 groups arrived back-to-back: far fewer than 40 dispatch calls.
         assert stats["batches_dispatched"] < 40
         assert stats["jobs_dispatched"] == 80
+
+    def test_large_submit_frame_exceeds_asyncio_default_limit(self):
+        # One submit frame well past asyncio's 64 KiB default StreamReader
+        # limit: the server must read it (limit=MAX_FRAME_BYTES) instead of
+        # dropping the connection with no reply.
+        service = DispatchService(make_dispatcher())
+        sizes = [1.0] * 20_000  # ~100 KiB on the wire
+        with ServiceThread(service) as thread:
+            with thread.client() as client:
+                assignments = client.submit(sizes)
+        assert assignments.size == 20_000
+        reference = make_dispatcher()
+        assert np.array_equal(
+            assignments, reference.dispatch_batch(np.full(20_000, 1.0))
+        )
+
+    def test_oversized_frame_gets_error_reply_then_close(self, monkeypatch):
+        from repro.service import framing
+
+        monkeypatch.setattr(framing, "MAX_FRAME_BYTES", 1024)
+        service = DispatchService(make_dispatcher())
+        with ServiceThread(service) as thread:
+            host, port = thread.address
+            conn = FrameConnection(socket.create_connection((host, port), 10))
+            try:
+                conn.send({"type": "submit", "sizes": [1.0] * 1000, "id": 1})
+                reply = conn.recv()
+                assert reply["type"] == "error"
+                assert "limit" in reply["error"]
+                # The overrun desynchronised the stream; the server closes
+                # the connection after the error reply.
+                with pytest.raises(ConnectionError):
+                    conn.recv()
+            finally:
+                conn.close()
+
+    def test_bad_sizes_payload_is_an_error_reply_over_tcp(self):
+        service = DispatchService(make_dispatcher())
+        with ServiceThread(service) as thread:
+            with thread.client() as client:
+                with pytest.raises(ServiceError, match="sizes"):
+                    client.request({"type": "submit", "sizes": ["x", "y"]})
+                # The connection survives and keeps dispatching.
+                assert client.submit([1.0, 1.0]).size == 2
 
     def test_error_reply_raises_service_error(self):
         service = DispatchService(
