@@ -25,6 +25,20 @@ bit-identical rows.  Completions are deduplicated by shard id, so a
 transport that redelivers (or a retry racing a slow original) can never
 emit a shard's rows twice.
 
+Death is not the only failure mode: a merely *hung* worker (wedged process,
+stalled link, dropped frame) produces no EOF, so EOF-based loss detection
+alone would stall the sweep forever.  ``shard_deadline`` closes that hole:
+while a shard is in flight the coordinator requires *some* frame — the
+result, or a worker heartbeat sent every ``heartbeat_interval`` seconds
+while the shard computes — within every ``shard_deadline`` window.  A
+window that expires means the worker is hung; it is hard-killed and the
+shard goes down the exact :class:`~repro.cluster.transport.WorkerLost`
+path (requeue bounded by ``max_shard_retries``, respawn, bit-identical
+retry), counted separately in ``stats["worker_hangs"]``.  Heartbeats keep
+long-but-healthy shards from tripping the deadline, so the deadline can be
+set from acceptable *detection latency* rather than worst-case shard
+runtime.
+
 Inside the single-threaded asyncio loop the counters need no atomics — the
 fetch-and-add of the HPX exemplar degenerates to plain increments — but the
 protocol is the same, which is what lets a future TCP transport (or several
@@ -57,6 +71,17 @@ DEFAULT_MAX_SHARD_RETRIES = 3
 
 #: Queue sentinel telling a worker driver to shut down.
 _STOP = object()
+
+
+class _ShardHung(WorkerLost):
+    """Internal: a shard's deadline window expired without any frame.
+
+    A :class:`~repro.cluster.transport.WorkerLost` subtype so the driver's
+    loss handling applies unchanged; the extra type only routes the handle
+    teardown (hard kill — the worker may be alive but wedged, and killing
+    it is also what unblocks the abandoned executor ``recv``) and the
+    ``worker_hangs`` stat.
+    """
 
 
 @dataclass(frozen=True)
@@ -128,6 +153,16 @@ class ClusterCoordinator:
     completed_shards:
         Shard ids already done (the ``--resume`` prefix); they are skipped
         entirely and their rows are *not* re-emitted.
+    shard_deadline:
+        Inactivity deadline in seconds for an in-flight shard: if no frame
+        (result or heartbeat) arrives within this window the worker is
+        declared *hung*, hard-killed, and the shard retried exactly like a
+        worker death.  ``None`` (default) disables hang detection — the
+        pre-resilience behaviour, where only EOF signals loss.
+    heartbeat_interval:
+        How often (seconds) a worker running a shard emits heartbeat frames
+        so long shards don't trip the deadline.  Defaults to a quarter of
+        ``shard_deadline`` when a deadline is set; ignored without one.
     """
 
     def __init__(
@@ -139,6 +174,8 @@ class ClusterCoordinator:
         max_shard_retries: int = DEFAULT_MAX_SHARD_RETRIES,
         on_record: Callable[[dict[str, Any]], None] | None = None,
         completed_shards: Iterable[int] = (),
+        shard_deadline: float | None = None,
+        heartbeat_interval: float | None = None,
     ) -> None:
         specs = list(specs)
         for index, spec in enumerate(specs):
@@ -155,6 +192,22 @@ class ClusterCoordinator:
             raise ConfigurationError(
                 f"max_shard_retries: must be non-negative, got {max_shard_retries}"
             )
+        if shard_deadline is not None and not shard_deadline > 0:
+            raise ConfigurationError(
+                f"shard_deadline: must be positive seconds, got {shard_deadline!r}"
+            )
+        if heartbeat_interval is not None and not heartbeat_interval > 0:
+            raise ConfigurationError(
+                f"heartbeat_interval: must be positive seconds, "
+                f"got {heartbeat_interval!r}"
+            )
+        self.shard_deadline = None if shard_deadline is None else float(shard_deadline)
+        if self.shard_deadline is not None and heartbeat_interval is None:
+            # A quarter of the window: three missed beats before the trip.
+            heartbeat_interval = self.shard_deadline / 4.0
+        self.heartbeat_interval = (
+            None if heartbeat_interval is None else float(heartbeat_interval)
+        )
         self.shards = [Shard(i, spec) for i, spec in enumerate(specs)]
         self.workers = workers
         self.transport = check_transport(
@@ -166,6 +219,7 @@ class ClusterCoordinator:
         self.stats: dict[str, int] = {
             "shards_run": 0,
             "worker_deaths": 0,
+            "worker_hangs": 0,
             "retries": 0,
             "duplicate_results": 0,
         }
@@ -281,6 +335,26 @@ class ClusterCoordinator:
             )
         self._queue.put_nowait(shard)
 
+    async def _recv_within_deadline(self, handle) -> dict[str, Any]:
+        """One frame from the worker, bounded by the inactivity deadline.
+
+        The executor thread stays blocked in ``recv`` past a timeout (a
+        thread cannot be cancelled); the caller's hang handling hard-kills
+        the worker, which severs the pipe/socket and unblocks that thread
+        with :class:`WorkerLost` — whose result is then discarded with the
+        abandoned future.
+        """
+        future = self._call(handle.recv)
+        if self.shard_deadline is None:
+            return await future
+        try:
+            return await asyncio.wait_for(future, timeout=self.shard_deadline)
+        except asyncio.TimeoutError:
+            raise _ShardHung(
+                f"worker {handle.worker_id} sent no frame for "
+                f"{self.shard_deadline:g}s (shard deadline exceeded)"
+            ) from None
+
     async def _drive(self, worker_id: int) -> None:
         """One worker's driver: spawn it, feed it shards, absorb its death."""
         handle = await self._call(self.transport.spawn, worker_id)
@@ -292,11 +366,18 @@ class ClusterCoordinator:
             if shard.shard_id in self._completed:
                 self._check_done()
                 continue
+            payload = shard.payload()
+            if self.heartbeat_interval is not None:
+                payload["heartbeat"] = self.heartbeat_interval
             self.counters.dispatched()
             try:
-                await self._call(handle.send, shard.payload())
+                await self._call(handle.send, payload)
                 while True:
-                    reply = await self._call(handle.recv)
+                    reply = await self._recv_within_deadline(handle)
+                    if reply.get("type") == "heartbeat":
+                        # Liveness proof from a long-running shard: the
+                        # deadline window restarts with the next recv.
+                        continue
                     if reply.get("type") == "error":
                         self.counters.resolved()
                         exc = ClusterError(
@@ -315,8 +396,17 @@ class ClusterCoordinator:
                     # Otherwise: a stale/duplicate delivery for some other
                     # shard — already handled by _complete, keep waiting
                     # for our own reply.
-            except WorkerLost:
+            except WorkerLost as lost:
                 self.counters.resolved()
+                if isinstance(lost, _ShardHung):
+                    # The worker may be alive but wedged: hard-kill it so
+                    # the shard can't complete twice and the executor
+                    # thread blocked in recv gets its EOF.
+                    self.stats["worker_hangs"] += 1
+                    try:
+                        await self._call(handle.kill)
+                    except Exception:  # pragma: no cover - already dead
+                        pass
                 self.stats["worker_deaths"] += 1
                 try:
                     self._requeue(shard)
@@ -354,6 +444,8 @@ def run_cluster_sweep(
     max_shard_retries: int = DEFAULT_MAX_SHARD_RETRIES,
     on_record: Callable[[dict[str, Any]], None] | None = None,
     stats: dict[str, int] | None = None,
+    shard_deadline: float | None = None,
+    heartbeat_interval: float | None = None,
 ) -> list[dict[str, Any]]:
     """Run a sweep's shard stream, optionally fanned out over workers.
 
@@ -372,11 +464,13 @@ def run_cluster_sweep(
         Scan an existing ``out`` file first: shards whose full row set is
         already present are skipped (their rows are kept verbatim), partial
         tail shards are discarded and re-run.  Requires ``out``.
-    transport, max_shard_retries, on_record:
-        Forwarded to :class:`ClusterCoordinator`.
+    transport, max_shard_retries, on_record, shard_deadline, heartbeat_interval:
+        Forwarded to :class:`ClusterCoordinator` (``shard_deadline`` arms
+        hung-worker detection; required for chaos schedules that can drop
+        frames or hang workers).
     stats:
         Optional dict that receives the coordinator's counters
-        (``shards_run``, ``worker_deaths``, ``retries``,
+        (``shards_run``, ``worker_deaths``, ``worker_hangs``, ``retries``,
         ``duplicate_results``, plus ``shards_resumed``).
 
     Returns
@@ -416,6 +510,7 @@ def run_cluster_sweep(
             run_stats = {
                 "shards_run": 0,
                 "worker_deaths": 0,
+                "worker_hangs": 0,
                 "retries": 0,
                 "duplicate_results": 0,
             }
@@ -435,6 +530,8 @@ def run_cluster_sweep(
                 max_shard_retries=max_shard_retries,
                 on_record=emit,
                 completed_shards=completed,
+                shard_deadline=shard_deadline,
+                heartbeat_interval=heartbeat_interval,
             )
             new_records = asyncio.run(coordinator.run())
             run_stats = coordinator.stats

@@ -288,6 +288,12 @@ class TcpTransport:
     accept_timeout:
         Seconds to wait for a spawned worker to dial back before declaring
         the spawn failed.
+    connect_timeout, connect_attempts, connect_backoff:
+        Forwarded to :func:`repro.cluster.worker.connect_with_retry` in
+        each spawned worker: per-attempt dial timeout, bounded retry
+        count, and the exponential-backoff base between attempts — so a
+        worker racing a not-yet-accepting listener retries instead of
+        dying on the spot.
     """
 
     def __init__(
@@ -295,6 +301,9 @@ class TcpTransport:
         host: str = "127.0.0.1",
         start_method: str | None = None,
         accept_timeout: float = 30.0,
+        connect_timeout: float = 30.0,
+        connect_attempts: int = 5,
+        connect_backoff: float = 0.05,
     ) -> None:
         available = multiprocessing.get_all_start_methods()
         if start_method is None:
@@ -304,11 +313,23 @@ class TcpTransport:
                 f"start_method: {start_method!r} not supported here "
                 f"(available: {available})"
             )
+        if connect_attempts < 1:
+            raise ConfigurationError(
+                f"connect_attempts: must be at least 1, got {connect_attempts}"
+            )
+        if connect_timeout <= 0 or connect_backoff < 0:
+            raise ConfigurationError(
+                "connect_timeout must be positive and connect_backoff "
+                f"non-negative, got {connect_timeout!r} / {connect_backoff!r}"
+            )
         self._ctx = multiprocessing.get_context(start_method)
         self._spawn_lock = threading.Lock()
         self._listener = socket.create_server((host, 0))
         self._listener.settimeout(accept_timeout)
         self._host = host
+        self._connect_timeout = float(connect_timeout)
+        self._connect_attempts = int(connect_attempts)
+        self._connect_backoff = float(connect_backoff)
 
     @property
     def address(self) -> tuple[str, int]:
@@ -327,7 +348,14 @@ class TcpTransport:
         with self._spawn_lock:
             process = self._ctx.Process(
                 target=tcp_worker_main,
-                args=(host, port, worker_id),
+                args=(
+                    host,
+                    port,
+                    worker_id,
+                    self._connect_timeout,
+                    self._connect_attempts,
+                    self._connect_backoff,
+                ),
                 name=f"repro-tcp-worker-{worker_id}",
                 daemon=True,
             )

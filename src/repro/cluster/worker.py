@@ -12,12 +12,15 @@ selection needs no extra wiring.
 Wire protocol (JSON dicts, see :mod:`repro.cluster.transport`):
 
 * coordinator → worker: ``{"type": "shard", "shard_id": int, "spec": {...}}``
-  or ``{"type": "stop"}``;
+  (optionally carrying ``"heartbeat": seconds``) or ``{"type": "stop"}``;
 * worker → coordinator: ``{"type": "result", "shard_id": int,
   "records": [...]}`` on success, ``{"type": "error", "shard_id": int,
   "error": "..."}`` when the spec itself fails deterministically (the
   coordinator aborts instead of retrying — rerunning the same spec would
-  fail the same way).
+  fail the same way), and — while a shard with a ``heartbeat`` interval is
+  computing — periodic ``{"type": "heartbeat", "shard_id": int}`` frames
+  from a background thread, proving liveness to the coordinator's shard
+  deadline (see :class:`~repro.cluster.coordinator.ClusterCoordinator`).
 
 Each record row is the full schema-v1 document of
 :meth:`~repro.core.result.RunResult.as_record` plus two provenance keys:
@@ -29,12 +32,20 @@ from __future__ import annotations
 
 import json
 import socket
-from typing import Any
+import threading
+import time
+from typing import Any, Callable
 
 from repro.api.spec import SimulationSpec
 from repro.errors import ReproError
 
-__all__ = ["run_shard", "handle_shard_message", "worker_main", "tcp_worker_main"]
+__all__ = [
+    "run_shard",
+    "handle_shard_message",
+    "worker_main",
+    "tcp_worker_main",
+    "connect_with_retry",
+]
 
 
 def run_shard(spec: SimulationSpec, shard_id: int) -> list[dict[str, Any]]:
@@ -55,7 +66,9 @@ def run_shard(spec: SimulationSpec, shard_id: int) -> list[dict[str, Any]]:
 
 
 def handle_shard_message(
-    message: dict[str, Any], worker_id: int
+    message: dict[str, Any],
+    worker_id: int,
+    send: Callable[[dict[str, Any]], None] | None = None,
 ) -> dict[str, Any] | None:
     """Process one coordinator message; ``None`` means "stop the loop".
 
@@ -64,25 +77,60 @@ def handle_shard_message(
     their decoded messages through here, so shard semantics (run, tag,
     report deterministic failures as ``"error"`` replies) cannot drift
     between transports.
+
+    When the message carries a ``"heartbeat"`` interval *and* a thread-safe
+    ``send`` callable is provided, a daemon thread emits
+    ``{"type": "heartbeat", ...}`` frames every interval seconds while the
+    shard computes, so the coordinator's inactivity deadline distinguishes
+    a long shard from a hung worker.  Without either, heartbeating is
+    skipped and the wire behaviour is exactly the pre-resilience one.
     """
     if message.get("type") == "stop":
         return None
     shard_id = int(message["shard_id"])
+    interval = message.get("heartbeat")
+    stop_beat: threading.Event | None = None
+    beat_thread: threading.Thread | None = None
+    if send is not None and interval:
+        stop_beat = threading.Event()
+
+        def _beat() -> None:
+            while not stop_beat.wait(float(interval)):
+                try:
+                    send(
+                        {
+                            "type": "heartbeat",
+                            "shard_id": shard_id,
+                            "worker_id": worker_id,
+                        }
+                    )
+                except Exception:
+                    return  # coordinator gone; the main loop will notice
+
+        beat_thread = threading.Thread(
+            target=_beat, name=f"repro-heartbeat-{worker_id}", daemon=True
+        )
+        beat_thread.start()
     try:
-        spec = SimulationSpec.from_dict(message["spec"])
-        return {
-            "type": "result",
-            "shard_id": shard_id,
-            "worker_id": worker_id,
-            "records": run_shard(spec, shard_id),
-        }
-    except ReproError as exc:
-        return {
-            "type": "error",
-            "shard_id": shard_id,
-            "worker_id": worker_id,
-            "error": f"{type(exc).__name__}: {exc}",
-        }
+        try:
+            spec = SimulationSpec.from_dict(message["spec"])
+            return {
+                "type": "result",
+                "shard_id": shard_id,
+                "worker_id": worker_id,
+                "records": run_shard(spec, shard_id),
+            }
+        except ReproError as exc:
+            return {
+                "type": "error",
+                "shard_id": shard_id,
+                "worker_id": worker_id,
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+    finally:
+        if stop_beat is not None:
+            stop_beat.set()
+            beat_thread.join(timeout=5.0)
 
 
 def worker_main(conn, worker_id: int) -> None:
@@ -93,49 +141,110 @@ def worker_main(conn, worker_id: int) -> None:
     deterministic failure inside a shard is caught and reported as an
     ``"error"`` message rather than killing the worker, so the coordinator
     can distinguish "this spec cannot run" (abort) from "this worker died"
-    (retry the shard elsewhere).
+    (retry the shard elsewhere).  All sends — result replies and the
+    heartbeat thread's frames — share one lock so frames never interleave
+    on the pipe.
     """
+    send_lock = threading.Lock()
+
+    def send(reply: dict[str, Any]) -> None:
+        with send_lock:
+            conn.send_bytes(json.dumps(reply).encode("utf-8"))
+
     while True:
         try:
             data = conn.recv_bytes()
         except (EOFError, ConnectionError, OSError):
             return  # coordinator went away; nothing useful left to do
-        reply = handle_shard_message(json.loads(data.decode("utf-8")), worker_id)
+        reply = handle_shard_message(
+            json.loads(data.decode("utf-8")), worker_id, send=send
+        )
         if reply is None:
             return
         try:
-            conn.send_bytes(json.dumps(reply).encode("utf-8"))
+            send(reply)
         except (BrokenPipeError, ConnectionError, EOFError, OSError):
             return
 
 
-def tcp_worker_main(host: str, port: int, worker_id: int) -> None:
+def connect_with_retry(
+    host: str,
+    port: int,
+    *,
+    timeout: float = 30.0,
+    attempts: int = 5,
+    backoff: float = 0.05,
+) -> socket.socket | None:
+    """Dial ``(host, port)`` with bounded exponential-backoff retries.
+
+    A TCP worker can race a coordinator whose listener is not accepting
+    yet (or momentarily backlogged); a single hard-coded attempt would die
+    on the spot and burn one of the shard's retry lives for nothing.
+    Retries ``attempts`` times, sleeping ``backoff * 2**i`` between tries,
+    and returns ``None`` when every attempt failed — callers treat that as
+    "the coordinator is gone".
+    """
+    if attempts < 1:
+        attempts = 1
+    for attempt in range(attempts):
+        try:
+            return socket.create_connection((host, port), timeout=timeout)
+        except OSError:
+            if attempt + 1 == attempts:
+                return None
+            time.sleep(backoff * (2**attempt))
+    return None  # pragma: no cover - loop always returns
+
+
+def tcp_worker_main(
+    host: str,
+    port: int,
+    worker_id: int,
+    connect_timeout: float = 30.0,
+    connect_attempts: int = 5,
+    connect_backoff: float = 0.05,
+) -> None:
     """Worker loop over a TCP connection back to the coordinator.
 
     Spawned by :class:`~repro.cluster.transport.TcpTransport`: connects to
-    the transport's listening socket, identifies itself with a ``hello``
-    frame (newline-delimited JSON, shared with the service protocol via
-    :mod:`repro.service.framing`), then serves shards exactly like
-    :func:`worker_main`.
+    the transport's listening socket (with bounded
+    :func:`connect_with_retry` backoff, so racing a not-yet-listening
+    coordinator doesn't kill the worker), identifies itself with a
+    ``hello`` frame (newline-delimited JSON, shared with the service
+    protocol via :mod:`repro.service.framing`), then serves shards exactly
+    like :func:`worker_main` — including heartbeat frames, serialised with
+    result replies under one send lock.
     """
     from repro.service.framing import FrameConnection
 
-    try:
-        conn = FrameConnection(socket.create_connection((host, port), timeout=30.0))
-    except OSError:
+    sock = connect_with_retry(
+        host,
+        port,
+        timeout=connect_timeout,
+        attempts=connect_attempts,
+        backoff=connect_backoff,
+    )
+    if sock is None:
         return  # coordinator's listener is gone; nothing to serve
+    conn = FrameConnection(sock)
+    send_lock = threading.Lock()
+
+    def send(reply: dict[str, Any]) -> None:
+        with send_lock:
+            conn.send(reply)
+
     try:
-        conn.send({"type": "hello", "worker_id": int(worker_id)})
+        send({"type": "hello", "worker_id": int(worker_id)})
         while True:
             try:
                 message = conn.recv()
             except (ConnectionError, OSError):
                 return
-            reply = handle_shard_message(message, worker_id)
+            reply = handle_shard_message(message, worker_id, send=send)
             if reply is None:
                 return
             try:
-                conn.send(reply)
+                send(reply)
             except (ConnectionError, OSError):
                 return
     finally:

@@ -15,6 +15,7 @@ __all__ = [
     "CapacityExceededError",
     "SimulationError",
     "ClusterError",
+    "CheckpointError",
     "ExperimentError",
 ]
 
@@ -67,6 +68,18 @@ class ClusterError(SimulationError):
     spec would fail the same way).  Configuration problems of the cluster
     layer itself (a non-positive worker count, an unusable transport) raise
     :class:`ConfigurationError` instead.
+    """
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """Raised when a checkpoint file cannot be read back as a snapshot.
+
+    Covers missing files, torn writes (truncated / invalid JSON — e.g. a
+    crash landed mid-``os.replace`` on an exotic filesystem), and documents
+    that are valid JSON but not a dispatcher state.  The message always
+    names the offending file so an operator can decide whether to fall back
+    to a previous snapshot (the :class:`~repro.resilience.ServiceSupervisor`
+    does this automatically) or start cold.
     """
 
 

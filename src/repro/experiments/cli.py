@@ -33,6 +33,12 @@ Run the live dispatch service (newline-delimited JSON over TCP; see
 
     repro serve --policy adaptive --n-servers 10000 --seed 7 --port 7077
     repro serve --restore state.json --checkpoint state.json --port 7077
+
+Run it supervised — auto-checkpoint every 5 s, restart from the latest
+snapshot on a crash, drain + final checkpoint on SIGTERM (see
+:mod:`repro.resilience`)::
+
+    repro serve --checkpoint state.json --checkpoint-interval 5 --supervise
 """
 
 from __future__ import annotations
@@ -249,6 +255,18 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         help="worker deaths tolerated per shard before aborting (default 3)",
     )
     parser.add_argument(
+        "--shard-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "treat a worker that sends no frame for this long as hung "
+            "(kill + retry the shard like a worker death); workers "
+            "heartbeat at a quarter of the deadline, so long shards "
+            "survive.  Default: wait forever"
+        ),
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help="print the summary rows as JSON instead of a markdown table",
@@ -335,19 +353,124 @@ def build_serve_parser() -> argparse.ArgumentParser:
             "construction flags like --policy are taken from the checkpoint)"
         ),
     )
+    parser.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "write a checkpoint automatically every SECONDS (requires "
+            "--checkpoint); SIGTERM always writes a final one"
+        ),
+    )
+    parser.add_argument(
+        "--supervise",
+        action="store_true",
+        help=(
+            "run under a supervisor that restarts a crashed service from "
+            "the latest checkpoint (requires --checkpoint; restores from "
+            "it automatically when it exists)"
+        ),
+    )
+    parser.add_argument(
+        "--max-restarts",
+        type=int,
+        default=5,
+        help="restarts allowed under --supervise before giving up (default 5)",
+    )
     return parser
+
+
+def _serve_dispatcher_factory(args: argparse.Namespace):
+    """The cold-start dispatcher a ``repro serve`` invocation describes."""
+    from repro.scheduler.dispatcher import Dispatcher
+
+    def factory() -> "Dispatcher":
+        return Dispatcher(
+            args.n_servers,
+            policy=args.policy,
+            d=args.d,
+            k=args.k,
+            w_max=args.w_max,
+            seed=args.seed,
+            backend=args.backend,
+        )
+
+    return factory
+
+
+def _main_serve_supervised(
+    parser: argparse.ArgumentParser, args: argparse.Namespace, checkpoint_path: str
+) -> int:
+    """``repro serve --supervise`` — keep the service alive across crashes."""
+    import signal
+    import threading
+
+    from repro.resilience import ServiceSupervisor
+
+    supervisor = ServiceSupervisor(
+        _serve_dispatcher_factory(args),
+        checkpoint_path=checkpoint_path,
+        checkpoint_interval=args.checkpoint_interval,
+        max_restarts=args.max_restarts,
+        host=args.host,
+        port=args.port,
+        service_kwargs={
+            "max_queue_jobs": args.max_queue,
+            "overflow": args.overflow,
+        },
+    )
+    stop = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: stop.set())
+    try:
+        supervisor.start()
+    except ConfigurationError as exc:
+        parser.error(str(exc))
+    host, port = supervisor.address
+    print(
+        f"repro service listening on {host}:{port} under supervision "
+        f"(source={supervisor.restore_sources[-1]}, "
+        f"checkpoint={checkpoint_path})",
+        file=sys.stderr,
+        flush=True,
+    )
+    while not stop.wait(0.2):
+        if supervisor.failed.is_set():
+            print(
+                f"error: service exceeded --max-restarts={args.max_restarts}; "
+                f"giving up",
+                file=sys.stderr,
+            )
+            supervisor.stop()
+            return 1
+    # SIGTERM/SIGINT: drain, final checkpoint, clean exit.
+    supervisor.stop()
+    return 0
 
 
 def _main_serve(argv: Sequence[str]) -> int:
     """``repro serve ...`` — run the live dispatch service until shutdown."""
     import asyncio
+    import signal
 
-    from repro.scheduler.dispatcher import Dispatcher
+    from repro.errors import CheckpointError
     from repro.service import DispatchService
 
     parser = build_serve_parser()
     args = parser.parse_args(argv)
     checkpoint_path = None if args.checkpoint is None else str(args.checkpoint)
+    if args.checkpoint_interval is not None and checkpoint_path is None:
+        parser.error("--checkpoint-interval requires --checkpoint")
+    if args.supervise:
+        if checkpoint_path is None:
+            parser.error("--supervise requires --checkpoint")
+        if args.restore is not None:
+            parser.error(
+                "--supervise restores from --checkpoint automatically; "
+                "drop --restore (or copy the file over the --checkpoint path)"
+            )
+        return _main_serve_supervised(parser, args, checkpoint_path)
     try:
         if args.restore is not None:
             kwargs: dict[str, Any] = {}
@@ -357,24 +480,20 @@ def _main_serve(argv: Sequence[str]) -> int:
                 str(args.restore),
                 max_queue_jobs=args.max_queue,
                 overflow=args.overflow,
+                checkpoint_interval=args.checkpoint_interval,
                 **kwargs,
             )
         else:
-            dispatcher = Dispatcher(
-                args.n_servers,
-                policy=args.policy,
-                d=args.d,
-                k=args.k,
-                w_max=args.w_max,
-                seed=args.seed,
-                backend=args.backend,
-            )
             service = DispatchService(
-                dispatcher,
+                _serve_dispatcher_factory(args)(),
                 max_queue_jobs=args.max_queue,
                 overflow=args.overflow,
                 checkpoint_path=checkpoint_path,
+                checkpoint_interval=args.checkpoint_interval,
             )
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     except ConfigurationError as exc:
         parser.error(str(exc))
 
@@ -388,6 +507,16 @@ def _main_serve(argv: Sequence[str]) -> int:
             file=sys.stderr,
             flush=True,
         )
+        loop = asyncio.get_running_loop()
+        try:
+            # SIGTERM = graceful drain: dispatch everything accepted, write
+            # a final checkpoint, then stop cleanly.
+            loop.add_signal_handler(
+                signal.SIGTERM,
+                lambda: loop.create_task(service.graceful_shutdown()),
+            )
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # platform without loop signal handlers; Ctrl-C still works
         await service.wait_closed()
 
     try:
@@ -458,6 +587,7 @@ def _main_sweep(argv: Sequence[str]) -> int:
             out=None if args.out is None else str(args.out),
             resume=args.resume,
             max_shard_retries=args.max_shard_retries,
+            shard_deadline=args.shard_deadline,
             stats=stats,
         )
         rows = summarize_shard_records(specs, records)
@@ -475,7 +605,8 @@ def _main_sweep(argv: Sequence[str]) -> int:
         f"{len(records)} rows from {len(specs)} shards "
         f"({stats.get('shards_resumed', 0)} resumed, "
         f"{stats.get('retries', 0)} retried, "
-        f"{stats.get('worker_deaths', 0)} worker deaths)"
+        f"{stats.get('worker_deaths', 0)} worker deaths, "
+        f"{stats.get('worker_hangs', 0)} hangs)"
     )
     if args.out is not None:
         summary += f" -> {args.out}"

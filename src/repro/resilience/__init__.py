@@ -1,0 +1,42 @@
+"""Deterministic fault injection and supervised crash recovery.
+
+The :mod:`repro.resilience` package is the layer that makes every failure
+mode of the distributed stack *injectable, detectable and recoverable*:
+
+* :mod:`~repro.resilience.faults` — a seeded PCG64 fault schedule
+  (:class:`FaultPlan` probabilities, :class:`FaultSchedule` streams), so
+  every chaos run is replayable from its seed;
+* :mod:`~repro.resilience.chaos` — :class:`ChaosTransport`, which wraps any
+  cluster :class:`~repro.cluster.transport.Transport` and injects frame
+  drops, delays, duplications, torn frames, worker hangs and worker kills
+  on the coordinator↔worker path, and :class:`ChaosConnection`, the same
+  idea for the service's client framing;
+* :mod:`~repro.resilience.supervisor` — :class:`ServiceSupervisor`, which
+  auto-checkpoints a live :class:`~repro.service.DispatchService` on an
+  interval and restarts a crashed service from its latest good checkpoint
+  (falling back to the rotated previous snapshot when the latest is torn).
+
+The acceptance bar throughout is the one PRs 8–9 set for kill/restore:
+recovery must be *bit-identical* — a cluster sweep under a seeded chaos
+schedule produces exactly the fault-free row multiset, and a supervised
+service resumes the interrupted job stream exactly where the checkpoint
+left it.  Detection closes the one hole retry alone cannot: a merely
+*hung* worker (no frames, no EOF) is converted into
+:class:`~repro.cluster.transport.WorkerLost` by the coordinator's
+per-shard deadline + heartbeat machinery (see
+:class:`~repro.cluster.coordinator.ClusterCoordinator`).
+"""
+
+from repro.resilience.chaos import ChaosConnection, ChaosTransport, ChaosWorkerHandle
+from repro.resilience.faults import Fault, FaultPlan, FaultSchedule
+from repro.resilience.supervisor import ServiceSupervisor
+
+__all__ = [
+    "Fault",
+    "FaultPlan",
+    "FaultSchedule",
+    "ChaosConnection",
+    "ChaosTransport",
+    "ChaosWorkerHandle",
+    "ServiceSupervisor",
+]

@@ -1,0 +1,181 @@
+"""Seeded, replayable fault schedules for chaos testing.
+
+A chaos run must be *deterministic*: the same seed has to produce the same
+sequence of injected faults so that a red CI run can be replayed locally
+from its logged seed.  The machinery here is therefore just a PCG64 stream
+(the same generator family the simulation engines use) turned into a
+sequence of fault decisions:
+
+* :class:`FaultPlan` — the per-operation probabilities of each fault kind
+  (drop, delay, duplicate, truncate, hang, kill) plus their magnitudes;
+* :class:`FaultSchedule` — the seeded source; :meth:`FaultSchedule.stream`
+  derives an independent child stream per ``(worker, incarnation)`` so the
+  decision sequence each wrapped handle sees is a pure function of the
+  seed, *not* of thread interleaving;
+* :class:`Fault` — one decision (kind + magnitude).
+
+Determinism caveat: the schedule pins *which* operations fault, not the
+wall-clock order in which concurrently-driven workers execute — the
+certified invariant (see ``tests/test_resilience.py``) is that the row
+multiset is bit-identical regardless, which is exactly the coordinator's
+recovery contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Fault", "FaultPlan", "FaultSchedule", "FAULT_KINDS"]
+
+#: Every injectable fault kind, in the (stable) order the roll consults them.
+FAULT_KINDS = ("drop", "delay", "duplicate", "truncate", "hang", "kill")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected fault decision.
+
+    ``kind`` is one of :data:`FAULT_KINDS`; ``seconds`` carries the
+    magnitude for the timed kinds (``delay`` and ``hang``) and is ``0.0``
+    otherwise.
+    """
+
+    kind: str
+    seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Per-operation fault probabilities (and magnitudes) for a chaos run.
+
+    Each transport operation (a send or a receive) rolls one uniform draw
+    and maps it onto at most one fault via the cumulative probabilities, so
+    the kinds are mutually exclusive per operation and their rates are
+    exactly the configured values.
+
+    Parameters
+    ----------
+    drop:
+        Probability a frame is silently lost (a dropped send never reaches
+        the worker; a dropped receive discards one delivered reply).  Only
+        a shard deadline can recover from a drop — there is no EOF.
+    delay:
+        Probability a frame is delayed by a uniform draw from
+        ``delay_range`` seconds.
+    duplicate:
+        Probability a delivered reply is delivered *again* on the next
+        receive (exercising the coordinator's shard-id dedup).
+    truncate:
+        Probability the connection is torn mid-frame: the peer is killed so
+        the stream ends without a complete frame, surfacing as
+        :class:`~repro.cluster.transport.WorkerLost`.
+    hang:
+        Probability the worker (or its link) hangs: the receive blocks for
+        ``hang_seconds`` delivering nothing — past any shard deadline.
+    kill:
+        Probability the worker process is hard-killed before the operation.
+    """
+
+    drop: float = 0.0
+    delay: float = 0.0
+    duplicate: float = 0.0
+    truncate: float = 0.0
+    hang: float = 0.0
+    kill: float = 0.0
+    delay_range: tuple[float, float] = (0.001, 0.01)
+    hang_seconds: float = 2.0
+
+    def __post_init__(self) -> None:
+        total = 0.0
+        for kind in FAULT_KINDS:
+            value = getattr(self, kind)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"{kind}: probability must be in [0, 1], got {value!r}"
+                )
+            total += value
+        if total > 1.0:
+            raise ConfigurationError(
+                f"fault probabilities sum to {total:.3f} > 1 — at most one "
+                "fault is injected per operation, so they must fit in [0, 1]"
+            )
+        lo, hi = self.delay_range
+        if not (0.0 <= lo <= hi):
+            raise ConfigurationError(
+                f"delay_range: need 0 <= lo <= hi, got {self.delay_range!r}"
+            )
+        if self.hang_seconds < 0:
+            raise ConfigurationError(
+                f"hang_seconds: must be non-negative, got {self.hang_seconds!r}"
+            )
+
+    def total_probability(self) -> float:
+        return float(sum(getattr(self, kind) for kind in FAULT_KINDS))
+
+    @classmethod
+    def field_names(cls) -> Iterable[str]:  # pragma: no cover - introspection
+        return tuple(f.name for f in fields(cls))
+
+
+class _FaultStream:
+    """One deterministic decision sequence (a PCG64 child stream)."""
+
+    def __init__(self, plan: FaultPlan, bit_generator: np.random.PCG64) -> None:
+        self.plan = plan
+        self._rng = np.random.Generator(bit_generator)
+        self.rolls = 0
+
+    def next_fault(self) -> Fault | None:
+        """Roll one operation; return its fault, or ``None`` for a clean op."""
+        self.rolls += 1
+        u = float(self._rng.random())
+        edge = 0.0
+        for kind in FAULT_KINDS:
+            edge += getattr(self.plan, kind)
+            if u < edge:
+                if kind == "delay":
+                    lo, hi = self.plan.delay_range
+                    return Fault("delay", float(self._rng.uniform(lo, hi)))
+                if kind == "hang":
+                    return Fault("hang", float(self.plan.hang_seconds))
+                return Fault(kind)
+        return None
+
+
+class FaultSchedule:
+    """A seeded family of fault-decision streams.
+
+    One schedule drives one chaos run.  Each wrapped worker handle (or
+    service connection) gets its own child stream via :meth:`stream`, keyed
+    by ``(scope, incarnation)`` through ``SeedSequence(entropy=seed,
+    spawn_key=...)`` — so the decisions any given handle sees depend only
+    on the seed and the handle's identity, never on how the coordinator's
+    threads interleave.  That is what makes a chaos run replayable: re-run
+    with the same seed and every worker incarnation faces the same fault
+    sequence.
+    """
+
+    def __init__(self, plan: FaultPlan, seed: int) -> None:
+        if not isinstance(plan, FaultPlan):
+            raise ConfigurationError(
+                f"plan must be a FaultPlan, got {type(plan).__name__}"
+            )
+        if not isinstance(seed, (int, np.integer)) or isinstance(seed, bool):
+            raise ConfigurationError(f"seed must be an int, got {seed!r}")
+        self.plan = plan
+        self.seed = int(seed)
+
+    def stream(self, scope: int, incarnation: int = 0) -> _FaultStream:
+        """The deterministic decision stream for one handle incarnation."""
+        sequence = np.random.SeedSequence(
+            entropy=self.seed, spawn_key=(int(scope), int(incarnation))
+        )
+        return _FaultStream(self.plan, np.random.PCG64(sequence))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultSchedule(seed={self.seed}, plan={self.plan})"

@@ -1,0 +1,241 @@
+"""Supervised crash recovery for the live dispatch service.
+
+:class:`ServiceSupervisor` keeps one :class:`~repro.service.DispatchService`
+alive across crashes: it starts the service on a
+:class:`~repro.service.ServiceThread`, arranges automatic checkpoints on a
+configurable interval (riding the service's own quiesce-between-micro-batches
+checkpoint path), and watches the thread from a monitor.  When the service
+dies — a hard :meth:`~repro.service.ServiceThread.kill`, an unhandled loop
+error, anything that ends the thread without the supervisor's consent — the
+monitor restarts it from the **latest checkpoint**, falling back to the
+rotated ``<path>.prev`` snapshot when the latest is torn
+(:class:`~repro.errors.CheckpointError`), and to a cold start from the
+dispatcher factory when no usable snapshot exists at all.
+
+The restore is the same bit-identical resume the checkpoint tests certify:
+the restarted dispatcher continues the probe stream exactly where the
+snapshot left it, and the restored request log keeps replayed client
+submits from dispatching twice.  A restarted service binds a fresh
+ephemeral port, so clients reach it through
+:meth:`ServiceSupervisor.client`, whose ``address_provider`` re-resolves
+the supervisor's current address on every reconnect.
+
+Restarts are bounded by ``max_restarts``; beyond it the supervisor gives
+up (``failed`` is set, :meth:`wait_for_restart` raises) rather than
+flap-looping on a service that dies faster than it recovers.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any, Callable
+
+from repro.errors import CheckpointError, ConfigurationError
+from repro.scheduler.dispatcher import Dispatcher
+from repro.service.server import DispatchService, ServiceClient, ServiceThread
+
+__all__ = ["ServiceSupervisor"]
+
+
+class ServiceSupervisor:
+    """Keep a dispatch service running: auto-checkpoint, watch, restart.
+
+    Parameters
+    ----------
+    dispatcher_factory:
+        Zero-argument callable returning a fresh
+        :class:`~repro.scheduler.Dispatcher` — the cold-start (and
+        no-usable-snapshot fallback) configuration.
+    checkpoint_path:
+        Where snapshots live.  Required: supervision without a checkpoint
+        would restart from nothing and silently rewind the stream.
+    checkpoint_interval:
+        Seconds between automatic checkpoints (``None`` checkpoints only
+        when a client asks — crash recovery then rewinds to that point).
+    max_restarts:
+        Restarts allowed before the supervisor gives up.
+    host, port:
+        Bind address for each incarnation (``port=0`` = ephemeral, the
+        default; each restart may land on a new port — use
+        :meth:`client`).
+    poll_interval:
+        Monitor polling period for thread liveness.
+    service_kwargs:
+        Extra keyword arguments for every :class:`DispatchService`
+        incarnation (queue bound, overflow policy, ...).
+    """
+
+    def __init__(
+        self,
+        dispatcher_factory: Callable[[], Dispatcher],
+        *,
+        checkpoint_path: str,
+        checkpoint_interval: float | None = None,
+        max_restarts: int = 5,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        poll_interval: float = 0.05,
+        service_kwargs: dict[str, Any] | None = None,
+    ) -> None:
+        if checkpoint_path is None:
+            raise ConfigurationError(
+                "supervision needs a checkpoint_path to restart from"
+            )
+        if max_restarts < 0:
+            raise ConfigurationError(
+                f"max_restarts must be >= 0, got {max_restarts}"
+            )
+        if poll_interval <= 0:
+            raise ConfigurationError(
+                f"poll_interval must be positive, got {poll_interval}"
+            )
+        self.dispatcher_factory = dispatcher_factory
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_interval = checkpoint_interval
+        self.max_restarts = int(max_restarts)
+        self._host = host
+        self._port = port
+        self._poll_interval = float(poll_interval)
+        self._service_kwargs = dict(service_kwargs or {})
+        self.restarts = 0
+        #: How each incarnation was built: "cold", "checkpoint", or "prev".
+        self.restore_sources: list[str] = []
+        self.failed = threading.Event()
+        self._lock = threading.Lock()
+        self._restarted = threading.Condition(self._lock)
+        self._stopping = False
+        self._thread: ServiceThread | None = None
+        self._monitor: threading.Thread | None = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def address(self) -> tuple[str, int] | None:
+        """The current incarnation's ``(host, port)`` (changes on restart)."""
+        thread = self._thread
+        return None if thread is None else thread.address
+
+    @property
+    def service(self) -> DispatchService | None:
+        """The current incarnation's service object."""
+        thread = self._thread
+        return None if thread is None else thread.service
+
+    def client(self, timeout: float | None = 30.0, retries: int = 8) -> ServiceClient:
+        """A retrying client that follows this supervisor across restarts.
+
+        The client's ``address_provider`` re-reads :attr:`address` on every
+        reconnect, so it finds the restarted service on its new ephemeral
+        port and replays unacknowledged submits against the restored
+        request log.
+        """
+        host, port = self.address
+        return ServiceClient(
+            host,
+            port,
+            timeout=timeout,
+            retries=retries,
+            address_provider=lambda: self.address,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _build_service(self) -> DispatchService:
+        """Latest snapshot, else the ``.prev`` rotation, else a cold start."""
+        kwargs = dict(
+            self._service_kwargs,
+            checkpoint_path=self.checkpoint_path,
+            checkpoint_interval=self.checkpoint_interval,
+        )
+        candidates = [
+            (self.checkpoint_path, "checkpoint"),
+            (f"{self.checkpoint_path}.prev", "prev"),
+        ]
+        for path, source in candidates:
+            if not os.path.exists(path):
+                continue
+            try:
+                service = DispatchService.from_checkpoint(path, **kwargs)
+            except CheckpointError:
+                continue
+            # Even when restoring from .prev, keep checkpointing to the
+            # primary path (from_checkpoint defaulted it to `path`).
+            service.checkpoint_path = self.checkpoint_path
+            self.restore_sources.append(source)
+            return service
+        self.restore_sources.append("cold")
+        return DispatchService(self.dispatcher_factory(), **kwargs)
+
+    def _spawn(self) -> None:
+        self._thread = ServiceThread(self._build_service(), self._host, self._port)
+
+    def start(self) -> "ServiceSupervisor":
+        """Start (or resume from the latest snapshot) and begin watching."""
+        with self._lock:
+            if self._thread is not None:
+                raise ConfigurationError("supervisor is already running")
+            self._stopping = False
+            self._spawn()
+        self._monitor = threading.Thread(
+            target=self._watch, name="repro-supervisor", daemon=True
+        )
+        self._monitor.start()
+        return self
+
+    def _watch(self) -> None:
+        while True:
+            thread = self._thread
+            if self._stopping or thread is None:
+                return
+            thread.join(self._poll_interval)
+            if not thread.is_alive():
+                with self._lock:
+                    if self._stopping:
+                        return
+                    if self.restarts >= self.max_restarts:
+                        self.failed.set()
+                        self._restarted.notify_all()
+                        return
+                    self.restarts += 1
+                    self._spawn()
+                    self._restarted.notify_all()
+
+    def wait_for_restart(self, restarts_seen: int, timeout: float = 30.0) -> int:
+        """Block until the restart counter exceeds ``restarts_seen``.
+
+        Returns the new counter value; raises if the supervisor gave up
+        (``max_restarts`` exhausted) or the timeout expires.
+        """
+        with self._restarted:
+            ok = self._restarted.wait_for(
+                lambda: self.restarts > restarts_seen or self.failed.is_set(),
+                timeout=timeout,
+            )
+        if self.failed.is_set():
+            raise ConfigurationError(
+                f"service exceeded max_restarts={self.max_restarts}; "
+                f"supervisor gave up"
+            )
+        if not ok:
+            raise TimeoutError(
+                f"no restart within {timeout:g}s (counter still {self.restarts})"
+            )
+        return self.restarts
+
+    # ------------------------------------------------------------------ #
+    def stop(self, timeout: float = 30.0) -> None:
+        """Graceful stop: final checkpoint via the service, then shut down."""
+        with self._lock:
+            self._stopping = True
+            thread = self._thread
+            self._thread = None
+        if thread is not None:
+            thread.graceful_stop(timeout)
+        if self._monitor is not None:
+            self._monitor.join(timeout)
+            self._monitor = None
+
+    def __enter__(self) -> "ServiceSupervisor":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

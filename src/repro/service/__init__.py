@@ -6,7 +6,9 @@ long-running system: a newline-delimited-JSON TCP protocol
 (:mod:`~repro.service.batcher`), rolling latency/throughput telemetry with
 live schedule gauges (:mod:`~repro.service.telemetry`), and the asyncio
 service + synchronous clients (:mod:`~repro.service.server`), including
-checkpoint/restore that resumes an interrupted stream bit-identically.
+checkpoint/restore that resumes an interrupted stream bit-identically and
+an idempotent-request log (:mod:`~repro.service.requests`) that lets
+retrying clients replay unacknowledged submits exactly once.
 """
 
 from repro.service.batcher import DEFAULT_MAX_QUEUE_JOBS, MicroBatcher, QueueOverflow
@@ -20,6 +22,7 @@ from repro.service.framing import (
     read_frame,
     write_frame,
 )
+from repro.service.requests import DEFAULT_REQUEST_LOG_CAPACITY, RequestLog
 from repro.service.server import (
     DispatchService,
     ServiceClient,
@@ -30,8 +33,10 @@ from repro.service.telemetry import RollingWindow, ServiceTelemetry
 
 __all__ = [
     "DEFAULT_MAX_QUEUE_JOBS",
+    "DEFAULT_REQUEST_LOG_CAPACITY",
     "MAX_FRAME_BYTES",
     "DispatchService",
+    "RequestLog",
     "FrameConnection",
     "FrameTooLargeError",
     "FramingError",

@@ -31,6 +31,14 @@ job size under the weighted policy) is refused at submit time, alone, via
 micro-batch it would have been coalesced into.  Should a fused batch fail
 anyway, the flush falls back to dispatching its submissions one by one so
 only the offender errors (batch splits never change assignments).
+
+Submissions may carry an idempotency ``request_id`` (the retrying client's
+reconnect-replay key).  The batcher is the single arbiter of "has this id
+been applied": a replayed id whose original is still *queued* shares the
+original's future instead of enqueueing twice, and a committed id is
+recorded into the service's :class:`~repro.service.requests.RequestLog`
+**inside the flush** — under the same ``flush_lock`` checkpoints quiesce
+on — so a snapshot can never contain a dispatch without its log entry.
 """
 
 from __future__ import annotations
@@ -70,6 +78,7 @@ class _Submission:
     sizes: np.ndarray
     enqueued_at: float
     future: asyncio.Future
+    request_id: str | None = None
 
 
 class MicroBatcher:
@@ -96,6 +105,12 @@ class MicroBatcher:
     telemetry:
         A :class:`~repro.service.telemetry.ServiceTelemetry`; one is created
         when omitted.
+    request_log:
+        Optional :class:`~repro.service.requests.RequestLog`.  When given,
+        submissions carrying a ``request_id`` are recorded into it as their
+        micro-batch commits (under ``flush_lock``), and replayed ids are
+        deduplicated — against the log for committed submits and against
+        the in-flight queue for still-pending ones.
     """
 
     def __init__(
@@ -107,6 +122,7 @@ class MicroBatcher:
         max_batch_jobs: int | None = None,
         total_jobs: int | None = None,
         telemetry: ServiceTelemetry | None = None,
+        request_log: Any | None = None,
         clock=time.monotonic,
     ) -> None:
         if max_queue_jobs < 1:
@@ -127,9 +143,13 @@ class MicroBatcher:
         self.max_batch_jobs = None if max_batch_jobs is None else int(max_batch_jobs)
         self.total_jobs = total_jobs
         self.telemetry = telemetry if telemetry is not None else ServiceTelemetry()
+        self.request_log = request_log
         self._clock = clock
         self._queue: list[_Submission] = []
         self._queued_jobs = 0
+        # Queued-but-uncommitted submissions by request id: the replay of a
+        # still-pending submit must share its future, not enqueue again.
+        self._inflight: dict[str, _Submission] = {}
         # Producers parked on backpressure, in arrival order: the head is
         # the only one allowed to enqueue when room frees, so blocked
         # submissions keep strict FIFO instead of being overtaken.
@@ -185,7 +205,7 @@ class MicroBatcher:
             pass
 
     # ------------------------------------------------------------------ #
-    async def submit(self, sizes) -> np.ndarray:
+    async def submit(self, sizes, request_id: str | None = None) -> np.ndarray:
         """Queue one submission and wait for its server assignments.
 
         Returns the per-job server indices, in the submission's job order —
@@ -193,17 +213,30 @@ class MicroBatcher:
         group given the stream position at dispatch time.  Sizes the
         dispatcher would reject are refused here, before enqueueing, so a
         bad submission fails alone and never taints a coalesced batch.
+
+        A ``request_id`` makes the submission idempotent: a replay of an
+        already-committed id returns the recorded assignments without
+        dispatching anything, and a replay of a still-queued id awaits the
+        original's future — either way the jobs are applied exactly once.
         """
         if not self._running or self._stopping:
             raise ConfigurationError("batcher is not accepting submissions")
         sizes = np.asarray(sizes, dtype=np.float64).ravel()
+        if request_id is not None:
+            if self.request_log is not None:
+                recorded = self.request_log.get(request_id)
+                if recorded is not None:
+                    return recorded
+            pending = self._inflight.get(request_id)
+            if pending is not None:
+                return await pending.future
         if sizes.size == 0:
             return np.empty(0, dtype=np.int64)
         validate = getattr(self.dispatcher, "validate_sizes", None)
         if validate is not None:
             validate(sizes)
         if not self._waiters and self._has_room(sizes.size):
-            submission = self._enqueue(sizes)
+            submission = self._enqueue(sizes, request_id)
         elif self.overflow == "shed":
             self.telemetry.record_shed(sizes.size)
             raise QueueOverflow(
@@ -211,7 +244,7 @@ class MicroBatcher:
                 f"jobs): shed a {sizes.size}-job submission"
             )
         else:
-            submission = await self._submit_blocking(sizes)
+            submission = await self._submit_blocking(sizes, request_id)
         return await submission.future
 
     def _has_room(self, n_jobs: int) -> bool:
@@ -224,7 +257,9 @@ class MicroBatcher:
             self._queued_jobs == 0 and n_jobs > self.max_queue_jobs
         )
 
-    async def _submit_blocking(self, sizes: np.ndarray) -> _Submission:
+    async def _submit_blocking(
+        self, sizes: np.ndarray, request_id: str | None = None
+    ) -> _Submission:
         """Park until this producer is head of the waiter line *and* fits.
 
         The queue-count reservation happens under the condition lock, so
@@ -245,24 +280,47 @@ class MicroBatcher:
                     raise ConfigurationError(
                         "batcher stopped while blocked on backpressure"
                     )
-                return self._enqueue(sizes)
+                return self._enqueue(sizes, request_id)
             finally:
                 # On success, error, or cancellation alike: leave the line
                 # and let the next parked producer re-check its turn.
                 self._waiters.remove(token)
                 self._changed.notify_all()
 
-    def _enqueue(self, sizes: np.ndarray) -> _Submission:
+    def _enqueue(self, sizes: np.ndarray, request_id: str | None = None) -> _Submission:
         """Append one reserved submission and wake the flush task (no awaits)."""
+        if request_id is not None:
+            # A replay can race past submit()'s dedup check while the
+            # original is parked on backpressure; re-check at the enqueue
+            # point, which is the single place submissions become real.
+            duplicate = self._inflight.get(request_id)
+            if duplicate is not None:
+                return duplicate
         submission = _Submission(
             sizes=sizes,
             enqueued_at=self._clock(),
             future=asyncio.get_running_loop().create_future(),
+            request_id=request_id,
         )
         self._queue.append(submission)
         self._queued_jobs += int(sizes.size)
+        if request_id is not None:
+            self._inflight[request_id] = submission
         self._wake.set()
         return submission
+
+    def _commit_request(self, submission: _Submission, assignments) -> None:
+        """Record a committed idempotent submission (runs under flush_lock).
+
+        Recording inside the flush — not when the submitter observes the
+        reply — is what keeps the request log checkpoint-consistent with
+        the dispatcher state a quiesced checkpoint captures.
+        """
+        if submission.request_id is None:
+            return
+        if self.request_log is not None:
+            self.request_log.record(submission.request_id, assignments)
+        self._inflight.pop(submission.request_id, None)
 
     # ------------------------------------------------------------------ #
     async def _run(self) -> None:
@@ -312,6 +370,8 @@ class MicroBatcher:
             # never change assignments, and a rejected dispatch leaves the
             # dispatcher untouched).
             if len(batch) == 1:
+                if batch[0].request_id is not None:
+                    self._inflight.pop(batch[0].request_id, None)
                 if not batch[0].future.done():
                     batch[0].future.set_exception(exc)
             else:
@@ -325,6 +385,7 @@ class MicroBatcher:
         offset = 0
         for submission in batch:
             end = offset + submission.sizes.size
+            self._commit_request(submission, assignments[offset:end])
             if not submission.future.cancelled():
                 submission.future.set_result(assignments[offset:end])
             offset = end
@@ -349,10 +410,13 @@ class MicroBatcher:
                     submission.sizes, total_jobs=self.total_jobs
                 )
             except Exception as exc:
+                if submission.request_id is not None:
+                    self._inflight.pop(submission.request_id, None)
                 if not submission.future.done():
                     submission.future.set_exception(exc)
                 continue
             finished = self._clock()
+            self._commit_request(submission, assignments)
             if not submission.future.cancelled():
                 submission.future.set_result(assignments)
             self.telemetry.record_batch(

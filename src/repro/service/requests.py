@@ -1,0 +1,101 @@
+"""Idempotent-request bookkeeping: the service's submit dedup log.
+
+A retrying client replays submits whose replies it never saw — but a lost
+*reply* does not mean a lost *dispatch*: the jobs may well have been
+applied before the connection died.  Replaying them blindly would dispatch
+the same jobs twice and diverge from the fault-free stream.  The
+:class:`RequestLog` closes that hole: every submit carrying a client-chosen
+``request_id`` records its assignments when its micro-batch commits, and a
+replayed id is answered from the log instead of being dispatched again.
+
+Two properties make this safe across crashes:
+
+* entries are recorded by the micro-batcher *inside the flush* (under the
+  same ``flush_lock`` a checkpoint quiesces on), so a checkpoint's
+  dispatcher state and its request log are always mutually consistent —
+  a dispatched-but-unlogged submit cannot exist in a snapshot;
+* the log rides inside the service checkpoint document (under the
+  ``"service"`` key the dispatcher state loader ignores), so a restored
+  service still recognises replays of submits that committed *before* the
+  checkpoint, while submits dispatched after it — lost with the crash —
+  are genuinely re-dispatched, which is exactly the bit-identical resume.
+
+The log is bounded (FIFO eviction) — request ids are a reconnect-replay
+mechanism, not an unbounded ledger; a client only ever replays its most
+recent unacknowledged pipeline window.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["RequestLog", "DEFAULT_REQUEST_LOG_CAPACITY"]
+
+#: Default bound on remembered request ids (FIFO-evicted beyond this).
+DEFAULT_REQUEST_LOG_CAPACITY = 4096
+
+
+class RequestLog:
+    """Bounded ``request_id -> assignments`` memory with JSON snapshots."""
+
+    STATE_VERSION = 1
+
+    def __init__(self, capacity: int = DEFAULT_REQUEST_LOG_CAPACITY) -> None:
+        if capacity < 1:
+            raise ConfigurationError(
+                f"capacity: must be at least 1, got {capacity}"
+            )
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[str, list[int]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, request_id: str) -> bool:
+        return request_id in self._entries
+
+    def get(self, request_id: str) -> np.ndarray | None:
+        """The recorded assignments for ``request_id``, or ``None``."""
+        entry = self._entries.get(request_id)
+        if entry is None:
+            return None
+        return np.asarray(entry, dtype=np.int64)
+
+    def record(self, request_id: str, assignments) -> None:
+        """Remember one committed submit (evicting the oldest past capacity)."""
+        self._entries[request_id] = [int(a) for a in np.asarray(assignments).ravel()]
+        self._entries.move_to_end(request_id)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict[str, Any]:
+        """Strict-JSON snapshot (insertion order preserved for eviction)."""
+        return {
+            "version": self.STATE_VERSION,
+            "capacity": self.capacity,
+            "entries": [[rid, list(entry)] for rid, entry in self._entries.items()],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> "RequestLog":
+        if not isinstance(state, dict) or "entries" not in state:
+            raise ConfigurationError(
+                "expected a request-log state document "
+                "(the dict returned by RequestLog.state_dict)"
+            )
+        version = state.get("version")
+        if version != cls.STATE_VERSION:
+            raise ConfigurationError(
+                f"unsupported request-log state version {version!r} "
+                f"(this release reads version {cls.STATE_VERSION})"
+            )
+        log = cls(capacity=int(state.get("capacity", DEFAULT_REQUEST_LOG_CAPACITY)))
+        for rid, entry in state["entries"]:
+            log.record(str(rid), entry)
+        return log

@@ -31,6 +31,13 @@ Failures (shed submissions under ``overflow="shed"``, malformed requests,
 bad job sizes) come back as ``{"type": "error", "error": "...", "id": ...}``
 — the connection stays usable.
 
+A ``submit`` may additionally carry a client-chosen ``request_id`` string,
+which makes it idempotent: replaying the same id (the retrying client does
+this after a reconnect, because a lost *reply* does not mean a lost
+*dispatch*) returns the originally recorded assignments with
+``"replayed": true`` instead of dispatching the jobs again.  See
+:mod:`repro.service.requests` for the crash-consistency story.
+
 A ``checkpoint`` quiesces the batcher (takes its flush lock, so the
 dispatcher sits exactly between two micro-batches), snapshots
 :meth:`Dispatcher.state_dict`, and optionally writes it atomically to
@@ -52,14 +59,16 @@ import os
 import socket
 import threading
 import time
+import uuid
 from typing import Any
 
 import numpy as np
 
-from repro.errors import ConfigurationError, ReproError
+from repro.errors import CheckpointError, ConfigurationError, ReproError
 from repro.scheduler.dispatcher import Dispatcher
 from repro.service import framing
 from repro.service.batcher import MicroBatcher, QueueOverflow
+from repro.service.requests import RequestLog
 from repro.service.framing import (
     FrameConnection,
     FramingError,
@@ -88,8 +97,14 @@ class DispatchService:
         Micro-batcher knobs; see :class:`~repro.service.batcher.MicroBatcher`.
     checkpoint_path:
         Where ``checkpoint`` requests persist the dispatcher state (written
-        atomically: temp file + rename).  ``None`` keeps checkpoints
-        reply-only.
+        atomically: temp file + rename, with the previous snapshot rotated
+        to ``<path>.prev`` as a fallback against torn files).  ``None``
+        keeps checkpoints reply-only.
+    checkpoint_interval:
+        Seconds between automatic checkpoints (requires
+        ``checkpoint_path``).  ``None`` (default) checkpoints only on
+        request.  The auto-checkpoint rides the same quiesce-between-
+        micro-batches path as explicit ``checkpoint`` requests.
     telemetry:
         Optional :class:`~repro.service.telemetry.ServiceTelemetry` override.
     """
@@ -103,6 +118,7 @@ class DispatchService:
         max_batch_jobs: int | None = None,
         total_jobs: int | None = None,
         checkpoint_path: str | None = None,
+        checkpoint_interval: float | None = None,
         telemetry: ServiceTelemetry | None = None,
     ) -> None:
         if not isinstance(dispatcher, Dispatcher):
@@ -110,8 +126,19 @@ class DispatchService:
                 f"dispatcher must be a repro.scheduler.Dispatcher, "
                 f"got {type(dispatcher).__name__}"
             )
+        if checkpoint_interval is not None:
+            if checkpoint_interval <= 0:
+                raise ConfigurationError(
+                    f"checkpoint_interval must be positive when given, "
+                    f"got {checkpoint_interval}"
+                )
+            if checkpoint_path is None:
+                raise ConfigurationError(
+                    "checkpoint_interval needs a checkpoint_path to write to"
+                )
         self.dispatcher = dispatcher
         self.telemetry = telemetry if telemetry is not None else ServiceTelemetry()
+        self.request_log = RequestLog()
         self.batcher = MicroBatcher(
             dispatcher,
             max_queue_jobs=max_queue_jobs,
@@ -119,10 +146,13 @@ class DispatchService:
             max_batch_jobs=max_batch_jobs,
             total_jobs=total_jobs,
             telemetry=self.telemetry,
+            request_log=self.request_log,
         )
         self.checkpoint_path = checkpoint_path
+        self.checkpoint_interval = checkpoint_interval
         self._server: asyncio.AbstractServer | None = None
         self._closed: asyncio.Event | None = None
+        self._autosave: asyncio.Task | None = None
         self.address: tuple[str, int] | None = None
 
     @classmethod
@@ -134,14 +164,56 @@ class DispatchService:
         ``checkpoint_path``) are taken from ``kwargs`` as on a fresh start.
         A ``checkpoint_path`` defaults to the file the checkpoint was read
         from, so the resumed service keeps checkpointing to the same place.
+
+        A file that cannot be read back as a snapshot — missing, torn
+        mid-write (truncated / invalid JSON), or valid JSON that is not a
+        dispatcher state — raises :class:`~repro.errors.CheckpointError`
+        naming the file, so callers (the CLI's ``--restore``, the
+        supervisor's previous-snapshot fallback) can react without pattern
+        matching on JSON internals.
         """
         if isinstance(checkpoint, str):
-            with open(checkpoint, "r", encoding="utf-8") as fh:
-                state = json.load(fh)
+            try:
+                with open(checkpoint, "r", encoding="utf-8") as fh:
+                    state = json.load(fh)
+            except OSError as exc:
+                raise CheckpointError(
+                    f"cannot read checkpoint {checkpoint!r}: {exc}"
+                ) from exc
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                raise CheckpointError(
+                    f"checkpoint {checkpoint!r} is torn or corrupt "
+                    f"(not valid JSON): {exc}"
+                ) from exc
             kwargs.setdefault("checkpoint_path", checkpoint)
+            origin = checkpoint
         else:
             state = checkpoint
-        return cls(Dispatcher.from_state(state), **kwargs)
+            origin = None
+        if not isinstance(state, dict):
+            raise CheckpointError(
+                f"checkpoint {origin or '<dict>'!r} does not contain a "
+                f"state document (got {type(state).__name__})"
+            )
+        # The service envelope rides under a key the dispatcher loader
+        # ignores; pop it so this method owns the whole document.
+        service_state = state.pop("service", None) if origin is not None else (
+            state.get("service")
+        )
+        try:
+            service = cls(Dispatcher.from_state(state), **kwargs)
+        except ConfigurationError as exc:
+            if origin is not None:
+                raise CheckpointError(
+                    f"checkpoint {origin!r} is not a usable dispatcher "
+                    f"snapshot: {exc}"
+                ) from exc
+            raise
+        if isinstance(service_state, dict) and "requests" in service_state:
+            log = RequestLog.from_state(service_state["requests"])
+            service.request_log = log
+            service.batcher.request_log = log
+        return service
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -150,6 +222,21 @@ class DispatchService:
         """Start the micro-batcher (required before any submit)."""
         self._closed = asyncio.Event()
         self.batcher.start()
+        if self.checkpoint_interval is not None:
+            self._autosave = asyncio.get_running_loop().create_task(
+                self._autosave_loop()
+            )
+
+    async def _autosave_loop(self) -> None:
+        """Checkpoint on a timer until cancelled (the supervisor's food)."""
+        while True:
+            await asyncio.sleep(self.checkpoint_interval)
+            try:
+                await self.checkpoint()
+            except OSError:  # pragma: no cover - disk trouble
+                # A failed write must not kill the service; the next tick
+                # (or an explicit checkpoint request) will try again.
+                continue
 
     async def serve(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
         """Open the TCP endpoint; returns the bound ``(host, port)``.
@@ -171,6 +258,13 @@ class DispatchService:
 
     async def stop(self) -> None:
         """Flush the queue, close the TCP endpoint, stop the batcher."""
+        if self._autosave is not None:
+            self._autosave.cancel()
+            try:
+                await self._autosave
+            except asyncio.CancelledError:
+                pass
+            self._autosave = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -178,6 +272,18 @@ class DispatchService:
         await self.batcher.stop()
         if self._closed is not None:
             self._closed.set()
+
+    async def graceful_shutdown(self) -> None:
+        """Drain, write a final checkpoint, then stop (the SIGTERM path).
+
+        Every job accepted before the drain is dispatched and captured in
+        the final snapshot, so a service stopped this way restarts exactly
+        where it left off — nothing is lost, nothing replays twice.
+        """
+        await self.batcher.drain()
+        if self.checkpoint_path is not None:
+            await self.checkpoint()
+        await self.stop()
 
     async def wait_closed(self) -> None:
         """Block until the service is stopped (a ``shutdown`` or :meth:`stop`)."""
@@ -187,9 +293,9 @@ class DispatchService:
     # ------------------------------------------------------------------ #
     # In-process API (shared by the TCP handler)
     # ------------------------------------------------------------------ #
-    async def submit(self, sizes) -> np.ndarray:
+    async def submit(self, sizes, request_id: str | None = None) -> np.ndarray:
         """Submit jobs in-process; resolves with their server assignments."""
-        return await self.batcher.submit(sizes)
+        return await self.batcher.submit(sizes, request_id)
 
     def stats(self) -> dict[str, Any]:
         """The live telemetry + gauge snapshot (the ``stats`` reply body)."""
@@ -204,13 +310,22 @@ class DispatchService:
         exactly between two micro-batches: jobs still queued are *not* part
         of the checkpoint and will be dispatched by whichever service
         (this one, or a restored one re-fed by its clients) runs next.
+        The request log is captured under the same lock, so the snapshot's
+        dispatcher state and dedup memory are mutually consistent.
+
+        On disk, the previous snapshot is rotated to ``<path>.prev`` before
+        the new one lands, so a reader always has a fallback even if the
+        latest file is torn.
         """
         async with self.batcher.flush_lock:
             state = self.dispatcher.state_dict()
+            state["service"] = {"requests": self.request_log.state_dict()}
         if self.checkpoint_path is not None:
             tmp = f"{self.checkpoint_path}.tmp"
             with open(tmp, "w", encoding="utf-8") as fh:
                 json.dump(state, fh)
+            if os.path.exists(self.checkpoint_path):
+                os.replace(self.checkpoint_path, f"{self.checkpoint_path}.prev")
             os.replace(tmp, self.checkpoint_path)
         return state
 
@@ -227,6 +342,20 @@ class DispatchService:
                 raise ServiceError("message must be a dict with a 'type' field")
             kind = message["type"]
             if kind == "submit":
+                request_id = message.get("request_id")
+                if request_id is not None and not isinstance(request_id, str):
+                    raise ServiceError("request_id must be a string when given")
+                if request_id is not None:
+                    recorded = self.request_log.get(request_id)
+                    if recorded is not None:
+                        # Replay of a committed submit: answer from the log,
+                        # dispatch nothing (exactly-once application).
+                        return {
+                            "type": "result",
+                            "id": reply_id,
+                            "assignments": recorded.tolist(),
+                            "replayed": True,
+                        }
                 sizes = message.get("sizes")
                 if not isinstance(sizes, list):
                     raise ServiceError("submit needs a 'sizes' list")
@@ -245,7 +374,7 @@ class DispatchService:
                     # NaN/inf cannot round-trip the JSON wire format
                     # (allow_nan=False) and would poison the work gauges.
                     raise ServiceError("sizes must be finite numbers")
-                assignments = await self.submit(sizes_array)
+                assignments = await self.submit(sizes_array, request_id)
                 return {
                     "type": "result",
                     "id": reply_id,
@@ -349,16 +478,89 @@ class ServiceClient:
     burst of submit frames before reading any reply, which is how a single
     client produces multi-submission micro-batches.  Error frames raise
     :class:`ServiceError`.
+
+    With ``retries > 0`` the client survives connection loss: it reconnects
+    with exponential backoff (re-resolving the address through
+    ``address_provider``, so a supervisor-restarted service on a fresh
+    ephemeral port is found) and **replays unacknowledged submits** under
+    their original idempotency ``request_id``.  The server's request log
+    answers replays of already-applied submits from memory, so a retried
+    stream applies every job exactly once and stays bit-identical to the
+    fault-free run.
+
+    Parameters
+    ----------
+    host, port, timeout:
+        Where to connect and the per-socket timeout, as before.
+    retries:
+        Extra attempts per request after a connection failure (``0``, the
+        default, preserves the historical fail-fast behaviour: the original
+        ``ConnectionError``/``OSError`` propagates).
+    backoff:
+        Base reconnect delay; attempt *i* sleeps ``backoff * 2**i``.
+    client_id:
+        Namespace for generated request ids.  Defaults to a random token
+        when ``retries > 0``; when ``None`` and ``retries == 0`` submits
+        carry no request id at all (the historical wire format).
+    address_provider:
+        Optional zero-argument callable returning the current ``(host,
+        port)``; consulted on every (re)connect.
+    connection_factory:
+        Optional ``(host, port, timeout) -> FrameConnection`` hook — the
+        chaos tests inject fault-wrapped connections through this.
     """
 
-    def __init__(self, host: str, port: int, timeout: float | None = 30.0) -> None:
-        self._conn = FrameConnection(
-            socket.create_connection((host, port), timeout=timeout)
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float | None = 30.0,
+        *,
+        retries: int = 0,
+        backoff: float = 0.05,
+        client_id: str | None = None,
+        address_provider=None,
+        connection_factory=None,
+    ) -> None:
+        if retries < 0:
+            raise ConfigurationError(f"retries must be >= 0, got {retries}")
+        if backoff < 0:
+            raise ConfigurationError(f"backoff must be >= 0, got {backoff}")
+        self._timeout = timeout
+        self._retries = int(retries)
+        self._backoff = float(backoff)
+        if client_id is None and retries > 0:
+            client_id = f"client-{uuid.uuid4().hex[:12]}"
+        self._client_id = client_id
+        self._address_provider = (
+            address_provider if address_provider is not None else lambda: (host, port)
         )
+        self._connection_factory = (
+            connection_factory
+            if connection_factory is not None
+            else lambda h, p, t: FrameConnection(
+                socket.create_connection((h, p), timeout=t)
+            )
+        )
+        self._conn = None
         self._next_id = 0
+        self._request_seq = 0
+        self._connect()
+
+    def _connect(self) -> None:
+        host, port = self._address_provider()
+        self._conn = self._connection_factory(host, port, self._timeout)
+
+    def _drop_connection(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:  # pragma: no cover - already dead
+                pass
+            self._conn = None
 
     def close(self) -> None:
-        self._conn.close()
+        self._drop_connection()
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -371,26 +573,52 @@ class ServiceClient:
         self._next_id += 1
         return self._next_id
 
+    def _take_request_id(self) -> str | None:
+        if self._client_id is None:
+            return None
+        self._request_seq += 1
+        return f"{self._client_id}-{self._request_seq}"
+
     def _check(self, reply: dict[str, Any]) -> dict[str, Any]:
         if reply.get("type") == "error":
             raise ServiceError(reply.get("error", "unknown service error"))
         return reply
 
     def request(self, message: dict[str, Any]) -> dict[str, Any]:
-        """Send one frame and block for its reply (matched by ``id``)."""
+        """Send one frame and block for its reply (matched by ``id``).
+
+        Under ``retries > 0`` a connection failure reconnects (with
+        backoff) and resends the same frame — request-id-carrying submits
+        are therefore applied exactly once regardless of where the
+        connection died.
+        """
         message = dict(message)
         message.setdefault("id", self._take_id())
-        self._conn.send(message)
-        while True:
-            reply = self._conn.recv()
-            if reply.get("id") == message["id"]:
-                return self._check(reply)
+        for attempt in range(self._retries + 1):
+            try:
+                if self._conn is None:
+                    self._connect()
+                self._conn.send(message)
+                while True:
+                    reply = self._conn.recv()
+                    if reply.get("id") == message["id"]:
+                        return self._check(reply)
+            except (ConnectionError, OSError):
+                self._drop_connection()
+                if attempt >= self._retries:
+                    raise
+                time.sleep(self._backoff * (2**attempt))
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # ------------------------------------------------------------------ #
     def submit(self, sizes) -> np.ndarray:
         """Dispatch one group of jobs; returns their server assignments."""
         sizes = np.asarray(sizes, dtype=np.float64).ravel()
-        reply = self.request({"type": "submit", "sizes": sizes.tolist()})
+        message: dict[str, Any] = {"type": "submit", "sizes": sizes.tolist()}
+        request_id = self._take_request_id()
+        if request_id is not None:
+            message["request_id"] = request_id
+        reply = self.request(message)
         return np.asarray(reply["assignments"], dtype=np.int64)
 
     def submit_pipelined(self, batches) -> list[np.ndarray]:
@@ -400,22 +628,50 @@ class ServiceClient:
         in the service queue together and the batcher can fuse them into
         real micro-batches.  Returns the per-group assignments in
         submission order.
+
+        Under ``retries > 0`` a mid-burst connection loss reconnects and
+        replays only the **unacknowledged** frames (same request ids) — the
+        server's dedup log keeps the double-sent prefix from dispatching
+        twice.
         """
-        ids = []
+        prepared: list[dict[str, Any]] = []
         for sizes in batches:
             sizes = np.asarray(sizes, dtype=np.float64).ravel()
-            request_id = self._take_id()
-            ids.append(request_id)
-            self._conn.send(
-                {"type": "submit", "sizes": sizes.tolist(), "id": request_id}
-            )
+            message: dict[str, Any] = {
+                "type": "submit",
+                "sizes": sizes.tolist(),
+                "id": self._take_id(),
+            }
+            request_id = self._take_request_id()
+            if request_id is not None:
+                message["request_id"] = request_id
+            prepared.append(message)
+        pending = {message["id"]: message for message in prepared}
         replies: dict[int, dict[str, Any]] = {}
-        for _ in ids:
-            reply = self._conn.recv()
-            replies[reply.get("id")] = reply
+        attempt = 0
+        while pending:
+            try:
+                if self._conn is None:
+                    self._connect()
+                for message in pending.values():
+                    self._conn.send(message)
+                while pending:
+                    reply = self._conn.recv()
+                    frame_id = reply.get("id")
+                    if frame_id in pending:
+                        replies[frame_id] = reply
+                        del pending[frame_id]
+            except (ConnectionError, OSError):
+                self._drop_connection()
+                if attempt >= self._retries:
+                    raise
+                time.sleep(self._backoff * (2**attempt))
+                attempt += 1
         return [
-            np.asarray(self._check(replies[i])["assignments"], dtype=np.int64)
-            for i in ids
+            np.asarray(
+                self._check(replies[message["id"]])["assignments"], dtype=np.int64
+            )
+            for message in prepared
         ]
 
     def stats(self) -> dict[str, Any]:
@@ -506,11 +762,27 @@ class ServiceThread:
         )
         return future.result()
 
+    def is_alive(self) -> bool:
+        """Is the service's event-loop thread still running?"""
+        return self._thread.is_alive()
+
+    def join(self, timeout: float | None = None) -> None:
+        """Wait (up to ``timeout``) for the event-loop thread to end."""
+        self._thread.join(timeout)
+
     def stop(self, timeout: float = 30.0) -> None:
         """Graceful stop: flush the queue, close the endpoint, join."""
         if self._thread.is_alive() and self._loop is not None:
             asyncio.run_coroutine_threadsafe(
                 self.service.stop(), self._loop
+            ).result(timeout)
+        self._thread.join(timeout)
+
+    def graceful_stop(self, timeout: float = 30.0) -> None:
+        """Drain, final checkpoint, stop, join (the supervised-exit path)."""
+        if self._thread.is_alive() and self._loop is not None:
+            asyncio.run_coroutine_threadsafe(
+                self.service.graceful_shutdown(), self._loop
             ).result(timeout)
         self._thread.join(timeout)
 
